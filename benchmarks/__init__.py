@@ -1,0 +1,6 @@
+"""Benchmark suite: one module per experiment of DESIGN.md §5.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark asserts
+the paper-derived *shape* of its result (who wins, what is produced) in
+addition to timing; EXPERIMENTS.md records paper-vs-measured per entry.
+"""

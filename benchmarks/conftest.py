@@ -1,0 +1,18 @@
+"""Shared benchmark fixtures and reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UpdateEngine
+
+
+@pytest.fixture(scope="session")
+def engine() -> UpdateEngine:
+    return UpdateEngine()
+
+
+@pytest.fixture(scope="session")
+def quiet_engine() -> UpdateEngine:
+    """Engine without the Section 5 run-time check (E7 compares both)."""
+    return UpdateEngine(check_linearity=False)

@@ -1,0 +1,39 @@
+"""E5 — Section 4: the stratification machinery.
+
+Paper expectation: the enterprise program stratifies as {r1,r2},{r3,r4}
+under condition (a) alone and {r1,r2},{r3},{r4} under (a)-(d); the
+hypothetical program as four singletons (footnote 3).
+Measured: stratification cost versus rule count (depth-k chain programs
+have k strata and quadratic pairwise unification work).
+"""
+
+import pytest
+
+from repro import stratify
+from repro.workloads import hypothetical_program, paper_example_program
+from repro.workloads.synthetic import version_chain_program
+
+
+def test_e5_paper_program_full(benchmark):
+    program = paper_example_program()
+    strata = benchmark(lambda: stratify(program))
+    assert strata.names() == [["rule1", "rule2"], ["rule3"], ["rule4"]]
+
+
+def test_e5_paper_program_condition_a(benchmark):
+    program = paper_example_program()
+    strata = benchmark(lambda: stratify(program, conditions="a"))
+    assert strata.names() == [["rule1", "rule2"], ["rule3", "rule4"]]
+
+
+def test_e5_hypothetical_footnote3(benchmark):
+    program = hypothetical_program()
+    strata = benchmark(lambda: stratify(program))
+    assert strata.names() == [["rule1"], ["rule2"], ["rule3"], ["rule4"]]
+
+
+@pytest.mark.parametrize("k", [8, 16, 32])
+def test_e5_cost_vs_rule_count(benchmark, k):
+    program = version_chain_program(k)
+    strata = benchmark(lambda: stratify(program))
+    assert len(strata) == k  # one stratum per update group

@@ -1,0 +1,6 @@
+"""Setuptools shim: keeps `pip install -e .` working on toolchains that
+predate PEP 660 editable wheels (no `wheel` package available)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,116 @@
+"""repro — reproduction of *Updates in a Rule-Based Language for Objects*
+(Kramer, Lausen, Saake; VLDB 1992).
+
+A rule language for updating object bases, built on *version identities*:
+ground terms like ``ins(del(mod(phil)))`` that name an object's versions and
+encode its update history.  Update-programs have fixpoint semantics computed
+bottom-up along a stratification derived from the rules themselves.
+
+Quickstart::
+
+    from repro import UpdateEngine, parse_object_base, parse_program
+
+    base = parse_object_base('''
+        henry.isa -> empl.   henry.sal -> 250.
+    ''')
+    program = parse_program('''
+        raise: mod[E].sal -> (S, S2) <=
+            E.isa -> empl, E.sal -> S, S2 = S * 1.1.
+    ''')
+    result = UpdateEngine().apply(program, base)
+    # result.new_base now holds henry.sal -> 275.0
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: terms, truth, the ``T_P`` operator,
+    stratification, evaluation, version linearity, new-base construction.
+``repro.lang``
+    Concrete syntax: parser and pretty printer.
+``repro.datalog``
+    A stratified Datalog engine (the substrate the paper's language is "a
+    variant of"), also used by the baselines.
+``repro.baselines``
+    Section 2.4 comparison points: naive single-time-step update semantics
+    and Logres-style rule modules.
+``repro.storage``
+    Versioned store: snapshots, transaction history, serialization.
+``repro.workloads``
+    Workload generators for examples, tests and benchmarks.
+``repro.ext``
+    Section 6 extension: depth-bounded quantification over VIDs.
+"""
+
+from repro.core import (
+    BuiltinError,
+    EvaluationError,
+    EvaluationLimitError,
+    EvaluationOptions,
+    Fact,
+    ObjectBase,
+    Oid,
+    ProgramError,
+    ReproError,
+    SafetyError,
+    Stratification,
+    StratificationError,
+    Term,
+    TermError,
+    UpdateEngine,
+    UpdateKind,
+    UpdateProgram,
+    UpdateResult,
+    UpdateRule,
+    Var,
+    VersionDepthError,
+    VersionId,
+    VersionVar,
+    VersionLinearityError,
+    build_new_base,
+    evaluate,
+    stratify,
+)
+from repro.core.query import method_results, query_literals, result_value
+from repro.lang import (
+    ParseError,
+    format_object_base,
+    format_program,
+    format_rule,
+    format_term,
+    parse_body,
+    parse_object_base,
+    parse_program,
+    parse_rule,
+    parse_term,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core types
+    "Oid", "Var", "VersionVar", "VersionId", "Term", "UpdateKind", "Fact",
+    "ObjectBase", "UpdateRule", "UpdateProgram",
+    "UpdateEngine", "UpdateResult", "EvaluationOptions",
+    "Stratification", "stratify", "evaluate", "build_new_base",
+    # queries
+    "query", "query_literals", "method_results", "result_value",
+    # language
+    "parse_program", "parse_rule", "parse_body", "parse_object_base",
+    "parse_term", "format_program", "format_rule", "format_term",
+    "format_object_base",
+    # errors
+    "ReproError", "TermError", "ProgramError", "SafetyError",
+    "StratificationError", "EvaluationError", "EvaluationLimitError",
+    "VersionDepthError", "VersionLinearityError", "BuiltinError",
+    "ParseError",
+]
+
+
+def query(base: ObjectBase, text: str) -> list[dict[str, object]]:
+    """Answer a conjunctive query written in the concrete syntax.
+
+    >>> query(base, "E.isa -> empl, E.sal -> S")   # doctest: +SKIP
+    [{'E': 'bob', 'S': 4200}, {'E': 'phil', 'S': 4000}]
+    """
+    return query_literals(base, parse_body(text))

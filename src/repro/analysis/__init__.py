@@ -1,0 +1,13 @@
+"""Analysis tooling over the core: static lint and run-time provenance."""
+
+from repro.analysis.lint import Finding, Severity, lint_program
+from repro.analysis.provenance import Explanation, explain_fact, explain_version
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "lint_program",
+    "Explanation",
+    "explain_fact",
+    "explain_version",
+]

@@ -1,0 +1,147 @@
+"""Provenance: explain how a version's state came to be.
+
+Deductive databases owe their users a *why*: given a fact
+``ins(mod(phil)).isa -> hpe`` in ``result(P)``, which rule instance put it
+there — and which facts were copied along by the frame rule rather than
+derived?  This module reconstructs that story from an evaluation trace
+(``collect_trace=True``):
+
+* an **update event**: the fired rule instance whose ground head produced
+  (inserted / deleted / modified-to) the application on this version;
+* a **frame copy**: no event targets the application at this version — it
+  was carried over from the predecessor ``v*``; the explanation recurses
+  into the predecessor until it bottoms out at the initial base.
+
+The result is an :class:`Explanation` tree, rendered as indented text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.consequence import FiredInstance
+from repro.core.facts import EXISTS, Fact
+from repro.core.objectbase import ObjectBase
+from repro.core.terms import Oid, Term, UpdateKind, VersionId, subterms
+from repro.core.trace import EvaluationTrace
+
+__all__ = ["Explanation", "explain_fact", "explain_version"]
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """One step of a fact's history, possibly with a predecessor step."""
+
+    fact: Fact
+    kind: str  # "base" | "inserted" | "modified" | "copied"
+    rule: str = ""
+    stratum: int = -1
+    iteration: int = -1
+    binding: tuple[tuple[str, Oid], ...] = ()
+    predecessor: "Explanation | None" = None
+
+    def render(self, indent: str = "") -> str:
+        if self.kind == "base":
+            line = f"{indent}{self.fact}  — in the initial object base"
+        elif self.kind == "copied":
+            line = (
+                f"{indent}{self.fact}  — copied by the frame rule from "
+                f"{self.predecessor.fact.host if self.predecessor else '?'}"
+            )
+        else:
+            bound = ", ".join(f"{n}={v}" for n, v in self.binding)
+            line = (
+                f"{indent}{self.fact}  — {self.kind} by {self.rule}[{bound}] "
+                f"(stratum {self.stratum}, iteration {self.iteration})"
+            )
+        if self.predecessor is not None and self.kind == "copied":
+            return line + "\n" + self.predecessor.render(indent + "  ")
+        return line
+
+
+def _events(trace: EvaluationTrace):
+    """All fired instances with their stratum/iteration coordinates."""
+    for stratum in trace.strata:
+        for iteration in stratum.iterations:
+            for fired in iteration.fired:
+                yield stratum.index, iteration.index, fired
+
+
+def _produces(fired: FiredInstance, fact: Fact) -> bool:
+    """Did this ground head put ``fact`` into its new version's state?"""
+    head = fired.head
+    if head.new_version() != fact.host:
+        return False
+    if head.delete_all or head.method != fact.method:
+        return False
+    if tuple(head.args) != fact.args:
+        return False
+    if head.kind is UpdateKind.MODIFY:
+        return head.result2 == fact.result
+    if head.kind is UpdateKind.INSERT:
+        return head.result == fact.result
+    return False  # deletes remove; they never produce
+
+
+def explain_fact(
+    trace: EvaluationTrace,
+    original_base: ObjectBase,
+    fact: Fact,
+) -> Explanation:
+    """Explain one fact of ``result(P)``.
+
+    Requires the trace of the evaluation (``collect_trace=True``) and the
+    original (pre-update) base for the recursion's floor.  Raises
+    ``LookupError`` if the fact cannot be accounted for (e.g. it is not a
+    fact of this evaluation at all).
+    """
+    host = fact.host
+
+    # directly produced by an update event?
+    best: Explanation | None = None
+    for stratum_index, iteration_index, fired in _events(trace):
+        if _produces(fired, fact):
+            kind = (
+                "modified"
+                if fired.head.kind is UpdateKind.MODIFY
+                else "inserted"
+            )
+            best = Explanation(
+                fact, kind, fired.rule_name, stratum_index, iteration_index,
+                fired.binding,
+            )
+            break
+    if best is not None:
+        return best
+
+    # in the original base?
+    if fact in original_base:
+        return Explanation(fact, "base")
+
+    # otherwise: a frame copy from the predecessor version
+    if isinstance(host, VersionId):
+        for predecessor in list(subterms(host))[1:]:
+            predecessor_fact = Fact(predecessor, fact.method, fact.args, fact.result)
+            try:
+                inner = explain_fact(trace, original_base, predecessor_fact)
+            except LookupError:
+                continue
+            return Explanation(fact, "copied", predecessor=inner)
+    raise LookupError(f"no provenance found for {fact}")
+
+
+def explain_version(
+    trace: EvaluationTrace,
+    original_base: ObjectBase,
+    result_base: ObjectBase,
+    version: Term,
+    *,
+    include_exists: bool = False,
+) -> list[Explanation]:
+    """Explanations for every method-application of ``version``."""
+    explanations = []
+    for fact in sorted(result_base.state_of(version), key=str):
+        if fact.method == EXISTS and not include_exists:
+            continue
+        explanations.append(explain_fact(trace, original_base, fact))
+    return explanations

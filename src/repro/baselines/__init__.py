@@ -1,0 +1,54 @@
+"""Baselines for the comparative claims of Section 2.4.
+
+The paper argues that updates need *control* (``update = logic + control``)
+and contrasts three ways of getting it:
+
+* **none** — all updates happen at one "time-step".
+  :mod:`repro.baselines.naive` implements that semantics; experiment E6
+  shows it firing the wrong employee in the Figure 2 variant.
+* **manual module ordering** (Logres [CCCR+90]) — rules with deletions in
+  their heads, grouped into modules the *user* must order.
+  :mod:`repro.baselines.logres` implements module semantics on the Datalog
+  substrate; experiment E11 shows a wrong order producing the unintended
+  base while the paper's version-stratification derives the order
+  automatically.
+* **manual control networks** (RDL1 [dMS88]) — explicit user-written
+  control expressions (sequence / saturate / while) over the rules.
+  :mod:`repro.baselines.rdl`.
+* **inheritance with overriding** (LOCO [LVVS90]) — updates performed by
+  introducing new rule-carrying instances into an isa-hierarchy, one per
+  updated object.  :mod:`repro.baselines.loco`.
+* **non-inflationary Datalog with deletions** ([AV91]) — the fixpoint may
+  not exist at all; :mod:`repro.baselines.deltalog` detects the
+  oscillation the paper's versioned language excludes structurally.
+* **version identities** — the paper's approach (:mod:`repro.core`).
+
+:mod:`repro.baselines.convert` maps object bases to flat relations and back
+("methods correspond to predicates", Section 2.1).
+"""
+
+from repro.baselines.convert import database_to_object_base, object_base_to_database
+from repro.baselines.deltalog import DeltalogProgram, NonTerminationError
+from repro.baselines.loco import LocoHierarchy, LocoObject
+from repro.baselines.logres import LogresModule, LogresProgram, LogresRule
+from repro.baselines.naive import NaiveResult, naive_one_step_update
+from repro.baselines.rdl import Once, RdlProgram, Saturate, Seq, While
+
+__all__ = [
+    "object_base_to_database",
+    "database_to_object_base",
+    "naive_one_step_update",
+    "NaiveResult",
+    "LogresRule",
+    "LogresModule",
+    "LogresProgram",
+    "RdlProgram",
+    "Once",
+    "Saturate",
+    "Seq",
+    "While",
+    "DeltalogProgram",
+    "NonTerminationError",
+    "LocoObject",
+    "LocoHierarchy",
+]

@@ -1,0 +1,51 @@
+"""Mapping between object bases and flat relations.
+
+Section 2.1: "methods correspond to predicates".  A fact
+``host.m@a1,...,ak -> r`` becomes the row ``m(host, a1, ..., ak, r)`` and
+vice versa.  Only OID-hosted facts translate (versions are an
+update-process concept; relational baselines know nothing about them), and
+``exists`` bookkeeping stays on the object side.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import TermError
+from repro.core.facts import EXISTS, Fact
+from repro.core.objectbase import ObjectBase
+from repro.core.terms import Oid
+from repro.datalog.database import Database
+
+__all__ = ["object_base_to_database", "database_to_object_base"]
+
+
+def object_base_to_database(base: ObjectBase, *, include_exists: bool = False) -> Database:
+    """Flatten an object base into relations, one per method name/arity."""
+    database = Database()
+    for fact in base:
+        if fact.method == EXISTS and not include_exists:
+            continue
+        if not isinstance(fact.host, Oid):
+            raise TermError(
+                f"only OID-hosted facts translate to relations, got {fact}"
+            )
+        database.add(fact.method, (fact.host, *fact.args, fact.result))
+    return database
+
+
+def database_to_object_base(
+    database: Database, *, ensure_exists: bool = True
+) -> ObjectBase:
+    """Read relations back as method-applications: the first column is the
+    host, the last the result, anything between is arguments."""
+    base = ObjectBase()
+    for name, row in database:
+        if len(row) < 2:
+            raise TermError(
+                f"relation {name}/{len(row)} is too narrow to be a method "
+                f"(needs at least host and result columns)"
+            )
+        host, *middle, result = row
+        base.add(Fact(host, name, tuple(middle), result))
+    if ensure_exists:
+        base.ensure_exists()
+    return base

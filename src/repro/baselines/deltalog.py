@@ -1,0 +1,104 @@
+"""Datalog with deletions, non-inflationary semantics — [AV91].
+
+    "In [AV91] various extensions of Datalog including deletions are
+    investigated" (§1); the paper's comparison section relies on that line
+    of work for the expressiveness/termination backdrop.
+
+The semantics implemented here is the *non-inflationary* fixpoint of
+Datalog¬ with signed heads: at every step **all** rules fire against the
+current database simultaneously; the derived ``+p`` rows are added and the
+``-p`` rows removed (deletions win on conflict).  Because the database can
+shrink, the sequence of states need not converge — it can enter a cycle.
+[AV91] treats a non-converging computation as undefined; we *detect* the
+cycle (state hashing) and raise :class:`NonTerminationError` with the cycle
+length, which experiment E15's termination contrast relies on: the paper's
+versioned language terminates structurally on every safe program, while
+this semantics admits two-line oscillators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import EvaluationError
+from repro.baselines.logres import LogresRule
+from repro.datalog.database import Database, Row
+from repro.datalog.evaluation import match_datalog_rule
+
+__all__ = ["NonTerminationError", "DeltalogProgram"]
+
+
+class NonTerminationError(EvaluationError):
+    """The non-inflationary computation entered a state cycle.
+
+    Attributes
+    ----------
+    steps:
+        Number of steps taken before the repeated state was seen.
+    cycle_length:
+        Period of the oscillation (1 would be a fixpoint, so >= 2 here).
+    """
+
+    def __init__(self, steps: int, cycle_length: int):
+        self.steps = steps
+        self.cycle_length = cycle_length
+        super().__init__(
+            f"non-inflationary evaluation oscillates with period "
+            f"{cycle_length} (detected after {steps} steps); the program "
+            f"has no fixpoint on this database"
+        )
+
+
+@dataclass(frozen=True)
+class _State:
+    """Hashable snapshot of a database for cycle detection."""
+
+    rows: frozenset[tuple[str, Row]]
+
+    @classmethod
+    def of(cls, database: Database) -> "_State":
+        return cls(frozenset((name, row) for name, row in database))
+
+
+class DeltalogProgram:
+    """Signed-head Datalog rules under non-inflationary semantics."""
+
+    def __init__(self, rules: Iterable[LogresRule], name: str = "deltalog"):
+        self.rules = tuple(rules)
+        self.name = name
+        for rule in self.rules:
+            rule.as_datalog().check_safety()
+
+    def run(self, edb: Database, *, max_steps: int = 10_000) -> Database:
+        """Iterate to the fixpoint; raise :class:`NonTerminationError` on a
+        state cycle, ``EvaluationError`` when ``max_steps`` is exhausted
+        without either outcome (astronomically long orbits)."""
+        database = edb.copy()
+        seen: dict[_State, int] = {_State.of(database): 0}
+        for step in range(1, max_steps + 1):
+            changed = self._step(database)
+            if not changed:
+                return database
+            state = _State.of(database)
+            if state in seen:
+                raise NonTerminationError(step, step - seen[state])
+            seen[state] = step
+        raise EvaluationError(
+            f"no fixpoint and no cycle within {max_steps} steps"
+        )
+
+    def _step(self, database: Database) -> bool:
+        inserts: set[tuple[str, Row]] = set()
+        deletes: set[tuple[str, Row]] = set()
+        for rule in self.rules:
+            sink = inserts if rule.insert else deletes
+            for binding in match_datalog_rule(rule.as_datalog(), database):
+                head = rule.head.substitute(binding)
+                sink.add((head.name, head.to_tuple()))
+        changed = False
+        for name, row in deletes:
+            changed |= database.remove(name, row)
+        for name, row in inserts - deletes:  # deletions win
+            changed |= database.add(name, row)
+        return changed

@@ -1,0 +1,158 @@
+"""LOCO-style updates: inheritance with overriding — the last §2.4 system.
+
+    "LOCO is based on ordered logic [LSV90]: a set of Datalog-like rules
+    (allowing negation in rule-heads) may be ordered in a isa-hierarchy to
+    allow inheritance.  Updates are done by making the new rules an
+    instance of the to-be-updated object; applying inheritance with
+    overriding yields the instance as updated object."  And §2.4: "updates
+    cannot be defined by rules; instead again in a 'manual' way new rules
+    have to be introduced into the isa-hierarchy."
+
+This module implements that mechanism in miniature:
+
+* a :class:`LocoObject` carries signed rules (``+p(...)``/``-p(...)``,
+  reusing :class:`~repro.baselines.logres.LogresRule`) and ``isa`` parents;
+* querying an object evaluates its own rules *and* the inherited ones,
+  with **overriding**: if a strictly more specific level of the hierarchy
+  concludes anything about a predicate, every less specific conclusion for
+  that predicate is shadowed; explicit negative conclusions (``-p``)
+  additionally defeat equally-derived positives at less specific levels;
+* :meth:`LocoHierarchy.update_instance` performs LOCO's update move —
+  create a fresh instance object holding the "update rules" and read the
+  updated state off the instance.
+
+Experiment E16 contrasts this with the paper's approach: the salary raise
+needs one *hand-made instance per updated object* here, while the
+versioned language expresses it as a single rule over all employees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import EvaluationLimitError, ProgramError
+from repro.baselines.logres import LogresRule
+from repro.datalog.database import Database, Row
+from repro.datalog.evaluation import match_datalog_rule
+
+__all__ = ["LocoObject", "LocoHierarchy"]
+
+
+@dataclass(frozen=True)
+class LocoObject:
+    """One node of the isa-hierarchy: a name, parents, and signed rules."""
+
+    name: str
+    parents: tuple[str, ...] = ()
+    rules: tuple[LogresRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        for rule in self.rules:
+            rule.as_datalog().check_safety()
+
+
+class LocoHierarchy:
+    """An acyclic isa-hierarchy of rule-carrying objects."""
+
+    def __init__(self, objects: list[LocoObject] | tuple[LocoObject, ...] = ()):
+        self._objects: dict[str, LocoObject] = {}
+        for obj in objects:
+            self.add(obj)
+
+    def add(self, obj: LocoObject) -> LocoObject:
+        if obj.name in self._objects:
+            raise ProgramError(f"object {obj.name!r} already in the hierarchy")
+        for parent in obj.parents:
+            if parent not in self._objects:
+                raise ProgramError(
+                    f"object {obj.name!r}: unknown parent {parent!r}"
+                )
+        self._objects[obj.name] = obj
+        return obj
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects
+
+    # -- inheritance -------------------------------------------------------
+    def levels(self, name: str) -> list[list[LocoObject]]:
+        """The specificity levels of ``name``: the object itself, then its
+        parents, grandparents, ... (breadth-first, deduplicated)."""
+        if name not in self._objects:
+            raise ProgramError(f"unknown object {name!r}")
+        seen = {name}
+        frontier = [self._objects[name]]
+        result = [frontier]
+        while True:
+            next_frontier: list[LocoObject] = []
+            for obj in frontier:
+                for parent in obj.parents:
+                    if parent not in seen:
+                        seen.add(parent)
+                        next_frontier.append(self._objects[parent])
+            if not next_frontier:
+                return result
+            result.append(next_frontier)
+            frontier = next_frontier
+
+    # -- semantics -----------------------------------------------------------
+    def state_of(
+        self, name: str, edb: Database | None = None, *, max_iterations: int = 1_000
+    ) -> Database:
+        """The derived state of ``name`` under inheritance with overriding.
+
+        Levels are evaluated most-specific first.  Within a level, rules
+        run to an inflationary fixpoint over (edb + conclusions so far);
+        negative conclusions remove rows.  A predicate concluded at a more
+        specific level **overrides**: less specific levels may no longer
+        add rows for it.
+        """
+        database = edb.copy() if edb is not None else Database()
+        frozen_predicates: set[tuple[str, int]] = set()
+        for level in self.levels(name):
+            rules = [rule for obj in level for rule in obj.rules]
+            concluded = self._saturate(
+                rules, database, frozen_predicates, max_iterations
+            )
+            frozen_predicates |= concluded
+        return database
+
+    @staticmethod
+    def _saturate(
+        rules: list[LogresRule],
+        database: Database,
+        frozen: set[tuple[str, int]],
+        max_iterations: int,
+    ) -> set[tuple[str, int]]:
+        concluded: set[tuple[str, int]] = set()
+        for _ in range(max_iterations):
+            inserts: set[tuple[str, Row]] = set()
+            deletes: set[tuple[str, Row]] = set()
+            for rule in rules:
+                key = rule.head.key
+                if key in frozen:
+                    continue  # overridden by a more specific level
+                sink = inserts if rule.insert else deletes
+                for binding in match_datalog_rule(rule.as_datalog(), database):
+                    head = rule.head.substitute(binding)
+                    sink.add((head.name, head.to_tuple()))
+            changed = False
+            for pred, row in deletes:
+                concluded.add((pred, len(row)))
+                changed |= database.remove(pred, row)
+            for pred, row in inserts - deletes:
+                concluded.add((pred, len(row)))
+                changed |= database.add(pred, row)
+            if not changed:
+                return concluded
+        raise EvaluationLimitError(0, max_iterations)
+
+    # -- LOCO's update move ---------------------------------------------------
+    def update_instance(
+        self, target: str, update_rules: tuple[LogresRule, ...], *, name: str = ""
+    ) -> LocoObject:
+        """Perform an update the LOCO way: introduce a new instance below
+        ``target`` carrying the update rules.  The *instance* is the
+        updated object; the original is untouched — and every object to be
+        updated needs its own hand-made instance (the §2.4 critique)."""
+        instance_name = name or f"{target}'"
+        return self.add(LocoObject(instance_name, (target,), update_rules))

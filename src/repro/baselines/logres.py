@@ -1,0 +1,215 @@
+"""Logres-style update modules (Section 2.4 comparison, [CCCR+90]).
+
+Logres is a typed extension of Datalog where updates are expressed "by using
+rules with deletions in the head"; rules are grouped into **modules** with
+either stratified or inflationary semantics, and control is exerted by the
+*user-specified order* in which modules execute — the "flexible, however
+'manual' means for control" the paper contrasts with its automatic
+version-derived stratification (experiment E11).
+
+Semantics implemented here (documented choices where [CCCR+90] leaves
+detail out):
+
+* a module's rules have heads ``+p(...)`` (insert) or ``-p(...)`` (delete);
+* one module step derives all insertions and deletions against the current
+  database and applies them simultaneously, **deletions winning** over
+  insertions of the same row;
+* ``inflationary`` modules repeat that step until the database stops
+  changing (a cycle guard raises after ``max_iterations``);
+* ``stratified`` modules first stratify their rules by predicate negation
+  and run each stratum's step-loop in order;
+* modules execute in program order, each reading its predecessor's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.errors import EvaluationLimitError, ProgramError
+from repro.datalog.ast import DatalogLiteral, DatalogProgram, DatalogRule, PredicateAtom
+from repro.datalog.database import Database, Row
+from repro.datalog.evaluation import match_datalog_rule
+from repro.datalog.stratify import stratify_datalog
+
+__all__ = ["LogresRule", "LogresModule", "LogresProgram", "enterprise_modules"]
+
+
+@dataclass(frozen=True)
+class LogresRule:
+    """A Datalog rule whose head inserts (``+``) or deletes (``-``)."""
+
+    head: PredicateAtom
+    body: tuple[DatalogLiteral, ...]
+    insert: bool = True
+    name: str = ""
+
+    def as_datalog(self) -> DatalogRule:
+        """The underlying Datalog rule (polarity dropped) — used for safety
+        checking and stratification."""
+        return DatalogRule(self.head, self.body, self.name)
+
+    def __str__(self) -> str:
+        sign = "+" if self.insert else "-"
+        body = ", ".join(str(b) for b in self.body)
+        return f"{sign}{self.head} :- {body}."
+
+
+@dataclass(frozen=True)
+class LogresModule:
+    """A named group of update rules with a module-level semantics."""
+
+    name: str
+    rules: tuple[LogresRule, ...]
+    semantics: str = "stratified"  # or "inflationary"
+
+    def __post_init__(self) -> None:
+        if self.semantics not in ("stratified", "inflationary"):
+            raise ProgramError(
+                f"module {self.name!r}: semantics must be 'stratified' or "
+                f"'inflationary', got {self.semantics!r}"
+            )
+        for rule in self.rules:
+            rule.as_datalog().check_safety()
+
+
+class LogresProgram:
+    """An ordered sequence of modules — order is the user's control knob."""
+
+    def __init__(self, modules: Iterable[LogresModule]):
+        self.modules: tuple[LogresModule, ...] = tuple(modules)
+        seen: set[str] = set()
+        for module in self.modules:
+            if module.name in seen:
+                raise ProgramError(f"duplicate module name {module.name!r}")
+            seen.add(module.name)
+
+    def reordered(self, order: Sequence[str]) -> "LogresProgram":
+        """The same modules in a different execution order (E11 explores
+        how order changes the result)."""
+        by_name = {module.name: module for module in self.modules}
+        if sorted(order) != sorted(by_name):
+            raise ProgramError(
+                f"reorder needs exactly the module names {sorted(by_name)}"
+            )
+        return LogresProgram([by_name[name] for name in order])
+
+    def run(self, edb: Database, *, max_iterations: int = 10_000) -> Database:
+        """Execute the modules in order; the input database is not mutated."""
+        database = edb.copy()
+        for module in self.modules:
+            _run_module(module, database, max_iterations)
+        return database
+
+
+def _run_module(module: LogresModule, database: Database, max_iterations: int) -> None:
+    if module.semantics == "inflationary":
+        _step_loop(list(module.rules), database, max_iterations, module.name)
+        return
+    # stratified: group rules by the stratum of their head predicate
+    datalog_view = DatalogProgram(
+        [rule.as_datalog() for rule in module.rules], module.name
+    )
+    stratification = stratify_datalog(datalog_view)
+    by_name = {rule.name: rule for rule in module.rules}
+    for stratum in stratification:
+        stratum_rules = [by_name[rule.name] for rule in stratum]
+        _step_loop(stratum_rules, database, max_iterations, module.name)
+
+
+def _step_loop(
+    rules: list[LogresRule],
+    database: Database,
+    max_iterations: int,
+    module_name: str,
+) -> None:
+    for _iteration in range(max_iterations):
+        inserts: set[tuple[str, Row]] = set()
+        deletes: set[tuple[str, Row]] = set()
+        for rule in rules:
+            sink = inserts if rule.insert else deletes
+            for binding in match_datalog_rule(rule.as_datalog(), database):
+                head = rule.head.substitute(binding)
+                sink.add((head.name, head.to_tuple()))
+        changed = False
+        for name, row in deletes:
+            changed |= database.remove(name, row)
+        for name, row in inserts - deletes:  # deletions win
+            changed |= database.add(name, row)
+        if not changed:
+            return
+    raise EvaluationLimitError(0, max_iterations)
+
+
+def enterprise_modules(*, hpe_threshold: int = 4500) -> LogresProgram:
+    """The paper's enterprise update (Section 2.3) as Logres modules.
+
+    Modules ``raise`` → ``fire`` → ``hpe``; the user must supply that order.
+    Experiment E11 runs both this order (matching the versioned engine) and
+    ``fire`` → ``raise`` → ``hpe`` (the unintended base).
+
+    The ``raise`` module shows the manual-control tax in miniature: the
+    rules need an explicit ``raised(E)`` guard — without it they would
+    re-raise the already-raised salary forever, the very update-loop the
+    paper's OID-only variable binding rules out by construction.
+    """
+    from repro.core.atoms import BuiltinAtom
+    from repro.core.exprs import BinOp
+    from repro.core.terms import Oid, Var
+
+    def atom(name: str, *parts) -> PredicateAtom:
+        terms = tuple(
+            Var(p) if isinstance(p, str) and p[0].isupper() else Oid(p)
+            for p in parts
+        )
+        return PredicateAtom(name, terms)
+
+    L = DatalogLiteral
+    S, S2, SE, SB = Var("S"), Var("S2"), Var("SE"), Var("SB")
+
+    raise_module = LogresModule("raise", (
+        LogresRule(atom("newsal", "E", "S2"),
+                   (L(atom("isa", "E", "empl")), L(atom("pos", "E", "mgr")),
+                    L(atom("sal", "E", "S")), L(atom("raised", "E"), False),
+                    L(BuiltinAtom("=", S2, BinOp("+", BinOp("*", S, Oid(1.1)), Oid(200))))),
+                   True, "r_mgr"),
+        LogresRule(atom("newsal", "E", "S2"),
+                   (L(atom("isa", "E", "empl")), L(atom("pos", "E", "mgr"), False),
+                    L(atom("sal", "E", "S")), L(atom("raised", "E"), False),
+                    L(BuiltinAtom("=", S2, BinOp("*", S, Oid(1.1))))),
+                   True, "r_emp"),
+        LogresRule(atom("raised", "E"),
+                   (L(atom("isa", "E", "empl")), L(atom("sal", "E", "S"))),
+                   True, "mark"),
+        LogresRule(atom("sal", "E", "S"),
+                   (L(atom("sal", "E", "S")), L(atom("newsal", "E", "S2")),
+                    L(BuiltinAtom("!=", S, S2))),
+                   False, "drop_old"),
+        LogresRule(atom("sal", "E", "S2"), (L(atom("newsal", "E", "S2")),),
+                   True, "add_new"),
+    ), "inflationary")
+
+    fire_module = LogresModule("fire", (
+        LogresRule(atom("fired", "E"),
+                   (L(atom("isa", "E", "empl")), L(atom("boss", "E", "B")),
+                    L(atom("sal", "E", "SE")), L(atom("sal", "B", "SB")),
+                    L(BuiltinAtom(">", SE, SB))),
+                   True, "spot"),
+        LogresRule(atom("isa", "E", "C"),
+                   (L(atom("fired", "E")), L(atom("isa", "E", "C"))), False, "del_isa"),
+        LogresRule(atom("sal", "E", "S"),
+                   (L(atom("fired", "E")), L(atom("sal", "E", "S"))), False, "del_sal"),
+        LogresRule(atom("boss", "E", "B"),
+                   (L(atom("fired", "E")), L(atom("boss", "E", "B"))), False, "del_boss"),
+        LogresRule(atom("pos", "E", "P"),
+                   (L(atom("fired", "E")), L(atom("pos", "E", "P"))), False, "del_pos"),
+    ), "inflationary")
+
+    hpe_module = LogresModule("hpe", (
+        LogresRule(atom("isa", "E", "hpe"),
+                   (L(atom("isa", "E", "empl")), L(atom("sal", "E", "S")),
+                    L(BuiltinAtom(">", S, Oid(hpe_threshold)))),
+                   True, "classify"),
+    ), "inflationary")
+
+    return LogresProgram([raise_module, fire_module, hpe_module])

@@ -1,0 +1,226 @@
+"""The "no control" strawman: all updates at one time-step.
+
+Section 2.4 argues that without the control encoded in version identities,
+"firing employees before raising salaries could have led to a different
+unintended updated object-base".  This module makes that concrete: it
+evaluates an :class:`~repro.core.rules.UpdateProgram` under a *single
+time-step* semantics —
+
+* every version-id-term is flattened to the object it denotes (``mod(E)``
+  reads as plain ``E``: there are no versions);
+* rule bodies read the **original** object base throughout — no staging,
+  no intermediate states;
+* update-terms in bodies test the *pending* update sets (the production-
+  rule reading: "has this update been requested?");
+* rules fire to a fixpoint of the pending sets, then all pending inserts,
+  deletes and modifications are applied simultaneously (deletes win over
+  modifications of the same fact; see :func:`apply_pending`).
+
+On the Figure 2 variant with bob at $4100 this fires bob (4100 > boss's
+original 4000) even though after the raise he earns less than his boss —
+the exact anomaly the paper's versioning prevents (experiment E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.atoms import Literal, UpdateAtom, VersionAtom
+from repro.core.errors import EvaluationError, EvaluationLimitError
+from repro.core.facts import EXISTS, Fact
+from repro.core.grounding import match_rule
+from repro.core.objectbase import ObjectBase
+from repro.core.rules import UpdateProgram, UpdateRule
+from repro.core.terms import Oid, Term, UpdateKind, VersionId
+
+__all__ = ["PendingSets", "NaiveResult", "naive_one_step_update", "flatten_program"]
+
+Application = tuple[Oid, str, tuple[Oid, ...], Oid]
+
+
+@dataclass
+class PendingSets:
+    """The requested updates of the single time-step."""
+
+    inserts: set[Application] = field(default_factory=set)
+    deletes: set[Application] = field(default_factory=set)
+    modifies: dict[Application, set[Oid]] = field(default_factory=dict)
+
+    def size(self) -> int:
+        return (
+            len(self.inserts)
+            + len(self.deletes)
+            + sum(len(v) for v in self.modifies.values())
+        )
+
+
+@dataclass
+class NaiveResult:
+    """Outcome of a one-time-step update."""
+
+    new_base: ObjectBase
+    pending: PendingSets
+    iterations: int
+
+
+def flatten_term(term: Term) -> Term:
+    """Strip every version functor: ``ins(mod(E)) -> E`` — the "no
+    versions" reading."""
+    while isinstance(term, VersionId):
+        term = term.base
+    return term
+
+
+def _flatten_atom(atom):
+    if isinstance(atom, VersionAtom):
+        return VersionAtom(flatten_term(atom.host), atom.method, atom.args, atom.result)
+    if isinstance(atom, UpdateAtom):
+        return UpdateAtom(
+            atom.kind,
+            flatten_term(atom.target),
+            atom.method,
+            atom.args,
+            atom.result,
+            atom.result2,
+            atom.delete_all,
+        )
+    return atom
+
+
+def flatten_program(program: UpdateProgram) -> UpdateProgram:
+    """The version-free projection of an update-program."""
+    rules = [
+        UpdateRule(
+            _flatten_atom(rule.head),
+            tuple(Literal(_flatten_atom(lit.atom), lit.positive) for lit in rule.body),
+            rule.name,
+        )
+        for rule in program
+    ]
+    return UpdateProgram(rules, f"{program.name}-flat")
+
+
+def naive_one_step_update(
+    program: UpdateProgram,
+    base: ObjectBase,
+    *,
+    max_iterations: int = 1_000,
+) -> NaiveResult:
+    """Run ``program`` under the single-time-step semantics.
+
+    The rule matcher of the core engine is reused for the *version-term*
+    parts of bodies (they read the original base); body *update-terms* are
+    intercepted and tested against the pending sets.
+    """
+    flat = flatten_program(program)
+    working = base.copy()
+    working.ensure_exists()
+
+    pending = PendingSets()
+    iterations = 0
+    while True:
+        iterations += 1
+        if iterations > max_iterations:
+            raise EvaluationLimitError(0, max_iterations)
+        before = pending.size()
+        for rule in flat:
+            _fire_rule(rule, working, pending)
+        if pending.size() == before:
+            break
+
+    return NaiveResult(apply_pending(working, pending), pending, iterations)
+
+
+def _split_body(rule: UpdateRule):
+    """Version-terms and built-ins go to the matcher; update-terms are
+    pending-set tests."""
+    matcher_literals = []
+    pending_literals = []
+    for literal in rule.body:
+        if isinstance(literal.atom, UpdateAtom):
+            pending_literals.append(literal)
+        else:
+            matcher_literals.append(literal)
+    return tuple(matcher_literals), tuple(pending_literals)
+
+
+def _fire_rule(rule: UpdateRule, base: ObjectBase, pending: PendingSets) -> None:
+    matcher_literals, pending_literals = _split_body(rule)
+    probe = UpdateRule(rule.head, matcher_literals, rule.name)
+    for binding in match_rule(probe, base):
+        if not all(
+            _pending_literal_true(lit.substitute(binding), pending)
+            for lit in pending_literals
+        ):
+            continue
+        head = rule.head.substitute(binding)
+        if not head.is_ground():
+            raise EvaluationError(f"rule {rule.name!r} is unsafe (non-ground head)")
+        _record_head(head, base, pending)
+
+
+def _pending_literal_true(literal: Literal, pending: PendingSets) -> bool:
+    atom = literal.atom
+    assert isinstance(atom, UpdateAtom) and not atom.delete_all
+    host = flatten_term(atom.target)
+    application: Application = (host, atom.method, atom.args, atom.result)  # type: ignore[assignment]
+    if atom.kind is UpdateKind.INSERT:
+        value = application in pending.inserts
+    elif atom.kind is UpdateKind.DELETE:
+        value = application in pending.deletes
+    else:
+        value = atom.result2 in pending.modifies.get(application, set())
+    return value if literal.positive else not value
+
+
+def _record_head(head: UpdateAtom, base: ObjectBase, pending: PendingSets) -> None:
+    host = flatten_term(head.target)
+    if not isinstance(host, Oid):
+        raise EvaluationError(f"non-ground update target {head.target}")
+
+    if head.delete_all:
+        for fact in base.method_applications(host):
+            pending.deletes.add((host, fact.method, fact.args, fact.result))
+        return
+
+    application: Application = (host, head.method, head.args, head.result)  # type: ignore[assignment]
+    old_fact = Fact(host, head.method, head.args, head.result)  # type: ignore[arg-type]
+    if head.kind is UpdateKind.INSERT:
+        pending.inserts.add(application)
+    elif head.kind is UpdateKind.DELETE:
+        if old_fact in base:  # a delete needs something to delete
+            pending.deletes.add(application)
+    else:
+        if old_fact in base:
+            pending.modifies.setdefault(application, set()).add(head.result2)  # type: ignore[arg-type]
+
+
+def apply_pending(base: ObjectBase, pending: PendingSets) -> ObjectBase:
+    """Apply all pending updates simultaneously.
+
+    Conflict policy (documented, tested): deletes beat modifications of the
+    same application; modifications remove the old value and add every
+    requested new value; inserts are added last.  ``exists`` facts are
+    regenerated; objects losing all applications vanish (mirroring
+    Section 5's convention so results stay comparable with the core engine).
+    """
+    result = ObjectBase()
+    for fact in base:
+        if fact.method == EXISTS:
+            continue
+        application = (fact.host, fact.method, fact.args, fact.result)
+        if application in pending.deletes:
+            continue
+        if application in pending.modifies:
+            continue
+        result.add(fact)
+    for (host, method, args, _old), new_values in pending.modifies.items():
+        application = (host, method, args, _old)
+        if application in pending.deletes:
+            continue
+        for new_value in new_values:
+            result.add(Fact(host, method, args, new_value))
+    for host, method, args, value in pending.inserts:
+        result.add(Fact(host, method, args, value))
+    result.ensure_exists()
+    return result

@@ -1,0 +1,147 @@
+"""RDL1-style explicit control — the third §2.4 comparison point.
+
+    "A different way to control evaluation is pointed out in RDL1 [dMS88]:
+    here explicit (user defined) control is achieved by adding so called
+    Production Compilation Networks to the rule-programs, which allow
+    similar control patterns as Petri-Nets."
+
+This module models that style: update rules (insert/delete heads over flat
+relations, shared with the Logres baseline) are wired into an explicit
+**control expression** the user writes —
+
+* ``Once(rules)``   — fire the rules simultaneously, apply, done;
+* ``Saturate(rules)`` — fire-and-apply until nothing changes;
+* ``Seq(steps)``    — run sub-controls left to right;
+* ``While(condition_predicate, step)`` — repeat the step while some row of
+  the given predicate exists (the Petri-net-style token test).
+
+Together with Logres modules (order as control) and the paper's approach
+(control derived from version terms) this completes the §2.4 spectrum:
+experiment E15 runs the enterprise update under a hand-written RDL-style
+network and under two subtly wrong networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.core.errors import EvaluationLimitError, ProgramError
+from repro.baselines.logres import LogresRule
+from repro.datalog.database import Database, Row
+from repro.datalog.evaluation import match_datalog_rule
+
+__all__ = ["Once", "Saturate", "Seq", "While", "RdlProgram"]
+
+
+@dataclass(frozen=True)
+class Once:
+    """Fire all rules against the current database, apply simultaneously
+    (deletions win), stop."""
+
+    rules: tuple[LogresRule, ...]
+    name: str = "once"
+
+
+@dataclass(frozen=True)
+class Saturate:
+    """Repeat :class:`Once` until the database stops changing."""
+
+    rules: tuple[LogresRule, ...]
+    name: str = "saturate"
+
+
+@dataclass(frozen=True)
+class Seq:
+    """Run the sub-steps in order — the network's sequencing arc."""
+
+    steps: tuple["ControlExpr", ...]
+    name: str = "seq"
+
+
+@dataclass(frozen=True)
+class While:
+    """Repeat ``step`` while relation ``condition`` is non-empty.
+
+    ``condition`` is ``(predicate, arity)`` — the token place of the
+    Petri-net reading.  The body is expected to consume the tokens;
+    ``max_rounds`` guards against networks that never do.
+    """
+
+    condition: tuple[str, int]
+    step: "ControlExpr"
+    max_rounds: int = 10_000
+    name: str = "while"
+
+
+ControlExpr = Union[Once, Saturate, Seq, While]
+
+
+class RdlProgram:
+    """Rules plus an explicit control expression."""
+
+    def __init__(self, control: ControlExpr, *, max_iterations: int = 10_000):
+        self.control = control
+        self.max_iterations = max_iterations
+        _validate(control)
+
+    def run(self, edb: Database) -> Database:
+        """Execute the network; the input database is not mutated."""
+        database = edb.copy()
+        self._run(self.control, database)
+        return database
+
+    # -- execution ---------------------------------------------------------
+    def _run(self, node: ControlExpr, database: Database) -> None:
+        if isinstance(node, Once):
+            _fire_once(node.rules, database)
+        elif isinstance(node, Saturate):
+            for _ in range(self.max_iterations):
+                if not _fire_once(node.rules, database):
+                    return
+            raise EvaluationLimitError(0, self.max_iterations)
+        elif isinstance(node, Seq):
+            for step in node.steps:
+                self._run(step, database)
+        elif isinstance(node, While):
+            predicate, arity = node.condition
+            for _ in range(node.max_rounds):
+                if not database.rows(predicate, arity):
+                    return
+                self._run(node.step, database)
+            raise EvaluationLimitError(0, node.max_rounds)
+        else:  # pragma: no cover - exhaustive
+            raise ProgramError(f"unknown control node {node!r}")
+
+
+def _validate(node: ControlExpr) -> None:
+    if isinstance(node, (Once, Saturate)):
+        if not node.rules:
+            raise ProgramError(f"{node.name}: a rule step needs rules")
+        for rule in node.rules:
+            rule.as_datalog().check_safety()
+    elif isinstance(node, Seq):
+        if not node.steps:
+            raise ProgramError("seq: needs at least one step")
+        for step in node.steps:
+            _validate(step)
+    elif isinstance(node, While):
+        _validate(node.step)
+    else:
+        raise ProgramError(f"not a control expression: {node!r}")
+
+
+def _fire_once(rules: Sequence[LogresRule], database: Database) -> bool:
+    inserts: set[tuple[str, Row]] = set()
+    deletes: set[tuple[str, Row]] = set()
+    for rule in rules:
+        sink = inserts if rule.insert else deletes
+        for binding in match_datalog_rule(rule.as_datalog(), database):
+            head = rule.head.substitute(binding)
+            sink.add((head.name, head.to_tuple()))
+    changed = False
+    for name, row in deletes:
+        changed |= database.remove(name, row)
+    for name, row in inserts - deletes:  # deletions win
+        changed |= database.add(name, row)
+    return changed

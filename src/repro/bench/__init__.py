@@ -1,0 +1,5 @@
+"""Benchmark support: paper-style tables and small timing helpers."""
+
+from repro.bench.harness import ExperimentTable, time_callable
+
+__all__ = ["ExperimentTable", "time_callable"]

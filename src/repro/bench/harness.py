@@ -1,0 +1,86 @@
+"""Rendering of experiment results as paper-style tables.
+
+The paper has no measured tables, so the benchmarks print their own —
+experiment id, workload parameters, and the observed outcome next to the
+paper's stated expectation — and EXPERIMENTS.md records the same rows.
+pytest-benchmark handles the statistical timing; this module handles the
+human-readable reporting around it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+__all__ = ["ExperimentTable", "time_callable"]
+
+
+@dataclass
+class ExperimentTable:
+    """A fixed-column ASCII table printed under a titled rule.
+
+    >>> table = ExperimentTable("E1", ["n", "versions", "ms"])
+    >>> table.add_row([10, 10, 0.4])
+    >>> print(table.render())          # doctest: +SKIP
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: Sequence) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_cell(value) for value in values])
+
+    def render(self) -> str:
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [f"== {self.title} ==", line(headers), rule]
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+    def emit(self) -> None:
+        """Print with surrounding blank lines (pytest -s friendly)."""
+        print(f"\n{self.render()}\n")
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def time_callable(
+    fn: Callable[[], object], *, repeat: int = 3
+) -> tuple[float, object]:
+    """Best-of-``repeat`` wall time in milliseconds plus the last result.
+
+    For quick shape tables inside benchmarks; statistically robust numbers
+    come from pytest-benchmark itself.
+    """
+    best = float("inf")
+    result: object = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = (time.perf_counter() - start) * 1000.0
+        best = min(best, elapsed)
+    return best, result

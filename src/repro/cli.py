@@ -1,0 +1,192 @@
+"""Command-line interface: run update-programs against object-base files.
+
+Usage (installed as ``repro-updates``, also ``python -m repro``)::
+
+    repro-updates apply --program update.upd --base world.ob [--trace]
+    repro-updates stratify --program update.upd [--conditions abcd]
+    repro-updates check --program update.upd
+    repro-updates query --base world.ob "E.isa -> empl, E.sal -> S"
+
+``apply`` prints the new object base (``ob'``) to stdout, or writes it with
+``--out``; ``--result-base`` dumps ``result(P)`` with all versions instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.engine import UpdateEngine
+from repro.core.errors import ReproError
+from repro.core.query import query_literals
+from repro.core.safety import check_rule_safety
+from repro.core.stratification import stratify
+from repro.lang.parser import parse_body, parse_object_base, parse_program
+from repro.lang.pretty import format_object_base
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-updates",
+        description=(
+            "Rule-based updates for object bases with version identities "
+            "(Kramer/Lausen/Saake, VLDB 1992)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    apply_cmd = commands.add_parser("apply", help="run a program, print ob'")
+    apply_cmd.add_argument("--program", required=True, type=Path)
+    apply_cmd.add_argument("--base", required=True, type=Path)
+    apply_cmd.add_argument(
+        "--views",
+        type=Path,
+        help="derived-method rules (version-term heads) readable by the "
+        "program's rule bodies (repro.ext.derived)",
+    )
+    apply_cmd.add_argument("--out", type=Path, help="write ob' here instead of stdout")
+    apply_cmd.add_argument(
+        "--trace", action="store_true", help="print the evaluation trace"
+    )
+    apply_cmd.add_argument(
+        "--result-base",
+        action="store_true",
+        help="print result(P) (all versions) instead of ob'",
+    )
+    apply_cmd.add_argument(
+        "--no-linearity-check",
+        action="store_true",
+        help="skip the Section 5 run-time check (a posteriori check still "
+        "runs when building ob')",
+    )
+
+    stratify_cmd = commands.add_parser(
+        "stratify", help="print the stratification and its justification"
+    )
+    stratify_cmd.add_argument("--program", required=True, type=Path)
+    stratify_cmd.add_argument(
+        "--conditions",
+        default="abcd",
+        help="subset of 'abcd' to apply (default: all, as in Section 4)",
+    )
+
+    check_cmd = commands.add_parser(
+        "check", help="report safety and stratifiability per rule"
+    )
+    check_cmd.add_argument("--program", required=True, type=Path)
+    check_cmd.add_argument(
+        "--lint",
+        action="store_true",
+        help="also run the static diagnostics (repro.analysis.lint)",
+    )
+
+    query_cmd = commands.add_parser("query", help="answer a conjunctive query")
+    query_cmd.add_argument("--base", required=True, type=Path)
+    query_cmd.add_argument("body", help="query text, e.g. 'E.isa -> empl'")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    try:
+        handler = _HANDLERS[arguments.command]
+        return handler(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _cmd_apply(arguments) -> int:
+    program = parse_program(arguments.program.read_text(encoding="utf-8"))
+    base = parse_object_base(arguments.base.read_text(encoding="utf-8"))
+    if arguments.views:
+        from repro.ext.derived import DerivedUpdateEngine, parse_derived_program
+
+        views = parse_derived_program(
+            arguments.views.read_text(encoding="utf-8")
+        )
+        engine = DerivedUpdateEngine(
+            views, check_linearity=not arguments.no_linearity_check
+        )
+    else:
+        engine = UpdateEngine(
+            collect_trace=arguments.trace,
+            check_linearity=not arguments.no_linearity_check,
+        )
+    result = engine.apply(program, base)
+    if arguments.trace:
+        print(result.trace.render(), file=sys.stderr)
+        print(file=sys.stderr)
+    chosen = result.result_base if arguments.result_base else result.new_base
+    text = format_object_base(chosen, include_exists=arguments.result_base)
+    if arguments.out:
+        arguments.out.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {arguments.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_stratify(arguments) -> int:
+    program = parse_program(arguments.program.read_text(encoding="utf-8"))
+    stratification = stratify(program, conditions=arguments.conditions)
+    print(stratification.explain())
+    return 0
+
+
+def _cmd_check(arguments) -> int:
+    program = parse_program(arguments.program.read_text(encoding="utf-8"))
+    failures = 0
+    for rule in program:
+        try:
+            check_rule_safety(rule)
+            print(f"{rule.name}: safe")
+        except ReproError as error:
+            failures += 1
+            print(f"{rule.name}: UNSAFE — {error}")
+    try:
+        stratification = stratify(program)
+        print(f"stratification: {stratification.names()}")
+    except ReproError as error:
+        failures += 1
+        print(f"stratification: FAILED — {error}")
+    if arguments.lint:
+        from repro.analysis import lint_program
+
+        findings = lint_program(program)
+        if findings:
+            for finding in findings:
+                print(finding)
+        else:
+            print("lint: clean")
+    return 1 if failures else 0
+
+
+def _cmd_query(arguments) -> int:
+    base = parse_object_base(arguments.base.read_text(encoding="utf-8"))
+    answers = query_literals(base, parse_body(arguments.body))
+    if not answers:
+        print("(no answers)")
+        return 0
+    for answer in answers:
+        if answer:
+            print(", ".join(f"{k} = {v}" for k, v in sorted(answer.items())))
+        else:
+            print("yes")
+    return 0
+
+
+_HANDLERS = {
+    "apply": _cmd_apply,
+    "stratify": _cmd_stratify,
+    "check": _cmd_check,
+    "query": _cmd_query,
+}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

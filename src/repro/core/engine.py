@@ -1,0 +1,93 @@
+"""The high-level facade: run an update-program against an object base.
+
+The paper conceives an update-program as a mapping from an (old) object base
+into a (new) object base (Section 2.2).  :class:`UpdateEngine` packages that
+pipeline — safety check, stratification, stratum-wise fixpoint, linearity
+check, new-base construction — behind one call::
+
+    engine = UpdateEngine()
+    outcome = engine.apply(program, base)
+    outcome.new_base          # ob'
+    outcome.result_base       # result(P), all versions
+    outcome.final_versions    # object -> final VID
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.evaluation import EvaluationOptions, EvaluationOutcome, evaluate
+from repro.core.newbase import build_new_base
+from repro.core.objectbase import ObjectBase
+from repro.core.rules import UpdateProgram
+from repro.core.stratification import Stratification
+from repro.core.trace import EvaluationTrace
+
+__all__ = ["UpdateEngine", "UpdateResult"]
+
+
+@dataclass
+class UpdateResult:
+    """Everything produced by one update-process.
+
+    Attributes
+    ----------
+    new_base:
+        The updated object base ``ob'`` (Section 5).
+    result_base:
+        ``result(P)`` — the fixpoint containing *all* versions created
+        during the process; useful for audits and hypothetical reasoning.
+    final_versions:
+        The final VID per object, e.g. ``phil -> ins(mod(phil))``.
+    stratification:
+        The rule strata the evaluation followed.
+    trace:
+        The recorded evaluation history (empty unless tracing was enabled).
+    iterations:
+        Total number of ``T_P`` applications.
+    """
+
+    new_base: ObjectBase
+    result_base: ObjectBase
+    final_versions: dict
+    stratification: Stratification
+    trace: EvaluationTrace
+    iterations: int
+
+
+class UpdateEngine:
+    """Configurable runner for update-programs.
+
+    Keyword arguments mirror :class:`~repro.core.evaluation.EvaluationOptions`
+    (trace collection, linearity checking, iteration caps, object creation).
+    An engine is stateless between calls and safe to reuse.
+    """
+
+    def __init__(self, **option_overrides) -> None:
+        self.options = EvaluationOptions(**option_overrides)
+
+    def with_options(self, **option_overrides) -> "UpdateEngine":
+        """A copy of this engine with some options changed."""
+        engine = UpdateEngine.__new__(UpdateEngine)
+        engine.options = replace(self.options, **option_overrides)
+        return engine
+
+    def evaluate(
+        self, program: UpdateProgram, base: ObjectBase
+    ) -> EvaluationOutcome:
+        """Compute ``result(P)`` only (no new-base construction)."""
+        return evaluate(program, base, self.options)
+
+    def apply(self, program: UpdateProgram, base: ObjectBase) -> UpdateResult:
+        """Run the full update-process: ``ob`` → ``result(P)`` → ``ob'``."""
+        outcome = self.evaluate(program, base)
+        finals = outcome.final_versions or None
+        new_base = build_new_base(outcome.result_base, finals)
+        return UpdateResult(
+            new_base=new_base,
+            result_base=outcome.result_base,
+            final_versions=outcome.final_versions,
+            stratification=outcome.stratification,
+            trace=outcome.trace,
+            iterations=outcome.iterations,
+        )

@@ -1,0 +1,174 @@
+"""Bottom-up evaluation — Section 4 of the paper.
+
+Evaluation proceeds stratum by stratum: within a stratum, ``T_P`` is applied
+repeatedly (each application recomputes ``T¹`` from scratch and substitutes
+the recomputed version states, DESIGN.md D1) until the object base stops
+changing; the result of the lower strata is the input of the next.  For
+programs satisfying conditions (a)-(d) the per-stratum head set grows
+monotonically, so this terminates in a fixpoint — ``result(P)``.
+
+The version-linearity check of Section 5 runs incrementally during
+evaluation (the paper: "its realization seems to be not expensive"; E7
+benchmarks that claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.consequence import apply_tp, tp_step
+from repro.core.errors import EvaluationLimitError, ProgramError, VersionDepthError
+from repro.core.linearity import LinearityTracker
+from repro.core.objectbase import ObjectBase
+from repro.core.rules import UpdateProgram
+from repro.core.safety import check_program_safety
+from repro.core.stratification import Stratification, stratify
+from repro.core.terms import VersionVar, depth, variables_of
+from repro.core.trace import EvaluationTrace, IterationRecord
+
+__all__ = ["EvaluationOptions", "EvaluationOutcome", "evaluate"]
+
+
+@dataclass(frozen=True)
+class EvaluationOptions:
+    """Tunable behaviour of the evaluator.
+
+    max_iterations_per_stratum:
+        Guard against value-generating recursion (DESIGN.md D7).
+    check_linearity:
+        Run the Section 5 check incrementally (raises on violation).
+    check_safety:
+        Reject unsafe rules up front (Section 2.1 requires safe rules).
+    create_missing_objects:
+        Allow ``ins`` on OIDs unknown to the base to create objects
+        (DESIGN.md D3; the strict paper reading is False).
+    collect_trace / collect_snapshots:
+        Record a :class:`~repro.core.trace.EvaluationTrace`, optionally with
+        full object-base snapshots per iteration (Figure 2 reproduction).
+    max_version_depth:
+        Belt-and-braces termination guard on the functor depth of created
+        versions (safe programs bound it by construction; the Section 6
+        VID-variable extension and ``create_missing_objects`` loops do not).
+    """
+
+    max_iterations_per_stratum: int = 10_000
+    check_linearity: bool = True
+    check_safety: bool = True
+    create_missing_objects: bool = False
+    collect_trace: bool = False
+    collect_snapshots: bool = False
+    max_version_depth: int | None = None
+
+
+@dataclass
+class EvaluationOutcome:
+    """``result(P)`` plus everything the run learned along the way."""
+
+    result_base: ObjectBase
+    stratification: Stratification
+    trace: EvaluationTrace
+    final_versions: dict
+    iterations: int
+
+    @property
+    def strata_count(self) -> int:
+        return len(self.stratification)
+
+
+def evaluate(
+    program: UpdateProgram,
+    base: ObjectBase,
+    options: EvaluationOptions | None = None,
+) -> EvaluationOutcome:
+    """Compute ``result(P)`` for ``program`` on (a copy of) ``base``.
+
+    The input base is never mutated.  Raises
+    :class:`~repro.core.errors.StratificationError`,
+    :class:`~repro.core.errors.SafetyError`,
+    :class:`~repro.core.errors.VersionLinearityError` or
+    :class:`~repro.core.errors.EvaluationLimitError` as applicable.
+    """
+    options = options or EvaluationOptions()
+    _reject_version_vars_in_heads(program)
+    if options.check_safety:
+        check_program_safety(program)
+    stratification = stratify(program)
+
+    working = base.copy()
+    working.ensure_exists()
+
+    tracker = LinearityTracker()
+    if options.check_linearity:
+        tracker.seed_from(working)
+
+    trace = EvaluationTrace(snapshots=options.collect_snapshots)
+    total_iterations = 0
+
+    for stratum_index, stratum in enumerate(stratification):
+        record = None
+        if options.collect_trace:
+            record = trace.open_stratum(
+                stratum_index, tuple(rule.name for rule in stratum)
+            )
+        iteration = 0
+        while True:
+            iteration += 1
+            total_iterations += 1
+            if iteration > options.max_iterations_per_stratum:
+                raise EvaluationLimitError(
+                    stratum_index, options.max_iterations_per_stratum
+                )
+            step = tp_step(
+                stratum,
+                working,
+                create_missing_objects=options.create_missing_objects,
+                collect_fired=options.collect_trace,
+            )
+            if options.max_version_depth is not None:
+                for version in step.new_versions:
+                    if depth(version) > options.max_version_depth:
+                        raise VersionDepthError(
+                            stratum_index, options.max_version_depth, version
+                        )
+            fresh = [
+                version
+                for version in step.new_versions
+                if not working.version_exists(version)
+                and not working.state_of(version)
+            ]
+            changed = apply_tp(working, step)
+            if options.check_linearity:
+                for version in sorted(fresh, key=str):
+                    tracker.observe(version)
+            if record is not None:
+                record.iterations.append(
+                    IterationRecord(
+                        iteration,
+                        tuple(step.fired),
+                        tuple(sorted(fresh, key=str)),
+                        changed,
+                        step.copies,
+                        working.copy() if options.collect_snapshots else None,
+                    )
+                )
+            if not changed:
+                break
+
+    finals = tracker.latest if options.check_linearity else {}
+    return EvaluationOutcome(working, stratification, trace, finals, total_iterations)
+
+
+def _reject_version_vars_in_heads(program: UpdateProgram) -> None:
+    """Section 6 extension, done carefully: a version variable in a rule
+    head would force a strict self-loop under condition (a) (its target
+    unifies with every head, including its own), so reject it with a clear
+    message instead of a puzzling stratification error."""
+    for rule in program:
+        for var in variables_of(rule.head.target):
+            if isinstance(var, VersionVar):
+                raise ProgramError(
+                    f"rule {rule.name!r}: version variable {var} cannot "
+                    f"occur in a rule head (no stratification satisfying "
+                    f"condition (a) could exist); version variables "
+                    f"quantify over existing versions in rule bodies only"
+                )

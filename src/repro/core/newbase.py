@@ -1,0 +1,48 @@
+"""Building the new object base ``ob'`` from ``result(P)`` — Section 5.
+
+Once ``result(P)`` is version-linear, the updated base is derived by copying,
+for each object ``o`` of the original base, the method-applications of its
+*final version* (the VID containing all the object's other VIDs as
+subterms), re-hosted onto the bare OID ``o``.  An object whose final version
+keeps only the ``exists`` bookkeeping has been deleted entirely and does not
+appear in ``ob'``; the surviving objects get fresh ``exists`` facts so that
+``ob'`` is again a valid to-be-updated object base.
+"""
+
+from __future__ import annotations
+
+from repro.core.facts import EXISTS, Fact, exists_fact
+from repro.core.linearity import final_versions
+from repro.core.objectbase import ObjectBase
+from repro.core.terms import Oid, Term
+
+__all__ = ["build_new_base"]
+
+
+def build_new_base(
+    result_base: ObjectBase,
+    finals: dict[Oid, Term] | None = None,
+) -> ObjectBase:
+    """Derive ``ob'`` from a finished, version-linear ``result(P)``.
+
+    ``finals`` may be supplied by the evaluator's incremental linearity
+    tracker; otherwise the a-posteriori check of
+    :func:`repro.core.linearity.final_versions` runs here (and raises on a
+    non-linear result).
+    """
+    if finals is None:
+        finals = final_versions(result_base)
+
+    new_base = ObjectBase()
+    for owner, final in finals.items():
+        survived = False
+        for fact in result_base.state_of(final):
+            if fact.method == EXISTS:
+                continue
+            new_base.add(Fact(owner, fact.method, fact.args, fact.result))
+            survived = True
+        if survived:
+            new_base.add(exists_fact(owner))
+        # An object whose final version holds only `exists` vanished
+        # entirely (Section 5's closing remark): no trace of it in ob'.
+    return new_base

@@ -1,0 +1,283 @@
+"""The object base: a set of ground version-terms with indexes.
+
+An object base (Section 2.1) is a set of ground version-terms.  The *state*
+of a version ``v`` w.r.t. the base is the set of all method-applications
+derivable from its version-terms.  This module adds:
+
+* hash indexes by method, by host, and by (host, method) — the access paths
+  of the rule matcher;
+* ``exists`` bookkeeping (Section 3): ``o.exists -> o`` is defined for every
+  object of the initial base, copies propagate it to derived versions, and
+  it can never be updated, so even a fully-deleted version survives as
+  ``del(v).exists -> o``;
+* the ``v*`` operator of Section 3: the largest subterm of a VID whose
+  ``exists`` fact is present — the state a head update is checked against
+  and copied from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.errors import TermError
+from repro.core.facts import EXISTS, Fact, exists_fact, make_fact
+from repro.core.terms import Oid, Term, VersionId, is_ground, object_of, subterms
+
+__all__ = ["ObjectBase"]
+
+
+class ObjectBase:
+    """A mutable set of facts with the indexes the engine needs.
+
+    The public surface treats the base as a set of :class:`Fact`; mutation
+    keeps all indexes synchronous.  ``copy()`` is cheap-ish (dict/set copies)
+    and used by the evaluator to snapshot strata for traces.
+    """
+
+    __slots__ = ("_facts", "_by_method", "_by_host", "_by_host_method", "_exists")
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        self._facts: set[Fact] = set()
+        self._by_method: dict[tuple[str, int], set[Fact]] = {}
+        self._by_host: dict[Term, set[Fact]] = {}
+        self._by_host_method: dict[tuple[Term, str, int], set[Fact]] = {}
+        self._exists: dict[Term, Oid] = {}
+        for fact in facts:
+            self.add(fact)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_triples(
+        cls, triples: Iterable[tuple], *, ensure_exists: bool = True
+    ) -> "ObjectBase":
+        """Build a base from ``(host, method, result)`` or
+        ``(host, method, args, result)`` tuples of plain Python values.
+
+        Hosts must be OID payloads (the initial base contains no versions);
+        ``ensure_exists`` adds the Section 3 bookkeeping for every host.
+        """
+        base = cls()
+        for triple in triples:
+            if len(triple) == 3:
+                host, method, result = triple
+                args: tuple = ()
+            elif len(triple) == 4:
+                host, method, args, result = triple
+            else:
+                raise TermError(f"expected 3- or 4-tuple, got {triple!r}")
+            base.add(
+                make_fact(
+                    _as_term(host),
+                    method,
+                    tuple(_as_oid(a) for a in args),
+                    _as_oid(result),
+                )
+            )
+        if ensure_exists:
+            base.ensure_exists()
+        return base
+
+    def copy(self) -> "ObjectBase":
+        """An independent copy sharing no mutable state."""
+        clone = ObjectBase.__new__(ObjectBase)
+        clone._facts = set(self._facts)
+        clone._by_method = {k: set(v) for k, v in self._by_method.items()}
+        clone._by_host = {k: set(v) for k, v in self._by_host.items()}
+        clone._by_host_method = {k: set(v) for k, v in self._by_host_method.items()}
+        clone._exists = dict(self._exists)
+        return clone
+
+    # ------------------------------------------------------------------
+    # set protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._facts
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ObjectBase):
+            return self._facts == other._facts
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ObjectBase({len(self._facts)} facts, {len(self._exists)} versions)"
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, fact: Fact) -> bool:
+        """Insert ``fact``; returns True when the base changed."""
+        if fact in self._facts:
+            return False
+        if not is_ground(fact.host):
+            raise TermError(f"object bases hold ground facts only, got {fact}")
+        self._facts.add(fact)
+        mkey = (fact.method, len(fact.args))
+        self._by_method.setdefault(mkey, set()).add(fact)
+        self._by_host.setdefault(fact.host, set()).add(fact)
+        self._by_host_method.setdefault((fact.host, *mkey), set()).add(fact)
+        if fact.method == EXISTS and not fact.args:
+            self._exists[fact.host] = fact.result
+        return True
+
+    def discard(self, fact: Fact) -> bool:
+        """Remove ``fact`` if present; returns True when the base changed."""
+        if fact not in self._facts:
+            return False
+        self._facts.discard(fact)
+        mkey = (fact.method, len(fact.args))
+        self._by_method[mkey].discard(fact)
+        self._by_host[fact.host].discard(fact)
+        self._by_host_method[(fact.host, *mkey)].discard(fact)
+        if fact.method == EXISTS and not fact.args:
+            self._exists.pop(fact.host, None)
+        return True
+
+    def add_object(self, oid: Oid | str | int | float) -> Oid:
+        """Register a (possibly property-less) object: adds ``o.exists -> o``."""
+        oid = _as_oid(oid)
+        self.add(exists_fact(oid))
+        return oid
+
+    def ensure_exists(self) -> int:
+        """Add ``o.exists -> o`` for every OID hosting a method-application.
+
+        Returns the number of facts added.  Called on freshly loaded bases
+        (DESIGN.md D3); derived versions get their ``exists`` fact by state
+        copying, never through this method.
+        """
+        added = 0
+        for host in list(self._by_host):
+            if isinstance(host, Oid) and host not in self._exists:
+                if self.add(exists_fact(host)):
+                    added += 1
+        return added
+
+    def replace_state(self, version: Term, facts: Iterable[Fact]) -> bool:
+        """Replace the whole state of ``version`` with ``facts``.
+
+        This is the ``⊕`` of DESIGN.md D1: ``T_P`` recomputes complete new
+        states for the relevant versions, and iteration substitutes them.
+        Returns True when the stored state actually changed.
+        """
+        new_state = set(facts)
+        for fact in new_state:
+            if fact.host != version:
+                raise TermError(
+                    f"replace_state({version}): fact {fact} hosts a different version"
+                )
+        old_state = self._by_host.get(version)
+        if old_state == new_state:
+            return False
+        if old_state:
+            for fact in list(old_state):
+                self.discard(fact)
+        for fact in new_state:
+            self.add(fact)
+        return True
+
+    # ------------------------------------------------------------------
+    # lookups (the matcher's access paths)
+    # ------------------------------------------------------------------
+    def facts_by_method(self, method: str, arity: int) -> frozenset[Fact]:
+        return frozenset(self._by_method.get((method, arity), ()))
+
+    def facts_by_host(self, host: Term) -> frozenset[Fact]:
+        return frozenset(self._by_host.get(host, ()))
+
+    def facts_by_host_method(self, host: Term, method: str, arity: int) -> frozenset[Fact]:
+        return frozenset(self._by_host_method.get((host, method, arity), ()))
+
+    def state_of(self, version: Term) -> frozenset[Fact]:
+        """All method-applications of ``version`` (including ``exists``)."""
+        return self.facts_by_host(version)
+
+    def method_applications(self, version: Term) -> frozenset[Fact]:
+        """The state of ``version`` without the ``exists`` bookkeeping."""
+        return frozenset(
+            f for f in self._by_host.get(version, ()) if f.method != EXISTS
+        )
+
+    # ------------------------------------------------------------------
+    # versions and objects
+    # ------------------------------------------------------------------
+    def version_exists(self, version: Term) -> bool:
+        """True when ``version.exists -> o`` is in the base."""
+        return version in self._exists
+
+    def existing_versions(self) -> Mapping[Term, Oid]:
+        """Read-only view of the ``exists`` map (version -> object)."""
+        return dict(self._exists)
+
+    def objects(self) -> frozenset[Oid]:
+        """The OIDs registered as objects (those with ``o.exists -> o``)."""
+        return frozenset(v for v in self._exists if isinstance(v, Oid))
+
+    def versions_of(self, oid: Oid) -> frozenset[Term]:
+        """All existing versions of object ``oid`` (including ``oid``)."""
+        return frozenset(
+            version
+            for version, owner in self._exists.items()
+            if owner == oid and object_of(version) == oid
+        )
+
+    def v_star(self, version: Term) -> Term | None:
+        """Section 3's ``v*``: the largest subterm of ``version`` whose
+        ``exists`` fact is present; ``None`` when no subterm exists.
+
+        For a version that exists itself this is the version; for a VID that
+        "skips" levels (e.g. ``del(mod(e))`` when no modify ever ran on
+        ``e``) it is the deepest existing predecessor, whose state the update
+        is checked against and copied from.
+        """
+        for candidate in subterms(version):
+            if candidate in self._exists:
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def oid_universe(self) -> frozenset[Oid]:
+        """Every OID occurring anywhere in the base (hosts' innermost
+        objects, arguments and results).  This is the active domain used by
+        the brute-force reference matcher in tests."""
+        oids: set[Oid] = set()
+        for fact in self._facts:
+            oids.add(object_of(fact.host))
+            oids.update(fact.args)
+            oids.add(fact.result)
+        return frozenset(oids)
+
+    def sorted_facts(self) -> list[Fact]:
+        """Facts in a stable display order (for traces, dumps and tests)."""
+        return sorted(self._facts, key=_fact_sort_key)
+
+
+def _as_oid(value) -> Oid:
+    if isinstance(value, Oid):
+        return value
+    return Oid(value)
+
+
+def _as_term(value) -> Term:
+    if isinstance(value, (Oid, VersionId)):
+        return value
+    return Oid(value)
+
+
+def _fact_sort_key(fact: Fact):
+    return (
+        str(object_of(fact.host)),
+        str(fact.host),
+        fact.method,
+        tuple(str(a) for a in fact.args),
+        str(fact.result),
+    )

@@ -1,0 +1,81 @@
+"""A small query API over object bases.
+
+The paper's language derives updates, not queries, but inspecting states —
+"which salary does ``mod(phil)`` have?" — is what its examples do in prose.
+This module exposes the rule matcher for that purpose: a query is a
+conjunction of body literals, answered by the substitutions that satisfy it.
+
+With the concrete syntax of :mod:`repro.lang` this becomes::
+
+    from repro import query
+    query(base, "E.isa -> empl, E.sal -> S")
+    # -> [{'E': 'bob', 'S': 4200}, {'E': 'phil', 'S': 4000}]
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.atoms import Literal
+from repro.core.grounding import match_body
+from repro.core.objectbase import ObjectBase
+from repro.core.terms import Oid
+
+__all__ = ["query_literals", "result_value", "method_results"]
+
+
+def query_literals(
+    base: ObjectBase, literals: Sequence[Literal]
+) -> list[dict[str, object]]:
+    """Answer a conjunctive query; bindings as plain ``{name: value}`` dicts,
+    sorted for stable output.
+
+    Version variables (``?W``) bind whole VIDs; those come back as their
+    concrete-syntax string (``"mod(joe)"``) since there is no plain value.
+    """
+    answers = [
+        {
+            var.name: value.value if isinstance(value, Oid) else str(value)
+            for var, value in binding.items()
+        }
+        for binding in match_body(tuple(literals), base)
+    ]
+    answers.sort(key=lambda answer: sorted(answer.items(), key=_sort_key))
+    return answers
+
+
+def _sort_key(item):
+    name, value = item
+    return (name, str(value))
+
+
+def method_results(base: ObjectBase, host, method: str, args: Iterable = ()) -> set:
+    """The result set of ``host.method@args`` — plain Python values.
+
+    Methods are set-valued when the base holds several applications with the
+    same host/method/arguments (Section 2.1), hence a set.
+    """
+    host_term = host if not isinstance(host, (str, int, float)) else Oid(host)
+    arg_terms = tuple(Oid(a) if isinstance(a, (str, int, float)) else a for a in args)
+    return {
+        fact.result.value
+        for fact in base.facts_by_host_method(host_term, method, len(arg_terms))
+        if fact.args == arg_terms
+    }
+
+
+def result_value(base: ObjectBase, host, method: str, args: Iterable = ()):
+    """The unique result of a method application, or ``None``.
+
+    Raises ``ValueError`` when the method is set-valued at this host —
+    callers that expect a function-like method should hear about it.
+    """
+    values = method_results(base, host, method, args)
+    if not values:
+        return None
+    if len(values) > 1:
+        raise ValueError(
+            f"{host}.{method} is set-valued here ({sorted(map(str, values))}); "
+            f"use method_results()"
+        )
+    return next(iter(values))

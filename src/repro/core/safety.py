@@ -1,0 +1,76 @@
+"""Rule safety in the sense of [Ull88] (required by Section 2.1).
+
+The paper requires safe rules: although rules are ∀-quantified over the set
+``O`` of all OIDs, evaluation must only ever consider finitely many
+instantiations.  A rule is *safe* when every variable is **limited**:
+
+* variables occurring in a positive version-term or positive update-term of
+  the body are limited (they are matched against the finite object base);
+* a variable ``X`` is limited by a positive built-in ``X = e`` (or ``e = X``)
+  once every variable of ``e`` is limited;
+
+and every variable of the rule — head variables, variables of negated
+literals and of comparisons — must be limited.  Safety also guarantees the
+paper's finiteness claim: head version-id-terms have fixed functor depth, so
+a safe program can only derive finitely many new versions.
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import BuiltinAtom, UpdateAtom, VersionAtom
+from repro.core.errors import SafetyError
+from repro.core.exprs import expr_variables
+from repro.core.rules import UpdateProgram, UpdateRule
+from repro.core.terms import Var
+
+__all__ = ["limited_variables", "check_rule_safety", "check_program_safety", "is_safe"]
+
+
+def limited_variables(rule: UpdateRule) -> frozenset[Var]:
+    """The set of limited variables of ``rule`` (see module docstring)."""
+    limited: set[Var] = set()
+    equalities: list[BuiltinAtom] = []
+    for literal in rule.body:
+        atom = literal.atom
+        if not literal.positive:
+            continue
+        if isinstance(atom, (VersionAtom, UpdateAtom)):
+            limited |= atom.variables
+        elif isinstance(atom, BuiltinAtom) and atom.op == "=":
+            equalities.append(atom)
+
+    # Propagate through '=' chains to a fixpoint, e.g. S' = S * 1.1 limits S'
+    # once S is limited, and T = S' + 1 then limits T.
+    changed = True
+    while changed:
+        changed = False
+        for eq in equalities:
+            for target, source in ((eq.left, eq.right), (eq.right, eq.left)):
+                if (
+                    isinstance(target, Var)
+                    and target not in limited
+                    and expr_variables(source) <= limited
+                ):
+                    limited.add(target)
+                    changed = True
+    return frozenset(limited)
+
+
+def check_rule_safety(rule: UpdateRule) -> None:
+    """Raise :class:`SafetyError` when ``rule`` is unsafe."""
+    unlimited = rule.variables - limited_variables(rule)
+    if unlimited:
+        raise SafetyError(
+            rule.name or str(rule), tuple(sorted(v.name for v in unlimited))
+        )
+
+
+def is_safe(rule: UpdateRule) -> bool:
+    """Predicate form of :func:`check_rule_safety`."""
+    return not (rule.variables - limited_variables(rule))
+
+
+def check_program_safety(program: UpdateProgram) -> None:
+    """Raise on the first unsafe rule of ``program``."""
+    for rule in program:
+        check_rule_safety(rule)

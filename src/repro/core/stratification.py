@@ -1,0 +1,318 @@
+"""Stratification of update-programs — conditions (a)-(d) of Section 4.
+
+For the derivation of the stratification every ``[V]`` is replaced by
+``(V)``: a rule's head contributes the version-id-term ``α(V)`` of the
+version it creates, and body atoms contribute their (replaced) hosts.
+The conditions, as precedence constraints between rules (``r' < r`` strict,
+``r' ≤ r`` weak):
+
+(a) *copied states never change afterwards*: if ``r``'s head is ``α(V)``,
+    every rule whose head unifies with a subterm of ``V`` is strictly lower —
+    the source of the copy is finalised before the copy is taken;
+(b) positive body dependency: rules whose head unifies with a subterm of a
+    positive body version-id-term are at most as high (weak edge — allows
+    recursion, e.g. the ancestor program);
+(c) negative body dependency: as (b) for negated atoms, but strict —
+    standard stratified negation, with version-id-terms playing the role
+    Datalog predicate names play in [Ull88];
+(d) *read-after-write for destructive updates*: rules **performing** a
+    delete (head of the form ``del(W')``) are strictly lower than rules
+    whose body mentions any ``del(W)`` with ``W``, ``W'`` unifiable — and
+    likewise for ``mod``.  Without (d) a method-application of ``del(v)``
+    could be used to infer updates on other objects and be deleted
+    afterwards.
+
+Unification is sorted (variables range over OIDs, DESIGN.md D2); the two
+rules' variables are renamed apart before each check.
+
+A stratification exists iff the precedence graph has no cycle through a
+strict edge.  Strata are computed by condensing strongly connected
+components and taking the longest strict-edge path — the minimal
+stratification, reproducing the paper's ``{r1,r2} < {r3} < {r4}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import networkx as nx
+
+from repro.core.errors import StratificationError
+from repro.core.rules import UpdateProgram, UpdateRule
+from repro.core.terms import (
+    Oid,
+    Term,
+    UpdateKind,
+    Var,
+    VersionId,
+    VersionVar,
+    subterms,
+)
+from repro.unify.unification import unifiable
+
+__all__ = ["Stratification", "PrecedenceEdge", "stratify", "precedence_edges"]
+
+
+@dataclass(frozen=True)
+class PrecedenceEdge:
+    """One derived constraint ``lower (< | ≤) upper`` with its justification."""
+
+    lower: str
+    upper: str
+    strict: bool
+    condition: str  # "a" | "b" | "c" | "d"
+    detail: str
+
+    def __str__(self) -> str:
+        op = "<" if self.strict else "<="
+        return f"{self.lower} {op} {self.upper}   [condition ({self.condition}): {self.detail}]"
+
+
+@dataclass(frozen=True)
+class Stratification:
+    """The result: rules grouped into strata, lowest first."""
+
+    strata: tuple[tuple[UpdateRule, ...], ...]
+    stratum_of: dict[str, int]
+    edges: tuple[PrecedenceEdge, ...]
+
+    def __len__(self) -> int:
+        return len(self.strata)
+
+    def __iter__(self) -> Iterator[tuple[UpdateRule, ...]]:
+        return iter(self.strata)
+
+    def names(self) -> list[list[str]]:
+        """Rule names per stratum — the shape the paper prints, e.g.
+        ``[["rule1", "rule2"], ["rule3"], ["rule4"]]``."""
+        return [[rule.name for rule in stratum] for stratum in self.strata]
+
+    def explain(self) -> str:
+        """Human-readable report of all derived constraints and strata."""
+        lines = ["precedence constraints:"]
+        if self.edges:
+            lines.extend(f"  {edge}" for edge in self.edges)
+        else:
+            lines.append("  (none)")
+        lines.append("strata (lowest first):")
+        for index, names in enumerate(self.names()):
+            lines.append(f"  stratum {index}: {{{', '.join(names)}}}")
+        return "\n".join(lines)
+
+
+def _rename_apart(term: Term, tag: str) -> Term:
+    """Rename every variable in ``term`` so two rules never share variables.
+
+    Preserves the variable class: a renamed :class:`VersionVar` must keep
+    its any-VID unification behaviour."""
+    if isinstance(term, VersionId):
+        return VersionId(term.kind, _rename_apart(term.base, tag))
+    if isinstance(term, Var):
+        return type(term)(f"{term.name}${tag}")
+    return term
+
+
+def _unifies_renamed(left: Term, right: Term) -> bool:
+    return unifiable(_rename_apart(left, "L"), _rename_apart(right, "R"))
+
+
+def precedence_edges(
+    program: UpdateProgram, *, conditions: str = "abcd"
+) -> list[PrecedenceEdge]:
+    """Derive the precedence constraints of the requested conditions.
+
+    ``conditions`` is a subset of ``"abcd"`` — the paper first illustrates a
+    stratification satisfying (a) alone, then refines with (b)-(d); exposing
+    the subset makes that experiment (E5) reproducible.
+    """
+    conditions = conditions.lower()
+    edges: list[PrecedenceEdge] = []
+    rules = list(program)
+
+    heads = [(rule, rule.head_version_id_term()) for rule in rules]
+
+    for rule in rules:
+        head_new = rule.head_version_id_term()
+        head_target = rule.head.target
+
+        if "a" in conditions:
+            # (a): finalise the copy source before the copy.
+            for sub in subterms(head_target):
+                for other, other_head in heads:
+                    if _unifies_renamed(other_head, sub):
+                        edges.append(
+                            PrecedenceEdge(
+                                other.name,
+                                rule.name,
+                                True,
+                                "a",
+                                f"head {other_head} of {other.name} unifies with "
+                                f"subterm {sub} of the head target of {rule.name}",
+                            )
+                        )
+
+        for body_term, positive in rule.body_version_id_terms():
+            if positive and "b" in conditions:
+                for sub in subterms(body_term):
+                    for other, other_head in heads:
+                        if _unifies_renamed(other_head, sub):
+                            edges.append(
+                                PrecedenceEdge(
+                                    other.name,
+                                    rule.name,
+                                    False,
+                                    "b",
+                                    f"head {other_head} of {other.name} unifies "
+                                    f"with subterm {sub} of positive body term "
+                                    f"of {rule.name}",
+                                )
+                            )
+            if not positive and "c" in conditions:
+                for sub in subterms(body_term):
+                    for other, other_head in heads:
+                        if _unifies_renamed(other_head, sub):
+                            edges.append(
+                                PrecedenceEdge(
+                                    other.name,
+                                    rule.name,
+                                    True,
+                                    "c",
+                                    f"head {other_head} of {other.name} unifies "
+                                    f"with subterm {sub} of negated body term "
+                                    f"of {rule.name}",
+                                )
+                            )
+            if "d" in conditions:
+                # (d): destructive updates happen strictly before reads of
+                # the destructed version.  A version variable may denote a
+                # del/mod version, so it conservatively triggers (d) against
+                # every destructive head (Section 6 extension; see
+                # repro.ext.vidvars).
+                for sub in subterms(body_term):
+                    if isinstance(sub, VersionVar):
+                        for other, other_head in heads:
+                            if isinstance(other_head, VersionId) and other_head.kind in (
+                                UpdateKind.DELETE,
+                                UpdateKind.MODIFY,
+                            ):
+                                edges.append(
+                                    PrecedenceEdge(
+                                        other.name,
+                                        rule.name,
+                                        True,
+                                        "d",
+                                        f"{other.name} performs a destructive "
+                                        f"update that the version variable "
+                                        f"{sub} in {rule.name} may read",
+                                    )
+                                )
+                        continue
+                    if not isinstance(sub, VersionId):
+                        continue
+                    if sub.kind not in (UpdateKind.DELETE, UpdateKind.MODIFY):
+                        continue
+                    for other, other_head in heads:
+                        if (
+                            isinstance(other_head, VersionId)
+                            and other_head.kind is sub.kind
+                            and _unifies_renamed(other_head.base, sub.base)
+                        ):
+                            edges.append(
+                                PrecedenceEdge(
+                                    other.name,
+                                    rule.name,
+                                    True,
+                                    "d",
+                                    f"{other.name} performs a "
+                                    f"{sub.kind.value}-update on {other_head.base} "
+                                    f"read as {sub} in the body of {rule.name}",
+                                )
+                            )
+    return edges
+
+
+def stratify(
+    program: UpdateProgram, *, conditions: str = "abcd"
+) -> Stratification:
+    """Compute the minimal stratification, or raise
+    :class:`StratificationError` when none exists.
+
+    The rule-precedence graph is condensed into strongly connected
+    components; a strict edge inside a component is a contradiction
+    (``r < r`` transitively).  Otherwise the stratum of a component is the
+    longest chain of strict edges leading to it, and rules within one
+    stratum keep program order for stable display.
+    """
+    edges = precedence_edges(program, conditions=conditions)
+
+    graph = nx.DiGraph()
+    for rule in program:
+        graph.add_node(rule.name)
+    for edge in edges:
+        if graph.has_edge(edge.lower, edge.upper):
+            graph[edge.lower][edge.upper]["strict"] |= edge.strict
+        else:
+            graph.add_edge(edge.lower, edge.upper, strict=edge.strict)
+
+    condensation = nx.condensation(graph)
+    component_of = condensation.graph["mapping"]
+
+    # A strict edge inside one component means r < r transitively.
+    for lower, upper, data in graph.edges(data=True):
+        if data["strict"] and component_of[lower] == component_of[upper]:
+            cycle = _strict_cycle(graph, lower, upper)
+            raise StratificationError(
+                f"no stratification satisfying conditions "
+                f"({', '.join(conditions)}) exists: rules "
+                f"{' -> '.join(cycle)} form a cycle through the strict "
+                f"constraint {lower} < {upper}",
+                cycle=tuple(cycle),
+            )
+
+    strict_between: dict[tuple[int, int], bool] = {}
+    for lower, upper, data in graph.edges(data=True):
+        key = (component_of[lower], component_of[upper])
+        strict_between[key] = strict_between.get(key, False) or data["strict"]
+
+    level: dict[int, int] = {}
+    for component in nx.topological_sort(condensation):
+        best = 0
+        for predecessor in condensation.predecessors(component):
+            step = 1 if strict_between.get((predecessor, component), False) else 0
+            best = max(best, level[predecessor] + step)
+        level[component] = best
+
+    max_level = max(level.values(), default=0)
+    buckets: list[list[UpdateRule]] = [[] for _ in range(max_level + 1)]
+    stratum_of: dict[str, int] = {}
+    for rule in program:  # program order within a stratum
+        stratum = level[component_of[rule.name]]
+        stratum_of[rule.name] = stratum
+        buckets[stratum].append(rule)
+
+    # Drop empty strata (possible when levels skip numbers is impossible by
+    # construction, but keep the guard cheap and explicit).
+    strata = tuple(tuple(bucket) for bucket in buckets if bucket)
+    stratum_of = _renumber(strata, stratum_of)
+    return Stratification(strata, stratum_of, tuple(edges))
+
+
+def _renumber(
+    strata: tuple[tuple[UpdateRule, ...], ...], old: dict[str, int]
+) -> dict[str, int]:
+    fresh: dict[str, int] = {}
+    for index, stratum in enumerate(strata):
+        for rule in stratum:
+            fresh[rule.name] = index
+    return fresh
+
+
+def _strict_cycle(graph: nx.DiGraph, lower: str, upper: str) -> list[str]:
+    """A witness cycle for the error message: upper ⇝ lower plus the strict
+    edge lower -> upper."""
+    try:
+        path = nx.shortest_path(graph, upper, lower)
+    except nx.NetworkXNoPath:  # pragma: no cover - same SCC guarantees a path
+        path = [upper, lower]
+    return path + [upper]

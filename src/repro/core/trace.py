@@ -1,0 +1,155 @@
+"""Evaluation traces — the machinery behind the Figure 2 reproduction.
+
+Figure 2 of the paper shows, per evaluation stage, the states of the
+versions of ``phil`` and ``bob``.  :class:`EvaluationTrace` records exactly
+that: per stratum and iteration, the rule instances that fired, the versions
+created, and (optionally) full object-base snapshots, and renders them in a
+paper-style textual form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.consequence import FiredInstance
+from repro.core.facts import EXISTS
+from repro.core.objectbase import ObjectBase
+from repro.core.terms import Oid, VersionId, depth, object_of
+
+__all__ = [
+    "IterationRecord",
+    "StratumRecord",
+    "EvaluationTrace",
+    "render_version_chains",
+]
+
+
+@dataclass
+class IterationRecord:
+    """One application of ``T_P`` within a stratum."""
+
+    index: int
+    fired: tuple[FiredInstance, ...]
+    new_versions: tuple[VersionId, ...]
+    changed: bool
+    copies: int
+    snapshot: ObjectBase | None = None
+
+
+@dataclass
+class StratumRecord:
+    """All iterations of one stratum, with the rule names it contains."""
+
+    index: int
+    rule_names: tuple[str, ...]
+    iterations: list[IterationRecord] = field(default_factory=list)
+
+    @property
+    def iteration_count(self) -> int:
+        return len(self.iterations)
+
+
+@dataclass
+class EvaluationTrace:
+    """The full history of one bottom-up evaluation."""
+
+    strata: list[StratumRecord] = field(default_factory=list)
+    snapshots: bool = False
+
+    # -- recording ---------------------------------------------------------
+    def open_stratum(self, index: int, rule_names: tuple[str, ...]) -> StratumRecord:
+        record = StratumRecord(index, rule_names)
+        self.strata.append(record)
+        return record
+
+    # -- statistics ----------------------------------------------------------
+    @property
+    def total_iterations(self) -> int:
+        return sum(s.iteration_count for s in self.strata)
+
+    @property
+    def total_fired(self) -> int:
+        return sum(len(i.fired) for s in self.strata for i in s.iterations)
+
+    @property
+    def total_copies(self) -> int:
+        return sum(i.copies for s in self.strata for i in s.iterations)
+
+    def versions_created(self) -> list[VersionId]:
+        created: list[VersionId] = []
+        for stratum in self.strata:
+            for iteration in stratum.iterations:
+                created.extend(iteration.new_versions)
+        return created
+
+    # -- rendering -----------------------------------------------------------
+    def render(self, *, objects: tuple[Oid, ...] = ()) -> str:
+        """A Figure-2-style textual trace.
+
+        When ``objects`` is given and snapshots were recorded, the states of
+        those objects' versions are printed after each iteration — this is
+        what the E2 benchmark compares against the paper's Figure 2.
+        """
+        lines: list[str] = []
+        for stratum in self.strata:
+            lines.append(
+                f"stratum {stratum.index}: {{{', '.join(stratum.rule_names)}}}"
+            )
+            for iteration in stratum.iterations:
+                fired = ", ".join(str(f) for f in iteration.fired) or "(nothing fired)"
+                lines.append(f"  iteration {iteration.index}: {fired}")
+                if iteration.new_versions:
+                    versions = ", ".join(str(v) for v in iteration.new_versions)
+                    lines.append(f"    new versions: {versions}")
+                if iteration.snapshot is not None and objects:
+                    lines.extend(
+                        _render_states(iteration.snapshot, objects, indent="    ")
+                    )
+        return "\n".join(lines)
+
+
+def render_version_chains(base: ObjectBase, *, arrow: str = " => ") -> str:
+    """A Figure-1-style rendering of each object's version chain.
+
+    For every object of ``base``, prints the linear chain of its versions
+    in creation order, e.g.::
+
+        phil: phil => mod(phil) => ins(mod(phil))
+        bob:  bob => mod(bob) => del(mod(bob))
+
+    Raises :class:`~repro.core.errors.VersionLinearityError` on non-linear
+    results (chains only exist for version-linear bases, Section 5).
+    """
+    from repro.core.linearity import check_version_linear
+
+    check_version_linear(base)
+    chains: dict[Oid, list] = {}
+    for version in base.existing_versions():
+        chains.setdefault(object_of(version), []).append(version)
+    lines = []
+    for owner in sorted(chains, key=str):
+        chain = sorted(chains[owner], key=depth)
+        lines.append(f"{owner}: " + arrow.join(str(v) for v in chain))
+    return "\n".join(lines)
+
+
+def _render_states(base: ObjectBase, objects: tuple[Oid, ...], indent: str) -> list[str]:
+    lines: list[str] = []
+    wanted = set(objects)
+    versions = sorted(
+        (v for v in base.existing_versions() if object_of(v) in wanted),
+        key=lambda v: (str(object_of(v)), depth(v)),
+    )
+    for version in versions:
+        applications = sorted(
+            (f for f in base.state_of(version) if f.method != EXISTS),
+            key=lambda f: (f.method, tuple(str(a) for a in f.args), str(f.result)),
+        )
+        body = "; ".join(
+            f"{f.method}"
+            + (f"@{','.join(str(a) for a in f.args)}" if f.args else "")
+            + f" -> {f.result}"
+            for f in applications
+        )
+        lines.append(f"{indent}{version}: {{{body}}}")
+    return lines

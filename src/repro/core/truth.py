@@ -1,0 +1,165 @@
+"""Truth of ground atoms w.r.t. an object base — Section 3 of the paper.
+
+These functions are the *authoritative* semantics.  The rule matcher
+(:mod:`repro.core.grounding`) uses indexes to generate candidate bindings
+quickly, but every fully-ground literal is re-verified here, so optimizer
+bugs can cost speed, never correctness.
+
+The paper's definitions, implemented one-to-one:
+
+1. A ground **version-term** ``v.m -> r`` is true w.r.t. ``I`` iff
+   ``v.m -> r ∈ I``.
+2. A ground **update-term in a rule head**:
+   * ``ins[v].m -> r`` is always true;
+   * ``del[v].m -> r`` is true iff ``v*.m -> r ∈ I``;
+   * ``mod[v].m -> (r, r')`` is true iff ``v*.m -> r ∈ I``.
+   (A delete is only allowed when the to-be-deleted information exists;
+   likewise the old value of a modify must exist.)
+3. A ground **update-term in a rule body** tests that the transition really
+   occurred:
+   * ``ins[v].m -> r`` iff ``ins(v).m -> r ∈ I``;
+   * ``del[v].m -> r`` iff ``v*.m -> r ∈ I`` and ``del(v).exists -> o ∈ I``
+     and ``del(v).m -> r ∉ I``;
+   * ``mod[v].m -> (r, r')`` with ``r ≠ r'`` iff ``v*.m -> r ∈ I`` and
+     ``mod(v).m -> r ∉ I`` and ``mod(v).m -> r' ∈ I``;
+   * ``mod[v].m -> (r, r)`` iff ``v*.m -> r ∈ I`` and ``mod(v).m -> r ∈ I``.
+
+Negation is truth-functional: ``¬A`` is true iff ``A`` is not true.
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import BuiltinAtom, Literal, UpdateAtom, VersionAtom
+from repro.core.errors import BuiltinError, TermError
+from repro.core.exprs import evaluate_expr
+from repro.core.facts import Fact
+from repro.core.objectbase import ObjectBase
+from repro.core.terms import UpdateKind
+
+__all__ = [
+    "version_atom_true",
+    "update_atom_true_in_head",
+    "update_atom_true_in_body",
+    "builtin_atom_true",
+    "literal_true",
+]
+
+_EMPTY_BINDING: dict = {}
+
+
+def _require_ground(atom) -> None:
+    if not atom.is_ground():
+        raise TermError(f"truth is defined for ground atoms only, got {atom}")
+
+
+def version_atom_true(base: ObjectBase, atom: VersionAtom) -> bool:
+    """Definition 1: a ground version-term is true iff it is in the base."""
+    _require_ground(atom)
+    return atom.to_fact() in base
+
+
+def update_atom_true_in_head(base: ObjectBase, atom: UpdateAtom) -> bool:
+    """Definition 2: truth of a ground update-term occurring in a rule head.
+
+    For the delete-all form ``del[v].*`` the natural lifting applies: it is
+    true iff ``v*`` exists and has at least one method-application to delete
+    (the expansion into individual deletes happens in
+    :mod:`repro.core.consequence`).
+    """
+    _require_ground(atom)
+    if atom.kind is UpdateKind.INSERT:
+        return True
+    v_star = base.v_star(atom.target)
+    if v_star is None:
+        return False
+    if atom.delete_all:
+        return bool(base.method_applications(v_star))
+    old_fact = Fact(v_star, atom.method, atom.args, atom.result)  # type: ignore[arg-type]
+    return old_fact in base
+
+
+def update_atom_true_in_body(base: ObjectBase, atom: UpdateAtom) -> bool:
+    """Definition 3: truth of a ground update-term occurring in a rule body.
+
+    The body reading asks whether the stated version transition *really
+    happened*; see the module docstring for the per-kind conditions.  The
+    delete-all form is head-only and rejected here.
+    """
+    _require_ground(atom)
+    if atom.delete_all:
+        raise TermError("del[v].* may only occur in rule heads")
+    new_version = atom.new_version()
+
+    if atom.kind is UpdateKind.INSERT:
+        return Fact(new_version, atom.method, atom.args, atom.result) in base  # type: ignore[arg-type]
+
+    v_star = base.v_star(atom.target)
+    if v_star is None:
+        return False
+    old_fact = Fact(v_star, atom.method, atom.args, atom.result)  # type: ignore[arg-type]
+    if old_fact not in base:
+        return False
+
+    if atom.kind is UpdateKind.DELETE:
+        # del(v) must exist (its exists-fact survives every delete) and must
+        # no longer contain the deleted application.
+        if not base.version_exists(new_version):
+            return False
+        new_fact = Fact(new_version, atom.method, atom.args, atom.result)  # type: ignore[arg-type]
+        return new_fact not in base
+
+    # MODIFY
+    assert atom.result2 is not None
+    old_in_new = Fact(new_version, atom.method, atom.args, atom.result)  # type: ignore[arg-type]
+    if atom.result == atom.result2:
+        # mod[v].m -> (r, r): the "modification" kept the value.
+        return old_in_new in base
+    new_in_new = Fact(new_version, atom.method, atom.args, atom.result2)  # type: ignore[arg-type]
+    return old_in_new not in base and new_in_new in base
+
+
+def builtin_atom_true(atom: BuiltinAtom) -> bool:
+    """Truth of a ground built-in comparison.
+
+    ``=``/``!=`` compare OIDs structurally (symbolic OIDs included, with
+    ``2`` equal to ``2.0`` by Python numeric equality); the order comparisons
+    require numeric operands and raise :class:`BuiltinError` otherwise.
+    """
+    _require_ground(atom)
+    left = evaluate_expr(atom.left, _EMPTY_BINDING)
+    right = evaluate_expr(atom.right, _EMPTY_BINDING)
+    if atom.op == "=":
+        return left.value == right.value
+    if atom.op == "!=":
+        return left.value != right.value
+    if not (left.is_numeric and right.is_numeric):
+        raise BuiltinError(
+            f"comparison {atom} needs numeric operands, got {left} and {right}"
+        )
+    if atom.op == "<":
+        return left.value < right.value
+    if atom.op == "<=":
+        return left.value <= right.value
+    if atom.op == ">":
+        return left.value > right.value
+    if atom.op == ">=":
+        return left.value >= right.value
+    raise TermError(f"unknown comparison {atom.op!r}")  # pragma: no cover
+
+
+def literal_true(base: ObjectBase, literal: Literal) -> bool:
+    """Truth of a ground body literal (handles negation).
+
+    Head truth is *not* dispatched here — use
+    :func:`update_atom_true_in_head`; heads are never negated.
+    """
+    atom = literal.atom
+    if isinstance(atom, VersionAtom):
+        value = version_atom_true(base, atom)
+    elif isinstance(atom, UpdateAtom):
+        value = update_atom_true_in_body(base, atom)
+    elif isinstance(atom, BuiltinAtom):
+        value = builtin_atom_true(atom)
+    else:  # pragma: no cover - exhaustive over Atom
+        raise TermError(f"unknown atom type {type(atom).__name__}")
+    return value if literal.positive else not value

@@ -1,0 +1,78 @@
+"""Facade for the Datalog substrate."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.errors import ProgramError
+from repro.core.terms import Oid, Var
+from repro.datalog.ast import DatalogProgram, PredicateAtom
+from repro.datalog.database import Database
+from repro.datalog.evaluation import evaluate_inflationary, evaluate_stratified
+
+__all__ = ["DatalogEngine"]
+
+_MODES = ("seminaive", "naive", "inflationary")
+
+
+class DatalogEngine:
+    """Run Datalog programs under a chosen evaluation mode.
+
+    >>> engine = DatalogEngine()                      # doctest: +SKIP
+    >>> result = engine.run(program, edb)             # doctest: +SKIP
+    >>> engine.query(result, "path", ("a", None))     # doctest: +SKIP
+    """
+
+    def __init__(self, mode: str = "seminaive", max_iterations: int = 100_000):
+        if mode not in _MODES:
+            raise ProgramError(f"unknown mode {mode!r}; choose from {_MODES}")
+        self.mode = mode
+        self.max_iterations = max_iterations
+
+    def run(self, program: DatalogProgram, edb: Database) -> Database:
+        """Evaluate ``program`` over ``edb``; the EDB is not mutated."""
+        if self.mode == "inflationary":
+            return evaluate_inflationary(
+                program, edb, max_iterations=self.max_iterations
+            )
+        return evaluate_stratified(
+            program,
+            edb,
+            seminaive=(self.mode == "seminaive"),
+            max_iterations=self.max_iterations,
+        )
+
+    @staticmethod
+    def query(
+        database: Database, predicate: str, pattern: Iterable
+    ) -> list[tuple]:
+        """Rows of ``predicate`` matching ``pattern`` — a sequence of plain
+        values with ``None`` as wildcard.  Returns plain-value tuples,
+        sorted for stable output."""
+        pattern = tuple(pattern)
+        answers = []
+        for row in database.rows(predicate, len(pattern)):
+            if all(
+                wanted is None or Oid(wanted) == value
+                for wanted, value in zip(pattern, row)
+            ):
+                answers.append(tuple(value.value for value in row))
+        return sorted(answers, key=lambda row: tuple(str(v) for v in row))
+
+    @staticmethod
+    def atom(predicate: str, *args) -> PredicateAtom:
+        """Convenience atom builder: strings starting upper-case become
+        variables, everything else constants.
+
+        >>> DatalogEngine.atom("edge", "X", "Y")
+        edge(X, Y) — with X, Y as variables
+        """
+        terms = []
+        for arg in args:
+            if isinstance(arg, (Oid, Var)):
+                terms.append(arg)
+            elif isinstance(arg, str) and arg and (arg[0].isupper() or arg[0] == "_"):
+                terms.append(Var(arg))
+            else:
+                terms.append(Oid(arg))
+        return PredicateAtom(predicate, tuple(terms))

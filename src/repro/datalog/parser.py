@@ -1,0 +1,200 @@
+"""Concrete syntax for the Datalog substrate.
+
+Classic notation, sharing the update language's lexer::
+
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+    big(X)     :- num(X), X > 3.
+    double(X, D) :- num(X), D = X * 2.
+
+Facts are bodyless rules with constant arguments: ``edge(a, b).``
+``parse_datalog`` splits them from the proper rules, so one file can carry
+program and EDB together.
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import BuiltinAtom
+from repro.core.terms import Oid, Var
+from repro.datalog.ast import DatalogLiteral, DatalogProgram, DatalogRule, PredicateAtom
+from repro.datalog.database import Database
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+__all__ = ["parse_datalog", "parse_datalog_program", "parse_datalog_database"]
+
+_COMPARISONS = {"EQ": "=", "NE": "!=", "LT": "<", "GT": ">", "LE": "<=", "GE": ">="}
+
+
+class _DlParser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.type != "EOF":
+            self.position += 1
+        return token
+
+    def expect(self, token_type: str, context: str) -> Token:
+        token = self.peek()
+        if token.type != token_type:
+            raise ParseError(
+                f"expected {context}, found {token.describe()}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.peek().type == "EOF"
+
+    # -- terms and expressions -------------------------------------------
+    def parse_term(self):
+        token = self.advance()
+        if token.type == "IDENT":
+            if token.value[0].isupper() or token.value[0] == "_":
+                return Var(token.value)
+            return Oid(token.value)
+        if token.type == "STRING":
+            return Oid(token.value)
+        if token.type == "NUMBER":
+            return Oid(float(token.value) if "." in token.value else int(token.value))
+        if token.type == "MINUS" and self.peek().type == "NUMBER":
+            number = self.advance()
+            value = float(number.value) if "." in number.value else int(number.value)
+            return Oid(-value)
+        raise ParseError(
+            f"expected a term, found {token.describe()}", token.line, token.column
+        )
+
+    def parse_expr(self):
+        from repro.core.exprs import BinOp, Neg
+
+        def factor():
+            token = self.peek()
+            if token.type == "LPAREN":
+                self.advance()
+                inner = self.parse_expr()
+                self.expect("RPAREN", "')'")
+                return inner
+            if token.type == "MINUS":
+                self.advance()
+                return Neg(factor())
+            return self.parse_term()
+
+        def term():
+            left = factor()
+            while self.peek().type in ("STAR", "SLASH"):
+                op = self.advance()
+                left = BinOp("*" if op.type == "STAR" else "/", left, factor())
+            return left
+
+        left = term()
+        while self.peek().type in ("PLUS", "MINUS"):
+            op = self.advance()
+            left = BinOp("+" if op.type == "PLUS" else "-", left, term())
+        return left
+
+    # -- atoms -------------------------------------------------------------
+    def parse_predicate_atom(self) -> PredicateAtom:
+        name = self.expect("IDENT", "a predicate name")
+        self.expect("LPAREN", "'(' after the predicate name")
+        args = []
+        if self.peek().type != "RPAREN":
+            args.append(self.parse_term())
+            while self.peek().type == "COMMA":
+                self.advance()
+                args.append(self.parse_term())
+        self.expect("RPAREN", "')' closing the argument list")
+        return PredicateAtom(name.value, tuple(args))
+
+    def parse_literal(self) -> DatalogLiteral:
+        positive = True
+        token = self.peek()
+        if token.type == "TILDE":
+            self.advance()
+            positive = False
+        elif token.type == "IDENT" and token.value == "not" and self.peek(1).type in (
+            "IDENT", "NUMBER", "STRING", "LPAREN", "MINUS",
+        ):
+            self.advance()
+            positive = False
+
+        if self.peek().type == "IDENT" and self.peek(1).type == "LPAREN":
+            return DatalogLiteral(self.parse_predicate_atom(), positive)
+
+        left = self.parse_expr()
+        op = self.advance()
+        if op.type == "IMPLIES" and op.value == "<=":
+            raise ParseError(
+                "'<=' is the rule arrow; write '=<' for less-or-equal",
+                op.line,
+                op.column,
+            )
+        if op.type not in _COMPARISONS:
+            raise ParseError(
+                f"expected a comparison, found {op.describe()}", op.line, op.column
+            )
+        right = self.parse_expr()
+        return DatalogLiteral(BuiltinAtom(_COMPARISONS[op.type], left, right), positive)
+
+    # -- rules -------------------------------------------------------------
+    def parse_clause(self) -> DatalogRule:
+        name = ""
+        if (
+            self.peek().type == "IDENT"
+            and self.peek(1).type == "COLON"
+        ):
+            name = self.advance().value
+            self.advance()
+        head = self.parse_predicate_atom()
+        body: list[DatalogLiteral] = []
+        if self.peek().type == "IMPLIES":
+            self.advance()
+            body.append(self.parse_literal())
+            while self.peek().type == "COMMA":
+                self.advance()
+                body.append(self.parse_literal())
+        self.expect("DOT", "'.' terminating the clause")
+        return DatalogRule(head, tuple(body), name)
+
+
+def parse_datalog(text: str, name: str = "datalog") -> tuple[DatalogProgram, Database]:
+    """Parse a mixed file: bodyless ground clauses become EDB facts, the
+    rest the program."""
+    parser = _DlParser(text)
+    rules: list[DatalogRule] = []
+    database = Database()
+    while not parser.at_end():
+        clause = parser.parse_clause()
+        if not clause.body and clause.head.is_ground():
+            database.add(clause.head.name, clause.head.to_tuple())
+        else:
+            rules.append(clause)
+    return DatalogProgram(rules, name), database
+
+
+def parse_datalog_program(text: str, name: str = "datalog") -> DatalogProgram:
+    """Parse rules only; ground facts in the text are an error."""
+    program, database = parse_datalog(text, name)
+    if len(database):
+        raise ParseError(
+            "ground facts found; use parse_datalog() for mixed files", 1, 1
+        )
+    return program
+
+
+def parse_datalog_database(text: str) -> Database:
+    """Parse facts only; rules in the text are an error."""
+    program, database = parse_datalog(text)
+    if len(program):
+        raise ParseError(
+            "rules found; use parse_datalog() for mixed files", 1, 1
+        )
+    return database

@@ -1,0 +1,97 @@
+"""Predicate-level stratification for the Datalog substrate ([Ull88]).
+
+The classic construction the paper adapts in Section 4: build the dependency
+graph over predicates (an edge ``q -> p`` when ``q`` occurs in the body of a
+rule defining ``p``; strict when the occurrence is negated); a program is
+stratified iff no cycle passes through a strict edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.atoms import BuiltinAtom
+from repro.core.errors import StratificationError
+from repro.datalog.ast import DatalogProgram, DatalogRule
+
+__all__ = ["DatalogStratification", "stratify_datalog"]
+
+Key = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class DatalogStratification:
+    """Rules grouped by the stratum of their head predicate."""
+
+    strata: tuple[tuple[DatalogRule, ...], ...]
+    predicate_stratum: dict[Key, int]
+
+    def __len__(self) -> int:
+        return len(self.strata)
+
+    def __iter__(self):
+        return iter(self.strata)
+
+
+def stratify_datalog(program: DatalogProgram) -> DatalogStratification:
+    """Stratify by predicates; raise :class:`StratificationError` when a
+    negative edge lies on a cycle."""
+    graph = nx.DiGraph()
+    idb = program.idb_predicates()
+    for key in idb:
+        graph.add_node(key)
+
+    for rule in program:
+        head = rule.head.key
+        for literal in rule.body:
+            if isinstance(literal.atom, BuiltinAtom):
+                continue
+            dep = literal.atom.key
+            if dep not in idb:
+                continue  # EDB predicates never move strata
+            strict = not literal.positive
+            if graph.has_edge(dep, head):
+                graph[dep][head]["strict"] |= strict
+            else:
+                graph.add_edge(dep, head, strict=strict)
+
+    condensation = nx.condensation(graph)
+    component_of = condensation.graph["mapping"]
+    for lower, upper, data in graph.edges(data=True):
+        if data["strict"] and component_of[lower] == component_of[upper]:
+            raise StratificationError(
+                f"Datalog program is not stratified: predicate "
+                f"{upper[0]}/{upper[1]} depends negatively on itself through "
+                f"{lower[0]}/{lower[1]}"
+            )
+
+    strict_between: dict[tuple[int, int], bool] = {}
+    for lower, upper, data in graph.edges(data=True):
+        key = (component_of[lower], component_of[upper])
+        strict_between[key] = strict_between.get(key, False) or data["strict"]
+
+    level: dict[int, int] = {}
+    for component in nx.topological_sort(condensation):
+        best = 0
+        for predecessor in condensation.predecessors(component):
+            step = 1 if strict_between.get((predecessor, component), False) else 0
+            best = max(best, level[predecessor] + step)
+        level[component] = best
+
+    predicate_stratum = {key: level[component_of[key]] for key in idb}
+    max_level = max(predicate_stratum.values(), default=0)
+    buckets: list[list[DatalogRule]] = [[] for _ in range(max_level + 1)]
+    for rule in program:
+        buckets[predicate_stratum[rule.head.key]].append(rule)
+    strata = tuple(tuple(bucket) for bucket in buckets if bucket)
+
+    # Renumber in case pruning empty buckets shifted indexes.
+    renumbered: dict[Key, int] = {}
+    for index, stratum in enumerate(strata):
+        for rule in stratum:
+            renumbered[rule.head.key] = index
+    for key, old_level in predicate_stratum.items():
+        renumbered.setdefault(key, old_level)
+    return DatalogStratification(strata, renumbered)

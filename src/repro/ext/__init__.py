@@ -1,0 +1,33 @@
+"""Extensions the paper's Section 6 proposes as future work.
+
+* :mod:`repro.ext.vidvars` — quantification over VIDs (``?W`` version
+  variables, body positions);
+* :mod:`repro.ext.derived` — derived methods ("derived objects"): methods
+  defined by rules instead of storage, readable by update-rules as views;
+* :mod:`repro.ext.schema` — the schema-evolution bookkeeping the paper
+  connects to [SZ87]: method signatures per class, diffed across updates.
+"""
+
+from repro.ext.derived import (
+    DerivedProgram,
+    DerivedRule,
+    DerivedUpdateEngine,
+    materialize,
+    parse_derived_program,
+)
+from repro.ext.vidvars import (
+    VersionVar,
+    audit_history_program,
+    uses_version_vars,
+)
+
+__all__ = [
+    "VersionVar",
+    "uses_version_vars",
+    "audit_history_program",
+    "DerivedRule",
+    "DerivedProgram",
+    "DerivedUpdateEngine",
+    "materialize",
+    "parse_derived_program",
+]

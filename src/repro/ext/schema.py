@@ -1,0 +1,177 @@
+"""Schema evolution bookkeeping — the [SZ87] connection of Section 2.4.
+
+    "The way we consider inserts and deletions would require changes of
+    corresponding class-definitions in a strongly typed environment,
+    because methods become undefined, respectively defined w.r.t. some
+    objects according to the type of the update."
+
+The update language itself is untyped (the paper deliberately leaves out
+classes), but an update-process still *implies* schema changes: after the
+Figure 2 update, the class ``hpe`` exists, ``phil`` answers a method he did
+not answer before, and ``bob``'s class membership is gone.  This module
+computes that implied evolution:
+
+* :func:`class_signatures` — for every class ``c`` (objects with
+  ``isa -> c``), the *mandatory* signature (methods every member answers)
+  and the *optional* signature (methods some member answers);
+* :func:`schema_delta` — the difference between two bases' schemas: classes
+  added/removed, methods that became defined/undefined per class — exactly
+  the class-definition changes a strongly typed environment would need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.facts import EXISTS
+from repro.core.objectbase import ObjectBase
+from repro.core.terms import Oid
+
+__all__ = [
+    "MethodSignature",
+    "ClassSignature",
+    "class_signatures",
+    "SchemaDelta",
+    "schema_delta",
+]
+
+#: A method signature: name and argument count.
+MethodSignature = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ClassSignature:
+    """The inferred signature of one class.
+
+    ``mandatory`` methods are answered by *every* member, ``optional`` by
+    at least one; ``members`` are the OIDs with ``isa -> class``.
+    """
+
+    class_name: Oid
+    members: frozenset[Oid]
+    mandatory: frozenset[MethodSignature]
+    optional: frozenset[MethodSignature]
+
+    def __str__(self) -> str:
+        def fmt(signatures):
+            return ", ".join(
+                f"{name}/{arity}" for name, arity in sorted(signatures)
+            ) or "-"
+
+        return (
+            f"class {self.class_name} ({len(self.members)} members): "
+            f"mandatory {{{fmt(self.mandatory)}}}, optional {{{fmt(self.optional)}}}"
+        )
+
+
+def class_signatures(
+    base: ObjectBase, *, class_method: str = "isa"
+) -> dict[Oid, ClassSignature]:
+    """Infer the per-class signatures of ``base``.
+
+    Classes are the results of ``class_method`` applications on OID hosts;
+    ``exists`` and the class method itself are bookkeeping, not signature.
+    """
+    members: dict[Oid, set[Oid]] = {}
+    for fact in base.facts_by_method(class_method, 0):
+        if isinstance(fact.host, Oid):
+            members.setdefault(fact.result, set()).add(fact.host)
+
+    signatures: dict[Oid, ClassSignature] = {}
+    for class_name, objects in members.items():
+        per_object: list[frozenset[MethodSignature]] = []
+        for obj in objects:
+            methods = frozenset(
+                (f.method, len(f.args))
+                for f in base.facts_by_host(obj)
+                if f.method not in (EXISTS, class_method)
+            )
+            per_object.append(methods)
+        mandatory = frozenset.intersection(*per_object) if per_object else frozenset()
+        optional = frozenset().union(*per_object) if per_object else frozenset()
+        signatures[class_name] = ClassSignature(
+            class_name, frozenset(objects), mandatory, optional
+        )
+    return signatures
+
+
+@dataclass(frozen=True)
+class SchemaDelta:
+    """Implied schema changes between two bases."""
+
+    classes_added: frozenset[Oid]
+    classes_removed: frozenset[Oid]
+    methods_defined: dict[Oid, frozenset[MethodSignature]] = field(default_factory=dict)
+    methods_undefined: dict[Oid, frozenset[MethodSignature]] = field(default_factory=dict)
+    membership_gained: dict[Oid, frozenset[Oid]] = field(default_factory=dict)
+    membership_lost: dict[Oid, frozenset[Oid]] = field(default_factory=dict)
+
+    def is_empty(self) -> bool:
+        return not (
+            self.classes_added
+            or self.classes_removed
+            or any(self.methods_defined.values())
+            or any(self.methods_undefined.values())
+            or any(self.membership_gained.values())
+            or any(self.membership_lost.values())
+        )
+
+    def render(self) -> str:
+        """A human-readable evolution report."""
+        lines: list[str] = []
+        for name in sorted(self.classes_added, key=str):
+            lines.append(f"+ class {name}")
+        for name in sorted(self.classes_removed, key=str):
+            lines.append(f"- class {name}")
+        for cls in sorted(self.methods_defined, key=str):
+            for method, arity in sorted(self.methods_defined[cls]):
+                lines.append(f"+ {cls}: method {method}/{arity} became defined")
+        for cls in sorted(self.methods_undefined, key=str):
+            for method, arity in sorted(self.methods_undefined[cls]):
+                lines.append(f"- {cls}: method {method}/{arity} became undefined")
+        for cls in sorted(self.membership_gained, key=str):
+            for obj in sorted(self.membership_gained[cls], key=str):
+                lines.append(f"+ {cls}: member {obj}")
+        for cls in sorted(self.membership_lost, key=str):
+            for obj in sorted(self.membership_lost[cls], key=str):
+                lines.append(f"- {cls}: member {obj}")
+        return "\n".join(lines) if lines else "(no schema changes)"
+
+
+def schema_delta(
+    old_base: ObjectBase, new_base: ObjectBase, *, class_method: str = "isa"
+) -> SchemaDelta:
+    """The schema evolution implied by an update ``old_base -> new_base``.
+
+    Method definedness is compared on the *optional* signature (a method
+    became defined for a class when some member now answers it); class
+    identity on the class OID.
+    """
+    old = class_signatures(old_base, class_method=class_method)
+    new = class_signatures(new_base, class_method=class_method)
+
+    added = frozenset(new) - frozenset(old)
+    removed = frozenset(old) - frozenset(new)
+
+    methods_defined: dict[Oid, frozenset[MethodSignature]] = {}
+    methods_undefined: dict[Oid, frozenset[MethodSignature]] = {}
+    membership_gained: dict[Oid, frozenset[Oid]] = {}
+    membership_lost: dict[Oid, frozenset[Oid]] = {}
+    for class_name in frozenset(old) & frozenset(new):
+        before, after = old[class_name], new[class_name]
+        defined = after.optional - before.optional
+        undefined = before.optional - after.optional
+        gained = after.members - before.members
+        lost = before.members - after.members
+        if defined:
+            methods_defined[class_name] = defined
+        if undefined:
+            methods_undefined[class_name] = undefined
+        if gained:
+            membership_gained[class_name] = gained
+        if lost:
+            membership_lost[class_name] = lost
+    return SchemaDelta(
+        added, removed, methods_defined, methods_undefined,
+        membership_gained, membership_lost,
+    )

@@ -1,0 +1,91 @@
+"""Quantification over VIDs — the extension sketched in Section 6.
+
+    "More expressive power can be gained by allowing to quantify over VIDs
+    in addition to OIDs.  However, such an extension must be done carefully
+    not to destroy the termination properties of the evaluation process."
+
+This module implements that extension *carefully*:
+
+* a :class:`~repro.core.terms.VersionVar` (concrete syntax ``?W``) ranges
+  over the set ``O_V`` of all **existing** versions — it matches VIDs of any
+  depth during rule matching;
+* version variables are **body-only**.  A head occurrence is rejected up
+  front: under stratification condition (a) the head's target would unify
+  with every rule head including its own, forcing a strict self-loop — the
+  paper's own machinery thus pinpoints the dangerous half of the extension
+  (this is a finding of the reproduction, recorded in EXPERIMENTS.md E13);
+* condition (d) treats a version variable as potentially denoting a
+  ``del``/``mod`` version, so audit rules run strictly after all
+  destructive rules;
+* because matching only binds version variables to versions already
+  materialised, body-only version variables preserve termination; the
+  engine additionally offers ``max_version_depth`` as a hard guard.
+
+The flagship use case is the *history audit*: one generic rule that
+collects, into the final object, every value a method ever had across all
+of the object's versions — something that needs one specialised rule per
+version depth without the extension (experiment E13 measures both).
+"""
+
+from __future__ import annotations
+
+from repro.core.rules import UpdateProgram
+from repro.core.terms import VersionVar
+from repro.lang.parser import parse_program
+
+__all__ = ["VersionVar", "uses_version_vars", "audit_history_program",
+           "specialised_audit_program"]
+
+
+def uses_version_vars(program: UpdateProgram) -> bool:
+    """True when any rule of ``program`` mentions a version variable."""
+    return any(
+        isinstance(var, VersionVar) for rule in program for var in rule.variables
+    )
+
+
+def audit_history_program(method: str = "sal", *, ledger: str = "ledger") -> UpdateProgram:
+    """One generic audit rule using a version variable.
+
+    ``?W`` ranges over *every* existing version of ``X`` — whatever its
+    depth — so a single rule collects the complete history of ``method``
+    into a set-valued method of a dedicated ``ledger`` object (inserting
+    onto the audited objects themselves would violate version-linearity
+    against their own update chains)::
+
+        audit: ins[ledger].hist@X -> S <= ?W.sal -> S, ?W.exists -> X.
+
+    The base must contain the ledger object (``base.add_object(ledger)``).
+    """
+    return UpdateProgram(
+        parse_program(
+            f"""
+            audit: ins[{ledger}].hist@X -> S <= ?W.{method} -> S, ?W.exists -> X.
+            """
+        ),
+        "audit-history",
+    )
+
+
+def specialised_audit_program(
+    method: str, max_depth: int, *, ledger: str = "ledger"
+) -> UpdateProgram:
+    """The same audit without the extension: one rule per version shape.
+
+    Without quantification over VIDs each possible version term up to
+    ``max_depth`` needs its own rule (and the program must be regenerated
+    whenever deeper histories appear) — the expressiveness gap E13
+    quantifies.  Only ``mod``-chains are enumerated here, matching the E13
+    workload; the general case needs ``3^depth`` rules.
+    """
+    lines = [
+        f"a0: ins[{ledger}].hist@X -> S <= X.{method} -> S, X.exists -> X."
+    ]
+    prefix = "X"
+    for level in range(1, max_depth + 1):
+        prefix = f"mod({prefix})"
+        lines.append(
+            f"a{level}: ins[{ledger}].hist@X -> S <= "
+            f"{prefix}.{method} -> S, {prefix}.exists -> X."
+        )
+    return UpdateProgram(parse_program("\n".join(lines)), "audit-specialised")

@@ -1,0 +1,62 @@
+"""Concrete syntax for the update language.
+
+The paper writes rules like::
+
+    mod[E].sal -> (S, S') <=  E.isa -> empl ^ E.sal -> S ^ S' = S * 1.1
+
+This package provides a faithful ASCII syntax (see ``docs`` in README):
+
+* rules optionally start with a label ``name:`` and end with ``.``;
+* ``<=`` (or ``:-``) separates head and body; ``,`` or ``^`` joins literals;
+* ``not`` (or ``~``) negates a literal;
+* version-terms support the paper's path shorthand
+  ``E.isa -> empl / sal -> S``;
+* update-terms are ``ins[V].m -> R``, ``del[V].m -> R``,
+  ``mod[V].m -> (R, R')`` and the delete-all form ``del[V].*``;
+* method arguments use ``@``: ``V.dist@From,To -> D``;
+* comparisons: ``=  !=  <  >  >=`` and ``=<`` (Prolog-style, because ``<=``
+  is the implication arrow);
+* identifiers starting lower-case (or quoted strings, or numbers) are OIDs,
+  identifiers starting upper-case or ``_`` are variables;
+* comments run from ``%`` or ``#`` to end of line.
+
+Object-base files are lists of ground version-terms, one per ``.``::
+
+    phil.isa -> empl.   phil.pos -> mgr.   phil.sal -> 4000.
+    bob.isa -> empl / sal -> 4200 / boss -> phil.
+"""
+
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import (
+    parse_body,
+    parse_object_base,
+    parse_program,
+    parse_rule,
+    parse_term,
+)
+from repro.lang.pretty import (
+    format_atom,
+    format_literal,
+    format_object_base,
+    format_program,
+    format_rule,
+    format_term,
+)
+
+__all__ = [
+    "ParseError",
+    "Token",
+    "tokenize",
+    "parse_program",
+    "parse_rule",
+    "parse_body",
+    "parse_object_base",
+    "parse_term",
+    "format_term",
+    "format_atom",
+    "format_literal",
+    "format_rule",
+    "format_program",
+    "format_object_base",
+]

@@ -1,0 +1,191 @@
+"""Tokenizer for the update language.
+
+Hand-rolled single-pass scanner.  Notable decisions:
+
+* ``->`` is scanned before ``-`` (arrow beats minus);
+* ``<=`` is the implication arrow; the less-or-equal comparison is spelled
+  ``=<`` (Prolog's solution to the same collision);
+* a ``.`` directly followed by a digit continues a number (``1.5``), any
+  other ``.`` is a DOT token — so ``E.sal`` and the rule-terminating ``.``
+  both work, and ``4500.`` is the number 4500 followed by the terminator;
+* comments run from ``%`` or ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.lang.errors import ParseError
+
+__all__ = ["Token", "tokenize", "TOKEN_TYPES"]
+
+
+class Token(NamedTuple):
+    """One lexical token with its 1-based source position."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        if self.type == "EOF":
+            return "end of input"
+        return f"{self.value!r}"
+
+
+#: All token types the scanner can emit (documentation / tests).
+TOKEN_TYPES = (
+    "IDENT",      # identifiers: foo, Foo, _x  (case decides OID vs variable)
+    "NUMBER",     # 42, 4.5
+    "STRING",     # 'quoted oid' or "quoted oid"
+    "ARROW",      # ->
+    "IMPLIES",    # <= or :-
+    "DOT",        # .
+    "COMMA",      # ,
+    "HAT",        # ^
+    "SLASH",      # /
+    "AT",         # @
+    "STAR",       # *
+    "PLUS",       # +
+    "MINUS",      # -
+    "LPAREN",     # (
+    "RPAREN",     # )
+    "LBRACKET",   # [
+    "RBRACKET",   # ]
+    "TILDE",      # ~
+    "COLON",      # :  (rule labels)
+    "QMARK",      # ?  (version variables, Section 6 extension)
+    "EQ",         # =
+    "NE",         # !=
+    "LT",         # <
+    "GT",         # >
+    "LE",         # =<
+    "GE",         # >=
+    "EOF",
+)
+
+_TWO_CHAR = {
+    "->": "ARROW",
+    "<=": "IMPLIES",
+    ":-": "IMPLIES",
+    "=<": "LE",
+    ">=": "GE",
+    "!=": "NE",
+}
+
+_ONE_CHAR = {
+    ":": "COLON",
+    "?": "QMARK",
+    ".": "DOT",
+    ",": "COMMA",
+    "^": "HAT",
+    "/": "SLASH",
+    "@": "AT",
+    "*": "STAR",
+    "+": "PLUS",
+    "-": "MINUS",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    "~": "TILDE",
+    "=": "EQ",
+    "<": "LT",
+    ">": "GT",
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Scan ``text`` into a token list ending with an EOF token.
+
+    Raises :class:`~repro.lang.errors.ParseError` on an unexpected
+    character or an unterminated string.
+    """
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and text[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = text[index]
+
+        if char in " \t\r\n":
+            advance(1)
+            continue
+
+        if char in "%#":  # comment to end of line
+            while index < length and text[index] != "\n":
+                advance(1)
+            continue
+
+        start_line, start_column = line, column
+
+        pair = text[index : index + 2]
+        if pair in _TWO_CHAR:
+            tokens.append(Token(_TWO_CHAR[pair], pair, start_line, start_column))
+            advance(2)
+            continue
+
+        if char.isdigit():
+            end = index
+            while end < length and text[end].isdigit():
+                end += 1
+            # A '.' continues the number only when a digit follows —
+            # otherwise it is the rule terminator / method selector.
+            if end + 1 < length and text[end] == "." and text[end + 1].isdigit():
+                end += 1
+                while end < length and text[end].isdigit():
+                    end += 1
+            value = text[index:end]
+            tokens.append(Token("NUMBER", value, start_line, start_column))
+            advance(end - index)
+            continue
+
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            value = text[index:end]
+            tokens.append(Token("IDENT", value, start_line, start_column))
+            advance(end - index)
+            continue
+
+        if char in "'\"":
+            quote = char
+            end = index + 1
+            while end < length and text[end] != quote:
+                if text[end] == "\n":
+                    raise ParseError(
+                        "unterminated string (newline inside quotes)",
+                        start_line,
+                        start_column,
+                    )
+                end += 1
+            if end >= length:
+                raise ParseError("unterminated string", start_line, start_column)
+            value = text[index + 1 : end]
+            tokens.append(Token("STRING", value, start_line, start_column))
+            advance(end - index + 1)
+            continue
+
+        if char in _ONE_CHAR:
+            tokens.append(Token(_ONE_CHAR[char], char, start_line, start_column))
+            advance(1)
+            continue
+
+        raise ParseError(f"unexpected character {char!r}", start_line, start_column)
+
+    tokens.append(Token("EOF", "", line, column))
+    return tokens

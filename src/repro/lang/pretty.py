@@ -1,0 +1,139 @@
+"""Pretty-printer: canonical concrete syntax for every AST node.
+
+``parse(format(x)) == x`` holds for terms, atoms, literals, rules, programs
+and (initial) object bases — property-tested in
+``tests/lang/test_roundtrip.py``.  Expressions are printed fully
+parenthesised, comparison ``<=`` is spelled ``=<`` (see the lexer notes),
+and OIDs that do not look like lower-case identifiers are quoted.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.atoms import BuiltinAtom, Literal, UpdateAtom, VersionAtom
+from repro.core.errors import TermError
+from repro.core.exprs import BinOp, Expr, Neg
+from repro.core.facts import EXISTS, Fact
+from repro.core.objectbase import ObjectBase
+from repro.core.rules import UpdateProgram, UpdateRule
+from repro.core.terms import Oid, Term, UpdateKind, Var, VersionId, VersionVar
+
+__all__ = [
+    "format_term",
+    "format_expr",
+    "format_atom",
+    "format_literal",
+    "format_rule",
+    "format_program",
+    "format_object_base",
+]
+
+_BARE_OID = re.compile(r"^[a-z][A-Za-z0-9_]*$")
+_OP_SPELLING = {"<=": "=<"}  # core op -> concrete syntax
+
+
+def format_term(term: Term) -> str:
+    """Canonical text of a term: ``phil``, ``'Phil Smith'``, ``4200``,
+    ``E``, ``ins(mod(phil))``."""
+    if isinstance(term, VersionId):
+        return f"{term.kind.value}({format_term(term.base)})"
+    if isinstance(term, VersionVar):
+        return f"?{term.name}"
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Oid):
+        return _format_oid(term)
+    raise TermError(f"not a term: {term!r}")  # pragma: no cover
+
+
+def _format_oid(oid: Oid) -> str:
+    value = oid.value
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if _BARE_OID.match(value):
+        return value
+    quote = '"' if "'" in value else "'"
+    return f"{quote}{value}{quote}"
+
+
+def format_expr(expr: Expr) -> str:
+    """Fully parenthesised expression text."""
+    if isinstance(expr, BinOp):
+        return f"({format_expr(expr.left)} {expr.op} {format_expr(expr.right)})"
+    if isinstance(expr, Neg):
+        return f"-({format_expr(expr.operand)})"
+    return format_term(expr)
+
+
+def _format_application(method: str, args, result) -> str:
+    arg_text = f"@{','.join(format_term(a) for a in args)}" if args else ""
+    return f"{method}{arg_text} -> {format_term(result)}"
+
+
+def format_atom(atom) -> str:
+    """Canonical text of any atom."""
+    if isinstance(atom, VersionAtom):
+        return (
+            f"{format_term(atom.host)}."
+            f"{_format_application(atom.method, atom.args, atom.result)}"
+        )
+    if isinstance(atom, UpdateAtom):
+        prefix = f"{atom.kind.value}[{format_term(atom.target)}]"
+        if atom.delete_all:
+            return f"{prefix}.*"
+        if atom.kind is UpdateKind.MODIFY:
+            arg_text = (
+                f"@{','.join(format_term(a) for a in atom.args)}" if atom.args else ""
+            )
+            return (
+                f"{prefix}.{atom.method}{arg_text} -> "
+                f"({format_term(atom.result)}, {format_term(atom.result2)})"
+            )
+        return f"{prefix}.{_format_application(atom.method, atom.args, atom.result)}"
+    if isinstance(atom, BuiltinAtom):
+        op = _OP_SPELLING.get(atom.op, atom.op)
+        return f"{format_expr(atom.left)} {op} {format_expr(atom.right)}"
+    raise TermError(f"not an atom: {atom!r}")  # pragma: no cover
+
+
+def format_literal(literal: Literal) -> str:
+    text = format_atom(literal.atom)
+    return text if literal.positive else f"not {text}"
+
+
+def format_rule(rule: UpdateRule, *, label: bool = True) -> str:
+    """One rule on one line (facts) or with an indented body."""
+    name = f"{rule.name}: " if label and rule.name else ""
+    head = format_atom(rule.head)
+    if not rule.body:
+        return f"{name}{head}."
+    body = ",\n    ".join(format_literal(lit) for lit in rule.body)
+    return f"{name}{head} <=\n    {body}."
+
+
+def format_program(program: UpdateProgram) -> str:
+    return "\n\n".join(format_rule(rule) for rule in program)
+
+
+def format_object_base(base: ObjectBase, *, include_exists: bool = False) -> str:
+    """One fact per line, in stable order.
+
+    ``exists`` bookkeeping is omitted by default: :func:`parse_object_base`
+    regenerates it for OID hosts.  Dumping a *result* base (whose derived
+    versions carry ``exists`` facts that regeneration cannot restore) needs
+    ``include_exists=True``.
+    """
+    lines = []
+    for fact in base.sorted_facts():
+        if not include_exists and fact.method == EXISTS:
+            continue
+        lines.append(_format_fact(fact))
+    return "\n".join(lines)
+
+
+def _format_fact(fact: Fact) -> str:
+    return (
+        f"{format_term(fact.host)}."
+        f"{_format_application(fact.method, fact.args, fact.result)}."
+    )

@@ -1,0 +1,29 @@
+"""Versioned storage substrate.
+
+The paper's VIDs support *single updates*; "several of them may give rise to
+introduce a new version in the usual sense" (Section 1) — i.e. long-term
+object versioning as in [Kim91].  This subpackage provides that usual sense:
+
+* :class:`~repro.storage.history.VersionedStore` — a chain of object-base
+  snapshots, one per applied update-program (transaction), with as-of
+  queries and diffs;
+* :mod:`~repro.storage.serialize` — text and JSON round-trips for object
+  bases and programs.
+"""
+
+from repro.storage.history import StoreRevision, VersionedStore
+from repro.storage.serialize import (
+    dump_base_json,
+    dump_base_text,
+    load_base_json,
+    load_base_text,
+)
+
+__all__ = [
+    "VersionedStore",
+    "StoreRevision",
+    "dump_base_text",
+    "load_base_text",
+    "dump_base_json",
+    "load_base_json",
+]

@@ -1,0 +1,143 @@
+"""A store that keeps the whole history of update-processes.
+
+Each applied update-program produces a new revision (the paper's
+``ob → ob'`` mapping); the store keeps every revision, so "as-of" queries
+and diffs across updates are possible — the long-term complement of the
+paper's per-update versioning (Section 1's closing remark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import UpdateEngine, UpdateResult
+from repro.core.errors import ReproError
+from repro.core.facts import EXISTS, Fact
+from repro.core.objectbase import ObjectBase
+from repro.core.rules import UpdateProgram
+
+__all__ = ["StoreRevision", "VersionedStore"]
+
+
+@dataclass(frozen=True)
+class StoreRevision:
+    """One committed state of the store."""
+
+    index: int
+    tag: str
+    base: ObjectBase
+    program_name: str | None
+
+    def facts(self) -> frozenset[Fact]:
+        return frozenset(self.base)
+
+
+class VersionedStore:
+    """An append-only chain of object-base revisions.
+
+    >>> store = VersionedStore(initial_base, tag="loaded")     # doctest: +SKIP
+    >>> store.apply(raise_program, tag="raise-2026")           # doctest: +SKIP
+    >>> store.as_of("loaded")                                  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        base: ObjectBase,
+        *,
+        tag: str = "initial",
+        engine: UpdateEngine | None = None,
+    ):
+        self._engine = engine or UpdateEngine()
+        snapshot = base.copy()
+        snapshot.ensure_exists()
+        self._revisions: list[StoreRevision] = [
+            StoreRevision(0, tag, snapshot, None)
+        ]
+
+    # -- reading ---------------------------------------------------------
+    @property
+    def current(self) -> ObjectBase:
+        """The newest revision's base (copy-on-read: mutations stay local)."""
+        return self._revisions[-1].base.copy()
+
+    @property
+    def head(self) -> StoreRevision:
+        return self._revisions[-1]
+
+    def __len__(self) -> int:
+        return len(self._revisions)
+
+    def revisions(self) -> tuple[StoreRevision, ...]:
+        return tuple(self._revisions)
+
+    def as_of(self, tag_or_index: str | int) -> ObjectBase:
+        """The base as of a revision, by tag or index."""
+        return self._find(tag_or_index).base.copy()
+
+    def _find(self, tag_or_index: str | int) -> StoreRevision:
+        if isinstance(tag_or_index, int):
+            try:
+                return self._revisions[tag_or_index]
+            except IndexError:
+                raise ReproError(f"no revision {tag_or_index}") from None
+        for revision in self._revisions:
+            if revision.tag == tag_or_index:
+                return revision
+        raise ReproError(f"no revision tagged {tag_or_index!r}")
+
+    # -- writing -----------------------------------------------------------
+    def apply(self, program: UpdateProgram, *, tag: str = "") -> UpdateResult:
+        """Run an update-program transactionally against the head revision.
+
+        On success a new revision is appended; on any evaluation error the
+        store is untouched (atomicity comes free: evaluation copies).
+        """
+        result = self._engine.apply(program, self._revisions[-1].base)
+        self._revisions.append(
+            StoreRevision(
+                len(self._revisions),
+                tag or f"rev{len(self._revisions)}",
+                result.new_base,
+                program.name,
+            )
+        )
+        return result
+
+    def commit_base(self, base: ObjectBase, *, tag: str = "") -> StoreRevision:
+        """Append an externally produced base as a new revision."""
+        snapshot = base.copy()
+        snapshot.ensure_exists()
+        revision = StoreRevision(
+            len(self._revisions), tag or f"rev{len(self._revisions)}", snapshot, None
+        )
+        self._revisions.append(revision)
+        return revision
+
+    def rollback_to(self, tag_or_index: str | int, *, tag: str = "") -> StoreRevision:
+        """Append a new revision whose base equals an older revision's.
+
+        The store stays append-only (the rolled-back states remain in the
+        history); this is the transactional undo on top of the paper's
+        ``ob -> ob'`` mapping.
+        """
+        source = self._find(tag_or_index)
+        revision = StoreRevision(
+            len(self._revisions),
+            tag or f"rollback-to-{source.tag}",
+            source.base.copy(),
+            None,
+        )
+        self._revisions.append(revision)
+        return revision
+
+    # -- comparing --------------------------------------------------------
+    def diff(
+        self, older: str | int, newer: str | int, *, include_exists: bool = False
+    ) -> tuple[frozenset[Fact], frozenset[Fact]]:
+        """``(added, removed)`` fact sets between two revisions."""
+        old = self._find(older).facts()
+        new = self._find(newer).facts()
+        if not include_exists:
+            old = frozenset(f for f in old if f.method != EXISTS)
+            new = frozenset(f for f in new if f.method != EXISTS)
+        return (new - old, old - new)

@@ -1,0 +1,102 @@
+"""Serialization of object bases: concrete-syntax text and JSON.
+
+Text uses the :mod:`repro.lang` fact syntax (human-editable, diff-friendly);
+JSON is a stable machine format that also round-trips derived versions
+(VID-hosted facts), which the text loader's ``ensure_exists`` cannot
+regenerate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.errors import TermError
+from repro.core.facts import Fact
+from repro.core.objectbase import ObjectBase
+from repro.core.terms import Oid, Term, UpdateKind, VersionId
+from repro.lang.parser import parse_object_base
+from repro.lang.pretty import format_object_base
+
+__all__ = [
+    "dump_base_text",
+    "load_base_text",
+    "dump_base_json",
+    "load_base_json",
+]
+
+
+def dump_base_text(base: ObjectBase, path: str | Path | None = None) -> str:
+    """Serialize to concrete syntax; optionally write to ``path``."""
+    text = format_object_base(base) + "\n"
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def load_base_text(source: str | Path, *, ensure_exists: bool = True) -> ObjectBase:
+    """Parse a base from a text file path or from literal text."""
+    path = Path(source) if isinstance(source, Path) else None
+    if path is None and isinstance(source, str) and "\n" not in source:
+        candidate = Path(source)
+        if candidate.exists():
+            path = candidate
+    text = path.read_text(encoding="utf-8") if path else str(source)
+    return parse_object_base(text, ensure_exists=ensure_exists)
+
+
+def _term_to_json(term: Term):
+    if isinstance(term, Oid):
+        return {"oid": term.value}
+    if isinstance(term, VersionId):
+        return {"kind": term.kind.value, "base": _term_to_json(term.base)}
+    raise TermError(f"cannot serialize non-ground term {term}")
+
+
+def _term_from_json(data) -> Term:
+    if "oid" in data:
+        return Oid(data["oid"])
+    return VersionId(UpdateKind.from_name(data["kind"]), _term_from_json(data["base"]))
+
+
+def dump_base_json(base: ObjectBase, path: str | Path | None = None) -> str:
+    """Serialize every fact (including ``exists`` and VID hosts) to JSON."""
+    payload = {
+        "format": "repro-object-base",
+        "version": 1,
+        "facts": [
+            {
+                "host": _term_to_json(fact.host),
+                "method": fact.method,
+                "args": [a.value for a in fact.args],
+                "result": fact.result.value,
+            }
+            for fact in base.sorted_facts()
+        ],
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def load_base_json(source: str | Path) -> ObjectBase:
+    """Inverse of :func:`dump_base_json`."""
+    path = Path(source) if isinstance(source, Path) else None
+    if path is None and isinstance(source, str) and not source.lstrip().startswith("{"):
+        path = Path(source)
+    text = path.read_text(encoding="utf-8") if path and path.exists() else str(source)
+    payload = json.loads(text)
+    if payload.get("format") != "repro-object-base":
+        raise TermError("not a repro object-base JSON document")
+    base = ObjectBase()
+    for entry in payload["facts"]:
+        base.add(
+            Fact(
+                _term_from_json(entry["host"]),
+                entry["method"],
+                tuple(Oid(a) for a in entry["args"]),
+                Oid(entry["result"]),
+            )
+        )
+    return base

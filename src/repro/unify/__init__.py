@@ -1,0 +1,22 @@
+"""Sorted unification and substitutions over version-id-terms.
+
+This subpackage is the deductive substrate shared by the stratification
+conditions of Section 4 (which are phrased via unification of
+version-id-terms) and by the rule matcher of the evaluation engine.
+
+The unification is *sorted*: variables range over the set ``O`` of object
+identities only (Section 2.1), so a variable unifies with an OID or another
+variable but never with a proper version-id-term.  See DESIGN.md, D2.
+"""
+
+from repro.unify.substitution import Substitution, apply_term
+from repro.unify.unification import match_term, unifiable, unify, unify_terms
+
+__all__ = [
+    "Substitution",
+    "apply_term",
+    "unify",
+    "unify_terms",
+    "unifiable",
+    "match_term",
+]

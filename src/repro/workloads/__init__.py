@@ -1,0 +1,42 @@
+"""Workload generators and the paper's literal example fixtures.
+
+* :mod:`repro.workloads.enterprise` — the employee/manager domain of the
+  running example (Section 2.3, Figure 2), both the literal two-object base
+  and a parametric generator for scaling benchmarks;
+* :mod:`repro.workloads.genealogy` — person/parents DAGs for the recursive
+  ancestor example;
+* :mod:`repro.workloads.synthetic` — random object bases, update programs
+  and Datalog programs for property-based tests and stress benchmarks.
+"""
+
+from repro.workloads.enterprise import (
+    enterprise_base,
+    enterprise_update_program,
+    hypothetical_program,
+    hypothetical_base,
+    paper_example_base,
+    paper_example_program,
+    salary_raise_program,
+)
+from repro.workloads.genealogy import ancestors_program, genealogy_base, true_ancestors
+from repro.workloads.synthetic import (
+    random_datalog_chain_program,
+    random_insert_program,
+    random_object_base,
+)
+
+__all__ = [
+    "paper_example_base",
+    "paper_example_program",
+    "enterprise_base",
+    "enterprise_update_program",
+    "salary_raise_program",
+    "hypothetical_base",
+    "hypothetical_program",
+    "genealogy_base",
+    "ancestors_program",
+    "true_ancestors",
+    "random_object_base",
+    "random_insert_program",
+    "random_datalog_chain_program",
+]

@@ -1,0 +1,205 @@
+"""The enterprise workload — the paper's running example, literal and scaled.
+
+Section 2.3: "Each employee gets a 10% salary-raise and those in a
+managerial position an extra $200.  Afterwards all those employees are
+fired, who make more than any of their superiors, and finally those of the
+remaining ones, who make more than $4500, are grouped into a class called
+hpe (high-paid-employees)."
+
+This module provides the literal phil/bob base of Figure 2 (with the $4200
+salary of the main text and the $4100 variant of Section 2.4), the 4-rule
+update program, and a deterministic generator that scales the same shape to
+``n`` employees under a manager hierarchy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.facts import make_fact
+from repro.core.objectbase import ObjectBase
+from repro.core.rules import UpdateProgram
+from repro.core.terms import Oid
+from repro.lang.parser import parse_object_base, parse_program
+
+__all__ = [
+    "paper_example_base",
+    "paper_example_program",
+    "salary_raise_program",
+    "hypothetical_base",
+    "hypothetical_program",
+    "EnterpriseConfig",
+    "enterprise_base",
+    "enterprise_update_program",
+]
+
+_PAPER_PROGRAM = """
+rule1: mod[E].sal -> (S, S2) <=
+    E.isa -> empl / pos -> mgr / sal -> S,
+    S2 = S * 1.1 + 200.
+
+rule2: mod[E].sal -> (S, S2) <=
+    E.isa -> empl / sal -> S,
+    not E.pos -> mgr,
+    S2 = S * 1.1.
+
+rule3: del[mod(E)].* <=
+    mod(E).isa -> empl / boss -> B / sal -> SE,
+    mod(B).isa -> empl / sal -> SB,
+    SE > SB.
+
+rule4: ins[mod(E)].isa -> hpe <=
+    mod(E).isa -> empl / sal -> S,
+    S > 4500,
+    not del[mod(E)].isa -> empl.
+"""
+
+
+def paper_example_base(*, bob_salary: int = 4200) -> ObjectBase:
+    """The Figure 2 base: manager phil at $4000, employee bob under him.
+
+    ``bob_salary=4200`` is the main-text scenario (bob gets fired);
+    ``bob_salary=4100`` is the Section 2.4 variant (bob survives the raise
+    and must *not* be fired — the control anomaly of experiment E6).
+    """
+    return parse_object_base(
+        f"""
+        phil.isa -> empl.   phil.pos -> mgr.    phil.sal -> 4000.
+        bob.isa -> empl.    bob.sal -> {bob_salary}.   bob.boss -> phil.
+        """
+    )
+
+
+def paper_example_program() -> UpdateProgram:
+    """Rules 1-4 of Section 2.3 (raise, raise, fire, classify)."""
+    return UpdateProgram(parse_program(_PAPER_PROGRAM), "enterprise-update")
+
+
+def salary_raise_program(*, percent: float = 10.0) -> UpdateProgram:
+    """The single-rule example of Section 2.1: a flat percentage raise that
+    provably applies exactly once per employee."""
+    factor = 1.0 + percent / 100.0
+    return UpdateProgram(
+        parse_program(
+            f"""
+            raise: mod[E].sal -> (S, S2) <=
+                E.isa -> empl, E.sal -> S, S2 = S * {factor}.
+            """
+        ),
+        "salary-raise",
+    )
+
+
+def hypothetical_base() -> ObjectBase:
+    """A small base for the hypothetical-reasoning example of Section 2.3:
+    peter's factor makes him overtake anna after the what-if raise."""
+    return parse_object_base(
+        """
+        peter.isa -> empl.  peter.sal -> 100.  peter.factor -> 3.
+        anna.isa -> empl.   anna.sal -> 120.   anna.factor -> 2.
+        """
+    )
+
+
+def hypothetical_program() -> UpdateProgram:
+    """Section 2.3's what-if program: raise, revert, judge on the raised
+    version — footnote 3's stratification {r1} < {r2} < {r3} < {r4}."""
+    return UpdateProgram(
+        parse_program(
+            """
+            rule1: mod[E].sal -> (S, S2) <=
+                E.sal -> S / factor -> F, S2 = S * F.
+            rule2: mod[mod(E)].sal -> (S2, S) <=
+                mod(E).sal -> S2, E.sal -> S.
+            rule3: ins[mod(mod(peter))].richest -> no <=
+                mod(E).sal -> SE, mod(peter).sal -> SP, SE > SP.
+            rule4: ins[ins(mod(mod(peter)))].richest -> yes <=
+                not ins(mod(mod(peter))).richest -> no.
+            """
+        ),
+        "hypothetical",
+    )
+
+
+@dataclass(frozen=True)
+class EnterpriseConfig:
+    """Shape of a generated enterprise.
+
+    ``n_employees`` staff are organised under ``n_employees * manager_ratio``
+    managers forming a forest of the given depth; salaries are uniform in
+    ``salary_range`` with managers drawn from the upper half.
+    ``overpaid_ratio`` of non-managers are bumped above their boss so that
+    rule 3 has work to do.
+    """
+
+    n_employees: int = 100
+    manager_ratio: float = 0.2
+    salary_range: tuple[int, int] = (2000, 5000)
+    overpaid_ratio: float = 0.1
+    seed: int = 0
+
+
+def enterprise_base(config: EnterpriseConfig | None = None, **overrides) -> ObjectBase:
+    """Deterministically generate an enterprise object base.
+
+    Every employee has ``isa -> empl`` and ``sal``; managers additionally
+    ``pos -> mgr``; every non-root employee has a ``boss`` that is a
+    manager.  The same config always yields the same base (seeded RNG).
+    """
+    if config is None:
+        config = EnterpriseConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a config or keyword overrides, not both")
+    rng = random.Random(config.seed)
+    low, high = config.salary_range
+    mid = (low + high) // 2
+
+    n_managers = max(1, int(config.n_employees * config.manager_ratio))
+    base = ObjectBase()
+
+    managers = [f"mgr{i}" for i in range(n_managers)]
+    salaries: dict[str, int] = {}
+    for name in managers:
+        salary = rng.randint(mid, high)
+        salaries[name] = salary
+        _add_employee(base, name, salary, manager=True)
+
+    # managers report to managers (a forest rooted at mgr0)
+    for index, name in enumerate(managers[1:], start=1):
+        boss = managers[rng.randrange(index)]
+        _add_boss(base, name, boss)
+
+    n_staff = config.n_employees - n_managers
+    for i in range(n_staff):
+        name = f"emp{i}"
+        boss = managers[rng.randrange(n_managers)]
+        if rng.random() < config.overpaid_ratio:
+            salary = salaries[boss] + rng.randint(1, 500)  # rule 3 bait
+        else:
+            salary = rng.randint(low, max(low + 1, salaries[boss] - 1))
+        salaries[name] = salary
+        _add_employee(base, name, salary, manager=False)
+        _add_boss(base, name, boss)
+
+    base.ensure_exists()
+    return base
+
+
+def _add_employee(base: ObjectBase, name: str, salary: int, *, manager: bool) -> None:
+    host = Oid(name)
+    base.add(make_fact(host, "isa", (), Oid("empl")))
+    base.add(make_fact(host, "sal", (), Oid(salary)))
+    if manager:
+        base.add(make_fact(host, "pos", (), Oid("mgr")))
+
+
+def _add_boss(base: ObjectBase, name: str, boss: str) -> None:
+    base.add(make_fact(Oid(name), "boss", (), Oid(boss)))
+
+
+def enterprise_update_program(*, hpe_threshold: int = 4500) -> UpdateProgram:
+    """The Section 2.3 program with a configurable hpe threshold (scaled
+    bases use different salary ranges)."""
+    text = _PAPER_PROGRAM.replace("4500", str(hpe_threshold))
+    return UpdateProgram(parse_program(text), "enterprise-update")

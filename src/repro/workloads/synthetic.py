@@ -1,0 +1,164 @@
+"""Synthetic workloads for property tests and stress benchmarks.
+
+Random object bases with controllable shape, random *safe, stratifiable*
+update programs (insert-only and chained-version shapes whose expected
+outcomes are computable independently), and random Datalog chain programs
+for the semi-naive/naive equivalence experiment (E12).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.facts import make_fact
+from repro.core.objectbase import ObjectBase
+from repro.core.rules import UpdateProgram
+from repro.core.terms import Oid
+from repro.datalog.ast import DatalogLiteral, DatalogProgram, DatalogRule, PredicateAtom
+from repro.datalog.database import Database
+from repro.core.terms import Var
+from repro.lang.parser import parse_program
+
+__all__ = [
+    "random_object_base",
+    "random_insert_program",
+    "version_chain_program",
+    "random_datalog_chain_program",
+    "random_edge_database",
+]
+
+
+def random_object_base(
+    *,
+    n_objects: int = 50,
+    methods: tuple[str, ...] = ("color", "size", "link"),
+    facts_per_object: int = 3,
+    numeric_ratio: float = 0.5,
+    seed: int = 0,
+) -> ObjectBase:
+    """A random base: each object gets ``facts_per_object`` applications of
+    random methods; results are numbers or other objects."""
+    rng = random.Random(seed)
+    names = [f"o{i}" for i in range(n_objects)]
+    base = ObjectBase()
+    for name in names:
+        for _ in range(facts_per_object):
+            method = rng.choice(methods)
+            if rng.random() < numeric_ratio:
+                result = Oid(rng.randint(0, 1000))
+            else:
+                result = Oid(rng.choice(names))
+            base.add(make_fact(Oid(name), method, (), result))
+    base.ensure_exists()
+    return base
+
+
+def random_insert_program(
+    *,
+    n_rules: int = 4,
+    methods: tuple[str, ...] = ("color", "size", "link"),
+    tags: tuple[str, ...] = ("alpha", "beta", "gamma"),
+    seed: int = 0,
+) -> UpdateProgram:
+    """Random insert-only rules: ``ins[X].tag -> t <= X.m -> Y``.
+
+    Insert-only programs are monotone, always stratifiable, always
+    version-linear — ideal for differential property tests (the expected
+    result is a simple relational computation).
+    """
+    rng = random.Random(seed)
+    lines = []
+    for index in range(n_rules):
+        method = rng.choice(methods)
+        tag = rng.choice(tags)
+        lines.append(f"g{index}: ins[X].tag -> {tag} <= X.{method} -> Y.")
+    return UpdateProgram(parse_program("\n".join(lines)), "random-inserts")
+
+
+def version_chain_program(k: int, *, method: str = "stamp") -> UpdateProgram:
+    """The Figure 1 shape: ``k`` consecutive groups of updates on every
+    object, so the final VID is a depth-``k`` chain ``α_k(...α_1(o))``.
+
+    Group 1 inserts an undeletable counter ``tag -> 0``; later groups
+    insert ``stamp -> i``, modify the ``tag`` (every third group), or
+    delete all stamps (every fifth group).  The mod/del cadence guarantees
+    every group's body is satisfiable — a modify always finds the ``tag``,
+    and between two delete groups at least one insert refills the stamps —
+    so the chain reaches depth ``k`` for every ``k``.
+    """
+    if k < 1:
+        raise ValueError("need at least one update group")
+    rules = [f"g1: ins[X].tag -> 0 <= X.exists -> X."]
+    prefix = "ins(X)"
+    for i in range(2, k + 1):
+        if i % 5 == 0:
+            rules.append(
+                f"g{i}: del[{prefix}].{method} -> V <= "
+                f"{prefix}.{method} -> V, {prefix}.exists -> X."
+            )
+            prefix = f"del({prefix})"
+        elif i % 3 == 0:
+            rules.append(
+                f"g{i}: mod[{prefix}].tag -> (V, V2) <= "
+                f"{prefix}.tag -> V, V2 = V + 1, {prefix}.exists -> X."
+            )
+            prefix = f"mod({prefix})"
+        else:
+            rules.append(
+                f"g{i}: ins[{prefix}].{method} -> {i} <= {prefix}.exists -> X."
+            )
+            prefix = f"ins({prefix})"
+    return UpdateProgram(parse_program("\n".join(rules)), f"chain-{k}")
+
+
+def random_edge_database(
+    *, n_nodes: int = 30, n_edges: int = 60, seed: int = 0
+) -> Database:
+    """A random directed graph as an ``edge/2`` EDB."""
+    rng = random.Random(seed)
+    database = Database()
+    names = [f"n{i}" for i in range(n_nodes)]
+    for _ in range(n_edges):
+        a, b = rng.choice(names), rng.choice(names)
+        database.add("edge", (Oid(a), Oid(b)))
+    return database
+
+
+def random_datalog_chain_program(
+    *, n_idb: int = 3, negated_tail: bool = False, seed: int = 0
+) -> DatalogProgram:
+    """Layered Datalog over ``edge/2``: ``p0`` = transitive closure, each
+    ``p{i}`` joins the previous layer with another edge hop; optionally a
+    final stratum with negation.  Used for naive == semi-naive equivalence
+    (E12) on random graphs."""
+    rng = random.Random(seed)
+    X, Y, Z = Var("X"), Var("Y"), Var("Z")
+    rules = [
+        DatalogRule(PredicateAtom("p0", (X, Y)), (DatalogLiteral(PredicateAtom("edge", (X, Y))),)),
+        DatalogRule(
+            PredicateAtom("p0", (X, Z)),
+            (
+                DatalogLiteral(PredicateAtom("p0", (X, Y))),
+                DatalogLiteral(PredicateAtom("edge", (Y, Z))),
+            ),
+        ),
+    ]
+    for i in range(1, n_idb):
+        previous = f"p{i - 1}"
+        flip = rng.random() < 0.5
+        body = (
+            DatalogLiteral(PredicateAtom(previous, (X, Y))),
+            DatalogLiteral(PredicateAtom("edge", (Y, Z) if flip else (Z, Y))),
+        )
+        rules.append(DatalogRule(PredicateAtom(f"p{i}", (X, Z)), body))
+    if negated_tail:
+        rules.append(
+            DatalogRule(
+                PredicateAtom("isolated", (X, Y)),
+                (
+                    DatalogLiteral(PredicateAtom("edge", (X, Y))),
+                    DatalogLiteral(PredicateAtom("p0", (Y, X)), False),
+                ),
+            )
+        )
+    return DatalogProgram(rules, "random-chain")

@@ -1,0 +1,103 @@
+"""Tests for the provenance module (explanations over traces)."""
+
+import pytest
+
+from repro import Oid, UpdateEngine
+from repro.analysis import explain_fact, explain_version
+from repro.core.facts import Fact
+from repro.core.terms import UpdateKind, wrap
+from repro.workloads import paper_example_base, paper_example_program
+
+O = Oid
+INS, DEL, MOD = UpdateKind.INSERT, UpdateKind.DELETE, UpdateKind.MODIFY
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    base = paper_example_base()
+    engine = UpdateEngine(collect_trace=True)
+    outcome = engine.evaluate(paper_example_program(), base)
+    return base, outcome
+
+
+class TestExplainFact:
+    def test_base_fact(self, figure2):
+        base, outcome = figure2
+        explanation = explain_fact(
+            outcome.trace, base, Fact(O("phil"), "sal", (), O(4000))
+        )
+        assert explanation.kind == "base"
+
+    def test_inserted_fact(self, figure2):
+        base, outcome = figure2
+        fact = Fact(wrap(INS, wrap(MOD, O("phil"))), "isa", (), O("hpe"))
+        explanation = explain_fact(outcome.trace, base, fact)
+        assert explanation.kind == "inserted"
+        assert explanation.rule == "rule4"
+        assert explanation.stratum == 2
+        assert ("E", O("phil")) in explanation.binding
+
+    def test_modified_fact(self, figure2):
+        base, outcome = figure2
+        fact = Fact(wrap(MOD, O("phil")), "sal", (), O(4600.0))
+        explanation = explain_fact(outcome.trace, base, fact)
+        assert explanation.kind == "modified"
+        assert explanation.rule == "rule1"
+
+    def test_copied_fact_recurses_to_base(self, figure2):
+        base, outcome = figure2
+        fact = Fact(wrap(INS, wrap(MOD, O("phil"))), "pos", (), O("mgr"))
+        explanation = explain_fact(outcome.trace, base, fact)
+        assert explanation.kind == "copied"
+        assert explanation.predecessor.kind == "copied"
+        assert explanation.predecessor.predecessor.kind == "base"
+
+    def test_copied_fact_stops_at_modification(self, figure2):
+        base, outcome = figure2
+        fact = Fact(wrap(INS, wrap(MOD, O("phil"))), "sal", (), O(4600.0))
+        explanation = explain_fact(outcome.trace, base, fact)
+        assert explanation.kind == "copied"
+        assert explanation.predecessor.kind == "modified"
+
+    def test_unknown_fact_rejected(self, figure2):
+        base, outcome = figure2
+        with pytest.raises(LookupError):
+            explain_fact(outcome.trace, base, Fact(O("ghost"), "m", (), O(1)))
+
+    def test_render(self, figure2):
+        base, outcome = figure2
+        fact = Fact(wrap(INS, wrap(MOD, O("phil"))), "isa", (), O("hpe"))
+        text = explain_fact(outcome.trace, base, fact).render()
+        assert "rule4" in text and "stratum 2" in text
+
+
+class TestExplainVersion:
+    def test_final_phil(self, figure2):
+        base, outcome = figure2
+        version = wrap(INS, wrap(MOD, O("phil")))
+        explanations = explain_version(
+            outcome.trace, base, outcome.result_base, version
+        )
+        kinds = {(e.fact.method, str(e.fact.result)): e.kind for e in explanations}
+        assert kinds == {
+            ("isa", "empl"): "copied",
+            ("isa", "hpe"): "inserted",
+            ("pos", "mgr"): "copied",
+            ("sal", "4600.0"): "copied",  # modified on mod(phil), copied here
+        }
+
+    def test_exists_excluded_by_default(self, figure2):
+        base, outcome = figure2
+        version = wrap(MOD, O("phil"))
+        explanations = explain_version(
+            outcome.trace, base, outcome.result_base, version
+        )
+        assert all(e.fact.method != "exists" for e in explanations)
+
+    def test_deleted_version_keeps_no_applications(self, figure2):
+        base, outcome = figure2
+        version = wrap(DEL, wrap(MOD, O("bob")))
+        explanations = explain_version(
+            outcome.trace, base, outcome.result_base, version
+        )
+        assert explanations == []

@@ -1,0 +1,53 @@
+"""Tests for the object-base <-> relational conversion."""
+
+import pytest
+
+from repro.baselines import database_to_object_base, object_base_to_database
+from repro.core.errors import TermError
+from repro.core.facts import EXISTS, Fact, exists_fact
+from repro.core.terms import Oid, UpdateKind, wrap
+from repro.datalog import Database
+from repro.lang.parser import parse_object_base
+from repro.workloads import paper_example_base
+
+O = Oid
+
+
+def test_methods_become_predicates():
+    db = object_base_to_database(paper_example_base())
+    assert ("sal", (O("phil"), O(4000))) in db
+    assert ("boss", (O("bob"), O("phil"))) in db
+
+
+def test_exists_skipped_by_default():
+    db = object_base_to_database(paper_example_base())
+    assert db.rows(EXISTS, 1) == set()
+    db_with = object_base_to_database(paper_example_base(), include_exists=True)
+    assert len(db_with.rows(EXISTS, 2)) == 2
+
+
+def test_arguments_in_the_middle():
+    base = parse_object_base("g.dist@a,b -> 7.")
+    db = object_base_to_database(base)
+    assert ("dist", (O("g"), O("a"), O("b"), O(7))) in db
+
+
+def test_round_trip():
+    base = paper_example_base()
+    rebuilt = database_to_object_base(object_base_to_database(base))
+    assert rebuilt == base
+
+
+def test_version_hosts_rejected():
+    base = paper_example_base()
+    version = wrap(UpdateKind.MODIFY, O("phil"))
+    base.add(exists_fact(version))
+    base.add(Fact(version, "sal", (), O(1)))
+    with pytest.raises(TermError):
+        object_base_to_database(base)
+
+
+def test_narrow_relations_rejected():
+    db = Database.from_tuples([("flag", "a")])
+    with pytest.raises(TermError):
+        database_to_object_base(db)

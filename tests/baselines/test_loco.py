@@ -1,0 +1,123 @@
+"""Tests for the LOCO baseline (ordered logic, update-by-instance)."""
+
+import pytest
+
+from repro.baselines.loco import LocoHierarchy, LocoObject
+from repro.baselines.logres import LogresRule
+from repro.core.errors import ProgramError
+from repro.datalog import Database, DatalogEngine
+
+A = DatalogEngine.atom
+
+
+def plus(head, *body, name=""):
+    from repro.datalog.ast import DatalogLiteral
+
+    return LogresRule(head, tuple(DatalogLiteral(b) for b in body), True, name)
+
+
+def minus(head, *body, name=""):
+    from repro.datalog.ast import DatalogLiteral
+
+    return LogresRule(head, tuple(DatalogLiteral(b) for b in body), False, name)
+
+
+@pytest.fixture()
+def hierarchy():
+    h = LocoHierarchy()
+    h.add(LocoObject("employee", (), (
+        plus(A("status", "active")),
+        plus(A("sal", 1000)),
+    )))
+    h.add(LocoObject("manager", ("employee",), (
+        plus(A("sal", 2000)),       # overrides the inherited default
+        plus(A("bonus", "car")),
+    )))
+    return h
+
+
+class TestInheritance:
+    def test_plain_inheritance(self, hierarchy):
+        state = hierarchy.state_of("employee")
+        assert DatalogEngine.query(state, "sal", (None,)) == [(1000,)]
+        assert DatalogEngine.query(state, "status", (None,)) == [("active",)]
+
+    def test_overriding(self, hierarchy):
+        state = hierarchy.state_of("manager")
+        # the specific sal conclusion shadows the inherited default
+        assert DatalogEngine.query(state, "sal", (None,)) == [(2000,)]
+        # non-conflicting methods are inherited
+        assert DatalogEngine.query(state, "status", (None,)) == [("active",)]
+        assert DatalogEngine.query(state, "bonus", (None,)) == [("car",)]
+
+    def test_levels(self, hierarchy):
+        hierarchy.add(LocoObject("ceo", ("manager",)))
+        names = [[o.name for o in level] for level in hierarchy.levels("ceo")]
+        assert names == [["ceo"], ["manager"], ["employee"]]
+
+    def test_unknown_parent_rejected(self):
+        h = LocoHierarchy()
+        with pytest.raises(ProgramError):
+            h.add(LocoObject("x", ("ghost",)))
+
+    def test_duplicate_rejected(self, hierarchy):
+        with pytest.raises(ProgramError):
+            hierarchy.add(LocoObject("employee"))
+
+    def test_negative_heads_within_level(self):
+        h = LocoHierarchy()
+        h.add(LocoObject("node", (), (
+            plus(A("p", "a")),
+            minus(A("p", "a"), A("kill", "a")),
+        )))
+        quiet = h.state_of("node")
+        assert DatalogEngine.query(quiet, "p", (None,)) == [("a",)]
+        killed = h.state_of("node", Database.from_tuples([("kill", "a")]))
+        assert DatalogEngine.query(killed, "p", (None,)) == []
+
+
+class TestUpdateByInstance:
+    def test_salary_update_as_instance(self, hierarchy):
+        """LOCO's update move: a new instance carrying the 'update rules'."""
+        henry = hierarchy.add(LocoObject("henry", ("employee",)))
+        raised = hierarchy.update_instance(
+            "henry", (plus(A("sal", 1100)),), name="henry_raised"
+        )
+        # the instance is the updated object ...
+        state = hierarchy.state_of(raised.name)
+        assert DatalogEngine.query(state, "sal", (None,)) == [(1100,)]
+        # ... and the original is untouched
+        assert DatalogEngine.query(
+            hierarchy.state_of("henry"), "sal", (None,)
+        ) == [(1000,)]
+
+    def test_manual_control_critique(self, hierarchy):
+        """§2.4: LOCO updates "cannot be defined by rules" — each employee
+        needs its own hand-made instance, where the paper's language uses
+        one rule for all employees."""
+        staff = [f"e{i}" for i in range(5)]
+        for name in staff:
+            hierarchy.add(LocoObject(name, ("employee",)))
+        instances = [
+            hierarchy.update_instance(name, (plus(A("sal", 1100)),))
+            for name in staff
+        ]
+        assert len(instances) == len(staff)  # one instance per object: O(n) by hand
+        for instance in instances:
+            state = hierarchy.state_of(instance.name)
+            assert DatalogEngine.query(state, "sal", (None,)) == [(1100,)]
+
+    def test_versioned_language_needs_one_rule(self):
+        """The same intent in the paper's language: a single rule."""
+        from repro import UpdateEngine, parse_object_base, parse_program, query
+
+        base = parse_object_base(
+            "\n".join(f"e{i}.isa -> empl. e{i}.sal -> 1000." for i in range(5))
+        )
+        program = parse_program(
+            "raise: mod[E].sal -> (S, S2) <= E.isa -> empl, E.sal -> S, "
+            "S2 = S + 100."
+        )
+        result = UpdateEngine().apply(program, base)
+        salaries = {a["S"] for a in query(result.new_base, "E.sal -> S")}
+        assert salaries == {1100}

@@ -1,0 +1,115 @@
+"""Tests for the Logres-style module baseline (experiment E11)."""
+
+import pytest
+
+from repro.baselines import (
+    LogresModule,
+    LogresProgram,
+    LogresRule,
+    object_base_to_database,
+)
+from repro.baselines.logres import enterprise_modules
+from repro.core.atoms import BuiltinAtom
+from repro.core.errors import ProgramError
+from repro.core.terms import Oid, Var
+from repro.datalog import Database, DatalogEngine
+from repro.datalog.ast import DatalogLiteral as L
+from repro.workloads import paper_example_base
+
+A = DatalogEngine.atom
+
+
+class TestModuleSemantics:
+    def test_insert_and_delete_in_one_step(self):
+        module = LogresModule("swap", (
+            LogresRule(A("state", "X", "new"), (L(A("state", "X", "old")),), True, "add"),
+            LogresRule(A("state", "X", "old"), (L(A("state", "X", "old")),), False, "del"),
+        ), "inflationary")
+        program = LogresProgram([module])
+        edb = Database.from_tuples([("state", "a", "old")])
+        result = program.run(edb)
+        assert DatalogEngine.query(result, "state", (None, None)) == [("a", "new")]
+
+    def test_deletions_win_over_insertions(self):
+        module = LogresModule("clash", (
+            LogresRule(A("p", "X"), (L(A("seed", "X")),), True, "add"),
+            LogresRule(A("p", "X"), (L(A("seed", "X")),), False, "del"),
+        ), "inflationary")
+        edb = Database.from_tuples([("seed", "a"), ("p", "a")])
+        result = LogresProgram([module]).run(edb)
+        assert DatalogEngine.query(result, "p", (None,)) == []
+
+    def test_stratified_module_orders_rules(self):
+        module = LogresModule("m", (
+            LogresRule(A("mark", "X"), (L(A("seed", "X")),), True, "mark"),
+            LogresRule(
+                A("unmarked", "X"),
+                (L(A("node", "X")), L(A("mark", "X"), False)),
+                True,
+                "rest",
+            ),
+        ), "stratified")
+        edb = Database.from_tuples([("seed", "a"), ("node", "a"), ("node", "b")])
+        result = LogresProgram([module]).run(edb)
+        assert DatalogEngine.query(result, "unmarked", (None,)) == [("b",)]
+
+    def test_bad_semantics_rejected(self):
+        with pytest.raises(ProgramError):
+            LogresModule("m", (), "eager")
+
+    def test_duplicate_module_names_rejected(self):
+        module = LogresModule("m", (), "inflationary")
+        with pytest.raises(ProgramError):
+            LogresProgram([module, module])
+
+    def test_input_database_untouched(self):
+        edb = Database.from_tuples([("state", "a", "old")])
+        before = edb.copy()
+        module = LogresModule("noop_del", (
+            LogresRule(A("state", "X", "old"), (L(A("state", "X", "old")),), False, "d"),
+        ), "inflationary")
+        LogresProgram([module]).run(edb)
+        assert edb == before
+
+
+class TestManualControlExperiment:
+    """E11: the right module order matches the versioned engine; the wrong
+    order produces the unintended base."""
+
+    def _run(self, order):
+        base = paper_example_base(bob_salary=4100)
+        program = enterprise_modules().reordered(order)
+        return program.run(object_base_to_database(base))
+
+    def test_intended_order(self):
+        result = self._run(["raise", "fire", "hpe"])
+        salaries = dict(DatalogEngine.query(result, "sal", (None, None)))
+        assert salaries["phil"] == pytest.approx(4600.0)
+        assert salaries["bob"] == pytest.approx(4510.0)
+        hpe = {row[0] for row in DatalogEngine.query(result, "isa", (None, "hpe"))}
+        assert hpe == {"phil", "bob"}
+
+    def test_wrong_order_fires_bob(self):
+        result = self._run(["fire", "raise", "hpe"])
+        salaries = dict(DatalogEngine.query(result, "sal", (None, None)))
+        assert "bob" not in salaries
+        hpe = {row[0] for row in DatalogEngine.query(result, "isa", (None, "hpe"))}
+        assert hpe == {"phil"}
+
+    def test_reorder_validates_names(self):
+        with pytest.raises(ProgramError):
+            enterprise_modules().reordered(["raise", "fire"])
+
+    def test_intended_order_matches_versioned_engine(self):
+        from repro import UpdateEngine, query
+        from repro.workloads import paper_example_program
+
+        base = paper_example_base(bob_salary=4100)
+        versioned = UpdateEngine().apply(paper_example_program(), base)
+        logres = self._run(["raise", "fire", "hpe"])
+
+        versioned_salaries = {
+            a["E"]: a["S"] for a in query(versioned.new_base, "E.sal -> S")
+        }
+        logres_salaries = dict(DatalogEngine.query(logres, "sal", (None, None)))
+        assert versioned_salaries == pytest.approx(logres_salaries)

@@ -1,0 +1,104 @@
+"""Tests for the naive single-time-step baseline (experiment E6)."""
+
+from repro import UpdateEngine, query
+from repro.baselines import naive_one_step_update
+from repro.baselines.naive import flatten_program, flatten_term
+from repro.core.terms import Oid, UpdateKind, Var, wrap
+from repro.lang.parser import parse_object_base, parse_program
+from repro.workloads import paper_example_base, paper_example_program
+
+O = Oid
+
+
+class TestFlattening:
+    def test_flatten_term(self):
+        nested = wrap(UpdateKind.INSERT, wrap(UpdateKind.MODIFY, Var("E")))
+        assert flatten_term(nested) == Var("E")
+        assert flatten_term(O("a")) == O("a")
+
+    def test_flatten_program_strips_versions(self):
+        flat = flatten_program(paper_example_program())
+        for rule in flat:
+            assert rule.head.target in (Var("E"),)
+
+
+class TestSectionTwoFourAnomaly:
+    """bob at $4100: versions keep him; one-step fires him."""
+
+    def test_versioned_keeps_bob(self):
+        base = paper_example_base(bob_salary=4100)
+        result = UpdateEngine().apply(paper_example_program(), base)
+        employees = {a["E"] for a in query(result.new_base, "E.isa -> empl")}
+        assert employees == {"phil", "bob"}
+        hpe = {a["E"] for a in query(result.new_base, "E.isa -> hpe")}
+        assert hpe == {"phil", "bob"}
+
+    def test_naive_fires_bob(self):
+        base = paper_example_base(bob_salary=4100)
+        result = naive_one_step_update(paper_example_program(), base)
+        employees = {a["E"] for a in query(result.new_base, "E.isa -> empl")}
+        assert employees == {"phil"}
+        # and the hpe classification is missed entirely (original salaries)
+        assert query(result.new_base, "E.isa -> hpe") == []
+
+    def test_results_differ(self):
+        base = paper_example_base(bob_salary=4100)
+        versioned = UpdateEngine().apply(paper_example_program(), base).new_base
+        naive = naive_one_step_update(paper_example_program(), base).new_base
+        assert versioned != naive
+
+
+class TestOneStepSemantics:
+    def test_modify_applied(self):
+        base = parse_object_base("a.m -> 1.")
+        program = parse_program("r: mod[X].m -> (V, V2) <= X.m -> V, V2 = V + 1.")
+        result = naive_one_step_update(program, base)
+        assert query(result.new_base, "a.m -> V") == [{"V": 2}]
+
+    def test_modify_reads_original_state_only(self):
+        # both rules fire against the original value: no chaining
+        base = parse_object_base("a.m -> 1.")
+        program = parse_program(
+            """
+            r1: mod[X].m -> (V, V2) <= X.m -> V, V2 = V + 1.
+            r2: mod[X].m -> (V, V2) <= X.m -> V, V2 = V + 10.
+            """
+        )
+        result = naive_one_step_update(program, base)
+        values = sorted(a["V"] for a in query(result.new_base, "a.m -> V"))
+        assert values == [2, 11]  # both from 1; never 12
+
+    def test_delete_wins_over_modify(self):
+        base = parse_object_base("a.m -> 1.")
+        program = parse_program(
+            """
+            d: del[X].m -> 1 <= X.m -> 1.
+            m: mod[X].m -> (1, 9) <= X.m -> 1.
+            """
+        )
+        result = naive_one_step_update(program, base)
+        assert query(result.new_base, "a.m -> V") == []
+
+    def test_pending_tests_in_bodies(self):
+        base = parse_object_base("a.m -> 1. b.m -> 2.")
+        program = parse_program(
+            """
+            d: del[X].m -> 1 <= X.m -> 1.
+            i: ins[X].survivor -> yes <= X.m -> V, not del[X].m -> V.
+            """
+        )
+        result = naive_one_step_update(program, base)
+        survivors = {a["X"] for a in query(result.new_base, "X.survivor -> yes")}
+        assert survivors == {"b"}
+
+    def test_object_vanishes_when_everything_deleted(self):
+        base = parse_object_base("a.m -> 1.")
+        program = parse_program("d: del[X].* <= X.m -> 1.")
+        result = naive_one_step_update(program, base)
+        assert O("a") not in result.new_base.objects()
+
+    def test_pending_counts(self):
+        base = paper_example_base(bob_salary=4100)
+        result = naive_one_step_update(paper_example_program(), base)
+        assert result.pending.size() > 0
+        assert result.iterations >= 2  # fixpoint detection round included

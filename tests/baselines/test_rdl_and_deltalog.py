@@ -1,0 +1,175 @@
+"""Tests for the RDL1-style control networks and [AV91] deltalog."""
+
+import pytest
+
+from repro.baselines import (
+    DeltalogProgram,
+    NonTerminationError,
+    Once,
+    RdlProgram,
+    Saturate,
+    Seq,
+    While,
+)
+from repro.baselines.logres import LogresRule, enterprise_modules
+from repro.core.atoms import BuiltinAtom
+from repro.core.errors import EvaluationLimitError, ProgramError
+from repro.core.terms import Oid, Var
+from repro.datalog import Database, DatalogEngine
+from repro.datalog.ast import DatalogLiteral as L
+
+A = DatalogEngine.atom
+
+
+def plus(head, *body, name=""):
+    return LogresRule(head, tuple(body), True, name)
+
+
+def minus(head, *body, name=""):
+    return LogresRule(head, tuple(body), False, name)
+
+
+class TestControlExpressions:
+    def test_once_applies_one_round(self):
+        # chain growth: one round adds exactly one hop
+        grow = plus(A("reach", "Y"), L(A("reach", "X")), L(A("edge", "X", "Y")))
+        edb = Database.from_tuples(
+            [("reach", "a"), ("edge", "a", "b"), ("edge", "b", "c")]
+        )
+        result = RdlProgram(Once((grow,))).run(edb)
+        assert DatalogEngine.query(result, "reach", (None,)) == [("a",), ("b",)]
+
+    def test_saturate_reaches_fixpoint(self):
+        grow = plus(A("reach", "Y"), L(A("reach", "X")), L(A("edge", "X", "Y")))
+        edb = Database.from_tuples(
+            [("reach", "a"), ("edge", "a", "b"), ("edge", "b", "c")]
+        )
+        result = RdlProgram(Saturate((grow,))).run(edb)
+        assert len(result.rows("reach", 1)) == 3
+
+    def test_seq_orders_steps(self):
+        mark = plus(A("marked", "X"), L(A("item", "X")))
+        clear = minus(A("item", "X"), L(A("marked", "X")), L(A("item", "X")))
+        edb = Database.from_tuples([("item", "a"), ("item", "b")])
+        result = RdlProgram(Seq((Once((mark,)), Once((clear,))))).run(edb)
+        assert result.rows("item", 1) == set()
+        assert len(result.rows("marked", 1)) == 2
+
+    def test_while_consumes_tokens(self):
+        # pop one token per round: move a 'todo' row to 'done'
+        do = plus(A("done", "X"), L(A("todo", "X")))
+        pop = minus(A("todo", "X"), L(A("todo", "X")))
+        edb = Database.from_tuples([("todo", "a"), ("todo", "b")])
+        program = RdlProgram(While(("todo", 1), Once((do, pop))))
+        result = program.run(edb)
+        assert result.rows("todo", 1) == set()
+        assert len(result.rows("done", 1)) == 2
+
+    def test_while_guard_raises_when_tokens_survive(self):
+        spin = plus(A("noise", "X"), L(A("todo", "X")))
+        program = RdlProgram(While(("todo", 1), Once((spin,)), max_rounds=5))
+        with pytest.raises(EvaluationLimitError):
+            program.run(Database.from_tuples([("todo", "a")]))
+
+    def test_saturate_guard(self):
+        # +p / -p forever: saturate oscillates into the iteration cap
+        flip = minus(A("p", "X"), L(A("p", "X")))
+        flop = plus(A("p", "X"), L(A("q", "X")), L(A("p", "X"), False))
+        program = RdlProgram(Saturate((flip, flop)), max_iterations=10)
+        with pytest.raises(EvaluationLimitError):
+            program.run(Database.from_tuples([("q", "a"), ("p", "a")]))
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            RdlProgram(Seq(()))
+        with pytest.raises(ProgramError):
+            RdlProgram(Once(()))
+
+    def test_input_untouched(self):
+        grow = plus(A("reach", "Y"), L(A("reach", "X")), L(A("edge", "X", "Y")))
+        edb = Database.from_tuples([("reach", "a"), ("edge", "a", "b")])
+        before = edb.copy()
+        RdlProgram(Saturate((grow,))).run(edb)
+        assert edb == before
+
+
+class TestEnterpriseAsNetwork:
+    """E15's correctness anchor: the §2.3 update as an explicit network."""
+
+    def _network(self, order):
+        modules = {m.name: m.rules for m in enterprise_modules().modules}
+        return RdlProgram(Seq(tuple(Saturate(modules[name]) for name in order)))
+
+    def test_intended_network(self):
+        from repro.baselines import object_base_to_database
+        from repro.workloads import paper_example_base
+
+        db = object_base_to_database(paper_example_base(bob_salary=4100))
+        result = self._network(["raise", "fire", "hpe"]).run(db)
+        salaries = dict(DatalogEngine.query(result, "sal", (None, None)))
+        assert salaries["bob"] == pytest.approx(4510.0)
+        hpe = {r[0] for r in DatalogEngine.query(result, "isa", (None, "hpe"))}
+        assert hpe == {"phil", "bob"}
+
+    def test_miswired_network(self):
+        from repro.baselines import object_base_to_database
+        from repro.workloads import paper_example_base
+
+        db = object_base_to_database(paper_example_base(bob_salary=4100))
+        result = self._network(["fire", "raise", "hpe"]).run(db)
+        salaries = dict(DatalogEngine.query(result, "sal", (None, None)))
+        assert "bob" not in salaries  # wrong wiring, wrong base
+
+
+class TestDeltalog:
+    def test_fixpoint_program(self):
+        program = DeltalogProgram(
+            [
+                plus(A("reach", "Y"), L(A("reach", "X")), L(A("edge", "X", "Y"))),
+            ]
+        )
+        edb = Database.from_tuples(
+            [("reach", "a"), ("edge", "a", "b"), ("edge", "b", "c")]
+        )
+        result = program.run(edb)
+        assert len(result.rows("reach", 1)) == 3
+
+    def test_deletion_fixpoint(self):
+        program = DeltalogProgram(
+            [minus(A("p", "X"), L(A("p", "X")), L(A("kill", "X")))]
+        )
+        edb = Database.from_tuples([("p", "a"), ("p", "b"), ("kill", "a")])
+        result = program.run(edb)
+        assert DatalogEngine.query(result, "p", (None,)) == [("b",)]
+
+    def test_two_line_oscillator_detected(self):
+        """The termination contrast of E15: p flips on and off forever."""
+        program = DeltalogProgram(
+            [
+                plus(A("p", "X"), L(A("q", "X")), L(A("p", "X"), False), name="on"),
+                minus(A("p", "X"), L(A("p", "X")), name="off"),
+            ]
+        )
+        edb = Database.from_tuples([("q", "a")])
+        with pytest.raises(NonTerminationError) as excinfo:
+            program.run(edb)
+        assert excinfo.value.cycle_length == 2
+
+    def test_versioned_language_terminates_on_the_analogue(self):
+        """The same on/off intent written with versions terminates: the
+        delete targets the version, not a mutable flag."""
+        from repro import UpdateEngine, parse_object_base, parse_program
+
+        base = parse_object_base("a.q -> yes.")
+        program = parse_program(
+            """
+            on:  ins[X].p -> yes <= X.q -> yes.
+            off: del[ins(X)].p -> yes <= ins(X).p -> yes.
+            """
+        )
+        outcome = UpdateEngine().evaluate(program, base)
+        assert outcome.iterations <= 5  # strata: {on} < {off}; both converge
+
+    def test_unsafe_rules_rejected(self):
+        with pytest.raises(Exception):
+            DeltalogProgram([plus(A("p", "X"))])

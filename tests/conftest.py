@@ -1,0 +1,65 @@
+"""Shared fixtures: the paper's example bases and programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UpdateEngine
+from repro.workloads import (
+    ancestors_program,
+    hypothetical_base,
+    hypothetical_program,
+    paper_example_base,
+    paper_example_program,
+    salary_raise_program,
+)
+from repro.workloads.genealogy import paper_family_base
+
+
+@pytest.fixture()
+def engine() -> UpdateEngine:
+    return UpdateEngine()
+
+@pytest.fixture()
+def tracing_engine() -> UpdateEngine:
+    return UpdateEngine(collect_trace=True, collect_snapshots=True)
+
+
+@pytest.fixture()
+def paper_base():
+    return paper_example_base()
+
+
+@pytest.fixture()
+def paper_base_4100():
+    return paper_example_base(bob_salary=4100)
+
+
+@pytest.fixture()
+def paper_program():
+    return paper_example_program()
+
+
+@pytest.fixture()
+def raise_program():
+    return salary_raise_program()
+
+
+@pytest.fixture()
+def whatif_base():
+    return hypothetical_base()
+
+
+@pytest.fixture()
+def whatif_program():
+    return hypothetical_program()
+
+
+@pytest.fixture()
+def family_base():
+    return paper_family_base()
+
+
+@pytest.fixture()
+def family_program():
+    return ancestors_program()

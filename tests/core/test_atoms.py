@@ -1,0 +1,116 @@
+"""Unit tests for atoms and literals (Section 2.1 syntax objects)."""
+
+import pytest
+
+from repro.core.atoms import BuiltinAtom, Literal, UpdateAtom, VersionAtom
+from repro.core.errors import ProgramError, TermError
+from repro.core.facts import Fact
+from repro.core.terms import Oid, UpdateKind, Var, VersionVar, wrap
+
+INS, DEL, MOD = UpdateKind.INSERT, UpdateKind.DELETE, UpdateKind.MODIFY
+
+
+class TestVersionAtom:
+    def test_basic(self):
+        atom = VersionAtom(wrap(MOD, Var("E")), "sal", (), Var("S"))
+        assert atom.variables == {Var("E"), Var("S")}
+        assert not atom.is_ground()
+        assert str(atom) == "mod(E).sal -> S"
+
+    def test_substitute_and_to_fact(self):
+        atom = VersionAtom(Var("E"), "sal", (), Var("S"))
+        ground = atom.substitute({Var("E"): Oid("henry"), Var("S"): Oid(250)})
+        assert ground.is_ground()
+        assert ground.to_fact() == Fact(Oid("henry"), "sal", (), Oid(250))
+
+    def test_to_fact_requires_ground(self):
+        with pytest.raises(TermError):
+            VersionAtom(Var("E"), "sal", (), Oid(1)).to_fact()
+
+    def test_footnote1_no_versions_in_results(self):
+        with pytest.raises(TermError):
+            VersionAtom(Oid("o"), "m", (), wrap(INS, Oid("x")))
+        with pytest.raises(TermError):
+            VersionAtom(Oid("o"), "m", (wrap(INS, Oid("x")),), Oid(1))
+
+    def test_version_vars_not_allowed_in_results(self):
+        with pytest.raises(TermError):
+            VersionAtom(Oid("o"), "m", (), VersionVar("W"))
+
+    def test_arguments(self):
+        atom = VersionAtom(Var("G"), "dist", (Var("A"), Oid("b")), Var("D"))
+        assert str(atom) == "G.dist@A,b -> D"
+        assert atom.variables == {Var("G"), Var("A"), Var("D")}
+
+
+class TestUpdateAtom:
+    def test_insert(self):
+        atom = UpdateAtom(INS, wrap(MOD, Var("E")), "isa", (), Oid("hpe"))
+        assert str(atom) == "ins[mod(E)].isa -> hpe"
+        assert atom.new_version() == wrap(INS, wrap(MOD, Var("E")))
+
+    def test_modify_needs_both_results(self):
+        atom = UpdateAtom(MOD, Var("E"), "sal", (), Var("S"), Var("S2"))
+        assert str(atom) == "mod[E].sal -> (S, S2)"
+        with pytest.raises(TermError):
+            UpdateAtom(MOD, Var("E"), "sal", (), Var("S"))
+
+    def test_only_modify_takes_second_result(self):
+        with pytest.raises(TermError):
+            UpdateAtom(INS, Var("E"), "sal", (), Var("S"), Var("S2"))
+
+    def test_delete_all(self):
+        atom = UpdateAtom(DEL, wrap(MOD, Var("E")), None, (), None, None, delete_all=True)
+        assert str(atom) == "del[mod(E)].*"
+        assert atom.variables == {Var("E")}
+
+    def test_delete_all_only_for_delete(self):
+        with pytest.raises(ProgramError):
+            UpdateAtom(INS, Var("E"), None, (), None, None, delete_all=True)
+
+    def test_delete_all_carries_no_application(self):
+        with pytest.raises(ProgramError):
+            UpdateAtom(DEL, Var("E"), "m", (), Oid(1), None, delete_all=True)
+
+    def test_exists_cannot_be_updated(self):
+        # the system method of Section 3 never appears in update-terms
+        with pytest.raises(ProgramError):
+            UpdateAtom(INS, Var("E"), "exists", (), Var("E"))
+
+    def test_substitution(self):
+        atom = UpdateAtom(MOD, Var("E"), "sal", (), Var("S"), Var("S2"))
+        ground = atom.substitute(
+            {Var("E"): Oid("henry"), Var("S"): Oid(250), Var("S2"): Oid(275)}
+        )
+        assert ground.is_ground()
+        assert str(ground) == "mod[henry].sal -> (250, 275)"
+
+    def test_result_needed(self):
+        with pytest.raises(TermError):
+            UpdateAtom(INS, Var("E"), "m", ())
+
+
+class TestBuiltinAtom:
+    def test_operators(self):
+        atom = BuiltinAtom(">", Var("SE"), Var("SB"))
+        assert atom.variables == {Var("SE"), Var("SB")}
+        with pytest.raises(TermError):
+            BuiltinAtom("~", Oid(1), Oid(2))
+
+    def test_substitute(self):
+        atom = BuiltinAtom("=", Var("X"), Oid(1))
+        assert atom.substitute({Var("X"): Oid(1)}).is_ground()
+
+
+class TestLiteral:
+    def test_polarity(self):
+        atom = VersionAtom(Var("E"), "pos", (), Oid("mgr"))
+        positive = Literal(atom)
+        negative = positive.negate()
+        assert positive.positive and not negative.positive
+        assert str(negative) == "not E.pos -> mgr"
+        assert negative.negate() == positive
+
+    def test_substitute_preserves_polarity(self):
+        literal = Literal(VersionAtom(Var("E"), "m", (), Oid(1)), positive=False)
+        assert not literal.substitute({Var("E"): Oid("a")}).positive

@@ -1,0 +1,52 @@
+"""Tests for the benchmark reporting helpers."""
+
+import pytest
+
+from repro.bench import ExperimentTable, time_callable
+
+
+class TestExperimentTable:
+    def test_render_alignment(self):
+        table = ExperimentTable("E1", ["n", "time"])
+        table.add_row([10, 0.5])
+        table.add_row([1000, 12.25])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "== E1 =="
+        assert "n" in lines[1] and "time" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert "1000" in lines[4]
+
+    def test_row_width_checked(self):
+        table = ExperimentTable("X", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_float_formatting(self):
+        table = ExperimentTable("X", ["v"])
+        for value, expected in [
+            (0.0, "0"),
+            (0.1234567, "0.1235"),
+            (3.14159, "3.14"),
+            (123.456, "123.5"),
+        ]:
+            table.rows.clear()
+            table.add_row([value])
+            assert table.rows[0][0] == expected
+
+    def test_emit_prints(self, capsys):
+        table = ExperimentTable("X", ["v"])
+        table.add_row([1])
+        table.emit()
+        assert "== X ==" in capsys.readouterr().out
+
+
+class TestTimeCallable:
+    def test_returns_best_and_result(self):
+        milliseconds, result = time_callable(lambda: sum(range(100)), repeat=2)
+        assert result == 4950
+        assert milliseconds >= 0
+
+    def test_single_repeat(self):
+        _ms, result = time_callable(lambda: "x", repeat=1)
+        assert result == "x"

@@ -1,0 +1,64 @@
+"""Error hierarchy tests: catchability and message content (API stability)."""
+
+import pytest
+
+from repro.core import errors
+from repro.core.terms import Oid, UpdateKind, wrap
+
+
+def test_single_catch_all():
+    for cls in (
+        errors.TermError,
+        errors.ProgramError,
+        errors.SafetyError,
+        errors.StratificationError,
+        errors.EvaluationError,
+        errors.EvaluationLimitError,
+        errors.VersionLinearityError,
+        errors.BuiltinError,
+    ):
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_safety_error_payload():
+    error = errors.SafetyError("rule9", ("X", "Y"))
+    assert error.rule_name == "rule9"
+    assert error.unlimited == ("X", "Y")
+    assert "rule9" in str(error) and "X, Y" in str(error)
+
+
+def test_stratification_error_cycle():
+    error = errors.StratificationError("nope", cycle=("a", "b", "a"))
+    assert error.cycle == ("a", "b", "a")
+
+
+def test_limit_error_mentions_stratum_and_cap():
+    error = errors.EvaluationLimitError(3, 500)
+    assert error.stratum == 3 and error.limit == 500
+    assert "500" in str(error)
+
+
+def test_depth_error_names_the_version():
+    version = wrap(UpdateKind.INSERT, Oid("o"))
+    error = errors.VersionDepthError(2, 1, version)
+    assert isinstance(error, errors.EvaluationLimitError)
+    assert "ins(o)" in str(error) and "max_version_depth" in str(error)
+    assert error.version == version
+
+
+def test_linearity_error_names_versions():
+    previous = wrap(UpdateKind.MODIFY, Oid("o"))
+    offending = wrap(UpdateKind.DELETE, Oid("o"))
+    error = errors.VersionLinearityError(Oid("o"), previous, offending)
+    assert error.previous == previous
+    assert error.offending == offending
+    assert "mod(o)" in str(error) and "del(o)" in str(error)
+
+
+def test_parse_error_is_repro_error():
+    from repro.lang.errors import ParseError
+
+    error = ParseError("boom", 3, 7)
+    assert isinstance(error, errors.ReproError)
+    assert error.line == 3 and error.column == 7
+    assert "line 3" in str(error)

@@ -1,0 +1,68 @@
+"""Unit and property tests for arithmetic expressions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import BuiltinError, TermError
+from repro.core.exprs import BinOp, Neg, evaluate_expr, expr_variables
+from repro.core.terms import Oid, Var
+
+
+class TestConstruction:
+    def test_unknown_operator(self):
+        with pytest.raises(TermError):
+            BinOp("%", Oid(1), Oid(2))
+
+    def test_variables(self):
+        expr = BinOp("+", BinOp("*", Var("S"), Oid(1.1)), Var("B"))
+        assert expr_variables(expr) == {Var("S"), Var("B")}
+        assert expr_variables(Neg(Var("X"))) == {Var("X")}
+        assert expr_variables(Oid(3)) == frozenset()
+
+
+class TestEvaluation:
+    def test_salary_rule_arithmetic(self):
+        # S' = S * 1.1 + 200 with S = 4000 (rule 1 of Section 2.3)
+        expr = BinOp("+", BinOp("*", Var("S"), Oid(1.1)), Oid(200))
+        value = evaluate_expr(expr, {Var("S"): Oid(4000)})
+        assert value.value == pytest.approx(4600.0)
+
+    def test_integer_division_stays_exact(self):
+        assert evaluate_expr(BinOp("/", Oid(6), Oid(2)), {}).value == 3
+        assert isinstance(evaluate_expr(BinOp("/", Oid(6), Oid(2)), {}).value, int)
+        assert evaluate_expr(BinOp("/", Oid(7), Oid(2)), {}).value == 3.5
+
+    def test_negation(self):
+        assert evaluate_expr(Neg(Oid(5)), {}).value == -5
+
+    def test_subtraction(self):
+        assert evaluate_expr(BinOp("-", Oid(10), Oid(4)), {}).value == 6
+
+    def test_symbolic_oid_passthrough(self):
+        # a bare term evaluates to itself, numeric or not (used by '=')
+        assert evaluate_expr(Oid("empl"), {}) == Oid("empl")
+        assert evaluate_expr(Var("X"), {Var("X"): Oid("empl")}) == Oid("empl")
+
+    def test_unbound_variable(self):
+        with pytest.raises(BuiltinError):
+            evaluate_expr(Var("S"), {})
+
+    def test_symbolic_in_arithmetic(self):
+        with pytest.raises(BuiltinError):
+            evaluate_expr(BinOp("+", Oid("empl"), Oid(1)), {})
+
+    def test_division_by_zero(self):
+        with pytest.raises(BuiltinError):
+            evaluate_expr(BinOp("/", Oid(1), Oid(0)), {})
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_addition_matches_python(self, a, b):
+        assert evaluate_expr(BinOp("+", Oid(a), Oid(b)), {}).value == a + b
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_multiplication_matches_python(self, a, b):
+        assert evaluate_expr(BinOp("*", Oid(a), Oid(b)), {}).value == a * b
+
+    @given(st.integers(-100, 100))
+    def test_double_negation(self, a):
+        assert evaluate_expr(Neg(Neg(Oid(a))), {}).value == a

@@ -1,0 +1,64 @@
+"""Unit tests for facts (ground version-terms) and exists bookkeeping."""
+
+import pytest
+
+from repro.core.errors import TermError
+from repro.core.facts import EXISTS, Fact, exists_fact, make_fact, method_key
+from repro.core.terms import Oid, UpdateKind, Var, wrap
+
+
+class TestMakeFact:
+    def test_simple(self):
+        fact = make_fact(Oid("henry"), "salary", (), Oid(250))
+        assert fact.host == Oid("henry")
+        assert fact.method == "salary"
+        assert fact.result == Oid(250)
+        assert str(fact) == "henry.salary -> 250"
+
+    def test_with_arguments(self):
+        fact = make_fact(Oid("g"), "dist", (Oid("a"), Oid("b")), Oid(7))
+        assert fact.args == (Oid("a"), Oid("b"))
+        assert str(fact) == "g.dist@a,b -> 7"
+
+    def test_version_hosts_allowed(self):
+        fact = make_fact(wrap(UpdateKind.MODIFY, Oid("henry")), "salary", (), Oid(275))
+        assert str(fact.host) == "mod(henry)"
+
+    def test_non_ground_host_rejected(self):
+        with pytest.raises(TermError):
+            make_fact(Var("X"), "m", (), Oid(1))
+        with pytest.raises(TermError):
+            make_fact(wrap(UpdateKind.INSERT, Var("X")), "m", (), Oid(1))
+
+    def test_footnote1_result_positions_are_oids(self):
+        # versions are not allowed on argument/result positions
+        with pytest.raises(TermError):
+            make_fact(Oid("o"), "m", (), wrap(UpdateKind.INSERT, Oid("x")))  # type: ignore[arg-type]
+        with pytest.raises(TermError):
+            make_fact(Oid("o"), "m", (Var("A"),), Oid(1))  # type: ignore[arg-type]
+
+    def test_empty_method_rejected(self):
+        with pytest.raises(TermError):
+            make_fact(Oid("o"), "", (), Oid(1))
+
+
+class TestExistsFact:
+    def test_base_object(self):
+        fact = exists_fact(Oid("o"))
+        assert fact == Fact(Oid("o"), EXISTS, (), Oid("o"))
+
+    def test_version_points_to_object(self):
+        version = wrap(UpdateKind.DELETE, wrap(UpdateKind.MODIFY, Oid("bob")))
+        fact = exists_fact(version)
+        # the result names the underlying *object*, not the version
+        assert fact.result == Oid("bob")
+        assert fact.host == version
+
+
+class TestHelpers:
+    def test_application_payload(self):
+        fact = make_fact(Oid("o"), "m", (Oid(1),), Oid(2))
+        assert fact.application == ("m", (Oid(1),), Oid(2))
+
+    def test_method_key(self):
+        assert method_key("sal", 0) == ("sal", 0)

@@ -1,0 +1,109 @@
+"""Version-linearity tests (Section 5 / experiment E7)."""
+
+import pytest
+
+from repro import UpdateEngine, parse_object_base, parse_program
+from repro.core.errors import VersionLinearityError
+from repro.core.facts import exists_fact
+from repro.core.linearity import (
+    LinearityTracker,
+    check_version_linear,
+    final_versions,
+)
+from repro.core.objectbase import ObjectBase
+from repro.core.terms import Oid, UpdateKind, wrap
+
+O = Oid
+INS, DEL, MOD = UpdateKind.INSERT, UpdateKind.DELETE, UpdateKind.MODIFY
+
+
+class TestTracker:
+    def test_linear_chain_accepted(self):
+        tracker = LinearityTracker()
+        tracker.observe(O("o"))
+        tracker.observe(wrap(MOD, O("o")))
+        tracker.observe(wrap(DEL, wrap(MOD, O("o"))))
+        assert tracker.latest[O("o")] == wrap(DEL, wrap(MOD, O("o")))
+
+    def test_incomparable_versions_rejected(self):
+        tracker = LinearityTracker()
+        tracker.observe(wrap(MOD, O("o")))
+        with pytest.raises(VersionLinearityError) as excinfo:
+            tracker.observe(wrap(DEL, O("o")))
+        assert excinfo.value.object_id == O("o")
+
+    def test_order_independence_of_violation(self):
+        tracker = LinearityTracker()
+        tracker.observe(wrap(DEL, O("o")))
+        with pytest.raises(VersionLinearityError):
+            tracker.observe(wrap(MOD, O("o")))
+
+    def test_older_stage_resurfacing_is_fine(self):
+        tracker = LinearityTracker()
+        tracker.observe(wrap(DEL, wrap(MOD, O("o"))))
+        tracker.observe(wrap(MOD, O("o")))  # comparable: subterm
+        assert tracker.latest[O("o")] == wrap(DEL, wrap(MOD, O("o")))
+
+    def test_independent_objects_do_not_interact(self):
+        tracker = LinearityTracker()
+        tracker.observe(wrap(MOD, O("a")))
+        tracker.observe(wrap(DEL, O("b")))  # different object: fine
+
+    def test_seeding_from_base(self):
+        base = parse_object_base("a.m -> 1.")
+        tracker = LinearityTracker()
+        tracker.seed_from(base)
+        assert tracker.latest[O("a")] == O("a")
+
+
+class TestPosterioriCheck:
+    def _base_with_versions(self, *versions) -> ObjectBase:
+        base = parse_object_base("o.m -> 1.")
+        for version in versions:
+            base.add(exists_fact(version))
+        return base
+
+    def test_linear_result(self):
+        base = self._base_with_versions(
+            wrap(MOD, O("o")), wrap(INS, wrap(MOD, O("o")))
+        )
+        finals = check_version_linear(base)
+        assert finals[O("o")] == wrap(INS, wrap(MOD, O("o")))
+
+    def test_nonlinear_result(self):
+        base = self._base_with_versions(wrap(MOD, O("o")), wrap(DEL, O("o")))
+        with pytest.raises(VersionLinearityError):
+            check_version_linear(base)
+
+    def test_final_versions_alias(self):
+        base = self._base_with_versions(wrap(MOD, O("o")))
+        assert final_versions(base)[O("o")] == wrap(MOD, O("o"))
+
+
+class TestSection5Example:
+    """The paper's own violation: mod[o].m -> (a,b) and del[o].m -> a."""
+
+    PROGRAM = """
+        m: mod[o].m -> (a, b) <= o.trigger -> yes.
+        d: del[o].m -> a <= o.trigger -> yes.
+    """
+
+    def test_violation_detected_during_evaluation(self):
+        base = parse_object_base("o.m -> a. o.trigger -> yes.")
+        program = parse_program(self.PROGRAM)
+        with pytest.raises(VersionLinearityError):
+            UpdateEngine().apply(program, base)
+
+    def test_program_passes_when_only_one_rule_fires(self):
+        base = parse_object_base("o.m -> a.")  # no trigger: nothing fires
+        program = parse_program(self.PROGRAM)
+        result = UpdateEngine().apply(program, base)
+        assert result.final_versions[O("o")] == O("o")
+
+    def test_posteriori_check_catches_it_too(self):
+        base = parse_object_base("o.m -> a. o.trigger -> yes.")
+        program = parse_program(self.PROGRAM)
+        engine = UpdateEngine(check_linearity=False)
+        outcome = engine.evaluate(program, base)
+        with pytest.raises(VersionLinearityError):
+            check_version_linear(outcome.result_base)

@@ -1,0 +1,78 @@
+"""Tests for building ob' from result(P) (Section 5)."""
+
+import pytest
+
+from repro import UpdateEngine, parse_object_base, parse_program
+from repro.core.facts import EXISTS, Fact
+from repro.core.newbase import build_new_base
+from repro.core.terms import Oid
+
+O = Oid
+
+
+def run(program_text: str, base_text: str):
+    return UpdateEngine().apply(
+        parse_program(program_text), parse_object_base(base_text)
+    )
+
+
+class TestFinalVersionCopy:
+    def test_final_version_rehosted_on_oid(self):
+        result = run(
+            "r: mod[X].m -> (V, V2) <= X.m -> V, V2 = V + 1.", "a.m -> 1."
+        )
+        assert Fact(O("a"), "m", (), O(2)) in result.new_base
+        assert Fact(O("a"), "m", (), O(1)) not in result.new_base
+
+    def test_untouched_objects_copied_verbatim(self):
+        result = run(
+            "r: mod[X].m -> (V, V2) <= X.m -> V, X.touch -> yes, V2 = V + 1.",
+            "a.m -> 1. a.touch -> yes. b.m -> 7.",
+        )
+        assert Fact(O("b"), "m", (), O(7)) in result.new_base
+        assert Fact(O("a"), "m", (), O(2)) in result.new_base
+
+    def test_fully_deleted_object_vanishes(self):
+        # Section 5: only `exists` left in the final version => no trace in ob'
+        result = run("r: del[X].* <= X.kill -> yes.", "a.m -> 1. a.kill -> yes.")
+        hosts = {f.host for f in result.new_base}
+        assert O("a") not in hosts
+
+    def test_exists_regenerated_for_survivors(self):
+        result = run(
+            "r: mod[X].m -> (V, V2) <= X.m -> V, V2 = V + 1.", "a.m -> 1."
+        )
+        assert Fact(O("a"), EXISTS, (), O("a")) in result.new_base
+
+    def test_new_base_is_valid_input_again(self):
+        # ob' can be updated again: the ob -> ob' mapping composes
+        first = run("r: mod[X].m -> (V, V2) <= X.m -> V, V2 = V + 1.", "a.m -> 1.")
+        program = parse_program("r: mod[X].m -> (V, V2) <= X.m -> V, V2 = V + 1.")
+        second = UpdateEngine().apply(program, first.new_base)
+        assert Fact(O("a"), "m", (), O(3)) in second.new_base
+
+
+class TestStandalone:
+    def test_build_from_unevaluated_base(self):
+        base = parse_object_base("a.m -> 1.")
+        rebuilt = build_new_base(base)
+        assert Fact(O("a"), "m", (), O(1)) in rebuilt
+
+    def test_values_never_become_objects(self):
+        # 250 is an OID but hosts nothing: it must not appear as an object
+        base = parse_object_base("a.sal -> 250.")
+        rebuilt = build_new_base(base)
+        assert O(250) not in rebuilt.objects()
+        assert rebuilt.objects() == {O("a")}
+
+
+class TestFigure2NewBase:
+    def test_paper_result(self, engine, paper_base, paper_program):
+        result = engine.apply(paper_program, paper_base)
+        expected = parse_object_base(
+            """
+            phil.isa -> empl.  phil.isa -> hpe.  phil.pos -> mgr.
+            phil.sal -> 4600.0.
+            """
+        )
+        assert result.new_base == expected

@@ -1,0 +1,186 @@
+"""Unit and property tests for the object base (indexes, exists, v*)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import TermError
+from repro.core.facts import EXISTS, Fact, exists_fact, make_fact
+from repro.core.objectbase import ObjectBase
+from repro.core.terms import Oid, UpdateKind, Var, wrap
+
+INS, DEL, MOD = UpdateKind.INSERT, UpdateKind.DELETE, UpdateKind.MODIFY
+
+
+def small_base() -> ObjectBase:
+    return ObjectBase.from_triples(
+        [
+            ("phil", "isa", "empl"),
+            ("phil", "sal", 4000),
+            ("bob", "isa", "empl"),
+            ("bob", "boss", "phil"),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_from_triples_adds_exists(self):
+        base = small_base()
+        assert Fact(Oid("phil"), EXISTS, (), Oid("phil")) in base
+        assert base.objects() == {Oid("phil"), Oid("bob")}
+
+    def test_from_triples_with_args(self):
+        base = ObjectBase.from_triples([("g", "dist", ("a", "b"), 7)])
+        assert Fact(Oid("g"), "dist", (Oid("a"), Oid("b")), Oid(7)) in base
+
+    def test_bad_tuple_length(self):
+        with pytest.raises(TermError):
+            ObjectBase.from_triples([("a", "b")])
+
+    def test_non_ground_rejected(self):
+        base = ObjectBase()
+        with pytest.raises(TermError):
+            base.add(Fact(Var("X"), "m", (), Oid(1)))
+
+
+class TestMutation:
+    def test_add_is_idempotent(self):
+        base = ObjectBase()
+        fact = make_fact(Oid("a"), "m", (), Oid(1))
+        assert base.add(fact)
+        assert not base.add(fact)
+        assert len(base) == 1
+
+    def test_discard(self):
+        base = ObjectBase()
+        fact = make_fact(Oid("a"), "m", (), Oid(1))
+        base.add(fact)
+        assert base.discard(fact)
+        assert not base.discard(fact)
+        assert fact not in base
+
+    def test_discard_keeps_indexes_consistent(self):
+        base = small_base()
+        fact = make_fact(Oid("phil"), "sal", (), Oid(4000))
+        base.discard(fact)
+        assert base.facts_by_host_method(Oid("phil"), "sal", 0) == frozenset()
+        assert fact not in base.facts_by_method("sal", 0)
+
+    def test_exists_tracking_on_discard(self):
+        base = ObjectBase()
+        base.add_object("o")
+        assert base.version_exists(Oid("o"))
+        base.discard(exists_fact(Oid("o")))
+        assert not base.version_exists(Oid("o"))
+
+    def test_copy_is_independent(self):
+        base = small_base()
+        clone = base.copy()
+        clone.add(make_fact(Oid("new"), "m", (), Oid(1)))
+        assert len(clone) == len(base) + 1
+        assert clone != base
+
+    def test_equality(self):
+        assert small_base() == small_base()
+
+
+class TestReplaceState:
+    def test_replaces_whole_state(self):
+        base = small_base()
+        version = wrap(MOD, Oid("phil"))
+        state = {
+            Fact(version, "isa", (), Oid("empl")),
+            Fact(version, "sal", (), Oid(4600)),
+            exists_fact(version),
+        }
+        assert base.replace_state(version, state)
+        assert base.state_of(version) == frozenset(state)
+        # replacing with the same state reports no change (fixpoint test)
+        assert not base.replace_state(version, state)
+
+    def test_replacement_removes_stale_facts(self):
+        base = ObjectBase()
+        version = wrap(DEL, Oid("o"))
+        base.replace_state(version, {Fact(version, "m", (), Oid(1)), exists_fact(version)})
+        base.replace_state(version, {exists_fact(version)})
+        assert base.method_applications(version) == frozenset()
+        assert base.version_exists(version)
+
+    def test_wrong_host_rejected(self):
+        base = ObjectBase()
+        with pytest.raises(TermError):
+            base.replace_state(wrap(MOD, Oid("o")), {make_fact(Oid("o"), "m", (), Oid(1))})
+
+
+class TestVStar:
+    def test_existing_version_is_its_own_v_star(self):
+        base = small_base()
+        assert base.v_star(Oid("phil")) == Oid("phil")
+
+    def test_skipped_levels_fall_through(self):
+        # del(mod(e)) when no modify ever ran: v* = e  (Section 3)
+        base = small_base()
+        target = wrap(DEL, wrap(MOD, Oid("phil")))
+        assert base.v_star(target) == Oid("phil")
+
+    def test_deepest_existing_wins(self):
+        base = small_base()
+        version = wrap(MOD, Oid("phil"))
+        base.add(exists_fact(version))
+        assert base.v_star(wrap(DEL, version)) == version
+
+    def test_none_when_nothing_exists(self):
+        base = small_base()
+        assert base.v_star(wrap(MOD, Oid("ghost"))) is None
+
+
+class TestLookups:
+    def test_state_of_and_method_applications(self):
+        base = small_base()
+        state = base.state_of(Oid("phil"))
+        assert len(state) == 3  # isa, sal, exists
+        applications = base.method_applications(Oid("phil"))
+        assert len(applications) == 2
+        assert all(f.method != EXISTS for f in applications)
+
+    def test_versions_of(self):
+        base = small_base()
+        version = wrap(MOD, Oid("phil"))
+        base.add(exists_fact(version))
+        assert base.versions_of(Oid("phil")) == {Oid("phil"), version}
+        assert base.versions_of(Oid("bob")) == {Oid("bob")}
+
+    def test_facts_by_method_respects_arity(self):
+        base = ObjectBase.from_triples(
+            [("a", "m", 1), ("b", "m", ("x",), 2)]
+        )
+        assert len(base.facts_by_method("m", 0)) == 1
+        assert len(base.facts_by_method("m", 1)) == 1
+
+    def test_oid_universe(self):
+        base = small_base()
+        universe = base.oid_universe()
+        assert Oid("phil") in universe and Oid(4000) in universe
+
+    def test_sorted_facts_stable(self):
+        assert small_base().sorted_facts() == small_base().sorted_facts()
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),
+            st.sampled_from(["m", "n"]),
+            st.integers(0, 5),
+        ),
+        max_size=20,
+    )
+)
+def test_indexes_agree_with_linear_scan(triples):
+    base = ObjectBase.from_triples(triples)
+    for fact in base:
+        assert fact in base.facts_by_method(fact.method, len(fact.args))
+        assert fact in base.facts_by_host(fact.host)
+        assert fact in base.facts_by_host_method(fact.host, fact.method, len(fact.args))
+    for host in {f.host for f in base}:
+        expected = {f for f in base if f.host == host}
+        assert base.facts_by_host(host) == expected

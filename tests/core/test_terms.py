@@ -1,0 +1,151 @@
+"""Unit tests for the term model (Section 2.1 alphabet)."""
+
+import pytest
+
+from repro.core.errors import TermError
+from repro.core.terms import (
+    Oid,
+    UpdateKind,
+    Var,
+    VersionId,
+    VersionVar,
+    depth,
+    is_ground,
+    is_object_id_term,
+    is_proper_subterm,
+    is_subterm,
+    is_version_id_term,
+    object_of,
+    subterms,
+    variables_of,
+    wrap,
+)
+
+INS, DEL, MOD = UpdateKind.INSERT, UpdateKind.DELETE, UpdateKind.MODIFY
+
+
+class TestOid:
+    def test_values_are_oids(self):
+        # the paper: "we consider values as specific OIDs"
+        assert Oid("henry").value == "henry"
+        assert Oid(250).value == 250
+        assert Oid(2.5).value == 2.5
+
+    def test_numeric_flag(self):
+        assert Oid(250).is_numeric
+        assert Oid(1.5).is_numeric
+        assert not Oid("henry").is_numeric
+
+    def test_equality_is_structural(self):
+        assert Oid("a") == Oid("a")
+        assert Oid("a") != Oid("b")
+        assert hash(Oid(3)) == hash(Oid(3))
+
+    def test_bad_payloads_rejected(self):
+        with pytest.raises(TermError):
+            Oid(None)
+        with pytest.raises(TermError):
+            Oid(True)  # bools are not values of the language
+        with pytest.raises(TermError):
+            Oid([1])
+
+    def test_str(self):
+        assert str(Oid("phil")) == "phil"
+        assert str(Oid(42)) == "42"
+
+
+class TestVar:
+    def test_name_required(self):
+        with pytest.raises(TermError):
+            Var("")
+
+    def test_identity(self):
+        assert Var("E") == Var("E")
+        assert Var("E") != Var("F")
+        assert Var("E") != Oid("E")
+
+    def test_version_var_is_a_var(self):
+        assert isinstance(VersionVar("W"), Var)
+        assert VersionVar("W") != Var("W")  # different classes, different terms
+        assert str(VersionVar("W")) == "?W"
+
+
+class TestVersionId:
+    def test_structure(self):
+        vid = VersionId(MOD, Oid("henry"))
+        assert vid.kind is MOD
+        assert vid.base == Oid("henry")
+        assert str(vid) == "mod(henry)"
+
+    def test_nesting_reads_inside_out(self):
+        vid = wrap(INS, wrap(DEL, wrap(MOD, Oid("o"))))
+        assert str(vid) == "ins(del(mod(o)))"
+
+    def test_base_must_be_term(self):
+        with pytest.raises(TermError):
+            VersionId(INS, "henry")  # type: ignore[arg-type]
+
+    def test_kind_from_name(self):
+        assert UpdateKind.from_name("ins") is INS
+        assert UpdateKind.from_name("del") is DEL
+        assert UpdateKind.from_name("mod") is MOD
+        with pytest.raises(TermError):
+            UpdateKind.from_name("upd")
+
+
+class TestPredicates:
+    def test_is_ground(self):
+        assert is_ground(Oid("a"))
+        assert is_ground(wrap(INS, Oid("a")))
+        assert not is_ground(Var("X"))
+        assert not is_ground(wrap(MOD, Var("X")))
+
+    def test_sorts(self):
+        assert is_object_id_term(Oid("a"))
+        assert is_object_id_term(Var("X"))
+        assert not is_object_id_term(wrap(INS, Oid("a")))
+        # every object-id-term is also a version-id-term (O ⊆ O_V)
+        assert is_version_id_term(Oid("a"))
+        assert is_version_id_term(wrap(INS, Oid("a")))
+
+    def test_object_of(self):
+        assert object_of(Oid("phil")) == Oid("phil")
+        assert object_of(wrap(INS, wrap(MOD, Oid("phil")))) == Oid("phil")
+        with pytest.raises(TermError):
+            object_of(wrap(MOD, Var("X")))
+
+    def test_depth(self):
+        assert depth(Oid("o")) == 0
+        assert depth(wrap(MOD, Oid("o"))) == 1
+        assert depth(wrap(INS, wrap(DEL, wrap(MOD, Oid("o"))))) == 3
+
+    def test_variables_of(self):
+        assert variables_of(Oid("o")) == frozenset()
+        assert variables_of(wrap(MOD, Var("E"))) == frozenset({Var("E")})
+
+
+class TestSubterms:
+    def test_subterms_outermost_first(self):
+        vid = wrap(INS, wrap(MOD, Oid("o")))
+        assert list(subterms(vid)) == [vid, wrap(MOD, Oid("o")), Oid("o")]
+
+    def test_subterm_relation(self):
+        inner = wrap(MOD, Oid("o"))
+        outer = wrap(DEL, inner)
+        assert is_subterm(inner, outer)
+        assert is_subterm(outer, outer)
+        assert is_subterm(Oid("o"), outer)
+        assert not is_subterm(outer, inner)
+
+    def test_proper_subterm(self):
+        inner = wrap(MOD, Oid("o"))
+        outer = wrap(DEL, inner)
+        assert is_proper_subterm(inner, outer)
+        assert not is_proper_subterm(outer, outer)
+
+    def test_different_kinds_not_subterms(self):
+        # mod(o) is not a subterm of del(o): VIDs encode the exact history
+        assert not is_subterm(wrap(MOD, Oid("o")), wrap(DEL, Oid("o")))
+
+    def test_different_objects_not_subterms(self):
+        assert not is_subterm(Oid("a"), wrap(MOD, Oid("b")))

@@ -1,0 +1,83 @@
+"""Tests for the trace module (records, statistics, rendering)."""
+
+from repro import Oid, UpdateEngine
+from repro.core.trace import EvaluationTrace, render_version_chains
+from repro.workloads import paper_example_base, paper_example_program
+
+O = Oid
+
+
+class TestRecording:
+    def test_empty_trace(self):
+        trace = EvaluationTrace()
+        assert trace.total_iterations == 0
+        assert trace.total_fired == 0
+        assert trace.versions_created() == []
+        assert trace.render() == ""
+
+    def test_stratum_records(self, tracing_engine):
+        outcome = tracing_engine.evaluate(
+            paper_example_program(), paper_example_base()
+        )
+        trace = outcome.trace
+        assert len(trace.strata) == 3
+        assert trace.strata[0].rule_names == ("rule1", "rule2")
+        # every stratum needs its productive round plus the fixpoint round
+        for stratum in trace.strata:
+            assert stratum.iteration_count == 2
+
+    def test_iteration_flags(self, tracing_engine):
+        outcome = tracing_engine.evaluate(
+            paper_example_program(), paper_example_base()
+        )
+        for stratum in outcome.trace.strata:
+            assert stratum.iterations[-1].changed is False
+            assert stratum.iterations[0].changed is True
+
+    def test_snapshots_recorded(self, tracing_engine):
+        outcome = tracing_engine.evaluate(
+            paper_example_program(), paper_example_base()
+        )
+        first = outcome.trace.strata[0].iterations[0]
+        assert first.snapshot is not None
+        assert first.snapshot.version_exists(O("phil"))
+
+    def test_no_snapshots_without_option(self):
+        engine = UpdateEngine(collect_trace=True, collect_snapshots=False)
+        outcome = engine.evaluate(paper_example_program(), paper_example_base())
+        assert outcome.trace.strata[0].iterations[0].snapshot is None
+
+
+class TestRendering:
+    def test_render_without_objects(self, tracing_engine):
+        outcome = tracing_engine.evaluate(
+            paper_example_program(), paper_example_base()
+        )
+        text = outcome.trace.render()
+        assert "stratum 0: {rule1, rule2}" in text
+        assert "new versions: mod(bob), mod(phil)" in text
+
+    def test_render_with_object_states(self, tracing_engine):
+        outcome = tracing_engine.evaluate(
+            paper_example_program(), paper_example_base()
+        )
+        text = outcome.trace.render(objects=(O("phil"),))
+        assert "mod(phil): {" in text
+        assert "sal -> 4600.0" in text
+        # state lines are filtered to the requested objects
+        assert "mod(bob): {" not in text
+
+    def test_nothing_fired_line(self, tracing_engine):
+        from repro import parse_object_base, parse_program
+
+        outcome = tracing_engine.evaluate(
+            parse_program("r: ins[X].t -> 1 <= X.never -> 1."),
+            parse_object_base("a.m -> 1."),
+        )
+        assert "(nothing fired)" in outcome.trace.render()
+
+
+class TestChainRenderingEdgeCases:
+    def test_values_do_not_appear_as_chains(self):
+        text = render_version_chains(paper_example_base())
+        assert "4000" not in text  # value OIDs host nothing

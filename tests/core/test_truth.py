@@ -1,0 +1,247 @@
+"""Section 3 truth definitions, case by case.
+
+These tests transcribe the paper's truth conditions for version-terms and
+update-terms (in heads and bodies) directly; they are the semantic anchor
+of the whole reproduction.
+"""
+
+import pytest
+
+from repro.core.atoms import BuiltinAtom, Literal, UpdateAtom, VersionAtom
+from repro.core.errors import BuiltinError, TermError
+from repro.core.facts import Fact, exists_fact
+from repro.core.objectbase import ObjectBase
+from repro.core.terms import Oid, UpdateKind, Var, wrap
+from repro.core.truth import (
+    builtin_atom_true,
+    literal_true,
+    update_atom_true_in_body,
+    update_atom_true_in_head,
+    version_atom_true,
+)
+
+INS, DEL, MOD = UpdateKind.INSERT, UpdateKind.DELETE, UpdateKind.MODIFY
+O = Oid
+
+
+def base_with(*facts) -> ObjectBase:
+    base = ObjectBase.from_triples([("henry", "sal", 250)])
+    for fact in facts:
+        base.add(fact)
+    return base
+
+
+def atom(kind, target, method="sal", args=(), result=O(250), result2=None):
+    return UpdateAtom(kind, target, method, args, result, result2)
+
+
+class TestVersionTermTruth:
+    """Definition 1: v.m -> r is true iff it is in I."""
+
+    def test_membership(self):
+        base = base_with()
+        assert version_atom_true(base, VersionAtom(O("henry"), "sal", (), O(250)))
+        assert not version_atom_true(base, VersionAtom(O("henry"), "sal", (), O(300)))
+
+    def test_version_host(self):
+        version = wrap(MOD, O("henry"))
+        base = base_with(Fact(version, "sal", (), O(275)), exists_fact(version))
+        assert version_atom_true(base, VersionAtom(version, "sal", (), O(275)))
+        assert not version_atom_true(base, VersionAtom(version, "sal", (), O(250)))
+
+    def test_requires_ground(self):
+        with pytest.raises(TermError):
+            version_atom_true(base_with(), VersionAtom(Var("X"), "sal", (), O(250)))
+
+
+class TestHeadTruth:
+    """Definition 2: ins always; del/mod need v*.m -> r ∈ I."""
+
+    def test_insert_always_true(self):
+        base = base_with()
+        assert update_atom_true_in_head(base, atom(INS, O("ghost"), result=O(1)))
+
+    def test_delete_needs_existing_information(self):
+        base = base_with()
+        assert update_atom_true_in_head(base, atom(DEL, O("henry"), result=O(250)))
+        assert not update_atom_true_in_head(base, atom(DEL, O("henry"), result=O(999)))
+
+    def test_delete_checks_v_star_not_target(self):
+        # del[mod(henry)] with no mod version: v* = henry
+        base = base_with()
+        target = wrap(MOD, O("henry"))
+        assert update_atom_true_in_head(base, atom(DEL, target, result=O(250)))
+
+    def test_modify_needs_old_value(self):
+        base = base_with()
+        assert update_atom_true_in_head(
+            base, atom(MOD, O("henry"), result=O(250), result2=O(275))
+        )
+        assert not update_atom_true_in_head(
+            base, atom(MOD, O("henry"), result=O(300), result2=O(275))
+        )
+
+    def test_no_v_star_makes_del_mod_false(self):
+        base = base_with()
+        assert not update_atom_true_in_head(base, atom(DEL, O("ghost")))
+        assert not update_atom_true_in_head(
+            base, atom(MOD, O("ghost"), result2=O(1))
+        )
+
+    def test_delete_all_true_iff_applications_exist(self):
+        base = base_with()
+        delete_all = UpdateAtom(DEL, O("henry"), None, (), None, None, delete_all=True)
+        assert update_atom_true_in_head(base, delete_all)
+        empty = ObjectBase()
+        empty.add_object("lonely")  # only the exists bookkeeping
+        lonely_delete = UpdateAtom(DEL, O("lonely"), None, (), None, None, delete_all=True)
+        assert not update_atom_true_in_head(empty, lonely_delete)
+
+
+class TestBodyInsertTruth:
+    """Definition 3, ins: true iff ins(v).m -> r ∈ I."""
+
+    def test_transition_must_have_happened(self):
+        base = base_with()
+        assert not update_atom_true_in_body(base, atom(INS, O("henry")))
+        version = wrap(INS, O("henry"))
+        base.add(Fact(version, "sal", (), O(250)))
+        assert update_atom_true_in_body(base, atom(INS, O("henry")))
+
+
+class TestBodyDeleteTruth:
+    """Definition 3, del: v*.m -> r ∈ I, del(v) exists, del(v).m -> r ∉ I."""
+
+    def _deleted_base(self):
+        base = base_with(Fact(O("henry"), "isa", (), O("empl")))
+        version = wrap(DEL, O("henry"))
+        # the delete removed sal -> 250 but kept isa -> empl
+        base.add(exists_fact(version))
+        base.add(Fact(version, "isa", (), O("empl")))
+        return base, version
+
+    def test_true_delete(self):
+        base, _ = self._deleted_base()
+        assert update_atom_true_in_body(base, atom(DEL, O("henry"), result=O(250)))
+
+    def test_false_when_old_value_never_held(self):
+        base, _ = self._deleted_base()
+        assert not update_atom_true_in_body(base, atom(DEL, O("henry"), result=O(999)))
+
+    def test_false_when_fact_survived(self):
+        base, _ = self._deleted_base()
+        # isa -> empl was NOT deleted
+        assert not update_atom_true_in_body(
+            base, atom(DEL, O("henry"), method="isa", result=O("empl"))
+        )
+
+    def test_false_when_del_version_missing(self):
+        base = base_with()
+        assert not update_atom_true_in_body(base, atom(DEL, O("henry"), result=O(250)))
+
+    def test_exists_fact_keeps_del_version_observable(self):
+        # Section 3's motivation for `exists`: even a full delete leaves
+        # del(v).exists -> o, so the transition stays testable.
+        base = base_with()
+        version = wrap(DEL, O("henry"))
+        base.add(exists_fact(version))  # everything else deleted
+        assert update_atom_true_in_body(base, atom(DEL, O("henry"), result=O(250)))
+
+
+class TestBodyModifyTruth:
+    """Definition 3, mod — including the subtle r = r' case."""
+
+    def _modified_base(self):
+        base = base_with()
+        version = wrap(MOD, O("henry"))
+        base.add(exists_fact(version))
+        base.add(Fact(version, "sal", (), O(275)))
+        return base, version
+
+    def test_true_modify(self):
+        base, _ = self._modified_base()
+        assert update_atom_true_in_body(
+            base, atom(MOD, O("henry"), result=O(250), result2=O(275))
+        )
+
+    def test_false_wrong_new_value(self):
+        base, _ = self._modified_base()
+        assert not update_atom_true_in_body(
+            base, atom(MOD, O("henry"), result=O(250), result2=O(300))
+        )
+
+    def test_false_old_value_still_present(self):
+        base, version = self._modified_base()
+        base.add(Fact(version, "sal", (), O(250)))  # old value survived
+        assert not update_atom_true_in_body(
+            base, atom(MOD, O("henry"), result=O(250), result2=O(275))
+        )
+
+    def test_identity_modify_requires_value_kept(self):
+        # mod[v].m -> (r, r): true iff v*.m -> r ∈ I and mod(v).m -> r ∈ I
+        base = base_with()
+        version = wrap(MOD, O("henry"))
+        base.add(exists_fact(version))
+        assert not update_atom_true_in_body(
+            base, atom(MOD, O("henry"), result=O(250), result2=O(250))
+        )
+        base.add(Fact(version, "sal", (), O(250)))
+        assert update_atom_true_in_body(
+            base, atom(MOD, O("henry"), result=O(250), result2=O(250))
+        )
+
+
+class TestNegationAndLiterals:
+    def test_negated_version_term(self):
+        base = base_with()
+        atom_ = VersionAtom(O("henry"), "sal", (), O(300))
+        assert literal_true(base, Literal(atom_, positive=False))
+        assert not literal_true(base, Literal(atom_, positive=True))
+
+    def test_footnote2_negated_update_vs_negated_version_term(self):
+        """The footnote-2 distinction: ¬del(v).m->r (version-term) is true
+        when no del version exists at all, while ¬del[v].m->r (update-term)
+        asks that the delete-transition did not happen."""
+        base = base_with(Fact(O("henry"), "isa", (), O("empl")))
+        version = wrap(DEL, O("henry"))
+
+        negated_version_term = Literal(
+            VersionAtom(version, "isa", (), O("empl")), positive=False
+        )
+        negated_update_term = Literal(
+            atom(DEL, O("henry"), method="isa", result=O("empl")), positive=False
+        )
+        # no del version yet: both true, but for different reasons
+        assert literal_true(base, negated_version_term)
+        assert literal_true(base, negated_update_term)
+
+        # delete happens: version exists without isa -> empl
+        base.add(exists_fact(version))
+        base.add(Fact(version, "sal", (), O(250)))
+        assert literal_true(base, negated_version_term)       # still no fact there
+        assert not literal_true(base, negated_update_term)    # transition happened!
+
+    def test_delete_all_rejected_in_bodies(self):
+        base = base_with()
+        delete_all = UpdateAtom(DEL, O("henry"), None, (), None, None, delete_all=True)
+        with pytest.raises(TermError):
+            update_atom_true_in_body(base, delete_all)
+
+
+class TestBuiltins:
+    def test_comparisons(self):
+        assert builtin_atom_true(BuiltinAtom(">", O(4200), O(4000)))
+        assert builtin_atom_true(BuiltinAtom("<=", O(2), O(2)))
+        assert builtin_atom_true(BuiltinAtom("!=", O("a"), O("b")))
+        assert not builtin_atom_true(BuiltinAtom("<", O(5), O(5)))
+
+    def test_equality_on_symbolic_oids(self):
+        assert builtin_atom_true(BuiltinAtom("=", O("empl"), O("empl")))
+        assert not builtin_atom_true(BuiltinAtom("=", O("empl"), O("mgr")))
+
+    def test_numeric_equality_across_int_float(self):
+        assert builtin_atom_true(BuiltinAtom("=", O(2), O(2.0)))
+
+    def test_order_needs_numbers(self):
+        with pytest.raises(BuiltinError):
+            builtin_atom_true(BuiltinAtom("<", O("a"), O(1)))

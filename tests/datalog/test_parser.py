@@ -1,0 +1,92 @@
+"""Tests for the Datalog concrete syntax."""
+
+import pytest
+
+from repro.core.terms import Oid, Var
+from repro.datalog import (
+    DatalogEngine,
+    parse_datalog,
+    parse_datalog_database,
+    parse_datalog_program,
+)
+from repro.lang.errors import ParseError
+
+
+class TestParsing:
+    def test_rules_and_facts_split(self):
+        program, database = parse_datalog(
+            """
+            edge(a, b).  edge(b, c).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """
+        )
+        assert len(program) == 2
+        assert len(database) == 2
+
+    def test_named_rules(self):
+        program = parse_datalog_program("base: p(X) :- q(X).")
+        assert program.rules[0].name == "base"
+
+    def test_builtins(self):
+        program = parse_datalog_program(
+            "big(X) :- num(X), X > 3.\ndouble(X, D) :- num(X), D = X * 2."
+        )
+        assert len(program.rules[0].body) == 2
+
+    def test_negation(self):
+        program = parse_datalog_program(
+            "iso(X) :- node(X), not linked(X).\niso2(X) :- node(X), ~linked(X)."
+        )
+        for rule in program:
+            assert not rule.body[1].positive
+
+    def test_zero_arity(self):
+        program, database = parse_datalog("go().\nready() :- go().")
+        assert ("go", ()) in database
+        assert len(program) == 1
+
+    def test_negative_numbers_and_strings(self):
+        _program, database = parse_datalog("t(-3, 'Hello World').")
+        assert ("t", (Oid(-3), Oid("Hello World"))) in database
+
+    def test_le_spelling_hint(self):
+        with pytest.raises(ParseError):
+            parse_datalog_program("p(X) :- q(X), X <= 3.")
+        parse_datalog_program("p(X) :- q(X), X =< 3.")
+
+    def test_mode_guards(self):
+        with pytest.raises(ParseError):
+            parse_datalog_program("edge(a, b).")
+        with pytest.raises(ParseError):
+            parse_datalog_database("p(X) :- q(X).")
+
+    def test_variables_by_case(self):
+        program = parse_datalog_program("p(X, a) :- q(X, _y).")
+        head = program.rules[0].head
+        assert head.args == (Var("X"), Oid("a"))
+
+
+class TestEndToEnd:
+    def test_parsed_program_runs(self):
+        program, edb = parse_datalog(
+            """
+            edge(a, b).  edge(b, c).  edge(c, d).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            top(X) :- edge(X, Y), not path(Y, X).
+            """
+        )
+        result = DatalogEngine().run(program, edb)
+        assert len(result.rows("path", 2)) == 6
+        assert DatalogEngine.query(result, "top", (None,)) == [("a",), ("b",), ("c",)]
+
+    def test_arithmetic_end_to_end(self):
+        program, edb = parse_datalog(
+            """
+            num(2). num(5).
+            double(X, D) :- num(X), D = X * 2.
+            """
+        )
+        result = DatalogEngine().run(program, edb)
+        assert DatalogEngine.query(result, "double", (None, None)) == [(2, 4), (5, 10)]

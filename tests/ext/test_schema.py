@@ -1,0 +1,91 @@
+"""Tests for the schema-evolution bookkeeping (Section 2.4 / [SZ87])."""
+
+from repro import UpdateEngine, parse_object_base
+from repro.core.terms import Oid
+from repro.ext.schema import SchemaDelta, class_signatures, schema_delta
+from repro.workloads import paper_example_base, paper_example_program
+
+O = Oid
+
+
+class TestClassSignatures:
+    def test_mandatory_vs_optional(self):
+        base = parse_object_base(
+            """
+            a.isa -> empl. a.sal -> 1. a.car -> vw.
+            b.isa -> empl. b.sal -> 2.
+            """
+        )
+        signature = class_signatures(base)[O("empl")]
+        assert signature.members == {O("a"), O("b")}
+        assert signature.mandatory == {("sal", 0)}
+        assert signature.optional == {("sal", 0), ("car", 0)}
+
+    def test_bookkeeping_excluded(self):
+        base = parse_object_base("a.isa -> empl. a.sal -> 1.")
+        signature = class_signatures(base)[O("empl")]
+        for name, _arity in signature.optional:
+            assert name not in ("exists", "isa")
+
+    def test_multi_class_membership(self):
+        base = parse_object_base("a.isa -> empl. a.isa -> hpe. a.sal -> 1.")
+        signatures = class_signatures(base)
+        assert signatures[O("empl")].members == {O("a")}
+        assert signatures[O("hpe")].members == {O("a")}
+
+    def test_method_arity_distinguished(self):
+        base = parse_object_base("a.isa -> g. a.dist@x -> 1. b.isa -> g. b.dist@x,y -> 2.")
+        signature = class_signatures(base)[O("g")]
+        assert signature.optional == {("dist", 1), ("dist", 2)}
+        assert signature.mandatory == frozenset()
+
+    def test_render(self):
+        base = parse_object_base("a.isa -> empl. a.sal -> 1.")
+        text = str(class_signatures(base)[O("empl")])
+        assert "class empl" in text and "sal/0" in text
+
+
+class TestSchemaDelta:
+    def test_figure2_evolution(self):
+        """The paper's own remark instantiated: after the Figure 2 update
+        the class hpe exists and bob's membership is gone."""
+        base = paper_example_base()
+        result = UpdateEngine().apply(paper_example_program(), base)
+        delta = schema_delta(base, result.new_base)
+
+        assert O("hpe") in delta.classes_added
+        assert delta.membership_lost[O("empl")] == {O("bob")}
+        text = delta.render()
+        assert "+ class hpe" in text
+        assert "- empl: member bob" in text
+
+    def test_method_becomes_defined(self):
+        old = parse_object_base("a.isa -> c. a.m -> 1.")
+        new = parse_object_base("a.isa -> c. a.m -> 1. a.extra -> 2.")
+        delta = schema_delta(old, new)
+        assert delta.methods_defined[O("c")] == {("extra", 0)}
+
+    def test_method_becomes_undefined(self):
+        old = parse_object_base("a.isa -> c. a.m -> 1. a.extra -> 2.")
+        new = parse_object_base("a.isa -> c. a.m -> 1.")
+        delta = schema_delta(old, new)
+        assert delta.methods_undefined[O("c")] == {("extra", 0)}
+
+    def test_class_removed_when_last_member_vanishes(self):
+        old = parse_object_base("a.isa -> c. a.m -> 1.")
+        new = parse_object_base("b.isa -> d. b.m -> 1.")
+        delta = schema_delta(old, new)
+        assert delta.classes_removed == {O("c")}
+        assert delta.classes_added == {O("d")}
+
+    def test_empty_delta(self):
+        base = parse_object_base("a.isa -> c. a.m -> 1.")
+        delta = schema_delta(base, base)
+        assert delta.is_empty()
+        assert delta.render() == "(no schema changes)"
+
+    def test_custom_class_method(self):
+        old = parse_object_base("a.kind -> widget. a.m -> 1.")
+        new = parse_object_base("a.kind -> widget. a.m -> 1. a.n -> 2.")
+        delta = schema_delta(old, new, class_method="kind")
+        assert delta.methods_defined[O("widget")] == {("n", 0)}

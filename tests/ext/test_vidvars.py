@@ -1,0 +1,100 @@
+"""Tests for the Section 6 extension: quantification over VIDs (E13)."""
+
+import pytest
+
+from repro import (
+    UpdateEngine,
+    parse_object_base,
+    parse_program,
+    parse_rule,
+    query,
+)
+from repro.core.errors import ProgramError
+from repro.core.terms import VersionVar
+from repro.ext import audit_history_program, uses_version_vars
+from repro.ext.vidvars import specialised_audit_program
+
+
+def staged_base(levels: int = 2):
+    """A base with a mod-chain of the given depth on object joe."""
+    base = parse_object_base("joe.sal -> 100.")
+    base.add_object("ledger")
+    rules = ["m1: mod[E].sal -> (S, S2) <= E.sal -> S, S2 = S + 10, E.exists -> E."]
+    prefix = "mod(E)"
+    for level in range(2, levels + 1):
+        rules.append(
+            f"m{level}: mod[{prefix}].sal -> (S, S2) <= "
+            f"{prefix}.sal -> S, S2 = S + 10, E.sal -> SX."
+        )
+        prefix = f"mod({prefix})"
+    outcome = UpdateEngine().evaluate(parse_program("\n".join(rules)), base)
+    return outcome.result_base
+
+
+class TestDetection:
+    def test_uses_version_vars(self):
+        with_var = parse_program("a: ins[ledger].h@X -> S <= ?W.sal -> S, ?W.exists -> X.")
+        without = parse_program("a: ins[ledger].h@X -> S <= X.sal -> S.")
+        assert uses_version_vars(with_var)
+        assert not uses_version_vars(without)
+
+    def test_head_occurrence_rejected_with_clear_message(self):
+        base = parse_object_base("a.m -> 1.")
+        program = parse_program("r: mod[?W].m -> (V, V2) <= ?W.m -> V, V2 = V + 1.")
+        with pytest.raises(ProgramError) as excinfo:
+            UpdateEngine().evaluate(program, base)
+        assert "condition (a)" in str(excinfo.value)
+
+    def test_version_var_not_allowed_in_result_position(self):
+        from repro.core.errors import TermError
+
+        with pytest.raises((TermError, Exception)):
+            parse_rule("r: ins[X].m -> ?W <= X.m -> V.")
+
+
+class TestGenericAudit:
+    def test_audit_collects_full_history(self):
+        base = staged_base(levels=3)
+        audited = UpdateEngine().evaluate(audit_history_program("sal"), base)
+        history = sorted(
+            a["S"] for a in query(audited.result_base, "ins(ledger).hist@joe -> S")
+        )
+        assert history == [100, 110, 120, 130]
+
+    def test_generic_equals_specialised(self):
+        base = staged_base(levels=2)
+        generic = UpdateEngine().evaluate(audit_history_program("sal"), base)
+        special = UpdateEngine().evaluate(specialised_audit_program("sal", 2), base)
+        q = "ins(ledger).hist@joe -> S"
+        assert sorted(a["S"] for a in query(generic.result_base, q)) == sorted(
+            a["S"] for a in query(special.result_base, q)
+        )
+
+    def test_generic_rule_covers_unforeseen_depth(self):
+        # the specialised program stops at its max_depth; the generic rule
+        # does not care — the expressiveness gap of E13
+        base = staged_base(levels=4)
+        generic = UpdateEngine().evaluate(audit_history_program("sal"), base)
+        shallow = UpdateEngine().evaluate(specialised_audit_program("sal", 2), base)
+        q = "ins(ledger).hist@joe -> S"
+        assert len(query(generic.result_base, q)) == 5
+        assert len(query(shallow.result_base, q)) == 3
+
+    def test_termination_preserved(self):
+        # body-only version variables bind existing versions only
+        base = staged_base(levels=2)
+        outcome = UpdateEngine().evaluate(audit_history_program("sal"), base)
+        assert outcome.iterations < 10
+
+
+class TestMatcherIntegration:
+    def test_version_var_matches_every_version(self):
+        base = staged_base(levels=2)
+        answers = query(base, "?W.sal -> S, ?W.exists -> X")
+        assert len(answers) == 3  # joe, mod(joe), mod(mod(joe))
+
+    def test_version_var_in_negation(self):
+        base = staged_base(levels=1)
+        # versions whose salary is not 100: only mod(joe)
+        answers = query(base, "?W.sal -> S, not ?W.sal -> 100")
+        assert {a["S"] for a in answers} == {110}

@@ -1,0 +1,135 @@
+"""CLI integration tests (python -m repro / repro-updates)."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+rule1: mod[E].sal -> (S, S2) <=
+    E.isa -> empl / pos -> mgr / sal -> S, S2 = S * 1.1 + 200.
+rule2: mod[E].sal -> (S, S2) <=
+    E.isa -> empl / sal -> S, not E.pos -> mgr, S2 = S * 1.1.
+rule3: del[mod(E)].* <=
+    mod(E).isa -> empl / boss -> B / sal -> SE,
+    mod(B).isa -> empl / sal -> SB, SE > SB.
+rule4: ins[mod(E)].isa -> hpe <=
+    mod(E).isa -> empl / sal -> S, S > 4500,
+    not del[mod(E)].isa -> empl.
+"""
+
+BASE = """
+phil.isa -> empl.  phil.pos -> mgr.  phil.sal -> 4000.
+bob.isa -> empl.   bob.sal -> 4200.  bob.boss -> phil.
+"""
+
+
+@pytest.fixture()
+def files(tmp_path):
+    program = tmp_path / "update.upd"
+    base = tmp_path / "world.ob"
+    program.write_text(PROGRAM, encoding="utf-8")
+    base.write_text(BASE, encoding="utf-8")
+    return program, base
+
+
+class TestApply:
+    def test_prints_new_base(self, files, capsys):
+        program, base = files
+        code = main(["apply", "--program", str(program), "--base", str(base)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phil.isa -> hpe." in out
+        assert "bob" not in out
+
+    def test_out_file(self, files, tmp_path, capsys):
+        program, base = files
+        target = tmp_path / "new.ob"
+        code = main([
+            "apply", "--program", str(program), "--base", str(base),
+            "--out", str(target),
+        ])
+        assert code == 0
+        assert "phil.sal -> 4600.0." in target.read_text(encoding="utf-8")
+
+    def test_result_base_includes_versions(self, files, capsys):
+        program, base = files
+        main([
+            "apply", "--program", str(program), "--base", str(base),
+            "--result-base",
+        ])
+        out = capsys.readouterr().out
+        assert "mod(phil).sal -> 4600.0." in out
+        assert "del(mod(bob)).exists -> bob." in out
+
+    def test_trace_goes_to_stderr(self, files, capsys):
+        program, base = files
+        main(["apply", "--program", str(program), "--base", str(base), "--trace"])
+        captured = capsys.readouterr()
+        assert "stratum 0" in captured.err
+        assert "stratum 0" not in captured.out
+
+    def test_linearity_error_reported(self, tmp_path, capsys):
+        program = tmp_path / "bad.upd"
+        base = tmp_path / "world.ob"
+        program.write_text(
+            "m: mod[o].m -> (a, b) <= o.t -> yes.\n"
+            "d: del[o].m -> a <= o.t -> yes.\n",
+            encoding="utf-8",
+        )
+        base.write_text("o.m -> a. o.t -> yes.", encoding="utf-8")
+        code = main(["apply", "--program", str(program), "--base", str(base)])
+        assert code == 1
+        assert "not linear" in capsys.readouterr().err
+
+
+class TestStratify:
+    def test_full_conditions(self, files, capsys):
+        program, _ = files
+        assert main(["stratify", "--program", str(program)]) == 0
+        out = capsys.readouterr().out
+        assert "stratum 0: {rule1, rule2}" in out
+        assert "stratum 1: {rule3}" in out
+        assert "stratum 2: {rule4}" in out
+
+    def test_condition_subset(self, files, capsys):
+        program, _ = files
+        assert main(["stratify", "--program", str(program), "--conditions", "a"]) == 0
+        out = capsys.readouterr().out
+        assert "stratum 1: {rule3, rule4}" in out
+
+
+class TestCheck:
+    def test_safe_program(self, files, capsys):
+        program, _ = files
+        assert main(["check", "--program", str(program)]) == 0
+        out = capsys.readouterr().out
+        assert "rule1: safe" in out
+        assert "stratification:" in out
+
+    def test_unsafe_program(self, tmp_path, capsys):
+        program = tmp_path / "unsafe.upd"
+        program.write_text("r: ins[X].m -> Y <= X.a -> B.", encoding="utf-8")
+        assert main(["check", "--program", str(program)]) == 1
+        assert "UNSAFE" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_answers(self, files, capsys):
+        _, base = files
+        assert main(["query", "--base", str(base), "E.sal -> S, S > 4100"]) == 0
+        out = capsys.readouterr().out
+        assert "E = bob, S = 4200" in out
+
+    def test_ground_yes(self, files, capsys):
+        _, base = files
+        main(["query", "--base", str(base), "phil.pos -> mgr"])
+        assert "yes" in capsys.readouterr().out
+
+    def test_no_answers(self, files, capsys):
+        _, base = files
+        main(["query", "--base", str(base), "E.isa -> robot"])
+        assert "(no answers)" in capsys.readouterr().out
+
+    def test_parse_error_exit_code(self, files, capsys):
+        _, base = files
+        assert main(["query", "--base", str(base), "E.sal -> "]) == 1

@@ -1,0 +1,167 @@
+"""Integration tests: the paper's examples, end to end.
+
+Each test corresponds to an experiment in EXPERIMENTS.md (E1-E5, E7) and
+asserts the outcome the paper states or implies — these are the
+correctness core of the reproduction.
+"""
+
+import pytest
+
+from repro import UpdateEngine, parse_object_base, query
+from repro.core.terms import Oid, UpdateKind, wrap
+from repro.workloads import (
+    ancestors_program,
+    enterprise_base,
+    paper_example_base,
+    paper_example_program,
+    salary_raise_program,
+)
+from repro.workloads.genealogy import paper_family_base, true_ancestors
+
+O = Oid
+INS, DEL, MOD = UpdateKind.INSERT, UpdateKind.DELETE, UpdateKind.MODIFY
+
+
+class TestE1SalaryRaiseOnce:
+    """Section 2.1: the intuitive raise terminates and applies once."""
+
+    def test_raise_exactly_once(self, engine):
+        base = parse_object_base(
+            "h.isa -> empl. h.sal -> 250. m.isa -> empl. m.sal -> 300."
+        )
+        result = engine.apply(salary_raise_program(), base)
+        salaries = {a["E"]: a["S"] for a in query(result.new_base, "E.sal -> S")}
+        assert salaries == {"h": pytest.approx(275.0), "m": pytest.approx(330.0)}
+
+    def test_scales_to_generated_base(self, engine):
+        base = enterprise_base(n_employees=25, seed=11)
+        before = {a["E"]: a["S"] for a in query(base, "E.sal -> S")}
+        result = engine.apply(salary_raise_program(), base)
+        after = {a["E"]: a["S"] for a in query(result.new_base, "E.sal -> S")}
+        assert set(before) == set(after)
+        for name, old in before.items():
+            assert after[name] == pytest.approx(old * 1.1)
+
+
+class TestE2Figure2:
+    """Figure 2: the full version structure of the enterprise update."""
+
+    @pytest.fixture()
+    def result(self, tracing_engine):
+        return tracing_engine.apply(paper_example_program(), paper_example_base())
+
+    def test_stratification(self, result):
+        assert result.stratification.names() == [
+            ["rule1", "rule2"], ["rule3"], ["rule4"],
+        ]
+
+    def test_version_states_match_figure2(self, result):
+        base = result.result_base
+        # phil: 4000 -> mod: 4600 -> ins: + hpe
+        assert query(base, "phil.sal -> S") == [{"S": 4000}]
+        assert query(base, "mod(phil).sal -> S") == [{"S": 4600.0}]
+        assert query(base, "ins(mod(phil)).isa -> hpe") == [{}]
+        assert query(base, "ins(mod(phil)).isa -> empl") == [{}]
+        assert query(base, "ins(mod(phil)).sal -> S") == [{"S": 4600.0}]
+        # bob: 4200 -> mod: 4620 -> del: everything gone but exists
+        assert query(base, "mod(bob).sal -> S") == [{"S": 4620.0}]
+        del_bob = wrap(DEL, wrap(MOD, O("bob")))
+        assert base.method_applications(del_bob) == frozenset()
+        assert base.version_exists(del_bob)
+
+    def test_final_versions(self, result):
+        assert result.final_versions[O("phil")] == wrap(INS, wrap(MOD, O("phil")))
+        assert result.final_versions[O("bob")] == wrap(DEL, wrap(MOD, O("bob")))
+
+    def test_new_base(self, result):
+        expected = parse_object_base(
+            """
+            phil.isa -> empl. phil.isa -> hpe. phil.pos -> mgr.
+            phil.sal -> 4600.0.
+            """
+        )
+        assert result.new_base == expected
+
+    def test_rule3_does_not_apply_to_phil(self, result):
+        # phil has no superior: no del(mod(phil)) version exists
+        assert not result.result_base.version_exists(wrap(DEL, wrap(MOD, O("phil"))))
+
+    def test_trace_order(self, result):
+        # modifies happen in stratum 0, the delete in stratum 1, the
+        # insert in stratum 2 — Figure 2's left-to-right stages
+        trace = result.trace
+        created_by_stratum = [
+            {str(v) for i in s.iterations for v in i.new_versions}
+            for s in trace.strata
+        ]
+        assert created_by_stratum[0] == {"mod(phil)", "mod(bob)"}
+        assert created_by_stratum[1] == {"del(mod(bob))"}
+        assert created_by_stratum[2] == {"ins(mod(phil))"}
+
+
+class TestE3Hypothetical:
+    """Section 2.3 example 2 + footnote 3."""
+
+    def test_paper_scenario(self, engine, whatif_base, whatif_program):
+        result = engine.apply(whatif_program, whatif_base)
+        assert result.stratification.names() == [
+            ["rule1"], ["rule2"], ["rule3"], ["rule4"],
+        ]
+        assert query(result.new_base, "peter.richest -> V") == [{"V": "yes"}]
+        # original salaries restored
+        salaries = {a["E"]: a["S"] for a in query(result.new_base, "E.sal -> S")}
+        assert salaries == {"peter": 100, "anna": 120}
+
+    def test_mod_mod_restores_original_state(self, engine, whatif_base, whatif_program):
+        outcome = engine.evaluate(whatif_program, whatif_base)
+        base = outcome.result_base
+        for person in ("peter", "anna"):
+            original = query(base, f"{person}.sal -> S")
+            reverted = query(base, f"mod(mod({person})).sal -> S")
+            assert original == reverted
+
+    def test_negative_verdict(self, engine, whatif_program):
+        base = parse_object_base(
+            """
+            peter.isa -> empl.  peter.sal -> 100.  peter.factor -> 2.
+            anna.isa -> empl.   anna.sal -> 120.   anna.factor -> 4.
+            """
+        )
+        result = engine.apply(whatif_program, base)
+        assert query(result.new_base, "peter.richest -> V") == [{"V": "no"}]
+
+
+class TestE4Ancestors:
+    """Section 2.3 example 3: recursion with set-valued methods."""
+
+    def test_paper_family(self, engine):
+        result = engine.apply(ancestors_program(), paper_family_base())
+        amy = {a["P"] for a in query(result.new_base, "amy.anc -> P")}
+        assert amy == {"bea", "carl", "dora"}
+        bea = {a["P"] for a in query(result.new_base, "bea.anc -> P")}
+        assert bea == {"dora"}
+
+    def test_against_ground_truth(self, engine):
+        from repro.workloads import genealogy_base
+
+        base = genealogy_base(generations=5, per_generation=4, seed=13)
+        result = engine.apply(ancestors_program(), base)
+        for person, expected in true_ancestors(base).items():
+            got = {a["P"] for a in query(result.new_base, f"{person}.anc -> P")}
+            assert got == expected
+
+    def test_single_stratum(self, engine):
+        result = engine.apply(ancestors_program(), paper_family_base())
+        assert len(result.stratification) == 1
+
+
+class TestComposition:
+    """ob -> ob' -> ob'': update-processes compose (Section 2.2)."""
+
+    def test_two_rounds_of_updates(self, engine):
+        base = paper_example_base()
+        first = engine.apply(paper_example_program(), base)
+        # second round: phil (now 4600) has no boss, gets raised again
+        second = engine.apply(paper_example_program(), first.new_base)
+        salaries = {a["E"]: a["S"] for a in query(second.new_base, "E.sal -> S")}
+        assert salaries == {"phil": pytest.approx(4600 * 1.1 + 200)}

@@ -1,0 +1,87 @@
+"""Tokenizer tests, especially the '.' / number / arrow ambiguities."""
+
+import pytest
+
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+
+def types(text: str) -> list[str]:
+    return [token.type for token in tokenize(text)][:-1]  # drop EOF
+
+
+def values(text: str) -> list[str]:
+    return [token.value for token in tokenize(text)][:-1]
+
+
+class TestBasics:
+    def test_identifiers_and_numbers(self):
+        assert types("phil E 42 4.5") == ["IDENT", "IDENT", "NUMBER", "NUMBER"]
+
+    def test_arrow_beats_minus(self):
+        assert types("a -> b - c") == ["IDENT", "ARROW", "IDENT", "MINUS", "IDENT"]
+
+    def test_implication_spellings(self):
+        assert types("<= :-") == ["IMPLIES", "IMPLIES"]
+
+    def test_prolog_style_le(self):
+        # '=<' is less-or-equal; '<=' is the implication arrow
+        assert types("=<") == ["LE"]
+        assert types("<=") == ["IMPLIES"]
+
+    def test_comparison_tokens(self):
+        assert types("= != < > >=") == ["EQ", "NE", "LT", "GT", "GE"]
+
+    def test_version_var_marker(self):
+        assert types("?W") == ["QMARK", "IDENT"]
+
+
+class TestDotDisambiguation:
+    def test_method_selector(self):
+        assert types("E.sal") == ["IDENT", "DOT", "IDENT"]
+
+    def test_float_keeps_dot(self):
+        assert values("1.5") == ["1.5"]
+
+    def test_trailing_dot_after_integer_is_terminator(self):
+        # "4500." is the number 4500 followed by the rule terminator
+        assert types("4500.") == ["NUMBER", "DOT"]
+        assert values("4500.") == ["4500", "."]
+
+    def test_float_then_terminator(self):
+        assert types("1.1.") == ["NUMBER", "DOT"]
+        assert values("1.1.") == ["1.1", "."]
+
+
+class TestStringsAndComments:
+    def test_quoted_oids(self):
+        tokens = tokenize("'Phil Smith' \"double\"")
+        assert tokens[0] == Token("STRING", "Phil Smith", 1, 1)
+        assert tokens[1].value == "double"
+
+    def test_comments_stripped(self):
+        assert types("a % comment\nb # another\nc") == ["IDENT", "IDENT", "IDENT"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_newline_inside_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'line\nbreak'")
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("abc\n  ;")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 3
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type == "EOF"

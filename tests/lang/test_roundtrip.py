@@ -1,0 +1,147 @@
+"""Pretty-printer tests and parse/format round-trip properties."""
+
+from hypothesis import given, strategies as st
+
+from repro import (
+    format_object_base,
+    format_program,
+    format_rule,
+    format_term,
+    parse_object_base,
+    parse_program,
+    parse_rule,
+    parse_term,
+)
+from repro.core.atoms import BuiltinAtom, Literal, UpdateAtom, VersionAtom
+from repro.core.rules import UpdateProgram, UpdateRule
+from repro.core.terms import Oid, UpdateKind, Var, VersionId, VersionVar, wrap
+from repro.lang.pretty import format_atom, format_literal
+from repro.workloads import paper_example_program
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+oid_names = st.sampled_from(["phil", "bob", "empl", "x1", "aB_c"])
+quoted_names = st.sampled_from(["Phil Smith", "UPPER", "with-dash", "0starts"])
+numbers = st.one_of(st.integers(-999, 999), st.sampled_from([1.5, 4.25, -0.5]))
+oids = st.one_of(oid_names.map(Oid), quoted_names.map(Oid), numbers.map(Oid))
+variables = st.sampled_from(["E", "S", "S2", "B", "X"]).map(Var)
+kinds = st.sampled_from(list(UpdateKind))
+
+
+def _wrapped(kinds_list, inner):
+    term = inner
+    for kind in kinds_list:
+        term = wrap(kind, term)
+    return term
+
+
+hosts = st.builds(_wrapped, st.lists(kinds, max_size=2), st.one_of(oids, variables))
+methods = st.sampled_from(["sal", "isa", "anc", "m"])
+results = st.one_of(oids, variables)
+arg_tuples = st.lists(results, max_size=2).map(tuple)
+
+version_atoms = st.builds(VersionAtom, hosts, methods, arg_tuples, results)
+ins_atoms = st.builds(
+    lambda t, m, a, r: UpdateAtom(UpdateKind.INSERT, t, m, a, r),
+    hosts, methods, arg_tuples, results,
+)
+mod_atoms = st.builds(
+    lambda t, m, a, r, r2: UpdateAtom(UpdateKind.MODIFY, t, m, a, r, r2),
+    hosts, methods, arg_tuples, results, results,
+)
+del_all_atoms = st.builds(
+    lambda t: UpdateAtom(UpdateKind.DELETE, t, None, (), None, None, delete_all=True),
+    hosts,
+)
+update_atoms = st.one_of(ins_atoms, mod_atoms, del_all_atoms)
+
+
+# ----------------------------------------------------------------------
+# round-trip properties
+# ----------------------------------------------------------------------
+
+
+@given(hosts)
+def test_term_roundtrip(term):
+    assert parse_term(format_term(term)) == term
+
+
+def test_version_var_roundtrip():
+    term = wrap(UpdateKind.MODIFY, VersionVar("W"))
+    assert parse_term(format_term(term)) == term
+
+
+@given(version_atoms)
+def test_version_atom_roundtrip(atom):
+    rule = UpdateRule(
+        UpdateAtom(UpdateKind.INSERT, Oid("sink"), "t", (), Oid(1)),
+        (Literal(atom),),
+        "r",
+    )
+    parsed = parse_rule(format_rule(rule))
+    assert parsed.body[0].atom == atom
+
+
+@given(update_atoms)
+def test_update_atom_roundtrip_in_head(atom):
+    rule = UpdateRule(atom, (), "r")
+    parsed = parse_rule(format_rule(rule))
+    assert parsed.head == atom
+
+
+@given(st.lists(st.one_of(version_atoms, ins_atoms), min_size=1, max_size=3),
+       st.lists(st.booleans(), min_size=3, max_size=3))
+def test_rule_roundtrip(atoms, polarity):
+    body = tuple(
+        Literal(atom, positive)
+        for atom, positive in zip(atoms, polarity)
+    )
+    rule = UpdateRule(UpdateAtom(UpdateKind.INSERT, Oid("o"), "t", (), Oid(1)), body, "r")
+    assert parse_rule(format_rule(rule)) == rule
+
+
+def test_program_roundtrip_paper():
+    program = paper_example_program()
+    reparsed = parse_program(format_program(program))
+    assert tuple(reparsed) == tuple(program)
+
+
+def test_object_base_roundtrip(paper_base):
+    text = format_object_base(paper_base)
+    assert parse_object_base(text) == paper_base
+
+
+# ----------------------------------------------------------------------
+# formatting specifics
+# ----------------------------------------------------------------------
+
+
+def test_quoting():
+    assert format_term(Oid("phil")) == "phil"
+    assert format_term(Oid("Phil Smith")) == "'Phil Smith'"
+    assert format_term(Oid("UPPER")) == "'UPPER'"  # would parse as a variable
+    assert format_term(Oid("it's")) == '"it\'s"'
+
+
+def test_le_printed_prolog_style():
+    atom = BuiltinAtom("<=", Var("S"), Oid(10))
+    assert format_atom(atom) == "S =< 10"
+    rule = parse_rule(f"r: ins[o].m -> 1 <= o.s -> S, {format_atom(atom)}.")
+    assert rule.body[1].atom.op == "<="
+
+
+def test_negated_literal():
+    literal = Literal(VersionAtom(Var("E"), "pos", (), Oid("mgr")), positive=False)
+    assert format_literal(literal) == "not E.pos -> mgr"
+
+
+def test_format_rule_without_label():
+    rule = UpdateRule(UpdateAtom(UpdateKind.INSERT, Oid("o"), "m", (), Oid(1)), (), "x")
+    assert format_rule(rule, label=False) == "ins[o].m -> 1."
+
+
+def test_exists_omitted_by_default(paper_base):
+    assert "exists" not in format_object_base(paper_base)
+    assert "exists" in format_object_base(paper_base, include_exists=True)

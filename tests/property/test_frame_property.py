@@ -1,0 +1,89 @@
+"""Property tests for the frame axiom (Section 3, footnote 4).
+
+The copy step of ``T_P`` implements the frame rule: everything true for the
+old version stays true for the new one unless an update says otherwise.
+Consequently, across a whole update-process:
+
+* objects no rule touches keep their state in ``ob'`` verbatim;
+* methods an update never mentions survive on updated objects;
+* the original base is never mutated.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import UpdateEngine, query
+from repro.core.facts import EXISTS
+from repro.core.objectbase import ObjectBase
+from repro.workloads.synthetic import random_insert_program, random_object_base
+
+seeds = st.integers(0, 10_000)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds, seeds)
+def test_insert_programs_preserve_existing_facts(base_seed, program_seed):
+    """Insert-only programs are monotone: ob' ⊇ ob (minus nothing)."""
+    base = random_object_base(n_objects=8, facts_per_object=2, seed=base_seed)
+    program = random_insert_program(n_rules=3, seed=program_seed)
+    result = UpdateEngine().apply(program, base)
+    original = {f for f in base if f.method != EXISTS}
+    updated = set(result.new_base)
+    assert original <= updated
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds)
+def test_untouched_objects_keep_state(seed):
+    """A raise on employees leaves every non-employee object untouched."""
+    from repro.workloads import salary_raise_program
+
+    base = random_object_base(n_objects=6, seed=seed)  # no employees at all
+    before = {f for f in base if f.method != EXISTS}
+    result = UpdateEngine().apply(salary_raise_program(), base)
+    after = {f for f in result.new_base if f.method != EXISTS}
+    assert before == after
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds)
+def test_unmentioned_methods_survive_updates(seed):
+    """Modifying `sal` never disturbs `isa`/`boss`/`pos` facts."""
+    from repro.workloads import enterprise_base, salary_raise_program
+
+    base = enterprise_base(n_employees=12, seed=seed)
+    result = UpdateEngine().apply(salary_raise_program(), base)
+    for method in ("isa", "boss", "pos"):
+        before = {(str(f.host), str(f.result)) for f in base if f.method == method}
+        after = {
+            (str(f.host), str(f.result))
+            for f in result.new_base
+            if f.method == method
+        }
+        assert before == after
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds, seeds)
+def test_input_base_never_mutated(base_seed, program_seed):
+    base = random_object_base(n_objects=6, seed=base_seed)
+    snapshot = base.copy()
+    program = random_insert_program(n_rules=2, seed=program_seed)
+    UpdateEngine().apply(program, base)
+    assert base == snapshot
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds)
+def test_lazy_copying_only_touches_updated_objects(seed):
+    """Footnote 4: copies are made per updated object, not per base."""
+    from repro import parse_program
+
+    base = random_object_base(n_objects=20, seed=seed)
+    # touch exactly one known object
+    target = sorted(str(o) for o in base.objects())[0]
+    program = parse_program(
+        f"one: ins[{target}].touched -> yes <= {target}.exists -> {target}."
+    )
+    engine = UpdateEngine(collect_trace=True)
+    outcome = engine.evaluate(program, base)
+    assert outcome.trace.total_copies == 1

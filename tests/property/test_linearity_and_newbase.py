@@ -1,0 +1,73 @@
+"""Property tests for version-linearity and new-base construction."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import UpdateEngine
+from repro.core.facts import EXISTS
+from repro.core.linearity import check_version_linear
+from repro.core.terms import depth, is_subterm, object_of
+from repro.workloads.synthetic import (
+    random_insert_program,
+    random_object_base,
+    version_chain_program,
+)
+
+seeds = st.integers(0, 10_000)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, seeds)
+def test_insert_programs_always_linear(base_seed, program_seed):
+    """Insert-only programs create at most one new version per object,
+    so linearity can never fail."""
+    base = random_object_base(n_objects=6, seed=base_seed)
+    program = random_insert_program(n_rules=3, seed=program_seed)
+    outcome = UpdateEngine().evaluate(program, base)
+    finals = check_version_linear(outcome.result_base)
+    assert set(finals) == set(base.objects())
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 6), seeds)
+def test_final_version_contains_all_others(k, seed):
+    base = random_object_base(n_objects=3, seed=seed)
+    outcome = UpdateEngine().evaluate(version_chain_program(k), base)
+    result = outcome.result_base
+    finals = check_version_linear(result)
+    for version in result.existing_versions():
+        final = finals[object_of(version)]
+        assert is_subterm(version, final)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 5), seeds)
+def test_new_base_equals_final_version_states(k, seed):
+    """ob' is exactly the final versions' method-applications, re-hosted."""
+    from repro.core.newbase import build_new_base
+
+    base = random_object_base(n_objects=3, seed=seed)
+    result = UpdateEngine().apply(version_chain_program(k), base)
+    finals = check_version_linear(result.result_base)
+    for owner, final in finals.items():
+        expected = {
+            (f.method, f.args, f.result)
+            for f in result.result_base.state_of(final)
+            if f.method != EXISTS
+        }
+        actual = {
+            (f.method, f.args, f.result)
+            for f in result.new_base.facts_by_host(owner)
+            if f.method != EXISTS
+        }
+        assert actual == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds)
+def test_tracker_agrees_with_posteriori_check(seed):
+    """The incremental Section 5 check and the one-pass check agree."""
+    base = random_object_base(n_objects=4, seed=seed)
+    program = version_chain_program(4)
+    outcome = UpdateEngine().evaluate(program, base)  # incremental check on
+    posteriori = check_version_linear(outcome.result_base)
+    assert outcome.final_versions == posteriori

@@ -1,0 +1,70 @@
+"""Property tests for the finiteness claim of Section 2.1 (experiment E9).
+
+"For safe rules only a finite number of new versions can be derived during
+evaluation" — the functor depth of derivable VIDs is bounded by the maximal
+head-pattern depth, so #versions <= #objects x (max depth + 1) along each
+object's linear chain.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import UpdateEngine
+from repro.core.terms import depth
+from repro.workloads.synthetic import (
+    random_insert_program,
+    random_object_base,
+    version_chain_program,
+)
+
+seeds = st.integers(0, 10_000)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, seeds, st.integers(1, 4))
+def test_version_count_bounded(base_seed, program_seed, n_rules):
+    base = random_object_base(n_objects=6, seed=base_seed)
+    program = random_insert_program(n_rules=n_rules, seed=program_seed)
+    outcome = UpdateEngine().evaluate(program, base)
+
+    max_head_depth = max(depth(rule.head.new_version()) for rule in program)
+    versions = outcome.result_base.existing_versions()
+    assert all(depth(v) <= max_head_depth for v in versions)
+    assert len(versions) <= len(base.objects()) * (max_head_depth + 1)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 8), seeds)
+def test_chain_version_count_exact(k, seed):
+    """A depth-k chain creates exactly k new versions per object."""
+    base = random_object_base(n_objects=3, seed=seed)
+    outcome = UpdateEngine().evaluate(version_chain_program(k), base)
+    n_objects = len(base.objects())
+    assert len(outcome.result_base.existing_versions()) == n_objects * (k + 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, seeds)
+def test_evaluation_terminates_quickly_on_insert_programs(base_seed, program_seed):
+    base = random_object_base(n_objects=8, seed=base_seed)
+    program = random_insert_program(n_rules=4, seed=program_seed)
+    outcome = UpdateEngine().evaluate(program, base)
+    # non-recursive inserts: one productive round + one fixpoint round
+    # per stratum is the worst case
+    assert outcome.iterations <= 2 * len(outcome.stratification) + 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds)
+def test_idempotence_of_fixpoint(seed):
+    """Applying T_P once more at the fixpoint changes nothing — the very
+    definition of result(P)."""
+    from repro.core.consequence import apply_tp, tp_step
+    from repro.workloads import salary_raise_program
+    from repro.workloads.enterprise import enterprise_base
+
+    base = enterprise_base(n_employees=8, seed=seed)
+    program = salary_raise_program()
+    outcome = UpdateEngine().evaluate(program, base)
+    working = outcome.result_base.copy()
+    step = tp_step(list(program), working)
+    assert not apply_tp(working, step)

@@ -1,0 +1,91 @@
+"""Tests for the versioned store (revision chain, as-of, diff)."""
+
+import pytest
+
+from repro import query
+from repro.core.errors import ReproError
+from repro.storage import VersionedStore
+from repro.workloads import paper_example_base, paper_example_program, salary_raise_program
+
+
+@pytest.fixture()
+def store():
+    return VersionedStore(paper_example_base(), tag="initial")
+
+
+class TestRevisions:
+    def test_initial_revision(self, store):
+        assert len(store) == 1
+        assert store.head.tag == "initial"
+        assert store.head.program_name is None
+
+    def test_apply_appends(self, store):
+        store.apply(paper_example_program(), tag="update")
+        assert len(store) == 2
+        assert store.head.tag == "update"
+        assert store.head.program_name == "enterprise-update"
+
+    def test_auto_tags(self, store):
+        store.apply(salary_raise_program())
+        assert store.head.tag == "rev1"
+
+    def test_as_of_by_tag_and_index(self, store):
+        store.apply(paper_example_program(), tag="update")
+        assert query(store.as_of("initial"), "phil.sal -> S") == [{"S": 4000}]
+        assert query(store.as_of(0), "bob.isa -> empl") == [{}]
+        assert query(store.as_of(1), "bob.isa -> empl") == []
+
+    def test_unknown_revision(self, store):
+        with pytest.raises(ReproError):
+            store.as_of("nope")
+        with pytest.raises(ReproError):
+            store.as_of(7)
+
+    def test_current_is_a_copy(self, store):
+        snapshot = store.current
+        snapshot.add_object("intruder")
+        assert "intruder" not in {str(o) for o in store.current.objects()}
+
+    def test_commit_external_base(self, store):
+        external = paper_example_base(bob_salary=9999)
+        revision = store.commit_base(external, tag="import")
+        assert revision.index == 1
+        assert query(store.current, "bob.sal -> S") == [{"S": 9999}]
+
+
+class TestAtomicity:
+    def test_failed_update_leaves_store_untouched(self, store):
+        from repro import parse_program
+
+        bad = parse_program(
+            """
+            m: mod[o].m -> (a, b) <= o.trigger -> yes.
+            d: del[o].m -> a <= o.trigger -> yes.
+            """
+        )
+        store.commit_base(
+            __import__("repro").parse_object_base("o.m -> a. o.trigger -> yes."),
+            tag="staged",
+        )
+        with pytest.raises(ReproError):
+            store.apply(bad, tag="boom")
+        assert store.head.tag == "staged"
+        assert len(store) == 2
+
+
+class TestDiff:
+    def test_diff_directions(self, store):
+        store.apply(paper_example_program(), tag="update")
+        added, removed = store.diff("initial", "update")
+        added_text = {str(f) for f in added}
+        removed_text = {str(f) for f in removed}
+        assert "phil.isa -> hpe" in added_text
+        assert "phil.sal -> 4000" in removed_text
+        assert "bob.isa -> empl" in removed_text
+
+    def test_diff_excludes_exists_by_default(self, store):
+        store.apply(paper_example_program(), tag="update")
+        added, removed = store.diff("initial", "update")
+        assert all(f.method != "exists" for f in added | removed)
+        _added, removed_with = store.diff("initial", "update", include_exists=True)
+        assert any(f.method == "exists" for f in removed_with)  # bob vanished

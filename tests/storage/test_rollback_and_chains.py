@@ -1,0 +1,77 @@
+"""Tests for store rollback and the Figure-1 chain renderer."""
+
+import pytest
+
+from repro import UpdateEngine, query
+from repro.core.errors import VersionLinearityError
+from repro.core.trace import render_version_chains
+from repro.lang.parser import parse_object_base, parse_program
+from repro.storage import VersionedStore
+from repro.workloads import (
+    paper_example_base,
+    paper_example_program,
+    salary_raise_program,
+)
+
+
+class TestRollback:
+    def test_rollback_appends_a_revision(self):
+        store = VersionedStore(paper_example_base(), tag="initial")
+        store.apply(paper_example_program(), tag="update")
+        revision = store.rollback_to("initial")
+        assert len(store) == 3
+        assert revision.tag == "rollback-to-initial"
+        assert query(store.current, "bob.isa -> empl") == [{}]
+
+    def test_history_is_preserved(self):
+        store = VersionedStore(paper_example_base(), tag="initial")
+        store.apply(paper_example_program(), tag="update")
+        store.rollback_to("initial")
+        # the rolled-back state is still in the chain
+        assert query(store.as_of("update"), "bob.isa -> empl") == []
+
+    def test_rollback_then_new_updates(self):
+        store = VersionedStore(paper_example_base(), tag="initial")
+        store.apply(paper_example_program(), tag="update")
+        store.rollback_to(0, tag="undo")
+        store.apply(salary_raise_program(), tag="gentler")
+        salaries = {a["E"]: a["S"] for a in query(store.current, "E.sal -> S")}
+        assert salaries == {
+            "phil": pytest.approx(4400.0),
+            "bob": pytest.approx(4620.0),
+        }
+
+    def test_rollback_target_is_copied(self):
+        store = VersionedStore(paper_example_base(), tag="initial")
+        revision = store.rollback_to("initial")
+        revision.base.add_object("intruder")
+        assert "intruder" not in {str(o) for o in store.as_of("initial").objects()}
+
+
+class TestChainRendering:
+    def test_figure1_style_output(self, engine):
+        result = engine.evaluate(paper_example_program(), paper_example_base())
+        text = render_version_chains(result.result_base)
+        assert "bob: bob => mod(bob) => del(mod(bob))" in text
+        assert "phil: phil => mod(phil) => ins(mod(phil))" in text
+
+    def test_custom_arrow(self, engine):
+        result = engine.evaluate(paper_example_program(), paper_example_base())
+        text = render_version_chains(result.result_base, arrow=" -> ")
+        assert "bob -> mod(bob)" in text
+
+    def test_nonlinear_base_rejected(self, engine):
+        base = parse_object_base("o.m -> a. o.t -> yes.")
+        program = parse_program(
+            """
+            m: mod[o].m -> (a, b) <= o.t -> yes.
+            d: del[o].m -> a <= o.t -> yes.
+            """
+        )
+        outcome = UpdateEngine(check_linearity=False).evaluate(program, base)
+        with pytest.raises(VersionLinearityError):
+            render_version_chains(outcome.result_base)
+
+    def test_untouched_base_renders_single_nodes(self):
+        text = render_version_chains(paper_example_base())
+        assert "bob: bob" in text and "phil: phil" in text

@@ -1,0 +1,66 @@
+"""Serialization round-trip tests (text and JSON)."""
+
+import pytest
+
+from repro.core.errors import TermError
+from repro.core.facts import Fact, exists_fact
+from repro.core.terms import Oid, UpdateKind, wrap
+from repro.storage import (
+    dump_base_json,
+    dump_base_text,
+    load_base_json,
+    load_base_text,
+)
+from repro.workloads import paper_example_base
+
+O = Oid
+
+
+def test_text_round_trip(tmp_path):
+    base = paper_example_base()
+    path = tmp_path / "world.ob"
+    dump_base_text(base, path)
+    assert load_base_text(path) == base
+
+
+def test_text_from_literal_string():
+    base = load_base_text("a.m -> 1.\n")
+    assert Fact(O("a"), "m", (), O(1)) in base
+
+
+def test_json_round_trip_plain():
+    base = paper_example_base()
+    assert load_base_json(dump_base_json(base)) == base
+
+
+def test_json_round_trip_with_versions(tmp_path):
+    # JSON preserves derived versions that text + ensure_exists cannot
+    base = paper_example_base()
+    version = wrap(UpdateKind.MODIFY, O("phil"))
+    base.add(exists_fact(version))
+    base.add(Fact(version, "sal", (), O(4600)))
+
+    path = tmp_path / "result.json"
+    dump_base_json(base, path)
+    loaded = load_base_json(path)
+    assert loaded == base
+    assert loaded.version_exists(version)
+
+
+def test_json_preserves_numeric_types():
+    base = load_base_text("a.m -> 1. a.n -> 1.5.")
+    loaded = load_base_json(dump_base_json(base))
+    values = {f.result.value for f in loaded if f.method in ("m", "n")}
+    assert values == {1, 1.5}
+    assert {type(v) for v in values} == {int, float}
+
+
+def test_json_format_guard():
+    with pytest.raises(TermError):
+        load_base_json('{"format": "something-else", "facts": []}')
+
+
+def test_json_args_round_trip():
+    base = load_base_text("g.dist@a,b -> 7.")
+    loaded = load_base_json(dump_base_json(base))
+    assert Fact(O("g"), "dist", (O("a"), O("b")), O(7)) in loaded

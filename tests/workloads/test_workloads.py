@@ -1,0 +1,117 @@
+"""Tests for the workload generators (shape invariants, determinism)."""
+
+import pytest
+
+from repro import query
+from repro.core.terms import Oid, depth
+from repro.workloads import (
+    enterprise_base,
+    genealogy_base,
+    true_ancestors,
+)
+from repro.workloads.enterprise import EnterpriseConfig
+from repro.workloads.synthetic import (
+    random_datalog_chain_program,
+    random_edge_database,
+    random_insert_program,
+    random_object_base,
+    version_chain_program,
+)
+
+
+class TestEnterprise:
+    def test_deterministic(self):
+        assert enterprise_base(n_employees=30, seed=5) == enterprise_base(
+            n_employees=30, seed=5
+        )
+        assert enterprise_base(n_employees=30, seed=5) != enterprise_base(
+            n_employees=30, seed=6
+        )
+
+    def test_shape(self):
+        base = enterprise_base(n_employees=40, manager_ratio=0.25, seed=1)
+        employees = query(base, "E.isa -> empl")
+        assert len(employees) == 40
+        managers = query(base, "E.pos -> mgr")
+        assert len(managers) == 10
+        # every non-root has a manager boss
+        for answer in query(base, "E.boss -> B"):
+            assert query(base, f"{answer['B']}.pos -> mgr") == [{}]
+
+    def test_salaries_in_range(self):
+        base = enterprise_base(
+            n_employees=30, salary_range=(1000, 2000), overpaid_ratio=0.0, seed=2
+        )
+        for answer in query(base, "E.sal -> S"):
+            assert 1000 <= answer["S"] <= 2000
+
+    def test_overpaid_bait_exists(self):
+        base = enterprise_base(n_employees=60, overpaid_ratio=0.5, seed=3)
+        overpaid = query(base, "E.boss -> B, E.sal -> SE, B.sal -> SB, SE > SB")
+        assert overpaid  # rule 3 has victims
+
+    def test_config_and_overrides_exclusive(self):
+        with pytest.raises(TypeError):
+            enterprise_base(EnterpriseConfig(), n_employees=5)
+
+
+class TestGenealogy:
+    def test_layered_dag(self):
+        base = genealogy_base(generations=3, per_generation=4, seed=1)
+        people = query(base, "P.isa -> person")
+        assert len(people) == 12
+        # parents always come from the elder generation: acyclic by layers
+        truth = true_ancestors(base)
+        for person, ancestors in truth.items():
+            assert person not in ancestors
+
+    def test_true_ancestors_transitive(self):
+        base = genealogy_base(generations=4, per_generation=3, seed=2)
+        truth = true_ancestors(base)
+        parents = {
+            (a["X"], a["P"]) for a in query(base, "X.parents -> P")
+        }
+        for child, parent in parents:
+            assert parent in truth[str(child)]
+            assert truth[str(parent)] <= truth[str(child)]
+
+
+class TestSynthetic:
+    def test_random_base_shape(self):
+        base = random_object_base(n_objects=10, facts_per_object=2, seed=4)
+        assert len(base.objects()) == 10
+
+    def test_insert_program_is_runnable(self):
+        from repro import UpdateEngine
+
+        base = random_object_base(n_objects=5, seed=5)
+        program = random_insert_program(n_rules=3, seed=5)
+        result = UpdateEngine().apply(program, base)
+        assert result.new_base is not None
+
+    @pytest.mark.parametrize("k", [1, 3, 5, 9, 10, 15])
+    def test_version_chain_reaches_depth_k(self, k):
+        from repro import UpdateEngine
+
+        base = random_object_base(n_objects=2, seed=6)
+        result = UpdateEngine().apply(version_chain_program(k), base)
+        depths = {depth(v) for v in result.final_versions.values()}
+        assert depths == {k}
+
+    def test_chain_strata_count(self):
+        from repro import stratify
+
+        program = version_chain_program(8)
+        assert len(stratify(program)) == 8
+
+    def test_edge_database(self):
+        db = random_edge_database(n_nodes=5, n_edges=10, seed=7)
+        assert len(db.rows("edge", 2)) <= 10
+
+    def test_datalog_chain_program_runs(self):
+        from repro.datalog import DatalogEngine
+
+        program = random_datalog_chain_program(n_idb=2, negated_tail=True, seed=8)
+        db = random_edge_database(n_nodes=8, n_edges=12, seed=8)
+        result = DatalogEngine().run(program, db)
+        assert result.rows("p0", 2)
