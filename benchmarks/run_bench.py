@@ -1,0 +1,15 @@
+#!/usr/bin/env python3
+"""Run the P1 scaling sweep and write BENCH_PR1.json.
+
+Equivalent to ``python -m repro bench``; kept next to the pytest benchmarks
+so the perf entry point is easy to find::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_PR1.json]
+"""
+
+import sys
+
+from repro.bench.sweep import main
+
+if __name__ == "__main__":
+    sys.exit(main())

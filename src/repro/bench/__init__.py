@@ -1,5 +1,7 @@
-"""Benchmark support: paper-style tables and small timing helpers."""
+"""Benchmark support: paper-style tables, timing helpers, and the
+machine-readable P1 scaling sweep (``python -m repro bench``)."""
 
 from repro.bench.harness import ExperimentTable, time_callable
+from repro.bench.sweep import run_p1_sweep
 
-__all__ = ["ExperimentTable", "time_callable"]
+__all__ = ["ExperimentTable", "time_callable", "run_p1_sweep"]

@@ -1,0 +1,115 @@
+"""Machine-readable performance sweeps (``python -m repro bench``).
+
+Runs the P1 base-size scaling sweep — the full enterprise update program
+(three strata, all three update kinds) against generated bases of increasing
+size — once per evaluation path (semi-naive delta-driven vs the naive
+reference, ``EvaluationOptions(semi_naive=...)``) in the *same* process, and
+writes the timings as JSON so the performance trajectory of the engine is
+comparable across PRs.  ``benchmarks/run_bench.py`` is a thin wrapper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.engine import UpdateEngine
+from repro.workloads.enterprise import enterprise_base, enterprise_update_program
+
+__all__ = ["run_p1_sweep", "main"]
+
+DEFAULT_SIZES = (25, 100, 400)
+DEFAULT_REPEATS = 5
+DEFAULT_OUT = "BENCH_PR1.json"
+
+
+def _time_apply(engine: UpdateEngine, program, base, repeats: int) -> dict:
+    engine.apply(program, base)  # warm caches (plans, parser, indexes)
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = engine.apply(program, base)
+        times.append(time.perf_counter() - start)
+    return {
+        "best_s": min(times),
+        "mean_s": sum(times) / len(times),
+        "repeats": repeats,
+        "result_facts": len(result.result_base),
+        "new_base_facts": len(result.new_base),
+    }
+
+
+def run_p1_sweep(
+    sizes: tuple[int, ...] = DEFAULT_SIZES, repeats: int = DEFAULT_REPEATS
+) -> dict:
+    """Time ``UpdateEngine.apply`` for both evaluation paths per size.
+
+    Returns a JSON-ready document with per-(size, mode) timings and the
+    naive/semi-naive speedup per size; also asserts both paths produce the
+    same result base (a cheap always-on differential check).
+    """
+    program = enterprise_update_program(hpe_threshold=4000)
+    semi = UpdateEngine()
+    naive = UpdateEngine(semi_naive=False)
+
+    results = []
+    speedups = {}
+    for size in sizes:
+        base = enterprise_base(n_employees=size, overpaid_ratio=0.1, seed=21)
+        fast_outcome = semi.apply(program, base)
+        naive_outcome = naive.apply(program, base)
+        if fast_outcome.result_base != naive_outcome.result_base:
+            raise AssertionError(
+                f"semi-naive and naive results diverge at n={size}"
+            )
+        fast = _time_apply(semi, program, base, repeats)
+        slow = _time_apply(naive, program, base, repeats)
+        results.append({"n_employees": size, "mode": "semi_naive", **fast})
+        results.append({"n_employees": size, "mode": "naive", **slow})
+        speedups[str(size)] = slow["best_s"] / fast["best_s"]
+
+    return {
+        "benchmark": "p1_base_size_sweep",
+        "program": "enterprise-update (rules 1-4, hpe threshold 4000)",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "sizes": list(sizes),
+        "results": results,
+        "speedup_naive_over_semi_naive": speedups,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench", description="run the P1 scaling sweep"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path(DEFAULT_OUT),
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES)
+    )
+    arguments = parser.parse_args(argv)
+
+    document = run_p1_sweep(tuple(arguments.sizes), arguments.repeats)
+    arguments.out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    for entry in document["results"]:
+        print(
+            f"n={entry['n_employees']:>5}  {entry['mode']:>10}  "
+            f"best {entry['best_s'] * 1000:8.2f} ms   "
+            f"mean {entry['mean_s'] * 1000:8.2f} ms"
+        )
+    for size, ratio in document["speedup_naive_over_semi_naive"].items():
+        print(f"speedup n={size}: {ratio:.2f}x")
+    print(f"wrote {arguments.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

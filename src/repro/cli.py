@@ -6,6 +6,7 @@ Usage (installed as ``repro-updates``, also ``python -m repro``)::
     repro-updates stratify --program update.upd [--conditions abcd]
     repro-updates check --program update.upd
     repro-updates query --base world.ob "E.isa -> empl, E.sal -> S"
+    repro-updates bench [--out BENCH_PR1.json] [--sizes 25 100 400]
 
 ``apply`` prints the new object base (``ob'``) to stdout, or writes it with
 ``--out``; ``--result-base`` dumps ``result(P)`` with all versions instead.
@@ -86,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
     query_cmd = commands.add_parser("query", help="answer a conjunctive query")
     query_cmd.add_argument("--base", required=True, type=Path)
     query_cmd.add_argument("body", help="query text, e.g. 'E.isa -> empl'")
+
+    from repro.bench.sweep import DEFAULT_OUT, DEFAULT_REPEATS, DEFAULT_SIZES
+
+    bench_cmd = commands.add_parser(
+        "bench",
+        help="run the P1 scaling sweep (semi-naive vs naive) and write JSON",
+    )
+    bench_cmd.add_argument("--out", type=Path, default=Path(DEFAULT_OUT))
+    bench_cmd.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    bench_cmd.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
 
     return parser
 
@@ -180,11 +191,20 @@ def _cmd_query(arguments) -> int:
     return 0
 
 
+def _cmd_bench(arguments) -> int:
+    from repro.bench.sweep import main as bench_main
+
+    argv = ["--out", str(arguments.out), "--repeats", str(arguments.repeats)]
+    argv += ["--sizes", *(str(s) for s in arguments.sizes)]
+    return bench_main(argv)
+
+
 _HANDLERS = {
     "apply": _cmd_apply,
     "stratify": _cmd_stratify,
     "check": _cmd_check,
     "query": _cmd_query,
+    "bench": _cmd_bench,
 }
 
 

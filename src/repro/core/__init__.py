@@ -38,7 +38,7 @@ from repro.core.linearity import (
     final_versions,
 )
 from repro.core.newbase import build_new_base
-from repro.core.objectbase import ObjectBase
+from repro.core.objectbase import Delta, ObjectBase
 from repro.core.rules import UpdateProgram, UpdateRule
 from repro.core.safety import check_program_safety, check_rule_safety, is_safe
 from repro.core.stratification import Stratification, precedence_edges, stratify
@@ -69,7 +69,7 @@ __all__ = [
     "UpdateRule", "UpdateProgram",
     "check_rule_safety", "check_program_safety", "is_safe",
     # object base & semantics
-    "ObjectBase", "tp_step", "apply_tp", "TPResult",
+    "ObjectBase", "Delta", "tp_step", "apply_tp", "TPResult",
     # stratification & evaluation
     "Stratification", "stratify", "precedence_edges",
     "evaluate", "EvaluationOptions", "EvaluationOutcome", "EvaluationTrace",

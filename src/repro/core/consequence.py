@@ -29,9 +29,10 @@ from typing import Iterable
 
 from repro.core.atoms import UpdateAtom
 from repro.core.errors import EvaluationError
-from repro.core.facts import Fact, exists_fact
-from repro.core.grounding import match_rule
-from repro.core.objectbase import ObjectBase
+from repro.core.facts import EXISTS, Fact, exists_fact
+from repro.core.grounding import match_rule, match_rule_dynamic, match_rule_seeded
+from repro.core.objectbase import Delta, ObjectBase
+from repro.core.plans import SEED, SKIP, classify, rule_plan
 from repro.core.rules import UpdateRule
 from repro.core.terms import Oid, UpdateKind, VersionId
 from repro.core.truth import update_atom_true_in_head
@@ -129,6 +130,8 @@ def tp_step(
     match_base: ObjectBase | None = None,
     create_missing_objects: bool = False,
     collect_fired: bool = False,
+    delta: Delta | None = None,
+    use_plans: bool = True,
 ) -> TPResult:
     """One application of ``T_P`` for the given rules against ``base``.
 
@@ -142,14 +145,41 @@ def tp_step(
     ``base``.  The derived-methods extension (:mod:`repro.ext.derived`)
     passes a superset of ``base`` enriched with view facts here, so rules
     can *read* derived methods without the copies ever *storing* them.
+
+    ``delta`` — the structured change of the previous ``apply_tp`` on the
+    same stratum.  When given (and ``match_base`` is not in play — view
+    overlays are recomputed wholesale, so their deltas are not tracked),
+    step 1 runs semi-naively: each rule is classified against the delta by
+    its dependency signature and is skipped, re-matched only from the new
+    facts its seed literals can read, or re-matched in full.  Skipped and
+    seeded rules rely on the self-copy of step 2: a state transition already
+    applied to an active version persists under re-substitution, so
+    re-deriving an old instance is idempotent and only *new* instances
+    matter.
+
+    ``use_plans=False`` selects the original dynamic-ordering matcher for
+    every rule — the naive reference path.
     """
     pending = PendingUpdates()
     fired: list[FiredInstance] = []
     reading = base if match_base is None else match_base
+    restricted = delta is not None and match_base is None and use_plans
 
     # ---- step 1: T¹ — the set of true ground heads -----------------------
     for rule in rules:
-        for binding in match_rule(rule, reading):
+        if restricted:
+            mode, positions = classify(rule_plan(rule).signature, delta)
+            if mode == SKIP:
+                continue
+            if mode == SEED:
+                bindings = match_rule_seeded(rule, reading, delta, positions)
+            else:
+                bindings = match_rule(rule, reading)
+        elif use_plans:
+            bindings = match_rule(rule, reading)
+        else:
+            bindings = match_rule_dynamic(rule, reading)
+        for binding in bindings:
             head = rule.head.substitute(binding)
             if not head.is_ground():
                 raise EvaluationError(
@@ -188,16 +218,20 @@ def tp_step(
     return TPResult(pending, new_states, fired, copies)
 
 
-def apply_tp(base: ObjectBase, result: TPResult) -> bool:
+def apply_tp(base: ObjectBase, result: TPResult) -> Delta:
     """Substitute the recomputed states into ``base`` (DESIGN.md D1).
 
-    Returns True when the base changed — the stratum's fixpoint test.
+    Returns the :class:`~repro.core.objectbase.Delta` of facts that entered
+    and left the base — truthy exactly when the base changed, so it still
+    works as the stratum's fixpoint test, and it feeds the semi-naive rule
+    classification of the next ``tp_step``.
     """
-    changed = False
+    delta = Delta()
     for version, state in result.new_states.items():
-        if base.replace_state(version, state):
-            changed = True
-    return changed
+        added, removed = base.replace_state_diff(version, state)
+        if added or removed:
+            delta.record(added, removed)
+    return delta
 
 
 # ----------------------------------------------------------------------
@@ -219,7 +253,8 @@ def _expand_delete_all(base: ObjectBase, head: UpdateAtom) -> list[UpdateAtom]:
             fact.args,
             fact.result,
         )
-        for fact in base.method_applications(v_star)
+        for fact in base.iter_state_of(v_star)
+        if fact.method != EXISTS
     ]
 
 
@@ -232,7 +267,7 @@ def _copy_state(
     copied from themselves; fresh versions take the applications of ``v*``
     as defaults, re-hosted onto the new VID.  Returns ``(state, was_fresh_copy)``.
     """
-    existing = base.state_of(version)
+    existing = base.iter_state_of(version)
     if existing:
         return set(existing), False
     v_star = base.v_star(version.base)
@@ -244,7 +279,7 @@ def _copy_state(
     return (
         {
             Fact(version, fact.method, fact.args, fact.result)
-            for fact in base.state_of(v_star)
+            for fact in base.iter_state_of(v_star)
         },
         True,
     )

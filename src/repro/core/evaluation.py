@@ -1,11 +1,23 @@
 """Bottom-up evaluation — Section 4 of the paper.
 
 Evaluation proceeds stratum by stratum: within a stratum, ``T_P`` is applied
-repeatedly (each application recomputes ``T¹`` from scratch and substitutes
-the recomputed version states, DESIGN.md D1) until the object base stops
-changing; the result of the lower strata is the input of the next.  For
-programs satisfying conditions (a)-(d) the per-stratum head set grows
-monotonically, so this terminates in a fixpoint — ``result(P)``.
+repeatedly (substituting the recomputed version states, DESIGN.md D1) until
+the object base stops changing; the result of the lower strata is the input
+of the next.  For programs satisfying conditions (a)-(d) the per-stratum
+head set grows monotonically, so this terminates in a fixpoint —
+``result(P)``.
+
+By default the fixpoint is **semi-naive**: ``apply_tp`` reports a structured
+:class:`~repro.core.objectbase.Delta` of added/removed facts, and from the
+second iteration of a stratum onward each rule is classified against that
+delta by its precompiled dependency signature (:mod:`repro.core.plans`) —
+rules that cannot read anything that changed are skipped, rules whose only
+exposure is a positive version-term are re-matched starting from the new
+facts, and everything else is re-matched in full.  The per-iteration cost is
+thus proportional to the size of the change, not of the base.
+``EvaluationOptions(semi_naive=False)`` restores the original behaviour
+(recompute ``T¹`` from scratch with the dynamic-ordering matcher each
+iteration); the two paths are differentially tested against each other.
 
 The version-linearity check of Section 5 runs incrementally during
 evaluation (the paper: "its realization seems to be not expensive"; E7
@@ -49,6 +61,13 @@ class EvaluationOptions:
         Belt-and-braces termination guard on the functor depth of created
         versions (safe programs bound it by construction; the Section 6
         VID-variable extension and ``create_missing_objects`` loops do not).
+    semi_naive:
+        Delta-driven fixpoint with precompiled join plans (the default).
+        ``False`` selects the naive reference path: every iteration
+        re-matches every rule of the stratum against the whole base with
+        the dynamic-ordering matcher.  Both paths compute the same
+        ``result(P)``, fire the same rule-instance sets and reach the same
+        linearity verdicts — only the work per iteration differs.
     """
 
     max_iterations_per_stratum: int = 10_000
@@ -58,6 +77,7 @@ class EvaluationOptions:
     collect_trace: bool = False
     collect_snapshots: bool = False
     max_version_depth: int | None = None
+    semi_naive: bool = True
 
 
 @dataclass
@@ -111,6 +131,7 @@ def evaluate(
                 stratum_index, tuple(rule.name for rule in stratum)
             )
         iteration = 0
+        delta = None  # None = first iteration of the stratum: match in full
         while True:
             iteration += 1
             total_iterations += 1
@@ -123,6 +144,8 @@ def evaluate(
                 working,
                 create_missing_objects=options.create_missing_objects,
                 collect_fired=options.collect_trace,
+                delta=delta,
+                use_plans=options.semi_naive,
             )
             if options.max_version_depth is not None:
                 for version in step.new_versions:
@@ -136,7 +159,10 @@ def evaluate(
                 if not working.version_exists(version)
                 and not working.state_of(version)
             ]
-            changed = apply_tp(working, step)
+            new_delta = apply_tp(working, step)
+            changed = bool(new_delta)
+            if options.semi_naive:
+                delta = new_delta
             if options.check_linearity:
                 for version in sorted(fresh, key=str):
                     tracker.observe(version)
@@ -148,7 +174,9 @@ def evaluate(
                         tuple(sorted(fresh, key=str)),
                         changed,
                         step.copies,
-                        working.copy() if options.collect_snapshots else None,
+                        working.copy(lazy_indexes=True)
+                        if options.collect_snapshots
+                        else None,
                     )
                 )
             if not changed:

@@ -5,13 +5,15 @@ A ground version-term ``v.m@a1,...,ak -> r`` states that applying method
 (Section 2.1).  An *object base* is a set of such facts; the *state* of a
 version is the set of its method-applications in the base.
 
-Facts are plain named tuples: they are created in very large numbers during
-bottom-up evaluation, so a lightweight, hash-friendly representation matters.
+Facts live in sets and hash indexes and are created in very large numbers
+during bottom-up evaluation, so a lightweight representation matters.  The
+hash is computed once at construction (hashing a fact recurses through its
+host's version-id chain, and every set operation would otherwise redo that
+walk) and equality compares the cheap discriminating fields first.  Facts
+are immutable by convention: never assign to their attributes.
 """
 
 from __future__ import annotations
-
-from typing import NamedTuple
 
 from repro.core.errors import TermError
 from repro.core.terms import Oid, Term, is_ground, object_of
@@ -24,7 +26,7 @@ __all__ = ["EXISTS", "Fact", "make_fact", "exists_fact", "method_key"]
 EXISTS = "exists"
 
 
-class Fact(NamedTuple):
+class Fact:
     """A ground version-term ``host.method@args -> result``.
 
     Attributes
@@ -42,10 +44,38 @@ class Fact(NamedTuple):
         versions are update-process-local.
     """
 
-    host: Term
-    method: str
-    args: tuple[Oid, ...]
-    result: Oid
+    __slots__ = ("host", "method", "args", "result", "_hash")
+
+    def __init__(
+        self, host: Term, method: str, args: tuple[Oid, ...], result: Oid
+    ) -> None:
+        self.host = host
+        self.method = method
+        self.args = args
+        self.result = result
+        self._hash = hash((host, method, args, result))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Fact):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.method == other.method
+            and self.result == other.result
+            and self.args == other.args
+            and self.host == other.host
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Fact({self.host!r}, {self.method!r}, "
+            f"{self.args!r}, {self.result!r})"
+        )
 
     def __str__(self) -> str:
         arg_str = f"@{','.join(str(a) for a in self.args)}" if self.args else ""

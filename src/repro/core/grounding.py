@@ -4,7 +4,7 @@ This is the join engine behind step 1 of the ``T_P`` operator.  Given a rule
 and an object base it enumerates every substitution (variables to OIDs) that
 makes all body literals true.
 
-Strategy — a backtracking search with dynamic literal ordering:
+Strategy — a backtracking search over a literal ordering:
 
 1. literals that are already ground act as *filters* and are checked first
    (cheapest pruning);
@@ -15,22 +15,43 @@ Strategy — a backtracking search with dynamic literal ordering:
    base indexes;
 4. negated literals and comparisons wait until they are ground.
 
+The ordering decisions depend only on which variables are bound, so they are
+precompiled once per body into a :class:`~repro.core.plans.JoinPlan` and the
+default matcher just walks the plan (:func:`match_rule` / :func:`match_body`).
+The original per-node dynamic chooser is kept, byte for byte, as
+:func:`match_rule_dynamic` — the fallback for bodies the planner cannot
+order statically, and the reference implementation the semi-naive engine is
+differentially tested against.  :func:`match_rule_seeded` is the
+delta-restricted variant: it grows bindings outward from the facts added by
+the previous ``T_P`` application instead of re-joining the whole base.
+
 Every complete assignment is re-verified against the authoritative truth
-functions of :mod:`repro.core.truth`, so the index-driven generators can only
-affect speed, never semantics.  A brute-force reference matcher that
-enumerates the active domain is provided for differential testing.
+functions of :mod:`repro.core.truth`, so the index-driven generators and the
+precompiled plans can only affect speed, never semantics.  A brute-force
+reference matcher that enumerates the active domain is provided for
+differential testing.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import product
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.core.atoms import BuiltinAtom, Literal, UpdateAtom, VersionAtom
 from repro.core.errors import BuiltinError, EvaluationError
 from repro.core.exprs import evaluate_expr, expr_variables
 from repro.core.facts import Fact
 from repro.core.objectbase import ObjectBase
+from repro.core.plans import (
+    BINDER,
+    FILTER,
+    JoinPlan,
+    compile_plan,
+    rule_plan,
+    seed_facts,
+    var_sort_key,
+)
 from repro.core.rules import UpdateRule
 from repro.core.terms import (
     Oid,
@@ -44,7 +65,16 @@ from repro.core.truth import literal_true
 from repro.unify.substitution import apply_term
 from repro.unify.unification import match_term
 
-__all__ = ["match_rule", "match_body", "match_rule_bruteforce"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.objectbase import Delta
+
+__all__ = [
+    "match_rule",
+    "match_body",
+    "match_rule_dynamic",
+    "match_rule_seeded",
+    "match_rule_bruteforce",
+]
 
 Binding = dict[Var, Oid]
 
@@ -55,13 +85,20 @@ def match_rule(rule: UpdateRule, base: ObjectBase) -> Iterator[Binding]:
     Substitutions are restricted to the rule's variables and yielded at most
     once each.  Built-in type errors (e.g. arithmetic on a symbolic OID)
     fail the candidate instead of raising (DESIGN.md D6).
+
+    Uses the precompiled join plan of the rule; yielded dicts are fresh per
+    answer and safe to keep, but callers must not mutate the base while the
+    iterator is live.
     """
-    return match_body(rule.body, base, rule_name=rule.name)
+    plan = rule_plan(rule).full_plan
+    if plan is None:
+        return match_rule_dynamic(rule, base)
+    return _match_planned(plan, base)
 
 
-#: A body literal paired with its (precomputed) variable set — computing
-#: ``atom.variables`` per search step dominated the matcher's profile.
-_AnnotatedLiteral = tuple[Literal, frozenset[Var]]
+@lru_cache(maxsize=4096)
+def _body_plan(body: tuple[Literal, ...]) -> JoinPlan | None:
+    return compile_plan(body)
 
 
 def match_body(
@@ -71,6 +108,151 @@ def match_body(
     rule_name: str = "<body>",
 ) -> Iterator[Binding]:
     """Like :func:`match_rule` for a bare body (used by the query API)."""
+    plan = _body_plan(tuple(body))
+    if plan is None:
+        return match_body_dynamic(body, base, rule_name=rule_name)
+    return _match_planned(plan, base)
+
+
+# ----------------------------------------------------------------------
+# planned search (the default engine)
+# ----------------------------------------------------------------------
+
+
+def _match_planned(plan: JoinPlan, base: ObjectBase) -> Iterator[Binding]:
+    results = _search_planned(plan.steps, 0, {}, base)
+    if plan.generator_count <= 1:
+        # At most one generator: two distinct generated facts always bind
+        # some variable differently (every differing fact position is either
+        # a variable or a constant of the atom), so duplicates are
+        # impossible and the dedup bookkeeping is pure overhead.
+        yield from results
+        return
+    seen: set[tuple] = set()
+    key_vars = plan.key_vars
+    for binding in results:
+        key = tuple(binding[v] for v in key_vars)
+        if key not in seen:
+            seen.add(key)
+            yield binding
+
+
+def _search_planned(
+    steps: tuple, index: int, binding: Binding, base: ObjectBase
+) -> Iterator[Binding]:
+    """Walk the plan: filters and binders advance in place, generators are
+    the only branch points."""
+    n = len(steps)
+    while index < n:
+        step = steps[index]
+        action = step.action
+        if action == FILTER:
+            if not _check_ground(step.literal, binding, base):
+                return
+            index += 1
+        elif action == BINDER:
+            extension = _bind_equality(step.literal.atom, binding)
+            if extension is None:
+                return
+            binding = extension
+            index += 1
+        else:  # GENERATE
+            literal = step.literal
+            index += 1
+            if step.verify:
+                for extension in _generate(literal, binding, base):
+                    # Re-verify with the authoritative semantics.
+                    if _check_ground(literal, extension, base):
+                        yield from _search_planned(steps, index, extension, base)
+            else:
+                # Exact generator (see plans.PlanStep.verify).
+                for extension in _generate(literal, binding, base):
+                    yield from _search_planned(steps, index, extension, base)
+            return
+    yield binding
+
+
+# ----------------------------------------------------------------------
+# delta-restricted (seeded) matching
+# ----------------------------------------------------------------------
+
+
+def match_rule_seeded(
+    rule: UpdateRule,
+    base: ObjectBase,
+    delta: "Delta",
+    positions: tuple[int, ...],
+) -> Iterator[Binding]:
+    """Semi-naive matching: every yielded binding has at least one seed
+    literal matching a fact *added* by the previous ``T_P`` application.
+
+    Only sound when :func:`repro.core.plans.classify` returned these seed
+    positions — i.e. when every other way the rule could newly fire has
+    been ruled out by its dependency signature.
+    """
+    plans = rule_plan(rule)
+    signature = plans.signature
+    seen: set[tuple] = set()
+    dynamic_rest: list | None = None
+    dynamic_key_vars: tuple[Var, ...] | None = None
+    for position in positions:
+        atom = rule.body[position].atom  # a positive VersionAtom
+        facts = seed_facts(delta, signature, position)
+        if not facts:
+            continue
+        plan = plans.seed_plan(position)
+        for fact in facts:
+            seeded = match_term(atom.host, fact.host)
+            if seeded is None:
+                continue
+            seeded = _match_application(atom.args, atom.result, fact, seeded)
+            if seeded is None:
+                continue
+            if plan is not None:
+                results = _search_planned(plan.steps, 0, seeded, base)
+                key_vars = plan.key_vars
+            else:
+                if dynamic_rest is None:
+                    dynamic_rest = [
+                        (literal, literal.variables)
+                        for i, literal in enumerate(rule.body)
+                        if i != position
+                    ]
+                    names: set[Var] = set()
+                    for literal in rule.body:
+                        names |= literal.variables
+                    dynamic_key_vars = tuple(sorted(names, key=var_sort_key))
+                results = _search(dynamic_rest, seeded, base, rule.name)
+                key_vars = dynamic_key_vars
+            for binding in results:
+                key = tuple(binding[v] for v in key_vars)
+                if key not in seen:
+                    seen.add(key)
+                    yield binding
+
+
+# ----------------------------------------------------------------------
+# dynamic reference matcher (fallback + differential baseline)
+# ----------------------------------------------------------------------
+
+
+#: A body literal paired with its (precomputed) variable set — computing
+#: ``atom.variables`` per search step dominated the matcher's profile.
+_AnnotatedLiteral = tuple[Literal, frozenset[Var]]
+
+
+def match_rule_dynamic(rule: UpdateRule, base: ObjectBase) -> Iterator[Binding]:
+    """The original per-node dynamic-ordering matcher (the naive reference
+    path, ``EvaluationOptions(semi_naive=False)``)."""
+    return match_body_dynamic(rule.body, base, rule_name=rule.name)
+
+
+def match_body_dynamic(
+    body: tuple[Literal, ...],
+    base: ObjectBase,
+    *,
+    rule_name: str = "<body>",
+) -> Iterator[Binding]:
     seen: set[frozenset] = set()
     annotated = [(literal, literal.variables) for literal in body]
     for binding in _search(annotated, {}, base, rule_name):
@@ -192,7 +374,11 @@ def _check_ground(literal: Literal, binding: Binding, base: ObjectBase) -> bool:
         # build the fact directly instead of substituting the atom (the
         # constructor validation dominated the matcher profile).  The
         # authoritative form lives in truth.version_atom_true.
-        host = apply_term(atom.host, binding)
+        pattern = atom.host
+        if type(pattern) is Var:
+            host = binding.get(pattern, pattern)
+        else:
+            host = apply_term(pattern, binding)
         args = tuple(
             binding[a] if isinstance(a, Var) else a for a in atom.args
         )
@@ -272,13 +458,22 @@ def _match_position(pattern: Term, value: Oid, binding: Binding) -> Binding | No
 
 def _host_candidates(
     pattern: Term, binding: Binding, method: str, arity: int, base: ObjectBase
-) -> Iterator[Fact]:
-    """Facts possibly matching ``pattern.method@...`` under ``binding``."""
+):
+    """Facts possibly matching ``pattern.method@...`` under ``binding``.
+
+    Returns the live index sets (no defensive copy — the matcher never
+    mutates the base while a search is in flight)."""
+    if type(pattern) is Var:
+        # Matcher bindings map plain variables straight to ground OIDs, so
+        # the generic term rewriting can be skipped on the hottest shape.
+        concrete = binding.get(pattern)
+        if concrete is not None:
+            return base.iter_facts_by_host_method(concrete, method, arity)
+        return base.iter_facts_by_method(method, arity)
     concrete = apply_term(pattern, binding)
     if is_ground(concrete):
-        yield from base.facts_by_host_method(concrete, method, arity)
-    else:
-        yield from base.facts_by_method(method, arity)
+        return base.iter_facts_by_host_method(concrete, method, arity)
+    return base.iter_facts_by_method(method, arity)
 
 
 def _generate_version_atom(
@@ -321,7 +516,7 @@ def _generate_update_atom(
     # kind(v); enumerate those from the exists map, then read the old value
     # from v* and (for mod) the new value from the new version's state.
     new_pattern = atom.new_version()
-    for version in base.existing_versions():
+    for version in base.iter_existing_versions():
         host_binding = match_term(new_pattern, version, binding)
         if host_binding is None:
             continue
@@ -329,7 +524,7 @@ def _generate_update_atom(
         v_star = base.v_star(target)
         if v_star is None:
             continue
-        for old_fact in base.facts_by_host_method(v_star, atom.method, arity):
+        for old_fact in base.iter_facts_by_host_method(v_star, atom.method, arity):
             old_binding = _match_application(
                 atom.args, atom.result, old_fact, host_binding
             )
@@ -348,7 +543,7 @@ def _generate_update_atom(
             if result2 is not None:
                 yield old_binding  # result2 already pinned; verification decides
                 continue
-            for new_fact in base.facts_by_host_method(version, atom.method, arity):
+            for new_fact in base.iter_facts_by_host_method(version, atom.method, arity):
                 if new_fact.args != old_fact.args:
                     continue
                 extension = _match_position(atom.result2, new_fact.result, old_binding)

@@ -33,16 +33,16 @@ def build_new_base(
     if finals is None:
         finals = final_versions(result_base)
 
-    new_base = ObjectBase()
+    facts: set[Fact] = set()
     for owner, final in finals.items():
         survived = False
-        for fact in result_base.state_of(final):
+        for fact in result_base.iter_state_of(final):
             if fact.method == EXISTS:
                 continue
-            new_base.add(Fact(owner, fact.method, fact.args, fact.result))
+            facts.add(Fact(owner, fact.method, fact.args, fact.result))
             survived = True
         if survived:
-            new_base.add(exists_fact(owner))
+            facts.add(exists_fact(owner))
         # An object whose final version holds only `exists` vanished
         # entirely (Section 5's closing remark): no trace of it in ob'.
-    return new_base
+    return ObjectBase.from_fact_set(facts)

@@ -21,29 +21,152 @@ from typing import Iterable, Iterator, Mapping
 
 from repro.core.errors import TermError
 from repro.core.facts import EXISTS, Fact, exists_fact, make_fact
-from repro.core.terms import Oid, Term, VersionId, is_ground, object_of, subterms
+from repro.core.terms import (
+    Oid,
+    Term,
+    VersionId,
+    is_ground,
+    kind_chain,
+    object_of,
+    subterms,
+)
 
-__all__ = ["ObjectBase"]
+__all__ = ["ObjectBase", "Delta"]
+
+#: The access-path vocabulary of the engine: a ``(method, arity)`` pair.
+MethodKey = tuple[str, int]
+
+#: The update-functor chain of a host, outermost first (``terms.kind_chain``).
+Shape = tuple[str, ...]
+
+
+class Delta:
+    """The structured outcome of one ``apply_tp``: which facts entered and
+    left the base.
+
+    This is what makes semi-naive evaluation possible: instead of a bare
+    ``changed`` bool, the fixpoint loop learns *what* changed, and the rule
+    dependency index (:mod:`repro.core.plans`) uses the ``(method, arity)``
+    keys and host shapes of the delta to decide which rules can possibly
+    derive anything new.
+
+    Truthiness is "did the base change", so legacy ``if not apply_tp(...)``
+    call sites keep working unchanged.
+    """
+
+    __slots__ = (
+        "added",
+        "removed",
+        "_added_index",
+        "_removed_index",
+        "_added_shapes",
+        "_removed_shapes",
+    )
+
+    def __init__(self) -> None:
+        self.added: list[Fact] = []
+        self.removed: list[Fact] = []
+        self._added_index: dict[MethodKey, dict[Shape, list[Fact]]] | None = None
+        self._removed_index: dict[MethodKey, set[Shape]] | None = None
+        self._added_shapes: set[Shape] | None = None
+        self._removed_shapes: set[Shape] | None = None
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Delta(+{len(self.added)}, -{len(self.removed)})"
+
+    def record(self, added: Iterable[Fact], removed: Iterable[Fact]) -> None:
+        """Accumulate one version's state diff (invalidates the indexes)."""
+        self.added.extend(added)
+        self.removed.extend(removed)
+        self._added_index = None
+        self._removed_index = None
+        self._added_shapes = None
+        self._removed_shapes = None
+
+    # -- indexes for the dependency check --------------------------------
+    def added_index(self) -> dict[MethodKey, dict[Shape, list[Fact]]]:
+        """Added facts grouped by ``(method, arity)`` then host shape."""
+        if self._added_index is None:
+            index: dict[MethodKey, dict[Shape, list[Fact]]] = {}
+            for fact in self.added:
+                key = (fact.method, len(fact.args))
+                index.setdefault(key, {}).setdefault(
+                    kind_chain(fact.host), []
+                ).append(fact)
+            self._added_index = index
+        return self._added_index
+
+    def removed_index(self) -> dict[MethodKey, set[Shape]]:
+        """Host shapes of removed facts per ``(method, arity)`` key."""
+        if self._removed_index is None:
+            index: dict[MethodKey, set[Shape]] = {}
+            for fact in self.removed:
+                key = (fact.method, len(fact.args))
+                index.setdefault(key, set()).add(kind_chain(fact.host))
+            self._removed_index = index
+        return self._removed_index
+
+    def added_shapes(self) -> set[Shape]:
+        """All host shapes with at least one added fact (any method key)."""
+        if self._added_shapes is None:
+            self._added_shapes = {kind_chain(fact.host) for fact in self.added}
+        return self._added_shapes
+
+    def removed_shapes(self) -> set[Shape]:
+        """All host shapes with at least one removed fact (any method key)."""
+        if self._removed_shapes is None:
+            self._removed_shapes = {kind_chain(fact.host) for fact in self.removed}
+        return self._removed_shapes
 
 
 class ObjectBase:
     """A mutable set of facts with the indexes the engine needs.
 
     The public surface treats the base as a set of :class:`Fact`; mutation
-    keeps all indexes synchronous.  ``copy()`` is cheap-ish (dict/set copies)
-    and used by the evaluator to snapshot strata for traces.
+    keeps all indexes synchronous.  ``copy()`` is cheap-ish (dict/set
+    copies); ``copy(lazy_indexes=True)`` copies only the fact set and
+    rebuilds the four indexes on first use — the evaluator's per-iteration
+    snapshot path uses it so that tracing with ``collect_snapshots`` costs
+    one set copy per iteration instead of five.
     """
 
     __slots__ = ("_facts", "_by_method", "_by_host", "_by_host_method", "_exists")
 
     def __init__(self, facts: Iterable[Fact] = ()):
         self._facts: set[Fact] = set()
-        self._by_method: dict[tuple[str, int], set[Fact]] = {}
-        self._by_host: dict[Term, set[Fact]] = {}
-        self._by_host_method: dict[tuple[Term, str, int], set[Fact]] = {}
-        self._exists: dict[Term, Oid] = {}
+        self._by_method: dict[tuple[str, int], set[Fact]] | None = {}
+        self._by_host: dict[Term, set[Fact]] | None = {}
+        self._by_host_method: dict[tuple[Term, str, int], set[Fact]] | None = {}
+        self._exists: dict[Term, Oid] | None = {}
         for fact in facts:
             self.add(fact)
+
+    # ------------------------------------------------------------------
+    # index lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_indexes(self) -> None:
+        if self._by_method is None:
+            self._build_indexes()
+
+    def _build_indexes(self) -> None:
+        by_method: dict[tuple[str, int], set[Fact]] = {}
+        by_host: dict[Term, set[Fact]] = {}
+        by_host_method: dict[tuple[Term, str, int], set[Fact]] = {}
+        exists: dict[Term, Oid] = {}
+        for fact in self._facts:
+            mkey = (fact.method, len(fact.args))
+            by_method.setdefault(mkey, set()).add(fact)
+            by_host.setdefault(fact.host, set()).add(fact)
+            by_host_method.setdefault((fact.host, *mkey), set()).add(fact)
+            if fact.method == EXISTS and not fact.args:
+                exists[fact.host] = fact.result
+        self._by_method = by_method
+        self._by_host = by_host
+        self._by_host_method = by_host_method
+        self._exists = exists
 
     # ------------------------------------------------------------------
     # constructors
@@ -79,14 +202,41 @@ class ObjectBase:
             base.ensure_exists()
         return base
 
-    def copy(self) -> "ObjectBase":
-        """An independent copy sharing no mutable state."""
+    @classmethod
+    def from_fact_set(cls, facts: set[Fact]) -> "ObjectBase":
+        """Adopt an already-validated set of ground facts without building
+        indexes (they are rebuilt on first indexed access).  Internal fast
+        path for bulk construction — the caller must not reuse ``facts``.
+        """
+        base = cls.__new__(cls)
+        base._facts = facts
+        base._by_method = None
+        base._by_host = None
+        base._by_host_method = None
+        base._exists = None
+        return base
+
+    def copy(self, *, lazy_indexes: bool = False) -> "ObjectBase":
+        """An independent copy sharing no mutable state.
+
+        With ``lazy_indexes=True`` (or when this base itself is still
+        lazy) only the fact set is copied; the indexes are rebuilt from it
+        the first time an indexed access path is used.
+        """
         clone = ObjectBase.__new__(ObjectBase)
         clone._facts = set(self._facts)
-        clone._by_method = {k: set(v) for k, v in self._by_method.items()}
-        clone._by_host = {k: set(v) for k, v in self._by_host.items()}
-        clone._by_host_method = {k: set(v) for k, v in self._by_host_method.items()}
-        clone._exists = dict(self._exists)
+        if lazy_indexes or self._by_method is None:
+            clone._by_method = None
+            clone._by_host = None
+            clone._by_host_method = None
+            clone._exists = None
+        else:
+            clone._by_method = {k: set(v) for k, v in self._by_method.items()}
+            clone._by_host = {k: set(v) for k, v in self._by_host.items()}
+            clone._by_host_method = {
+                k: set(v) for k, v in self._by_host_method.items()
+            }
+            clone._exists = dict(self._exists)
         return clone
 
     # ------------------------------------------------------------------
@@ -107,7 +257,8 @@ class ObjectBase:
         return NotImplemented
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ObjectBase({len(self._facts)} facts, {len(self._exists)} versions)"
+        versions = "?" if self._exists is None else len(self._exists)
+        return f"ObjectBase({len(self._facts)} facts, {versions} versions)"
 
     # ------------------------------------------------------------------
     # mutation
@@ -116,21 +267,35 @@ class ObjectBase:
         """Insert ``fact``; returns True when the base changed."""
         if fact in self._facts:
             return False
-        if not is_ground(fact.host):
+        host = fact.host
+        if not is_ground(host):
             raise TermError(f"object bases hold ground facts only, got {fact}")
+        self._ensure_indexes()
         self._facts.add(fact)
-        mkey = (fact.method, len(fact.args))
-        self._by_method.setdefault(mkey, set()).add(fact)
-        self._by_host.setdefault(fact.host, set()).add(fact)
-        self._by_host_method.setdefault((fact.host, *mkey), set()).add(fact)
-        if fact.method == EXISTS and not fact.args:
-            self._exists[fact.host] = fact.result
+        method = fact.method
+        arity = len(fact.args)
+        try:
+            self._by_method[(method, arity)].add(fact)
+        except KeyError:
+            self._by_method[(method, arity)] = {fact}
+        try:
+            self._by_host[host].add(fact)
+        except KeyError:
+            self._by_host[host] = {fact}
+        hkey = (host, method, arity)
+        try:
+            self._by_host_method[hkey].add(fact)
+        except KeyError:
+            self._by_host_method[hkey] = {fact}
+        if method == EXISTS and not fact.args:
+            self._exists[host] = fact.result
         return True
 
     def discard(self, fact: Fact) -> bool:
         """Remove ``fact`` if present; returns True when the base changed."""
         if fact not in self._facts:
             return False
+        self._ensure_indexes()
         self._facts.discard(fact)
         mkey = (fact.method, len(fact.args))
         self._by_method[mkey].discard(fact)
@@ -153,6 +318,7 @@ class ObjectBase:
         (DESIGN.md D3); derived versions get their ``exists`` fact by state
         copying, never through this method.
         """
+        self._ensure_indexes()
         added = 0
         for host in list(self._by_host):
             if isinstance(host, Oid) and host not in self._exists:
@@ -167,32 +333,54 @@ class ObjectBase:
         states for the relevant versions, and iteration substitutes them.
         Returns True when the stored state actually changed.
         """
+        added, removed = self.replace_state_diff(version, facts)
+        return bool(added or removed)
+
+    def replace_state_diff(
+        self, version: Term, facts: Iterable[Fact]
+    ) -> tuple[frozenset[Fact], frozenset[Fact]]:
+        """Like :meth:`replace_state`, but returns the ``(added, removed)``
+        fact sets — the per-version contribution to the iteration's
+        :class:`Delta`.  Only the facts that actually differ are touched,
+        so an idempotent re-substitution costs two set differences and no
+        index updates.
+        """
         new_state = set(facts)
         for fact in new_state:
             if fact.host != version:
                 raise TermError(
                     f"replace_state({version}): fact {fact} hosts a different version"
                 )
+        self._ensure_indexes()
         old_state = self._by_host.get(version)
-        if old_state == new_state:
-            return False
-        if old_state:
-            for fact in list(old_state):
-                self.discard(fact)
-        for fact in new_state:
+        if not old_state:
+            added = frozenset(new_state)
+            removed: frozenset[Fact] = frozenset()
+        elif old_state == new_state:
+            return frozenset(), frozenset()
+        else:
+            old = frozenset(old_state)
+            added = frozenset(new_state - old)
+            removed = frozenset(old - new_state)
+        for fact in removed:
+            self.discard(fact)
+        for fact in added:
             self.add(fact)
-        return True
+        return added, removed
 
     # ------------------------------------------------------------------
     # lookups (the matcher's access paths)
     # ------------------------------------------------------------------
     def facts_by_method(self, method: str, arity: int) -> frozenset[Fact]:
+        self._ensure_indexes()
         return frozenset(self._by_method.get((method, arity), ()))
 
     def facts_by_host(self, host: Term) -> frozenset[Fact]:
+        self._ensure_indexes()
         return frozenset(self._by_host.get(host, ()))
 
     def facts_by_host_method(self, host: Term, method: str, arity: int) -> frozenset[Fact]:
+        self._ensure_indexes()
         return frozenset(self._by_host_method.get((host, method, arity), ()))
 
     def state_of(self, version: Term) -> frozenset[Fact]:
@@ -201,27 +389,59 @@ class ObjectBase:
 
     def method_applications(self, version: Term) -> frozenset[Fact]:
         """The state of ``version`` without the ``exists`` bookkeeping."""
+        self._ensure_indexes()
         return frozenset(
             f for f in self._by_host.get(version, ()) if f.method != EXISTS
         )
+
+    # -- zero-copy variants for the matcher's inner loop -----------------
+    #
+    # The ``facts_by_*`` accessors return defensive frozenset copies; the
+    # join engine calls them once per search node, which made the copies
+    # dominate its profile.  These return the live index sets — callers
+    # must not mutate the base while iterating.
+    def iter_facts_by_method(self, method: str, arity: int) -> Iterable[Fact]:
+        self._ensure_indexes()
+        return self._by_method.get((method, arity)) or ()
+
+    def iter_facts_by_host_method(
+        self, host: Term, method: str, arity: int
+    ) -> Iterable[Fact]:
+        self._ensure_indexes()
+        return self._by_host_method.get((host, method, arity)) or ()
+
+    def iter_state_of(self, version: Term) -> Iterable[Fact]:
+        self._ensure_indexes()
+        return self._by_host.get(version) or ()
+
+    def iter_existing_versions(self) -> Iterable[Term]:
+        """The keys of the ``exists`` map, without the defensive dict copy
+        of :meth:`existing_versions` (same no-mutation caveat as the other
+        ``iter_*`` accessors)."""
+        self._ensure_indexes()
+        return self._exists.keys()
 
     # ------------------------------------------------------------------
     # versions and objects
     # ------------------------------------------------------------------
     def version_exists(self, version: Term) -> bool:
         """True when ``version.exists -> o`` is in the base."""
+        self._ensure_indexes()
         return version in self._exists
 
     def existing_versions(self) -> Mapping[Term, Oid]:
         """Read-only view of the ``exists`` map (version -> object)."""
+        self._ensure_indexes()
         return dict(self._exists)
 
     def objects(self) -> frozenset[Oid]:
         """The OIDs registered as objects (those with ``o.exists -> o``)."""
+        self._ensure_indexes()
         return frozenset(v for v in self._exists if isinstance(v, Oid))
 
     def versions_of(self, oid: Oid) -> frozenset[Term]:
         """All existing versions of object ``oid`` (including ``oid``)."""
+        self._ensure_indexes()
         return frozenset(
             version
             for version, owner in self._exists.items()
@@ -237,6 +457,7 @@ class ObjectBase:
         ``e``) it is the deepest existing predecessor, whose state the update
         is checked against and copied from.
         """
+        self._ensure_indexes()
         for candidate in subterms(version):
             if candidate in self._exists:
                 return candidate

@@ -1,0 +1,444 @@
+"""Precompiled join plans and the rule dependency index.
+
+Two pieces of static analysis turn the naive ``T_P`` loop of
+:mod:`repro.core.evaluation` into a semi-naive, delta-driven one:
+
+**Join plans.**  The dynamic literal chooser of :mod:`repro.core.grounding`
+re-ranks the remaining body literals at *every* search node.  Its decisions,
+however, depend only on *which variables are bound* — never on what they are
+bound to: a literal is a filter iff its variables are a subset of the bound
+set, an equality is a binder iff its unbound side is a single fresh variable
+whose other side is fully bound, and the generator score counts bound
+variables and checks host groundness.  The bound set after any prefix of
+choices is itself statically determined, so the entire choice sequence can
+be replayed once per ``(body, seed)`` pair and cached as a :class:`JoinPlan`
+— the runtime search just walks the steps.  When the simulation gets stuck
+(an unsafe body that only the safety checker should ever produce) the plan
+is ``None`` and callers fall back to the dynamic chooser, so plans can only
+affect speed, never semantics.
+
+**Rule dependency signatures.**  After the first ``T_P`` application of a
+stratum, a rule can only derive a *new* head-true ground instance if some
+truth it reads changed.  :class:`RuleSignature` enumerates, per rule, the
+``(method, arity)`` keys and host *shapes* (:func:`repro.core.terms.kind_chain`)
+through which added or removed facts can newly enable the rule:
+
+* a positive version-term becomes true only through an **added** fact of its
+  key and shape — these are the *seed* literals of delta-restricted
+  grounding;
+* a negated version-term becomes true only through a **removed** fact;
+* body update-terms (either polarity) mix presence and absence conditions
+  over the new version, ``v*`` and the ``exists`` map, so any matching
+  added *or* removed fact forces a full re-match;
+* a ``del``/``mod`` head becomes true through facts added to ``v*`` (head
+  truth, Section 3 definition 2), and the ``del[v].*`` form reads every
+  method of ``v*`` and is re-matched whenever anything in a matching shape
+  was added.
+
+:func:`classify` folds a signature against a :class:`~repro.core.objectbase.Delta`
+into one of three modes — skip the rule, re-match it only from the delta
+facts matching its seed literals, or re-match it in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.atoms import BuiltinAtom, Literal, UpdateAtom, VersionAtom
+from repro.core.exprs import expr_variables
+from repro.core.facts import EXISTS, Fact
+from repro.core.terms import (
+    Term,
+    UpdateKind,
+    Var,
+    VersionId,
+    VersionVar,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.objectbase import Delta
+    from repro.core.rules import UpdateRule
+
+__all__ = [
+    "FILTER",
+    "BINDER",
+    "GENERATE",
+    "PlanStep",
+    "JoinPlan",
+    "compile_plan",
+    "RuleSignature",
+    "RulePlan",
+    "rule_plan",
+    "classify",
+    "SKIP",
+    "SEED",
+    "FULL",
+]
+
+MethodKey = tuple[str, int]
+Shape = tuple[str, ...]
+
+#: Plan step actions.
+FILTER, BINDER, GENERATE = 0, 1, 2
+
+#: Classification of a rule against an iteration's delta.
+SKIP, SEED, FULL = "skip", "seed", "full"
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One precompiled search step: evaluate ``literal`` as ``action``.
+
+    ``verify`` marks generate steps whose candidates must be re-checked
+    against the authoritative truth functions.  Version-term generators are
+    *exact* — the candidate fact comes from the base's own index and the
+    pattern matched every position of it, so the substituted atom is the
+    fact itself and membership holds by construction; re-verification is
+    skipped for them.  Update-term generators only approximate definition 3
+    of Section 3 and keep the re-check.
+    """
+
+    literal: Literal
+    variables: frozenset[Var]
+    action: int
+    verify: bool = True
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A static literal ordering for one body under a fixed seed binding.
+
+    ``key_vars`` is the deterministic variable order used for duplicate
+    elimination of complete bindings; ``generator_count`` lets the matcher
+    skip deduplication entirely when at most one generator step exists (two
+    distinct generated facts can never produce the same binding, so
+    duplicates are impossible).
+    """
+
+    steps: tuple[PlanStep, ...]
+    generator_count: int
+    key_vars: tuple[Var, ...]
+
+
+def _term_var(term: Term) -> Var | None:
+    while isinstance(term, VersionId):
+        term = term.base
+    return term if isinstance(term, Var) else None
+
+
+def var_sort_key(var: Var) -> tuple[str, str]:
+    """Deterministic variable order for dedup keys.  The class name breaks
+    ties between a ``Var`` and a ``VersionVar`` of the same name (distinct
+    variables with equal names and hashes), so every plan of the same body
+    — and the dynamic fallback — agrees on the key order."""
+    return (var.name, var.__class__.__name__)
+
+
+def _binder_target(atom: BuiltinAtom, bound: set[Var]) -> Var | None:
+    """The variable an ``X = e`` built-in would bind under ``bound`` —
+    mirrors ``grounding._equality_ready`` direction order exactly."""
+    for target, source in ((atom.left, atom.right), (atom.right, atom.left)):
+        if (
+            isinstance(target, Var)
+            and target not in bound
+            and all(v in bound for v in expr_variables(source))
+        ):
+            return target
+    return None
+
+
+def _static_generator_score(atom, variables: frozenset[Var], bound: set[Var]) -> int:
+    """``grounding._generator_score`` with the binding replaced by the
+    statically known bound-variable set (they agree by construction)."""
+    bound_count = sum(1 for v in variables if v in bound)
+    host = atom.host if isinstance(atom, VersionAtom) else atom.target
+    host_var = _term_var(host)
+    host_ground = host_var is None or host_var in bound
+    penalty = 1 if isinstance(atom, UpdateAtom) else 0
+    return bound_count * 4 + (2 if host_ground else 0) - penalty
+
+
+def compile_plan(
+    body: tuple[Literal, ...], seed_vars: Iterable[Var] = ()
+) -> JoinPlan | None:
+    """Replay the dynamic chooser over ``body`` starting from ``seed_vars``
+    bound; ``None`` when the simulation gets stuck (unsafe body — callers
+    fall back to the dynamic search, which reports the error)."""
+    remaining: list[tuple[Literal, frozenset[Var]]] = [
+        (literal, literal.variables) for literal in body
+    ]
+    bound: set[Var] = set(seed_vars)
+    key_vars: set[Var] = set(bound)
+    for _, variables in remaining:
+        key_vars |= variables
+    steps: list[PlanStep] = []
+    generators = 0
+    while remaining:
+        choice = _choose_static(remaining, bound)
+        if choice is None:
+            return None
+        index, action, binds = choice
+        literal, variables = remaining.pop(index)
+        verify = action != GENERATE or not isinstance(literal.atom, VersionAtom)
+        steps.append(PlanStep(literal, variables, action, verify))
+        bound |= binds
+        if action == GENERATE:
+            generators += 1
+    # key_vars covers all literals, and every bound variable belongs to
+    # some literal, so the sorted order is a stable dedup key shared by all
+    # plans of the same body (seeded and full alike).
+    order = tuple(sorted(key_vars, key=var_sort_key))
+    return JoinPlan(tuple(steps), generators, order)
+
+
+def _choose_static(
+    remaining: list[tuple[Literal, frozenset[Var]]], bound: set[Var]
+) -> tuple[int, int, frozenset[Var]] | None:
+    best: tuple[int, frozenset[Var]] | None = None
+    best_score = float("-inf")
+    for i, (literal, variables) in enumerate(remaining):
+        if variables <= bound:
+            return i, FILTER, frozenset()
+        atom = literal.atom
+        if isinstance(atom, BuiltinAtom):
+            if literal.positive and atom.op == "=":
+                target = _binder_target(atom, bound)
+                if target is not None:
+                    return i, BINDER, frozenset((target,))
+            continue
+        if not literal.positive:
+            continue
+        score = _static_generator_score(atom, variables, bound)
+        if score > best_score:
+            best_score = score
+            best = (i, variables)
+    if best is None:
+        return None
+    index, variables = best
+    return index, GENERATE, frozenset(variables - bound)
+
+
+# ----------------------------------------------------------------------
+# rule dependency signatures
+# ----------------------------------------------------------------------
+
+#: A trigger ``(key, shape_prefix, exact)``: it matches a changed fact when
+#: the fact's ``(method, arity)`` equals ``key`` (``None`` = any key) and
+#: the fact's host shape equals the prefix (``exact``) or starts with it
+#: (version-variable patterns, which reach hosts of any depth).
+Trigger = tuple[MethodKey | None, Shape, bool]
+
+#: A seed ``(body position, key, shape_prefix, exact)`` for a positive
+#: version-term literal.
+Seed = tuple[int, MethodKey, Shape, bool]
+
+
+def _pattern_shape(term: Term) -> tuple[Shape, bool]:
+    kinds: list[str] = []
+    while isinstance(term, VersionId):
+        kinds.append(term.kind.value)
+        term = term.base
+    return tuple(kinds), not isinstance(term, VersionVar)
+
+
+def _v_star_triggers(keys: Iterable[MethodKey | None], target: Term) -> list[Trigger]:
+    """Triggers for facts readable through ``v*(target)`` — every suffix
+    shape of the target pattern (``v*`` is a subterm of the ground VID)."""
+    prefix, exact = _pattern_shape(target)
+    triggers: list[Trigger] = []
+    if not exact:
+        # A version variable reaches hosts of any shape: one wildcard.
+        return [(key, (), False) for key in keys]
+    for i in range(len(prefix) + 1):
+        for key in keys:
+            triggers.append((key, prefix[i:], True))
+    return triggers
+
+
+def _body_covers_head_truth(rule: "UpdateRule") -> bool:
+    """True when a positive body version-term pins exactly the fact the
+    ``del``/``mod`` head's truth condition reads (same target term, method,
+    arguments and old result) — e.g. the paper's rule 1: body
+    ``E.sal -> S`` covers head ``mod[E].sal -> (S, S2)``."""
+    head = rule.head
+    for literal in rule.body:
+        atom = literal.atom
+        if (
+            literal.positive
+            and isinstance(atom, VersionAtom)
+            and atom.host == head.target
+            and atom.method == head.method
+            and atom.args == head.args
+            and atom.result == head.result
+        ):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class RuleSignature:
+    """What a rule reads, keyed for the dependency check (see module doc)."""
+
+    seeds: tuple[Seed, ...]
+    added_triggers: tuple[Trigger, ...]
+    removed_triggers: tuple[Trigger, ...]
+
+
+def rule_signature(rule: "UpdateRule") -> RuleSignature:
+    seeds: list[Seed] = []
+    added: list[Trigger] = []
+    removed: list[Trigger] = []
+
+    for position, literal in enumerate(rule.body):
+        atom = literal.atom
+        if isinstance(atom, VersionAtom):
+            key = (atom.method, len(atom.args))
+            prefix, exact = _pattern_shape(atom.host)
+            if literal.positive:
+                seeds.append((position, key, prefix, exact))
+            else:
+                removed.append((key, prefix, exact))
+        elif isinstance(atom, UpdateAtom):
+            key = (atom.method, len(atom.args))
+            prefix, exact = _pattern_shape(atom.target)
+            new_shape: Trigger = (key, (atom.kind.value, *prefix), exact)
+            exists_new: Trigger = ((EXISTS, 0), (atom.kind.value, *prefix), exact)
+            triggers = [new_shape, exists_new]
+            triggers += _v_star_triggers([key, (EXISTS, 0)], atom.target)
+            # Update-term truth mixes presence and absence conditions
+            # (Section 3, definition 3), so either direction of change can
+            # newly enable the literal, whichever its polarity.
+            added.extend(triggers)
+            removed.extend(triggers)
+
+    head = rule.head
+    if head.delete_all:
+        # ``del[v].*`` reads every method-application of ``v*``: any added
+        # fact in a matching shape changes head truth or the expansion.
+        added.extend(_v_star_triggers([None], head.target))
+    elif head.kind is not UpdateKind.INSERT:
+        key = (head.method, len(head.args))
+        triggers = _v_star_triggers([key, (EXISTS, 0)], head.target)
+        prefix, exact = _pattern_shape(head.target)
+        if exact and _body_covers_head_truth(rule):
+            # Head truth (definition 2) asks for ``v*(t).m@a -> r``; when an
+            # identical positive body literal pins the same fact on ``t``
+            # itself, an added fact at ``t``'s own shape can only create a
+            # *new body binding* (seeded/classified elsewhere), never flip
+            # the head of an existing one — unless ``v*`` sits at a deeper
+            # subterm, whose shapes stay triggered below.
+            triggers = [
+                t for t in triggers if t != (key, prefix, True)
+            ]
+        added.extend(triggers)
+
+    return RuleSignature(tuple(seeds), tuple(dict.fromkeys(added)), tuple(dict.fromkeys(removed)))
+
+
+class RulePlan:
+    """Everything precompiled for one rule: its dependency signature, the
+    full-body join plan, and (lazily) one plan per seed literal."""
+
+    __slots__ = ("rule", "signature", "full_plan", "_seed_plans")
+
+    def __init__(self, rule: "UpdateRule"):
+        self.rule = rule
+        self.signature = rule_signature(rule)
+        self.full_plan = compile_plan(rule.body)
+        self._seed_plans: dict[int, JoinPlan | None] = {}
+
+    def seed_plan(self, position: int) -> JoinPlan | None:
+        """The plan for the body minus the seed literal at ``position``,
+        compiled with the seed literal's variables already bound."""
+        try:
+            return self._seed_plans[position]
+        except KeyError:
+            body = tuple(
+                literal
+                for index, literal in enumerate(self.rule.body)
+                if index != position
+            )
+            plan = compile_plan(body, self.rule.body[position].variables)
+            self._seed_plans[position] = plan
+            return plan
+
+
+@lru_cache(maxsize=4096)
+def rule_plan(rule: "UpdateRule") -> RulePlan:
+    """The cached :class:`RulePlan` for ``rule`` (rules are frozen values,
+    so plans survive across iterations, strata and evaluations)."""
+    return RulePlan(rule)
+
+
+# ----------------------------------------------------------------------
+# delta classification
+# ----------------------------------------------------------------------
+
+
+def _shapes_match(shapes, prefix: Shape, exact: bool) -> bool:
+    if exact:
+        return prefix in shapes
+    n = len(prefix)
+    if n == 0:
+        return bool(shapes)
+    return any(s[:n] == prefix for s in shapes)
+
+
+def _trigger_fires(trigger: Trigger, index, all_shapes) -> bool:
+    key, prefix, exact = trigger
+    if key is None:
+        return _shapes_match(all_shapes, prefix, exact)
+    shapes = index.get(key)
+    if not shapes:
+        return False
+    return _shapes_match(shapes, prefix, exact)
+
+
+def classify(
+    signature: RuleSignature, delta: "Delta"
+) -> tuple[str, tuple[int, ...]]:
+    """Fold ``signature`` against ``delta``: ``(FULL, ())``, ``(SKIP, ())``
+    or ``(SEED, seed_positions)`` with the body positions whose seed
+    literals match at least one added fact."""
+    added_index = delta.added_index()
+    removed_index = delta.removed_index()
+    added_shapes = delta.added_shapes()
+    for trigger in signature.added_triggers:
+        if _trigger_fires(trigger, added_index, added_shapes):
+            return FULL, ()
+    removed_shapes = delta.removed_shapes()
+    for trigger in signature.removed_triggers:
+        if _trigger_fires(trigger, removed_index, removed_shapes):
+            return FULL, ()
+    positions = tuple(
+        position
+        for position, key, prefix, exact in signature.seeds
+        if (buckets := added_index.get(key)) and _shapes_match(buckets, prefix, exact)
+    )
+    if positions:
+        return SEED, positions
+    return SKIP, ()
+
+
+def seed_facts(
+    delta: "Delta", signature: RuleSignature, position: int
+) -> list[Fact]:
+    """The added facts a seed literal at ``position`` can match, by key and
+    host shape."""
+    for pos, key, prefix, exact in signature.seeds:
+        if pos != position:
+            continue
+        buckets = delta.added_index().get(key)
+        if not buckets:
+            return []
+        if exact:
+            return buckets.get(prefix, [])
+        n = len(prefix)
+        facts: list[Fact] = []
+        for shape, bucket in buckets.items():
+            if shape[:n] == prefix:
+                facts.extend(bucket)
+        return facts
+    return []

@@ -9,6 +9,7 @@ is the update-process.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Iterator
 
 from repro.core.atoms import Literal, UpdateAtom, VersionAtom
@@ -38,8 +39,10 @@ class UpdateRule:
             )
 
     # -- structural helpers --------------------------------------------------
-    @property
+    @cached_property
     def variables(self) -> frozenset[Var]:
+        """All variables of the rule (cached — rules are immutable and the
+        matcher, safety checker and planner all ask repeatedly)."""
         names = set(self.head.variables)
         for literal in self.body:
             names |= literal.variables

@@ -22,7 +22,6 @@ inserts have been performed on it (Figure 1 of the paper).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Iterator, Union
 
 from repro.core.errors import TermError
@@ -40,6 +39,7 @@ __all__ = [
     "is_version_id_term",
     "object_of",
     "depth",
+    "kind_chain",
     "subterms",
     "is_subterm",
     "is_proper_subterm",
@@ -71,25 +71,39 @@ class UpdateKind(enum.Enum):
         raise TermError(f"unknown update kind {name!r}; expected ins/del/mod")
 
 
-@dataclass(frozen=True, slots=True)
 class Oid:
     """An object identity — an element of the set ``O``.
 
     Values are OIDs too (the paper: "we consider values as specific OIDs"),
     so the payload may be a string, an int or a float.  Equality and hashing
     are structural over the payload.
+
+    Terms are immutable by convention and hash-cached at construction: they
+    key every index of the object base and every variable binding, so the
+    evaluator hashes them orders of magnitude more often than it creates
+    them.  Never assign to their attributes.
     """
 
-    value: OidValue
+    __slots__ = ("value", "_hash")
 
-    def __post_init__(self) -> None:
-        if isinstance(self.value, bool) or not isinstance(
-            self.value, (str, int, float)
-        ):
+    def __init__(self, value: OidValue) -> None:
+        if isinstance(value, bool) or not isinstance(value, (str, int, float)):
             raise TermError(
                 f"an OID must carry a str, int or float, got "
-                f"{type(self.value).__name__}"
+                f"{type(value).__name__}"
             )
+        self.value = value
+        self._hash = hash((value,))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Oid:
+            return NotImplemented
+        return self.value == other.value
 
     @property
     def is_numeric(self) -> bool:
@@ -103,19 +117,32 @@ class Oid:
         return f"Oid({self.value!r})"
 
 
-@dataclass(frozen=True, slots=True)
 class Var:
     """A variable.  By convention names start with an upper-case letter.
 
     Variables denote *objects*: the domain of quantification is ``O``, never a
-    proper VID (Section 2.1, footnote 1 of the paper).
+    proper VID (Section 2.1, footnote 1 of the paper).  A :class:`Var` and a
+    :class:`VersionVar` of the same name are distinct variables (equality is
+    exact-class, as it was under the dataclass representation).
     """
 
-    name: str
+    __slots__ = ("name", "_hash")
 
-    def __post_init__(self) -> None:
-        if not self.name:
+    def __init__(self, name: str) -> None:
+        if not name:
             raise TermError("a variable needs a non-empty name")
+        self.name = name
+        self._hash = hash((name,))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented if not isinstance(other, Var) else False
+        return self.name == other.name
 
     def __str__(self) -> str:
         return self.name
@@ -124,7 +151,6 @@ class Var:
         return f"Var({self.name!r})"
 
 
-@dataclass(frozen=True, slots=True, repr=False)
 class VersionVar(Var):
     """A *version variable* — the Section 6 extension, written ``?W``.
 
@@ -135,6 +161,8 @@ class VersionVar(Var):
     "done carefully" reading of Section 6; see :mod:`repro.ext.vidvars`).
     """
 
+    __slots__ = ()
+
     def __str__(self) -> str:
         return f"?{self.name}"
 
@@ -142,7 +170,6 @@ class VersionVar(Var):
         return f"VersionVar({self.name!r})"
 
 
-@dataclass(frozen=True, slots=True)
 class VersionId:
     """A version-id-term ``kind(base)`` with ``kind ∈ {ins, del, mod}``.
 
@@ -152,15 +179,31 @@ class VersionId:
     group of modify-updates has been performed on it.
     """
 
-    kind: UpdateKind
-    base: "Term"
+    __slots__ = ("kind", "base", "_hash")
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.base, (Oid, Var, VersionId)):
+    def __init__(self, kind: UpdateKind, base: "Term") -> None:
+        if not isinstance(base, (Oid, Var, VersionId)):
             raise TermError(
                 f"the base of a version-id-term must be a term, got "
-                f"{type(self.base).__name__}"
+                f"{type(base).__name__}"
             )
+        self.kind = kind
+        self.base = base
+        self._hash = hash((kind, base))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not VersionId:
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.kind is other.kind
+            and self.base == other.base
+        )
 
     def __str__(self) -> str:
         return f"{self.kind.value}({self.base})"
@@ -215,6 +258,24 @@ def depth(term: Term) -> int:
         count += 1
         term = term.base
     return count
+
+
+def kind_chain(term: Term) -> tuple[str, ...]:
+    """The update functors wrapped around the innermost term, outermost
+    first: ``kind_chain(ins(mod(phil))) == ("ins", "mod")``.
+
+    This is the *shape* of a version-id-term.  Two ground VIDs built by the
+    same sequence of update kinds share a shape regardless of the object;
+    the semi-naive evaluator's rule dependency index uses shapes to decide
+    whether a changed fact can possibly be read by a rule body (a plain
+    variable only ever binds an OID, so a pattern host matches exactly the
+    hosts of its own shape).
+    """
+    kinds: list[str] = []
+    while isinstance(term, VersionId):
+        kinds.append(term.kind.value)
+        term = term.base
+    return tuple(kinds)
 
 
 def subterms(term: Term) -> Iterator[Term]:

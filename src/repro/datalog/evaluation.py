@@ -12,10 +12,20 @@ Three modes:
 
 Both stratified modes evaluate stratum by stratum, so negation only ever
 reads fully computed predicates.
+
+Like the update engine's matcher (:mod:`repro.core.grounding`), the join
+search orders literals dynamically — and those ordering decisions depend
+only on which variables are bound, so they are precompiled once per rule
+body into a static plan and replayed (``_compile_plan``); the dynamic
+chooser remains as the fallback for unsafe bodies.  The semi-naive loop
+additionally consults a delta dependency check: a ``(rule, recursive
+position)`` pair only re-fires when the delta actually holds rows for that
+position's predicate.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterator
 
 from repro.core.atoms import BuiltinAtom
@@ -40,6 +50,65 @@ Binding = dict[Var, Oid]
 # rule matching (join)
 # ----------------------------------------------------------------------
 
+#: Plan step actions (mirrors repro.core.plans).
+_FILTER, _BINDER, _GENERATE = 0, 1, 2
+
+#: A plan step: (original body position, literal, action).
+_PlanStep = tuple[int, DatalogLiteral, int]
+
+
+@lru_cache(maxsize=4096)
+def _compile_plan(body: tuple[DatalogLiteral, ...]) -> tuple[_PlanStep, ...] | None:
+    """Statically replay ``_choose`` (its decisions depend only on the set
+    of bound variables); ``None`` for unsafe bodies (dynamic fallback)."""
+    remaining = list(enumerate(body))
+    bound: set[Var] = set()
+    steps: list[_PlanStep] = []
+    while remaining:
+        chosen: tuple[int, int] | None = None  # (position in remaining, action)
+        best_score = -1
+        for position, (_, literal) in enumerate(remaining):
+            if literal.variables <= bound:
+                chosen = (position, _FILTER)
+                break
+            atom = literal.atom
+            if isinstance(atom, BuiltinAtom):
+                if (
+                    literal.positive
+                    and atom.op == "="
+                    and _equality_target(atom, bound) is not None
+                ):
+                    chosen = (position, _BINDER)
+                    break
+                continue
+            if not literal.positive:
+                continue
+            score = sum(1 for v in atom.variables if v in bound)
+            if score > best_score:
+                best_score = score
+                chosen = (position, _GENERATE)
+        if chosen is None:
+            return None
+        position, action = chosen
+        original_index, literal = remaining.pop(position)
+        steps.append((original_index, literal, action))
+        if action == _BINDER:
+            bound.add(_equality_target(literal.atom, bound))
+        else:
+            bound |= literal.variables
+    return tuple(steps)
+
+
+def _equality_target(atom: BuiltinAtom, bound: set[Var]) -> Var | None:
+    for target, source in ((atom.left, atom.right), (atom.right, atom.left)):
+        if (
+            isinstance(target, Var)
+            and target not in bound
+            and all(v in bound for v in expr_variables(source))
+        ):
+            return target
+    return None
+
 
 def match_datalog_rule(
     rule: DatalogRule,
@@ -54,8 +123,48 @@ def match_datalog_rule(
     literal draws its candidate rows from ``delta`` instead of the full
     database — the semi-naive restriction.
     """
-    literals = list(enumerate(rule.body))
-    yield from _search(literals, {}, database, delta, delta_literal)
+    plan = _compile_plan(rule.body)
+    if plan is None:
+        literals = list(enumerate(rule.body))
+        yield from _search(literals, {}, database, delta, delta_literal)
+        return
+    yield from _search_planned(plan, 0, {}, database, delta, delta_literal)
+
+
+def _search_planned(
+    steps: tuple[_PlanStep, ...],
+    index: int,
+    binding: Binding,
+    database: Database,
+    delta: Database | None,
+    delta_literal: int | None,
+) -> Iterator[Binding]:
+    n = len(steps)
+    while index < n:
+        original_index, literal, action = steps[index]
+        if action == _FILTER:
+            if not _check(literal, binding, database):
+                return
+            index += 1
+        elif action == _BINDER:
+            extension = _bind_equality(literal.atom, binding)
+            if extension is None:
+                return
+            binding = extension
+            index += 1
+        else:  # _GENERATE
+            source = (
+                delta
+                if original_index == delta_literal and delta is not None
+                else database
+            )
+            index += 1
+            for extension in _generate(literal.atom, binding, source):
+                yield from _search_planned(
+                    steps, index, extension, database, delta, delta_literal
+                )
+            return
+    yield binding
 
 
 def _search(
@@ -278,6 +387,11 @@ def _run_stratum_seminaive(
         new_delta = Database()
         for rule in rules:
             for position in recursive_positions[rule.name]:
+                # Dependency check: the delta-bound literal can only match
+                # rows the last round actually derived for its predicate.
+                atom = rule.body[position].atom
+                if not delta.rows(atom.name, len(atom.args)):
+                    continue
                 for name, row in _derive(
                     rule, database, delta=delta, delta_literal=position
                 ):

@@ -249,8 +249,15 @@ def materialize(
         for _round in range(max_iterations):
             changed = False
             for rule in stratum:
-                for binding in match_body(rule.body, enriched, rule_name=rule.name):
-                    fact = rule.head.substitute(binding).to_fact()
+                # Materialise the bindings before mutating: the matcher
+                # iterates the live indexes of ``enriched``.
+                derived = [
+                    rule.head.substitute(binding).to_fact()
+                    for binding in match_body(
+                        rule.body, enriched, rule_name=rule.name
+                    )
+                ]
+                for fact in derived:
                     changed |= enriched.add(fact)
             if not changed:
                 break

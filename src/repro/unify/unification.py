@@ -100,9 +100,11 @@ def match_term(
     Section 2.1 fires once per employee and never on updated versions.
 
     Returns the extended binding dict, or ``None`` when the match fails.
-    The input binding is not mutated.
+    The input binding is not mutated; when the pattern binds nothing new the
+    input dict itself is returned (callers extend bindings copy-on-write, so
+    the matcher avoids one dict copy per candidate fact — by far its most
+    frequent operation).
     """
-    work = dict(binding) if binding is not None else {}
     node_p, node_g = pattern, ground
     while True:
         if isinstance(node_p, VersionId):
@@ -111,12 +113,16 @@ def match_term(
             node_p, node_g = node_p.base, node_g.base
             continue
         if isinstance(node_p, Var):
-            bound = work.get(node_p)
-            if bound is not None:
-                return work if bound == node_g else None
+            if binding is not None:
+                bound = binding.get(node_p)
+                if bound is not None:
+                    return binding if bound == node_g else None
             if not isinstance(node_g, Oid) and not isinstance(node_p, VersionVar):
                 return None  # out of sort: plain variables take OIDs only
+            work = dict(binding) if binding is not None else {}
             work[node_p] = node_g
             return work
         # pattern node is an Oid
-        return work if node_p == node_g else None
+        if node_p == node_g:
+            return binding if binding is not None else {}
+        return None

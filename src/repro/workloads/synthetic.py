@@ -22,6 +22,7 @@ from repro.lang.parser import parse_program
 __all__ = [
     "random_object_base",
     "random_insert_program",
+    "random_update_program",
     "version_chain_program",
     "random_datalog_chain_program",
     "random_edge_database",
@@ -73,6 +74,97 @@ def random_insert_program(
         tag = rng.choice(tags)
         lines.append(f"g{index}: ins[X].tag -> {tag} <= X.{method} -> Y.")
     return UpdateProgram(parse_program("\n".join(lines)), "random-inserts")
+
+
+def random_update_program(
+    *, seed: int = 0, allow_nonlinear: bool = False
+) -> UpdateProgram:
+    """A random safe, stratifiable update program mixing all three update
+    kinds, negation, built-ins and (sometimes) recursion.
+
+    Shapes are drawn from three families, all version-linear by
+    construction (mirroring the disjointness trick of the paper's rules 3/4
+    — a created version gets at most one successor kind, guarded by
+    negation where two rules could collide):
+
+    * **pipeline** — the enterprise shape: ``mod`` rules on ``size``/
+      ``color``, then either a guarded ``del``/``del[..].*`` on ``mod(X)``
+      or a negation-guarded ``ins`` classification, then optionally one
+      more ``ins`` level;
+    * **recursion** — the ancestors shape over ``link``: a base rule plus a
+      rule reading its own ``ins`` version, optionally a second stratum on
+      top;
+    * **chain** — :func:`version_chain_program` with a random depth.
+
+    With ``allow_nonlinear=True`` a fourth family occasionally produces a
+    *branching* program (two successor kinds for the same version) so that
+    error behaviour can be compared differentially as well.
+    """
+    rng = random.Random(seed)
+    family = rng.randrange(4 if allow_nonlinear else 3)
+
+    if family == 0:
+        lines = []
+        guard = rng.choice(["", f", S > {rng.randint(0, 700)}", f", S < {rng.randint(300, 1000)}"])
+        lines.append(
+            f"m1: mod[X].size -> (S, S2) <= X.size -> S{guard}, "
+            f"S2 = S + {rng.randint(1, 100)}."
+        )
+        if rng.random() < 0.4:
+            lines.append(
+                f"m2: mod[X].color -> (C, {rng.randint(0, 9)}) <= "
+                f"X.color -> C, X.size -> S, S > {rng.randint(0, 900)}."
+            )
+        tail = rng.randrange(3)
+        if tail >= 1:
+            if rng.random() < 0.5:
+                lines.append(
+                    f"d1: del[mod(X)].color -> C <= mod(X).color -> C, "
+                    f"mod(X).size -> S, S > {rng.randint(200, 900)}."
+                )
+            else:
+                lines.append(
+                    f"d1: del[mod(X)].* <= mod(X).size -> S, "
+                    f"S > {rng.randint(400, 1100)}."
+                )
+            # The rule-4 trick: the ins level excludes exactly the objects
+            # the delete fired on, so mod(X) keeps a single successor.
+            lines.append(
+                "c1: ins[mod(X)].cls -> big <= mod(X).color -> C, "
+                f"mod(X).size -> S, S > {rng.randint(0, 500)}, "
+                "not del[mod(X)].color -> C."
+            )
+        if tail == 2:
+            lines.append(
+                "x1: ins[ins(mod(X))].deep -> yes <= ins(mod(X)).cls -> big."
+            )
+        return UpdateProgram(parse_program("\n".join(lines)), f"pipeline-{seed}")
+
+    if family == 1:
+        lines = [
+            "r1: ins[X].reach -> Y <= X.link -> Y.",
+            "r2: ins[X].reach -> Z <= ins(X).reach -> Y, Y.link -> Z.",
+        ]
+        if rng.random() < 0.5:
+            lines.append(
+                f"r3: ins[ins(X)].far -> yes <= ins(X).reach -> Y, "
+                f"Y.size -> S, S > {rng.randint(0, 800)}."
+            )
+        if rng.random() < 0.4:
+            lines.append(
+                "r4: ins[X].reach -> X <= X.link -> Y, not Y.size -> 0."
+            )
+        return UpdateProgram(parse_program("\n".join(lines)), f"recursion-{seed}")
+
+    if family == 2:
+        return version_chain_program(rng.randint(2, 6))
+
+    # Deliberately non-linear: mod(X) and ins(X) branch off the same X.
+    lines = [
+        f"m1: mod[X].size -> (S, S2) <= X.size -> S, S2 = S + {rng.randint(1, 50)}.",
+        f"t1: ins[X].tag -> hot <= X.size -> S, S > {rng.randint(0, 400)}.",
+    ]
+    return UpdateProgram(parse_program("\n".join(lines)), f"branching-{seed}")
 
 
 def version_chain_program(k: int, *, method: str = "stamp") -> UpdateProgram:
