@@ -37,7 +37,6 @@ from repro.core.terms import (
     Term,
     UpdateKind,
     Var,
-    VersionId,
     VersionVar,
     depth,
     subterms,

@@ -28,7 +28,7 @@ versioned language expresses it as a single rule over all employees.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.errors import EvaluationLimitError, ProgramError
 from repro.baselines.logres import LogresRule

@@ -1,30 +1,46 @@
 """Machine-readable performance sweeps (``python -m repro bench``).
 
-Runs the P1 base-size scaling sweep — the full enterprise update program
-(three strata, all three update kinds) against generated bases of increasing
-size — once per evaluation path (semi-naive delta-driven vs the naive
-reference, ``EvaluationOptions(semi_naive=...)``) in the *same* process, and
-writes the timings as JSON so the performance trajectory of the engine is
-comparable across PRs.  ``benchmarks/run_bench.py`` is a thin wrapper.
+Two sweeps, each writing a JSON document so the performance trajectory is
+comparable across PRs (``benchmarks/run_bench.py`` is a thin wrapper):
+
+* **P1 base-size sweep** (default, ``BENCH_PR1.json``) — the full enterprise
+  update program against generated bases of increasing size, once per
+  evaluation path (semi-naive delta-driven vs the naive reference).
+* **Store sweep** (``--store``, ``BENCH_PR2.json``) — the versioned store's
+  two claims: (a) a 200-revision delta chain of the P1 workload keeps ≥ 5×
+  less memory than the full-copy chain (tracemalloc bytes, plus the
+  representation-independent stored-entry count), and (b) repeated
+  ``store.apply`` with the engine's cached ``CompiledProgram`` beats a cold
+  ``UpdateEngine.apply`` that redoes the static analysis (safety,
+  stratification, join plans) every time.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 from repro.core.engine import UpdateEngine
-from repro.workloads.enterprise import enterprise_base, enterprise_update_program
+from repro.workloads.enterprise import (
+    enterprise_base,
+    enterprise_update_program,
+    paper_example_base,
+    targeted_raise_program,
+)
 
-__all__ = ["run_p1_sweep", "main"]
+__all__ = ["run_p1_sweep", "run_store_sweep", "main"]
 
 DEFAULT_SIZES = (25, 100, 400)
 DEFAULT_REPEATS = 5
 DEFAULT_OUT = "BENCH_PR1.json"
+DEFAULT_STORE_OUT = "BENCH_PR2.json"
+DEFAULT_STORE_REVISIONS = 200
 
 
 def _time_apply(engine: UpdateEngine, program, base, repeats: int) -> dict:
@@ -83,22 +99,150 @@ def run_p1_sweep(
     }
 
 
+def _build_chain(base, program, revisions: int, *, delta_chain: bool):
+    from repro.storage import StoreOptions, VersionedStore
+
+    store = VersionedStore(
+        base, options=StoreOptions(delta_chain=delta_chain, snapshot_interval=64)
+    )
+    for index in range(revisions):
+        store.apply(program, tag=f"rev{index + 1}")
+    return store
+
+
+def _chain_memory(base, program, revisions: int, *, delta_chain: bool):
+    """(bytes, stored_entries, store) for one revision chain, built under
+    tracemalloc so only the chain's own allocations are counted."""
+    gc.collect()
+    tracemalloc.start()
+    store = _build_chain(base, program, revisions, delta_chain=delta_chain)
+    gc.collect()
+    current, _peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return current, store.stored_entries(), store
+
+
+def run_store_sweep(
+    revisions: int = DEFAULT_STORE_REVISIONS,
+    n_employees: int = 100,
+    apply_repeats: int = 40,
+) -> dict:
+    """The PR 2 store benchmark; see the module docstring for the claims."""
+    from repro.core.plans import rule_plan
+    from repro.storage import StoreOptions, VersionedStore
+
+    base = enterprise_base(n_employees=n_employees, overpaid_ratio=0.1, seed=21)
+    program = targeted_raise_program("emp0", percent=1.0)
+
+    # -- (a) revision-chain memory --------------------------------------
+    delta_bytes, delta_entries, delta_store = _chain_memory(
+        base, program, revisions, delta_chain=True
+    )
+    full_bytes, full_entries, full_store = _chain_memory(
+        base, program, revisions, delta_chain=False
+    )
+    # always-on differential check: both representations expose the same
+    # facts at every probed revision
+    for index in (0, revisions // 2, revisions):
+        if set(delta_store.base_at(index)) != set(full_store.base_at(index)):
+            raise AssertionError(f"delta and full-copy chains diverge at {index}")
+
+    # -- (b) repeated-apply throughput ----------------------------------
+    enterprise_program = enterprise_update_program(hpe_threshold=4000)
+    warm_store = VersionedStore(paper_example_base(), options=StoreOptions())
+    warm_store.apply(enterprise_program)  # populate the compiled cache
+    start = time.perf_counter()
+    for _ in range(apply_repeats):
+        warm_store.apply(enterprise_program)
+    warm_s = (time.perf_counter() - start) / apply_repeats
+
+    cold_engine = UpdateEngine(compile_cache_size=0)
+    cold_store = VersionedStore(
+        paper_example_base(), engine=cold_engine, options=StoreOptions()
+    )
+    cold_store.apply(enterprise_program)
+    start = time.perf_counter()
+    for _ in range(apply_repeats):
+        rule_plan.cache_clear()  # a cold engine has no compiled join plans
+        cold_store.apply(enterprise_program)
+    cold_s = (time.perf_counter() - start) / apply_repeats
+
+    return {
+        "benchmark": "p2_store_sweep",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "workload": {
+            "base": f"enterprise(n_employees={n_employees})",
+            "chain_program": "targeted-raise-emp0 (two-fact delta per revision)",
+            "revisions": revisions,
+            "snapshot_interval": 64,
+        },
+        "memory": {
+            "delta_chain_bytes": delta_bytes,
+            "full_copy_bytes": full_bytes,
+            "delta_chain_entries": delta_entries,
+            "full_copy_entries": full_entries,
+        },
+        "memory_ratio_full_over_delta": full_bytes / delta_bytes,
+        "entry_ratio_full_over_delta": full_entries / delta_entries,
+        "throughput": {
+            "program": "enterprise-update (4 rules) on the paper base",
+            "apply_repeats": apply_repeats,
+            "cached_apply_mean_s": warm_s,
+            "cold_apply_mean_s": cold_s,
+        },
+        "speedup_cached_over_cold": cold_s / warm_s,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="repro-bench", description="run the P1 scaling sweep"
+        prog="repro-bench", description="run the P1 scaling or P2 store sweep"
     )
     parser.add_argument(
-        "--out", type=Path, default=Path(DEFAULT_OUT),
-        help=f"output JSON path (default: {DEFAULT_OUT})",
+        "--out", type=Path, default=None,
+        help=f"output JSON path (default: {DEFAULT_OUT}, "
+        f"{DEFAULT_STORE_OUT} with --store)",
     )
     parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
     parser.add_argument(
         "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES)
     )
+    parser.add_argument(
+        "--store", action="store_true",
+        help="run the versioned-store sweep (memory + repeated apply) "
+        "instead of the P1 scaling sweep",
+    )
+    parser.add_argument(
+        "--revisions", type=int, default=DEFAULT_STORE_REVISIONS,
+        help="store sweep: chain length (default: %(default)s)",
+    )
     arguments = parser.parse_args(argv)
 
+    if arguments.store:
+        out = arguments.out or Path(DEFAULT_STORE_OUT)
+        document = run_store_sweep(arguments.revisions)
+        out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        memory = document["memory"]
+        print(
+            f"chain memory: delta {memory['delta_chain_bytes'] / 1e6:.2f} MB "
+            f"({memory['delta_chain_entries']} entries)  vs  full-copy "
+            f"{memory['full_copy_bytes'] / 1e6:.2f} MB "
+            f"({memory['full_copy_entries']} entries)  "
+            f"ratio {document['memory_ratio_full_over_delta']:.1f}x"
+        )
+        throughput = document["throughput"]
+        print(
+            f"apply: cached {throughput['cached_apply_mean_s'] * 1e3:.2f} ms  "
+            f"vs  cold {throughput['cold_apply_mean_s'] * 1e3:.2f} ms  "
+            f"speedup {document['speedup_cached_over_cold']:.2f}x"
+        )
+        print(f"wrote {out}")
+        return 0
+
+    out = arguments.out or Path(DEFAULT_OUT)
     document = run_p1_sweep(tuple(arguments.sizes), arguments.repeats)
-    arguments.out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     for entry in document["results"]:
         print(
             f"n={entry['n_employees']:>5}  {entry['mode']:>10}  "
@@ -107,7 +251,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     for size, ratio in document["speedup_naive_over_semi_naive"].items():
         print(f"speedup n={size}: {ratio:.2f}x")
-    print(f"wrote {arguments.out}")
+    print(f"wrote {out}")
     return 0
 
 

@@ -7,9 +7,18 @@ Usage (installed as ``repro-updates``, also ``python -m repro``)::
     repro-updates check --program update.upd
     repro-updates query --base world.ob "E.isa -> empl, E.sal -> S"
     repro-updates bench [--out BENCH_PR1.json] [--sizes 25 100 400]
+    repro-updates bench --store [--out BENCH_PR2.json]
+    repro-updates store init --dir STORE --base world.ob
+    repro-updates store apply --dir STORE --program update.upd [--tag t]
+    repro-updates store log --dir STORE
+    repro-updates store diff --dir STORE OLDER NEWER
+    repro-updates store as-of --dir STORE REVISION [--out new.ob]
+    repro-updates store compact --dir STORE [--interval N]
 
 ``apply`` prints the new object base (``ob'``) to stdout, or writes it with
 ``--out``; ``--result-base`` dumps ``result(P)`` with all versions instead.
+``store`` commands operate on a durable journal directory (JSONL delta log
+plus periodic snapshots) holding a whole revision chain.
 """
 
 from __future__ import annotations
@@ -88,15 +97,81 @@ def build_parser() -> argparse.ArgumentParser:
     query_cmd.add_argument("--base", required=True, type=Path)
     query_cmd.add_argument("body", help="query text, e.g. 'E.isa -> empl'")
 
-    from repro.bench.sweep import DEFAULT_OUT, DEFAULT_REPEATS, DEFAULT_SIZES
+    from repro.bench.sweep import (
+        DEFAULT_REPEATS,
+        DEFAULT_SIZES,
+        DEFAULT_STORE_REVISIONS,
+    )
 
     bench_cmd = commands.add_parser(
         "bench",
-        help="run the P1 scaling sweep (semi-naive vs naive) and write JSON",
+        help="run the P1 scaling sweep (semi-naive vs naive) or, with "
+        "--store, the P2 versioned-store sweep, and write JSON",
     )
-    bench_cmd.add_argument("--out", type=Path, default=Path(DEFAULT_OUT))
+    bench_cmd.add_argument("--out", type=Path, default=None)
     bench_cmd.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
     bench_cmd.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
+    bench_cmd.add_argument("--store", action="store_true")
+    bench_cmd.add_argument(
+        "--revisions", type=int, default=DEFAULT_STORE_REVISIONS
+    )
+
+    store_cmd = commands.add_parser(
+        "store", help="manage a durable versioned-store journal directory"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+
+    def _dir_arg(sub):
+        sub.add_argument(
+            "--dir", required=True, type=Path, dest="directory",
+            help="journal directory",
+        )
+
+    init_cmd = store_sub.add_parser(
+        "init", help="create a journal from an object-base file"
+    )
+    _dir_arg(init_cmd)
+    init_cmd.add_argument("--base", required=True, type=Path)
+    init_cmd.add_argument("--tag", default="initial")
+    init_cmd.add_argument(
+        "--snapshot-interval", type=int, default=None,
+        help="materialize a full snapshot every N revisions",
+    )
+    init_cmd.add_argument(
+        "--full-copy", action="store_true",
+        help="store a full snapshot at every revision (no delta chain)",
+    )
+
+    store_apply_cmd = store_sub.add_parser(
+        "apply", help="run a program against the head, append one revision"
+    )
+    _dir_arg(store_apply_cmd)
+    store_apply_cmd.add_argument("--program", required=True, type=Path)
+    store_apply_cmd.add_argument("--tag", default="")
+
+    log_cmd = store_sub.add_parser("log", help="list the revision chain")
+    _dir_arg(log_cmd)
+
+    diff_cmd = store_sub.add_parser(
+        "diff", help="added/removed facts between two revisions"
+    )
+    _dir_arg(diff_cmd)
+    diff_cmd.add_argument("older", help="revision tag or index")
+    diff_cmd.add_argument("newer", help="revision tag or index")
+    diff_cmd.add_argument("--include-exists", action="store_true")
+
+    asof_cmd = store_sub.add_parser(
+        "as-of", help="print the base as of a revision"
+    )
+    _dir_arg(asof_cmd)
+    asof_cmd.add_argument("revision", help="revision tag or index")
+    asof_cmd.add_argument("--out", type=Path, help="write here instead of stdout")
+
+    compact_cmd = store_sub.add_parser(
+        "compact", help="rewrite the journal under a fresh snapshot interval"
+    )
+    _dir_arg(compact_cmd)
+    compact_cmd.add_argument("--interval", type=int, default=None)
 
     return parser
 
@@ -194,10 +269,133 @@ def _cmd_query(arguments) -> int:
 def _cmd_bench(arguments) -> int:
     from repro.bench.sweep import main as bench_main
 
-    argv = ["--out", str(arguments.out), "--repeats", str(arguments.repeats)]
+    argv = ["--repeats", str(arguments.repeats)]
+    if arguments.out is not None:
+        argv += ["--out", str(arguments.out)]
     argv += ["--sizes", *(str(s) for s in arguments.sizes)]
+    if arguments.store:
+        argv += ["--store", "--revisions", str(arguments.revisions)]
     return bench_main(argv)
 
+
+def _cmd_store(arguments) -> int:
+    handler = _STORE_HANDLERS[arguments.store_command]
+    return handler(arguments)
+
+
+def _cmd_store_init(arguments) -> int:
+    from repro.storage import StoreOptions, VersionedStore, save_store
+    from repro.storage.serialize import JOURNAL_FILE
+
+    existing = arguments.directory / JOURNAL_FILE
+    if existing.exists():
+        raise ReproError(
+            f"a journal already exists at {existing}; refusing to overwrite "
+            f"its history — pick a fresh directory"
+        )
+    base = parse_object_base(arguments.base.read_text(encoding="utf-8"))
+    overrides = {"delta_chain": not arguments.full_copy}
+    if arguments.snapshot_interval is not None:
+        overrides["snapshot_interval"] = arguments.snapshot_interval
+    store = VersionedStore(
+        base, tag=arguments.tag, options=StoreOptions(**overrides)
+    )
+    journal = save_store(store, arguments.directory)
+    print(f"initialized {journal} ({len(store.current)} facts)", file=sys.stderr)
+    return 0
+
+
+def _cmd_store_apply(arguments) -> int:
+    from repro.storage import append_revision, load_store
+
+    store = load_store(arguments.directory)
+    program = parse_program(arguments.program.read_text(encoding="utf-8"))
+    program.name = arguments.program.stem
+    store.apply(program, tag=arguments.tag)
+    append_revision(store, arguments.directory)
+    head = store.head
+    print(
+        f"revision {head.index} [{head.tag}]: "
+        f"+{len(head.added)} -{len(head.removed)} facts",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_store_log(arguments) -> int:
+    from repro.storage import load_store
+
+    # metadata only: lazy snapshot loading means no snap-*.json is parsed
+    store = load_store(arguments.directory)
+    for revision in store.revisions():
+        marker = "*" if store.has_snapshot(revision.index) else " "
+        program = revision.program_name or "-"
+        print(
+            f"{revision.index:>4} {marker} {revision.tag:<24} "
+            f"+{len(revision.added):<5} -{len(revision.removed):<5} {program}"
+        )
+    return 0
+
+
+def _cmd_store_diff(arguments) -> int:
+    from repro.storage import load_store
+
+    store = load_store(arguments.directory)
+    added, removed = store.diff(
+        _revision_ref(arguments.older),
+        _revision_ref(arguments.newer),
+        include_exists=arguments.include_exists,
+    )
+    for fact in sorted(added, key=str):
+        print(f"+ {fact}")
+    for fact in sorted(removed, key=str):
+        print(f"- {fact}")
+    return 0
+
+
+def _cmd_store_as_of(arguments) -> int:
+    from repro.storage import load_store
+
+    store = load_store(arguments.directory)
+    text = format_object_base(store.as_of(_revision_ref(arguments.revision)))
+    if arguments.out:
+        arguments.out.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {arguments.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_store_compact(arguments) -> int:
+    from repro.storage import compact_journal
+
+    store = compact_journal(
+        arguments.directory, snapshot_interval=arguments.interval
+    )
+    snapshots = sum(
+        1 for r in store.revisions() if store.has_snapshot(r.index)
+    )
+    print(
+        f"compacted {arguments.directory}: {len(store)} revisions, "
+        f"{snapshots} snapshots",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _revision_ref(text: str) -> str | int:
+    """CLI revision references: digits mean an index, anything else a tag."""
+    return int(text) if text.lstrip("-").isdigit() else text
+
+
+_STORE_HANDLERS = {
+    "init": _cmd_store_init,
+    "apply": _cmd_store_apply,
+    "log": _cmd_store_log,
+    "diff": _cmd_store_diff,
+    "as-of": _cmd_store_as_of,
+    "compact": _cmd_store_compact,
+}
 
 _HANDLERS = {
     "apply": _cmd_apply,
@@ -205,6 +403,7 @@ _HANDLERS = {
     "check": _cmd_check,
     "query": _cmd_query,
     "bench": _cmd_bench,
+    "store": _cmd_store,
 }
 
 

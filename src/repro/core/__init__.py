@@ -21,6 +21,7 @@ from repro.core.errors import (
     BuiltinError,
     EvaluationError,
     EvaluationLimitError,
+    FrozenBaseError,
     ProgramError,
     ReproError,
     SafetyError,
@@ -29,7 +30,13 @@ from repro.core.errors import (
     VersionDepthError,
     VersionLinearityError,
 )
-from repro.core.evaluation import EvaluationOptions, EvaluationOutcome, evaluate
+from repro.core.evaluation import (
+    CompiledProgram,
+    EvaluationOptions,
+    EvaluationOutcome,
+    compile_program,
+    evaluate,
+)
 from repro.core.exprs import BinOp, Neg
 from repro.core.facts import EXISTS, Fact, exists_fact, make_fact
 from repro.core.linearity import (
@@ -72,14 +79,15 @@ __all__ = [
     "ObjectBase", "Delta", "tp_step", "apply_tp", "TPResult",
     # stratification & evaluation
     "Stratification", "stratify", "precedence_edges",
-    "evaluate", "EvaluationOptions", "EvaluationOutcome", "EvaluationTrace",
+    "evaluate", "compile_program", "CompiledProgram",
+    "EvaluationOptions", "EvaluationOutcome", "EvaluationTrace",
     # linearity & new base
     "LinearityTracker", "check_version_linear", "final_versions",
     "build_new_base",
     # facade
     "UpdateEngine", "UpdateResult",
     # errors
-    "ReproError", "TermError", "ProgramError", "SafetyError",
+    "ReproError", "TermError", "FrozenBaseError", "ProgramError", "SafetyError",
     "StratificationError", "EvaluationError", "EvaluationLimitError",
     "VersionDepthError", "VersionLinearityError", "BuiltinError",
 ]

@@ -29,7 +29,6 @@ from repro.core.terms import (
     Var,
     VersionId,
     VersionVar,
-    is_ground,
     is_object_id_term,
     is_version_id_term,
     variables_of,

@@ -14,16 +14,23 @@ check, new-base construction — behind one call::
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 
-from repro.core.evaluation import EvaluationOptions, EvaluationOutcome, evaluate
+from repro.core.evaluation import (
+    CompiledProgram,
+    EvaluationOptions,
+    EvaluationOutcome,
+    compile_program,
+    evaluate,
+)
 from repro.core.newbase import build_new_base
 from repro.core.objectbase import ObjectBase
 from repro.core.rules import UpdateProgram
 from repro.core.stratification import Stratification
 from repro.core.trace import EvaluationTrace
 
-__all__ = ["UpdateEngine", "UpdateResult"]
+__all__ = ["UpdateEngine", "UpdateResult", "CompiledProgram"]
 
 
 @dataclass
@@ -60,23 +67,49 @@ class UpdateEngine:
 
     Keyword arguments mirror :class:`~repro.core.evaluation.EvaluationOptions`
     (trace collection, linearity checking, iteration caps, object creation).
-    An engine is stateless between calls and safe to reuse.
+    The program-independent behaviour is stateless; the engine additionally
+    keeps an LRU cache of :class:`CompiledProgram` artifacts keyed by program
+    identity (its rule tuple — structurally equal programs share an entry,
+    so re-parsing the same text still hits), bounded by
+    ``compile_cache_size``.  Repeated ``apply``/``evaluate`` of the same
+    program therefore pays the safety check, the stratification and the join
+    plans exactly once.
     """
 
-    def __init__(self, **option_overrides) -> None:
+    def __init__(self, *, compile_cache_size: int = 64, **option_overrides) -> None:
         self.options = EvaluationOptions(**option_overrides)
+        self.compile_cache_size = compile_cache_size
+        self._compiled: OrderedDict[tuple, CompiledProgram] = OrderedDict()
 
     def with_options(self, **option_overrides) -> "UpdateEngine":
-        """A copy of this engine with some options changed."""
+        """A copy of this engine with some options changed (fresh cache)."""
         engine = UpdateEngine.__new__(UpdateEngine)
         engine.options = replace(self.options, **option_overrides)
+        engine.compile_cache_size = self.compile_cache_size
+        engine._compiled = OrderedDict()
         return engine
+
+    def compile(self, program: UpdateProgram) -> CompiledProgram:
+        """The cached static artifact for ``program`` under this engine's
+        options (compiling on a miss)."""
+        if self.compile_cache_size <= 0:
+            return compile_program(program, self.options)
+        key = program.rules
+        compiled = self._compiled.get(key)
+        if compiled is not None:
+            self._compiled.move_to_end(key)
+            return compiled
+        compiled = compile_program(program, self.options)
+        self._compiled[key] = compiled
+        while len(self._compiled) > self.compile_cache_size:
+            self._compiled.popitem(last=False)
+        return compiled
 
     def evaluate(
         self, program: UpdateProgram, base: ObjectBase
     ) -> EvaluationOutcome:
         """Compute ``result(P)`` only (no new-base construction)."""
-        return evaluate(program, base, self.options)
+        return evaluate(program, base, self.options, compiled=self.compile(program))
 
     def apply(self, program: UpdateProgram, base: ObjectBase) -> UpdateResult:
         """Run the full update-process: ``ob`` → ``result(P)`` → ``ob'``."""

@@ -27,6 +27,16 @@ class TermError(ReproError):
     where a ground one is required, or ``object_of`` on a variable)."""
 
 
+class FrozenBaseError(ReproError):
+    """A mutation was attempted on a frozen (shared, immutable) object base.
+
+    Frozen bases are the structural-sharing currency of the versioned store:
+    ``VersionedStore.current`` / ``as_of`` hand out the *same* object to every
+    reader instead of copying, which is only sound because mutation is
+    rejected.  Call ``base.copy()`` to obtain a private mutable base.
+    """
+
+
 class ProgramError(ReproError):
     """An ill-formed rule or program (e.g. ``exists`` in a rule head)."""
 

@@ -38,7 +38,13 @@ from repro.core.stratification import Stratification, stratify
 from repro.core.terms import VersionVar, depth, variables_of
 from repro.core.trace import EvaluationTrace, IterationRecord
 
-__all__ = ["EvaluationOptions", "EvaluationOutcome", "evaluate"]
+__all__ = [
+    "CompiledProgram",
+    "EvaluationOptions",
+    "EvaluationOutcome",
+    "compile_program",
+    "evaluate",
+]
 
 
 @dataclass(frozen=True)
@@ -95,10 +101,52 @@ class EvaluationOutcome:
         return len(self.stratification)
 
 
+@dataclass(frozen=True)
+class CompiledProgram:
+    """The reusable static artifact of one update-program.
+
+    Everything :func:`evaluate` derives from the program alone — the
+    head-variable rejection, the safety check, the stratification, and the
+    per-rule join plans / dependency signatures of :mod:`repro.core.plans` —
+    is computed once here and reused across every subsequent evaluation of
+    the same program, whatever the base.  This is what lets the versioned
+    store run long chains of ``store.apply`` at per-update cost proportional
+    to the update, not to the program analysis.
+    """
+
+    program: UpdateProgram
+    stratification: Stratification
+    safety_checked: bool
+
+
+def compile_program(
+    program: UpdateProgram, options: EvaluationOptions | None = None
+) -> CompiledProgram:
+    """Run the static pipeline of :func:`evaluate` and package the result.
+
+    Raises the same :class:`~repro.core.errors.ProgramError` family a direct
+    ``evaluate`` call would, so an invalid program fails at compile time —
+    before any base is touched.
+    """
+    options = options or EvaluationOptions()
+    _reject_version_vars_in_heads(program)
+    if options.check_safety:
+        check_program_safety(program)
+    stratification = stratify(program)
+    if options.semi_naive:
+        from repro.core.plans import rule_plan
+
+        for rule in program:
+            rule_plan(rule)
+    return CompiledProgram(program, stratification, options.check_safety)
+
+
 def evaluate(
     program: UpdateProgram,
     base: ObjectBase,
     options: EvaluationOptions | None = None,
+    *,
+    compiled: CompiledProgram | None = None,
 ) -> EvaluationOutcome:
     """Compute ``result(P)`` for ``program`` on (a copy of) ``base``.
 
@@ -107,12 +155,16 @@ def evaluate(
     :class:`~repro.core.errors.SafetyError`,
     :class:`~repro.core.errors.VersionLinearityError` or
     :class:`~repro.core.errors.EvaluationLimitError` as applicable.
+
+    ``compiled`` short-circuits the static pipeline with a previously
+    computed :class:`CompiledProgram` (it must stem from this ``program``
+    under equivalent options; :meth:`repro.core.engine.UpdateEngine.compile`
+    guarantees that).
     """
     options = options or EvaluationOptions()
-    _reject_version_vars_in_heads(program)
-    if options.check_safety:
-        check_program_safety(program)
-    stratification = stratify(program)
+    if compiled is None:
+        compiled = compile_program(program, options)
+    stratification = compiled.stratification
 
     working = base.copy()
     working.ensure_exists()

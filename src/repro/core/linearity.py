@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.core.errors import VersionLinearityError
 from repro.core.objectbase import ObjectBase
-from repro.core.terms import Oid, Term, depth, is_subterm, object_of, subterms
+from repro.core.terms import Oid, Term, depth, is_subterm, object_of
 
 __all__ = ["LinearityTracker", "check_version_linear", "final_versions"]
 

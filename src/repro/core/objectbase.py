@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
-from repro.core.errors import TermError
+from repro.core.errors import FrozenBaseError, TermError
 from repro.core.facts import EXISTS, Fact, exists_fact, make_fact
 from repro.core.terms import (
     Oid,
@@ -133,7 +133,14 @@ class ObjectBase:
     one set copy per iteration instead of five.
     """
 
-    __slots__ = ("_facts", "_by_method", "_by_host", "_by_host_method", "_exists")
+    __slots__ = (
+        "_facts",
+        "_by_method",
+        "_by_host",
+        "_by_host_method",
+        "_exists",
+        "_frozen",
+    )
 
     def __init__(self, facts: Iterable[Fact] = ()):
         self._facts: set[Fact] = set()
@@ -141,6 +148,7 @@ class ObjectBase:
         self._by_host: dict[Term, set[Fact]] | None = {}
         self._by_host_method: dict[tuple[Term, str, int], set[Fact]] | None = {}
         self._exists: dict[Term, Oid] | None = {}
+        self._frozen = False
         for fact in facts:
             self.add(fact)
 
@@ -214,6 +222,7 @@ class ObjectBase:
         base._by_host = None
         base._by_host_method = None
         base._exists = None
+        base._frozen = False
         return base
 
     def copy(self, *, lazy_indexes: bool = False) -> "ObjectBase":
@@ -225,6 +234,7 @@ class ObjectBase:
         """
         clone = ObjectBase.__new__(ObjectBase)
         clone._facts = set(self._facts)
+        clone._frozen = False
         if lazy_indexes or self._by_method is None:
             clone._by_method = None
             clone._by_host = None
@@ -238,6 +248,43 @@ class ObjectBase:
             }
             clone._exists = dict(self._exists)
         return clone
+
+    # ------------------------------------------------------------------
+    # structural sharing (the versioned store's currency)
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """True when this base is an immutable shared view."""
+        return self._frozen
+
+    def freeze(self) -> "ObjectBase":
+        """Make this base immutable and return it.
+
+        A frozen base rejects :meth:`add` / :meth:`discard` (and everything
+        built on them) with :class:`~repro.core.errors.FrozenBaseError`, so
+        it can be handed to any number of readers without defensive copying.
+        Index (re)building stays allowed — it only caches derived state.
+        Freezing is irreversible; use :meth:`copy` for a mutable private
+        base.
+        """
+        self._frozen = True
+        return self
+
+    def apply_delta(
+        self, added: Iterable[Fact], removed: Iterable[Fact]
+    ) -> "ObjectBase":
+        """A new (mutable, lazily indexed) base equal to this one with
+        ``removed`` taken out and ``added`` put in.
+
+        This is the structural-sharing step of the delta-chain store: the
+        :class:`Fact` objects themselves are shared between the two bases
+        (facts are immutable), only the set spine is new, so advancing a
+        revision costs one set copy plus the delta — never an index copy.
+        """
+        facts = set(self._facts)
+        facts.difference_update(removed)
+        facts.update(added)
+        return ObjectBase.from_fact_set(facts)
 
     # ------------------------------------------------------------------
     # set protocol
@@ -267,6 +314,10 @@ class ObjectBase:
         """Insert ``fact``; returns True when the base changed."""
         if fact in self._facts:
             return False
+        if self._frozen:
+            raise FrozenBaseError(
+                f"cannot add {fact} to a frozen base; copy() it first"
+            )
         host = fact.host
         if not is_ground(host):
             raise TermError(f"object bases hold ground facts only, got {fact}")
@@ -295,6 +346,10 @@ class ObjectBase:
         """Remove ``fact`` if present; returns True when the base changed."""
         if fact not in self._facts:
             return False
+        if self._frozen:
+            raise FrozenBaseError(
+                f"cannot discard {fact} from a frozen base; copy() it first"
+            )
         self._ensure_indexes()
         self._facts.discard(fact)
         mkey = (fact.method, len(fact.args))

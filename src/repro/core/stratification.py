@@ -41,7 +41,6 @@ import networkx as nx
 from repro.core.errors import StratificationError
 from repro.core.rules import UpdateProgram, UpdateRule
 from repro.core.terms import (
-    Oid,
     Term,
     UpdateKind,
     Var,

@@ -4,26 +4,38 @@ The paper's VIDs support *single updates*; "several of them may give rise to
 introduce a new version in the usual sense" (Section 1) — i.e. long-term
 object versioning as in [Kim91].  This subpackage provides that usual sense:
 
-* :class:`~repro.storage.history.VersionedStore` — a chain of object-base
-  snapshots, one per applied update-program (transaction), with as-of
-  queries and diffs;
+* :class:`~repro.storage.history.VersionedStore` — an append-only delta
+  chain of object-base revisions (one per applied update-program /
+  transaction) with periodic full snapshots, structural sharing between
+  revisions, as-of queries and delta-composed diffs;
 * :mod:`~repro.storage.serialize` — text and JSON round-trips for object
-  bases and programs.
+  bases, plus the durable JSONL journal format that persists a whole
+  revision chain (``save_store`` / ``load_store`` / ``append_revision`` /
+  ``compact_journal``).
 """
 
-from repro.storage.history import StoreRevision, VersionedStore
+from repro.storage.history import StoreOptions, StoreRevision, VersionedStore
 from repro.storage.serialize import (
+    append_revision,
+    compact_journal,
     dump_base_json,
     dump_base_text,
     load_base_json,
     load_base_text,
+    load_store,
+    save_store,
 )
 
 __all__ = [
     "VersionedStore",
+    "StoreOptions",
     "StoreRevision",
     "dump_base_text",
     "load_base_text",
     "dump_base_json",
     "load_base_json",
+    "save_store",
+    "load_store",
+    "append_revision",
+    "compact_journal",
 ]

@@ -1,14 +1,33 @@
-"""A store that keeps the whole history of update-processes.
+"""A store that keeps the whole history of update-processes as a delta chain.
 
 Each applied update-program produces a new revision (the paper's
 ``ob → ob'`` mapping); the store keeps every revision, so "as-of" queries
 and diffs across updates are possible — the long-term complement of the
 paper's per-update versioning (Section 1's closing remark).
+
+History is represented the way the paper frames it — a *chain* of update
+deltas, not a pile of copies:
+
+* a :class:`StoreRevision` records the ``(added, removed)`` fact sets
+  against its parent; every ``snapshot_interval``-th revision additionally
+  materializes a full frozen base, so reconstructing any revision costs the
+  nearest snapshot plus the deltas since it, never ``O(|base| · revisions)``;
+* the head base and every snapshot are frozen
+  (:meth:`~repro.core.objectbase.ObjectBase.freeze`), so ``current`` and
+  ``as_of`` hand out the shared view instead of copying, and the engine's
+  ``new_base`` is committed without a defensive copy;
+* the engine's :class:`~repro.core.engine.CompiledProgram` cache makes a
+  chain of ``apply`` calls of the same program pay the static analysis once.
+
+``StoreOptions(delta_chain=False)`` restores the original representation —
+one full materialized base per revision — as an escape hatch; both modes
+expose identical facts at every revision (covered by an equivalence test).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.engine import UpdateEngine, UpdateResult
 from repro.core.errors import ReproError
@@ -16,17 +35,72 @@ from repro.core.facts import EXISTS, Fact
 from repro.core.objectbase import ObjectBase
 from repro.core.rules import UpdateProgram
 
-__all__ = ["StoreRevision", "VersionedStore"]
+__all__ = ["StoreOptions", "StoreRevision", "VersionedStore"]
+
+#: A deferred snapshot: called once, on first need, to produce the base.
+SnapshotSource = Callable[[], ObjectBase]
+
+
+@dataclass(frozen=True)
+class StoreOptions:
+    """Tunable shape of a :class:`VersionedStore`.
+
+    delta_chain:
+        Store ``(added, removed)`` deltas per revision with periodic
+        snapshots (the default).  ``False`` materializes a full frozen base
+        at *every* revision — the pre-delta behaviour, kept as an escape
+        hatch for workloads whose deltas approach the base size.
+    snapshot_interval:
+        Materialize a full snapshot every this-many revisions (revision 0
+        always has one).  Smaller values trade memory for faster ``as_of``
+        reconstruction of cold revisions.
+    materialize_cache:
+        How many reconstructed non-head revisions to keep around for
+        repeated ``as_of`` reads.
+    """
+
+    delta_chain: bool = True
+    snapshot_interval: int = 32
+    materialize_cache: int = 4
+
+    def __post_init__(self) -> None:
+        if self.snapshot_interval < 1:
+            raise ReproError("snapshot_interval must be >= 1")
 
 
 @dataclass(frozen=True)
 class StoreRevision:
-    """One committed state of the store."""
+    """One committed state of the store, as a delta against its parent.
+
+    ``added`` / ``removed`` are exact set differences w.r.t. the parent
+    revision (disjoint by construction); ``snapshot`` is the full frozen
+    base when this revision falls on the snapshot policy, else ``None``.
+    ``base`` reconstructs the full (frozen, shared) base through the owning
+    store — the pre-delta attribute kept as a property so audits and
+    examples read naturally.
+    """
 
     index: int
     tag: str
-    base: ObjectBase
     program_name: str | None
+    added: frozenset[Fact] = frozenset()
+    removed: frozenset[Fact] = frozenset()
+    snapshot: ObjectBase | None = None
+    _store: "VersionedStore | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def base(self) -> ObjectBase:
+        """The full object base of this revision (frozen shared view)."""
+        if self.snapshot is not None:
+            return self.snapshot
+        if self._store is None:
+            raise ReproError(
+                f"revision {self.index} is detached from its store and has "
+                f"no snapshot to reconstruct from"
+            )
+        return self._store.base_at(self.index)
 
     def facts(self) -> frozenset[Fact]:
         return frozenset(self.base)
@@ -46,19 +120,78 @@ class VersionedStore:
         *,
         tag: str = "initial",
         engine: UpdateEngine | None = None,
+        options: StoreOptions | None = None,
     ):
         self._engine = engine or UpdateEngine()
+        self.options = options or StoreOptions()
         snapshot = base.copy()
         snapshot.ensure_exists()
+        snapshot.freeze()
+        self._head: ObjectBase = snapshot
+        self._materialized: dict[int, ObjectBase] = {}
+        self._snapshot_sources: dict[int, "SnapshotSource"] = {}
         self._revisions: list[StoreRevision] = [
-            StoreRevision(0, tag, snapshot, None)
+            StoreRevision(0, _check_tag(tag), None, frozenset(), frozenset(), snapshot, self)
         ]
+
+    @classmethod
+    def from_revisions(
+        cls,
+        revisions: list[StoreRevision],
+        *,
+        engine: UpdateEngine | None = None,
+        options: StoreOptions | None = None,
+        snapshot_sources: "dict[int, SnapshotSource] | None" = None,
+    ) -> "VersionedStore":
+        """Adopt an already-built revision chain (the journal loader's
+        entry point).  Revision 0 must carry a snapshot; indexes must be
+        contiguous from 0.
+
+        ``snapshot_sources`` maps revision indexes to zero-argument
+        callables producing the snapshot base on demand — the journal
+        loader registers one per snapshot *file* so that metadata-level
+        work (``log``, appending) never parses cold snapshots; a loaded
+        snapshot is cached on its revision.
+        """
+        if not revisions:
+            raise ReproError("a store needs at least one revision")
+        snapshot_sources = dict(snapshot_sources or {})
+        if revisions[0].snapshot is None and 0 not in snapshot_sources:
+            raise ReproError("revision 0 must carry a full snapshot")
+        store = cls.__new__(cls)
+        store._engine = engine or UpdateEngine()
+        store.options = options or StoreOptions()
+        store._materialized = {}
+        store._snapshot_sources = snapshot_sources
+        store._revisions = []
+        for expected, revision in enumerate(revisions):
+            if revision.index != expected:
+                raise ReproError(
+                    f"revision chain is not contiguous: expected index "
+                    f"{expected}, got {revision.index}"
+                )
+            if revision.snapshot is not None:
+                revision.snapshot.freeze()
+            object.__setattr__(revision, "_store", store)
+            store._revisions.append(revision)
+        store._head = None  # reconstructed on first read (lazy, like snapshots)
+        return store
 
     # -- reading ---------------------------------------------------------
     @property
+    def engine(self) -> UpdateEngine:
+        return self._engine
+
+    @property
     def current(self) -> ObjectBase:
-        """The newest revision's base (copy-on-read: mutations stay local)."""
-        return self._revisions[-1].base.copy()
+        """The newest revision's base — the frozen shared view, no copy.
+
+        Mutating it raises :class:`~repro.core.errors.FrozenBaseError`;
+        call ``.copy()`` for a private mutable base.
+        """
+        if self._head is None:
+            self._head = self._reconstruct(len(self._revisions) - 1)
+        return self._head
 
     @property
     def head(self) -> StoreRevision:
@@ -71,8 +204,59 @@ class VersionedStore:
         return tuple(self._revisions)
 
     def as_of(self, tag_or_index: str | int) -> ObjectBase:
-        """The base as of a revision, by tag or index."""
-        return self._find(tag_or_index).base.copy()
+        """The base as of a revision, by tag or index (frozen shared view)."""
+        return self.base_at(self._find(tag_or_index).index)
+
+    def base_at(self, index: int) -> ObjectBase:
+        """The full frozen base of revision ``index``, reconstructed from
+        the nearest snapshot at or below it plus the deltas since."""
+        if index == len(self._revisions) - 1:
+            return self.current
+        if self.has_snapshot(index):
+            return self.snapshot_at(index)
+        cached = self._materialized.get(index)
+        if cached is not None:
+            return cached
+        base = self._reconstruct(index)
+        self._materialized[index] = base
+        while len(self._materialized) > self.options.materialize_cache:
+            self._materialized.pop(next(iter(self._materialized)))
+        return base
+
+    def has_snapshot(self, index: int) -> bool:
+        """True when revision ``index`` materializes a full base (loaded
+        or still deferred to its journal file)."""
+        return (
+            self._revisions[index].snapshot is not None
+            or index in self._snapshot_sources
+        )
+
+    def snapshot_at(self, index: int) -> ObjectBase | None:
+        """The snapshot base of revision ``index`` (loading and caching a
+        deferred one), or ``None`` when the revision is delta-only."""
+        revision = self._revisions[index]
+        if revision.snapshot is not None:
+            return revision.snapshot
+        source = self._snapshot_sources.pop(index, None)
+        if source is None:
+            return None
+        base = source().freeze()
+        object.__setattr__(revision, "snapshot", base)
+        return base
+
+    def _reconstruct(self, index: int) -> ObjectBase:
+        anchor = index
+        while not self.has_snapshot(anchor):
+            anchor -= 1
+        base = self.snapshot_at(anchor)
+        if anchor == index:
+            return base
+        added: set[Fact] = set()
+        removed: set[Fact] = set()
+        for k in range(anchor + 1, index + 1):
+            revision = self._revisions[k]
+            _compose_delta(added, removed, revision.added, revision.removed)
+        return base.apply_delta(added, removed).freeze()
 
     def _find(self, tag_or_index: str | int) -> StoreRevision:
         if isinstance(tag_or_index, int):
@@ -90,54 +274,130 @@ class VersionedStore:
         """Run an update-program transactionally against the head revision.
 
         On success a new revision is appended; on any evaluation error the
-        store is untouched (atomicity comes free: evaluation copies).
+        store is untouched (atomicity comes free: evaluation copies).  The
+        engine's compiled-program cache makes repeated applies of the same
+        program skip the static analysis; the produced ``new_base`` is
+        frozen and committed directly — no defensive copy.
         """
-        result = self._engine.apply(program, self._revisions[-1].base)
-        self._revisions.append(
-            StoreRevision(
-                len(self._revisions),
-                tag or f"rev{len(self._revisions)}",
-                result.new_base,
-                program.name,
-            )
-        )
+        result = self._engine.apply(program, self.current)
+        self._commit(result.new_base.freeze(), tag, program.name)
         return result
 
     def commit_base(self, base: ObjectBase, *, tag: str = "") -> StoreRevision:
         """Append an externally produced base as a new revision."""
         snapshot = base.copy()
         snapshot.ensure_exists()
-        revision = StoreRevision(
-            len(self._revisions), tag or f"rev{len(self._revisions)}", snapshot, None
-        )
-        self._revisions.append(revision)
-        return revision
+        return self._commit(snapshot.freeze(), tag, None)
 
     def rollback_to(self, tag_or_index: str | int, *, tag: str = "") -> StoreRevision:
         """Append a new revision whose base equals an older revision's.
 
         The store stays append-only (the rolled-back states remain in the
         history); this is the transactional undo on top of the paper's
-        ``ob -> ob'`` mapping.
+        ``ob -> ob'`` mapping.  Under the delta representation the new
+        revision records exactly the facts that flow back.
         """
         source = self._find(tag_or_index)
+        return self._commit(
+            self.base_at(source.index), tag or f"rollback-to-{source.tag}", None
+        )
+
+    def _commit(
+        self, new_base: ObjectBase, tag: str, program_name: str | None
+    ) -> StoreRevision:
+        old = self.current
+        added = frozenset(f for f in new_base if f not in old)
+        removed = frozenset(f for f in old if f not in new_base)
+        index = len(self._revisions)
+        snapshot = None
+        if not self.options.delta_chain or index % self.options.snapshot_interval == 0:
+            snapshot = new_base
         revision = StoreRevision(
-            len(self._revisions),
-            tag or f"rollback-to-{source.tag}",
-            source.base.copy(),
-            None,
+            index,
+            _check_tag(tag or f"rev{index}"),
+            program_name,
+            added,
+            removed,
+            snapshot,
+            self,
         )
         self._revisions.append(revision)
+        self._head = new_base
         return revision
 
     # -- comparing --------------------------------------------------------
     def diff(
         self, older: str | int, newer: str | int, *, include_exists: bool = False
     ) -> tuple[frozenset[Fact], frozenset[Fact]]:
-        """``(added, removed)`` fact sets between two revisions."""
-        old = self._find(older).facts()
-        new = self._find(newer).facts()
+        """``(added, removed)`` fact sets between two revisions.
+
+        Computed by composing the stored per-revision deltas (facts that
+        appear and disappear in between cancel out), so the cost is the sum
+        of the delta sizes on the path — the full bases are never
+        materialized.
+        """
+        start = self._find(older).index
+        stop = self._find(newer).index
+        flipped = start > stop
+        if flipped:
+            start, stop = stop, start
+        added: set[Fact] = set()
+        removed: set[Fact] = set()
+        for k in range(start + 1, stop + 1):
+            revision = self._revisions[k]
+            _compose_delta(added, removed, revision.added, revision.removed)
+        if flipped:
+            added, removed = removed, added
         if not include_exists:
-            old = frozenset(f for f in old if f.method != EXISTS)
-            new = frozenset(f for f in new if f.method != EXISTS)
-        return (new - old, old - new)
+            added = {f for f in added if f.method != EXISTS}
+            removed = {f for f in removed if f.method != EXISTS}
+        return (frozenset(added), frozenset(removed))
+
+    # -- accounting -------------------------------------------------------
+    def stored_entries(self) -> int:
+        """The number of fact-set slots the chain keeps alive — snapshots
+        at their full size, delta revisions at ``|added| + |removed|``.
+        The representation-independent memory yardstick of the store bench.
+        """
+        total = 0
+        for revision in self._revisions:
+            if self.has_snapshot(revision.index):
+                total += len(self.snapshot_at(revision.index))
+            else:
+                total += len(revision.added) + len(revision.removed)
+        return total
+
+
+def _check_tag(tag: str) -> str:
+    """Reject tags that collide with the numeric revision addressing of
+    ``as_of`` / ``diff`` (an all-digit tag would be unreachable, or —
+    worse — silently resolve to the wrong revision on long chains)."""
+    if tag.lstrip("-").isdigit():
+        raise ReproError(
+            f"revision tag {tag!r} is all digits, which is reserved for "
+            f"index addressing; pick a tag with a letter in it"
+        )
+    return tag
+
+
+def _compose_delta(
+    added: set[Fact],
+    removed: set[Fact],
+    step_added: frozenset[Fact],
+    step_removed: frozenset[Fact],
+) -> None:
+    """Fold one revision's delta into a running ``(added, removed)`` pair.
+
+    A fact removed after being added (or vice versa) cancels: the pair
+    always equals the exact set difference between the endpoints.
+    """
+    for fact in step_removed:
+        if fact in added:
+            added.discard(fact)
+        else:
+            removed.add(fact)
+    for fact in step_added:
+        if fact in removed:
+            removed.discard(fact)
+        else:
+            added.add(fact)

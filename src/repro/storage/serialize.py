@@ -1,9 +1,24 @@
-"""Serialization of object bases: concrete-syntax text and JSON.
+"""Serialization: object bases (text / JSON) and store journals (JSONL).
 
 Text uses the :mod:`repro.lang` fact syntax (human-editable, diff-friendly);
 JSON is a stable machine format that also round-trips derived versions
 (VID-hosted facts), which the text loader's ``ensure_exists`` cannot
 regenerate.
+
+The **journal** is the durable form of a
+:class:`~repro.storage.history.VersionedStore`: a directory holding
+
+* ``journal.jsonl`` — a header line (format, store options) followed by one
+  JSON line per revision carrying its tag, program name and ``(added,
+  removed)`` fact delta, appendable without rewriting history;
+* ``snap-<index>.json`` — full object-base snapshots (the
+  :func:`dump_base_json` format) for the revisions the snapshot policy
+  materialized.
+
+``save_store`` / ``load_store`` round-trip a whole revision chain;
+``append_revision`` extends a journal by the store's newest revision in
+O(|delta|); ``compact_journal`` rewrites a journal under a fresh snapshot
+interval.
 """
 
 from __future__ import annotations
@@ -11,19 +26,28 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.core.errors import TermError
+from repro.core.errors import ReproError, TermError
 from repro.core.facts import Fact
 from repro.core.objectbase import ObjectBase
 from repro.core.terms import Oid, Term, UpdateKind, VersionId
 from repro.lang.parser import parse_object_base
 from repro.lang.pretty import format_object_base
+from repro.storage.history import StoreOptions, StoreRevision, VersionedStore
 
 __all__ = [
     "dump_base_text",
     "load_base_text",
     "dump_base_json",
     "load_base_json",
+    "JOURNAL_FILE",
+    "save_store",
+    "load_store",
+    "append_revision",
+    "compact_journal",
 ]
+
+JOURNAL_FILE = "journal.jsonl"
+_JOURNAL_FORMAT = "repro-store-journal"
 
 
 def dump_base_text(base: ObjectBase, path: str | Path | None = None) -> str:
@@ -91,12 +115,224 @@ def load_base_json(source: str | Path) -> ObjectBase:
         raise TermError("not a repro object-base JSON document")
     base = ObjectBase()
     for entry in payload["facts"]:
-        base.add(
-            Fact(
-                _term_from_json(entry["host"]),
-                entry["method"],
-                tuple(Oid(a) for a in entry["args"]),
-                Oid(entry["result"]),
+        base.add(_fact_from_json(entry))
+    return base
+
+
+# ----------------------------------------------------------------------
+# store journals
+# ----------------------------------------------------------------------
+
+
+def _fact_to_json(fact: Fact) -> dict:
+    return {
+        "host": _term_to_json(fact.host),
+        "method": fact.method,
+        "args": [a.value for a in fact.args],
+        "result": fact.result.value,
+    }
+
+
+def _fact_from_json(entry: dict) -> Fact:
+    return Fact(
+        _term_from_json(entry["host"]),
+        entry["method"],
+        tuple(Oid(a) for a in entry["args"]),
+        Oid(entry["result"]),
+    )
+
+
+def _snapshot_name(index: int) -> str:
+    return f"snap-{index:06d}.json"
+
+
+def _revision_line(revision: StoreRevision, has_snapshot: bool) -> str:
+    record = {
+        "index": revision.index,
+        "tag": revision.tag,
+        "program": revision.program_name,
+        "added": [_fact_to_json(f) for f in sorted(revision.added, key=str)],
+        "removed": [_fact_to_json(f) for f in sorted(revision.removed, key=str)],
+        "snapshot": _snapshot_name(revision.index) if has_snapshot else None,
+    }
+    return json.dumps(record, sort_keys=True)
+
+
+def save_store(store: VersionedStore, directory: str | Path) -> Path:
+    """Write the whole revision chain of ``store`` to ``directory``.
+
+    Returns the journal path.  Snapshot files are written exactly where the
+    store's revisions carry snapshots; stale snapshot files from earlier
+    saves are removed so the directory always mirrors one chain.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(
+            {
+                "format": _JOURNAL_FORMAT,
+                "version": 1,
+                "options": {
+                    "delta_chain": store.options.delta_chain,
+                    "snapshot_interval": store.options.snapshot_interval,
+                },
+            },
+            sort_keys=True,
+        )
+    ]
+    kept: set[str] = set()
+    for revision in store.revisions():
+        has_snapshot = store.has_snapshot(revision.index)
+        lines.append(_revision_line(revision, has_snapshot))
+        if has_snapshot:
+            name = _snapshot_name(revision.index)
+            kept.add(name)
+            dump_base_json(store.snapshot_at(revision.index), directory / name)
+    for stale in directory.glob("snap-*.json"):
+        if stale.name not in kept:
+            stale.unlink()
+    journal = directory / JOURNAL_FILE
+    journal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return journal
+
+
+def append_revision(store: VersionedStore, directory: str | Path) -> Path:
+    """Append the store's newest revision to an existing journal.
+
+    This is the fast path of ``repro store apply``: one JSONL line (plus a
+    snapshot file when the policy materialized one) instead of rewriting
+    the whole chain.  Before writing, the journal's last line is checked
+    against the revision being appended, so a journal that moved under us
+    (a concurrent ``store apply``) fails cleanly instead of silently
+    forking the chain into an unreadable state.
+    """
+    directory = Path(directory)
+    journal = directory / JOURNAL_FILE
+    if not journal.exists():
+        raise ReproError(f"no journal at {journal}")
+    revision = store.head
+    last = _last_journal_index(journal)
+    if last != revision.index - 1:
+        raise ReproError(
+            f"journal at {journal} ends at revision {last}, cannot append "
+            f"revision {revision.index}; it was modified since this store "
+            f"loaded it (concurrent writer?) — reload and retry"
+        )
+    has_snapshot = store.has_snapshot(revision.index)
+    if has_snapshot:
+        dump_base_json(
+            store.snapshot_at(revision.index),
+            directory / _snapshot_name(revision.index),
+        )
+    with journal.open("a", encoding="utf-8") as handle:
+        handle.write(_revision_line(revision, has_snapshot) + "\n")
+    return journal
+
+
+def _last_journal_index(journal: Path) -> int:
+    """Index recorded on the journal's last revision line (-1 for a
+    header-only journal)."""
+    last_line = None
+    with journal.open("r", encoding="utf-8") as handle:
+        next(handle)  # header
+        for line in handle:
+            if line.strip():
+                last_line = line
+    if last_line is None:
+        return -1
+    return json.loads(last_line)["index"]
+
+
+def load_store(
+    directory: str | Path,
+    *,
+    engine=None,
+    options: StoreOptions | None = None,
+) -> VersionedStore:
+    """Reconstruct a :class:`VersionedStore` from a journal directory.
+
+    ``options`` overrides the journalled store options (e.g. to continue a
+    full-copy journal as a delta chain); by default the journalled ones are
+    used.
+    """
+    directory = Path(directory)
+    journal = directory / JOURNAL_FILE
+    if not journal.exists():
+        raise ReproError(f"no journal at {journal}")
+    lines = journal.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise ReproError(f"journal {journal} is empty")
+    header = json.loads(lines[0])
+    if header.get("format") != _JOURNAL_FORMAT:
+        raise ReproError(f"{journal} is not a repro store journal")
+    if options is None:
+        options = StoreOptions(**header.get("options", {}))
+
+    revisions: list[StoreRevision] = []
+    snapshot_sources: dict[int, object] = {}
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        index = record["index"]
+        if record.get("snapshot"):
+            # deferred: parsed only when base_at/save actually needs it,
+            # so log/append-style work never reads cold snapshots
+            path = directory / record["snapshot"]
+            snapshot_sources[index] = lambda path=path: load_base_json(path)
+        revisions.append(
+            StoreRevision(
+                index,
+                record["tag"],
+                record.get("program"),
+                frozenset(_fact_from_json(e) for e in record["added"]),
+                frozenset(_fact_from_json(e) for e in record["removed"]),
+                None,
             )
         )
-    return base
+    return VersionedStore.from_revisions(
+        revisions,
+        engine=engine,
+        options=options,
+        snapshot_sources=snapshot_sources,
+    )
+
+
+def compact_journal(
+    directory: str | Path, *, snapshot_interval: int | None = None
+) -> VersionedStore:
+    """Rewrite a journal under a (possibly new) snapshot interval.
+
+    Re-materializes snapshots at the new policy positions and drops the
+    rest, so a journal grown with a dense interval (or a full-copy one)
+    shrinks to the delta-chain layout.  Returns the compacted store (its
+    journal is already on disk), so callers need not reload it.
+    """
+    store = load_store(directory)
+    interval = snapshot_interval or store.options.snapshot_interval
+    new_options = StoreOptions(
+        delta_chain=True,
+        snapshot_interval=interval,
+        materialize_cache=store.options.materialize_cache,
+    )
+    revisions: list[StoreRevision] = []
+    for revision in store.revisions():
+        wants_snapshot = revision.index % interval == 0
+        snapshot = None
+        if wants_snapshot:
+            snapshot = store.base_at(revision.index)
+        revisions.append(
+            StoreRevision(
+                revision.index,
+                revision.tag,
+                revision.program_name,
+                revision.added,
+                revision.removed,
+                snapshot,
+            )
+        )
+    compacted = VersionedStore.from_revisions(
+        revisions, engine=store.engine, options=new_options
+    )
+    save_store(compacted, directory)
+    return compacted

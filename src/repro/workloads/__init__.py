@@ -17,6 +17,7 @@ from repro.workloads.enterprise import (
     paper_example_base,
     paper_example_program,
     salary_raise_program,
+    targeted_raise_program,
 )
 from repro.workloads.genealogy import ancestors_program, genealogy_base, true_ancestors
 from repro.workloads.synthetic import (
@@ -31,6 +32,7 @@ __all__ = [
     "enterprise_base",
     "enterprise_update_program",
     "salary_raise_program",
+    "targeted_raise_program",
     "hypothetical_base",
     "hypothetical_program",
     "genealogy_base",

@@ -27,6 +27,7 @@ __all__ = [
     "paper_example_base",
     "paper_example_program",
     "salary_raise_program",
+    "targeted_raise_program",
     "hypothetical_base",
     "hypothetical_program",
     "EnterpriseConfig",
@@ -88,6 +89,24 @@ def salary_raise_program(*, percent: float = 10.0) -> UpdateProgram:
             """
         ),
         "salary-raise",
+    )
+
+
+def targeted_raise_program(
+    employee: str = "emp0", *, percent: float = 1.0
+) -> UpdateProgram:
+    """A raise for one named employee only — the store benchmark's
+    "small transaction": each application changes a two-fact delta
+    (``sal`` out, ``sal`` in) however large the surrounding base is."""
+    factor = 1.0 + percent / 100.0
+    return UpdateProgram(
+        parse_program(
+            f"""
+            raise: mod[{employee}].sal -> (S, S2) <=
+                {employee}.sal -> S, S2 = S * {factor}.
+            """
+        ),
+        f"targeted-raise-{employee}",
     )
 
 

@@ -44,6 +44,46 @@ class TestEngineFacade:
         assert derived.options.collect_trace
 
 
+class TestCompiledPrograms:
+    def test_compile_returns_cached_artifact(self, engine, paper_program):
+        first = engine.compile(paper_program)
+        assert engine.compile(paper_program) is first
+        assert len(first.stratification) == 3
+
+    def test_cache_hits_structurally_equal_programs(self, engine):
+        text = "r: ins[a].m -> b <= a.t -> yes."
+        assert engine.compile(parse_program(text)) is engine.compile(
+            parse_program(text)
+        )
+
+    def test_compiled_reuse_gives_same_results(self, engine, paper_base, paper_program):
+        cold = UpdateEngine(compile_cache_size=0).apply(paper_program, paper_base)
+        engine.compile(paper_program)  # warm
+        warm = engine.apply(paper_program, paper_base)
+        assert warm.new_base == cold.new_base
+        assert warm.result_base == cold.result_base
+
+    def test_lru_eviction(self):
+        engine = UpdateEngine(compile_cache_size=1)
+        first_program = parse_program("r: ins[a].m -> b <= a.t -> yes.")
+        second_program = parse_program("r: ins[a].n -> b <= a.t -> yes.")
+        first = engine.compile(first_program)
+        engine.compile(second_program)  # evicts first
+        assert engine.compile(first_program) is not first
+
+    def test_compile_rejects_invalid_programs_eagerly(self, engine):
+        from repro.core.errors import SafetyError
+
+        unsafe = parse_program("r: ins[a].m -> X <= a.t -> yes.")
+        with pytest.raises(SafetyError):
+            engine.compile(unsafe)
+
+    def test_with_options_gets_a_fresh_cache(self, engine, paper_program):
+        compiled = engine.compile(paper_program)
+        derived = engine.with_options(check_safety=False)
+        assert derived.compile(paper_program) is not compiled
+
+
 class TestQueryApi:
     BASE = parse_object_base(
         """

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.errors import TermError
+from repro.core.errors import FrozenBaseError, TermError
 from repro.core.facts import EXISTS, Fact, exists_fact, make_fact
 from repro.core.objectbase import ObjectBase
 from repro.core.terms import Oid, UpdateKind, Var, wrap
@@ -81,6 +81,65 @@ class TestMutation:
 
     def test_equality(self):
         assert small_base() == small_base()
+
+
+class TestFreezing:
+    def test_freeze_rejects_mutation(self):
+        base = small_base().freeze()
+        assert base.frozen
+        with pytest.raises(FrozenBaseError):
+            base.add(make_fact(Oid("new"), "m", (), Oid(1)))
+        with pytest.raises(FrozenBaseError):
+            base.discard(make_fact(Oid("phil"), "sal", (), Oid(4000)))
+
+    def test_noop_mutations_stay_cheap(self):
+        # add of a present fact / discard of an absent one never mutate,
+        # so they are answered before the frozen check fires
+        base = small_base().freeze()
+        assert not base.add(make_fact(Oid("phil"), "sal", (), Oid(4000)))
+        assert not base.discard(make_fact(Oid("ghost"), "m", (), Oid(1)))
+
+    def test_frozen_base_still_reads_and_indexes(self):
+        facts = {f for f in small_base() if f.method != EXISTS}
+        base = ObjectBase.from_fact_set(facts).freeze()
+        assert base.facts_by_method("sal", 0)  # index built lazily, allowed
+        assert base.version_exists(Oid("phil")) is False  # no exists facts
+
+    def test_copy_of_frozen_is_mutable(self):
+        base = small_base().freeze()
+        clone = base.copy()
+        assert not clone.frozen
+        clone.add(make_fact(Oid("new"), "m", (), Oid(1)))
+        assert len(clone) == len(base) + 1
+
+    def test_ensure_exists_on_complete_frozen_base_is_a_noop(self):
+        base = small_base()
+        base.ensure_exists()
+        assert base.freeze().ensure_exists() == 0
+
+
+class TestApplyDelta:
+    def test_apply_delta_shares_fact_objects(self):
+        base = small_base().freeze()
+        old = make_fact(Oid("phil"), "sal", (), Oid(4000))
+        new = make_fact(Oid("phil"), "sal", (), Oid(4400))
+        derived = base.apply_delta({new}, {old})
+        assert not derived.frozen
+        assert new in derived and old not in derived
+        kept = next(f for f in base if f.method == "boss")
+        assert next(f for f in derived if f.method == "boss") is kept
+
+    def test_apply_delta_leaves_source_untouched(self):
+        base = small_base()
+        fact = make_fact(Oid("phil"), "sal", (), Oid(4000))
+        derived = base.apply_delta((), {fact})
+        assert fact in base
+        assert fact not in derived
+        assert len(derived) == len(base) - 1
+
+    def test_apply_empty_delta_is_equal(self):
+        base = small_base()
+        assert base.apply_delta((), ()) == base
 
 
 class TestReplaceState:

@@ -133,3 +133,77 @@ class TestQuery:
     def test_parse_error_exit_code(self, files, capsys):
         _, base = files
         assert main(["query", "--base", str(base), "E.sal -> "]) == 1
+
+
+class TestStoreCli:
+    @pytest.fixture()
+    def journal(self, files, tmp_path):
+        _, base = files
+        directory = tmp_path / "store"
+        assert main(["store", "init", "--dir", str(directory), "--base", str(base)]) == 0
+        return directory
+
+    def test_init_creates_journal(self, files, tmp_path, capsys):
+        _, base = files
+        directory = tmp_path / "fresh-store"
+        code = main(["store", "init", "--dir", str(directory), "--base", str(base)])
+        assert code == 0
+        assert "initialized" in capsys.readouterr().err
+        assert (directory / "journal.jsonl").exists()
+        assert (directory / "snap-000000.json").exists()
+
+    def test_apply_appends_and_logs(self, files, journal, capsys):
+        program, _ = files
+        code = main([
+            "store", "apply", "--dir", str(journal),
+            "--program", str(program), "--tag", "raise-q1",
+        ])
+        assert code == 0
+        assert "revision 1 [raise-q1]" in capsys.readouterr().err
+        assert main(["store", "log", "--dir", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "raise-q1" in out
+        assert "update" in out  # program name from the file stem
+
+    def test_diff_and_as_of(self, files, journal, capsys):
+        program, _ = files
+        main(["store", "apply", "--dir", str(journal),
+              "--program", str(program), "--tag", "upd"])
+        capsys.readouterr()
+        assert main(["store", "diff", "--dir", str(journal), "initial", "upd"]) == 0
+        out = capsys.readouterr().out
+        assert "+ phil.isa -> hpe" in out
+        assert "- bob.isa -> empl" in out
+        assert main(["store", "as-of", "--dir", str(journal), "0"]) == 0
+        out = capsys.readouterr().out
+        assert "bob.sal -> 4200." in out
+        assert main(["store", "as-of", "--dir", str(journal), "upd"]) == 0
+        assert "bob" not in capsys.readouterr().out
+
+    def test_compact(self, files, journal, capsys):
+        program, _ = files
+        for tag in ("one", "two", "three"):
+            main(["store", "apply", "--dir", str(journal),
+                  "--program", str(program), "--tag", tag])
+        assert main(["store", "compact", "--dir", str(journal),
+                     "--interval", "2"]) == 0
+        assert "compacted" in capsys.readouterr().err
+        assert sorted(p.name for p in journal.glob("snap-*.json")) == [
+            "snap-000000.json", "snap-000002.json",
+        ]
+        assert main(["store", "log", "--dir", str(journal)]) == 0
+        assert "three" in capsys.readouterr().out
+
+    def test_missing_journal_is_an_error(self, tmp_path, capsys):
+        code = main(["store", "log", "--dir", str(tmp_path / "nope")])
+        assert code == 1
+        assert "no journal" in capsys.readouterr().err
+
+    def test_init_refuses_to_overwrite_existing_journal(
+        self, files, journal, capsys
+    ):
+        _, base = files
+        code = main(["store", "init", "--dir", str(journal), "--base", str(base)])
+        assert code == 1
+        assert "already exists" in capsys.readouterr().err
+        assert (journal / "snap-000000.json").exists()  # history untouched

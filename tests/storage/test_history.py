@@ -3,7 +3,7 @@
 import pytest
 
 from repro import query
-from repro.core.errors import ReproError
+from repro.core.errors import FrozenBaseError, ReproError
 from repro.storage import VersionedStore
 from repro.workloads import paper_example_base, paper_example_program, salary_raise_program
 
@@ -41,9 +41,16 @@ class TestRevisions:
         with pytest.raises(ReproError):
             store.as_of(7)
 
-    def test_current_is_a_copy(self, store):
+    def test_current_is_a_frozen_shared_view(self, store):
         snapshot = store.current
-        snapshot.add_object("intruder")
+        assert snapshot is store.current  # no copy-on-read
+        with pytest.raises(FrozenBaseError):
+            snapshot.add_object("intruder")
+        assert "intruder" not in {str(o) for o in store.current.objects()}
+
+    def test_current_copy_is_private_and_mutable(self, store):
+        private = store.current.copy()
+        private.add_object("intruder")
         assert "intruder" not in {str(o) for o in store.current.objects()}
 
     def test_commit_external_base(self, store):

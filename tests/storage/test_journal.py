@@ -1,0 +1,220 @@
+"""Tests for the durable store journal (JSONL delta log + snapshots).
+
+Includes the satellite property tests: a journal save→load round-trips an
+N-revision chain (same facts at every revision, same tags), and
+rollback-then-apply chains behave identically over the delta representation
+and after a disk round-trip.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ReproError
+from repro.storage import (
+    StoreOptions,
+    VersionedStore,
+    append_revision,
+    compact_journal,
+    load_store,
+    save_store,
+)
+from repro.storage.serialize import JOURNAL_FILE
+from repro.workloads import (
+    paper_example_base,
+    paper_example_program,
+    salary_raise_program,
+    targeted_raise_program,
+)
+
+
+def assert_same_chain(left: VersionedStore, right: VersionedStore) -> None:
+    assert len(left) == len(right)
+    for a, b in zip(left.revisions(), right.revisions()):
+        assert a.index == b.index
+        assert a.tag == b.tag
+        assert a.program_name == b.program_name
+        assert a.added == b.added
+        assert a.removed == b.removed
+        assert set(left.base_at(a.index)) == set(right.base_at(b.index))
+
+
+class TestJournalRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        store = VersionedStore(paper_example_base(), tag="initial")
+        store.apply(paper_example_program(), tag="update")
+        store.apply(salary_raise_program(), tag="raise")
+        save_store(store, tmp_path)
+        assert_same_chain(store, load_store(tmp_path))
+
+    def test_loaded_store_continues_the_chain(self, tmp_path):
+        store = VersionedStore(paper_example_base(), tag="initial")
+        store.apply(salary_raise_program(), tag="raise")
+        save_store(store, tmp_path)
+        loaded = load_store(tmp_path)
+        loaded.apply(salary_raise_program(), tag="again")
+        store.apply(salary_raise_program(), tag="again")
+        assert set(loaded.current) == set(store.current)
+
+    def test_append_revision_is_incremental(self, tmp_path):
+        store = VersionedStore(paper_example_base(), tag="initial")
+        save_store(store, tmp_path)
+        before = (tmp_path / JOURNAL_FILE).read_text(encoding="utf-8")
+        store.apply(salary_raise_program(), tag="raise")
+        append_revision(store, tmp_path)
+        after = (tmp_path / JOURNAL_FILE).read_text(encoding="utf-8")
+        assert after.startswith(before)  # history was not rewritten
+        assert_same_chain(store, load_store(tmp_path))
+
+    def test_options_round_trip(self, tmp_path):
+        store = VersionedStore(
+            paper_example_base(),
+            options=StoreOptions(delta_chain=False, snapshot_interval=7),
+        )
+        save_store(store, tmp_path)
+        loaded = load_store(tmp_path)
+        assert loaded.options.delta_chain is False
+        assert loaded.options.snapshot_interval == 7
+
+    def test_journal_guards(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_store(tmp_path)
+        (tmp_path / JOURNAL_FILE).write_text(
+            json.dumps({"format": "something-else"}) + "\n", encoding="utf-8"
+        )
+        with pytest.raises(ReproError):
+            load_store(tmp_path)
+        with pytest.raises(ReproError):
+            append_revision(
+                VersionedStore(paper_example_base()), tmp_path / "missing"
+            )
+
+
+class TestJournalSafety:
+    def test_append_detects_concurrent_writer(self, tmp_path):
+        first = VersionedStore(paper_example_base(), tag="initial")
+        save_store(first, tmp_path)
+        second = load_store(tmp_path)
+        first.apply(salary_raise_program(), tag="mine")
+        append_revision(first, tmp_path)
+        second.apply(salary_raise_program(), tag="theirs")
+        with pytest.raises(ReproError, match="concurrent"):
+            append_revision(second, tmp_path)  # would fork the chain
+        # the journal stayed readable and holds the first writer's chain
+        assert [r.tag for r in load_store(tmp_path).revisions()] == [
+            "initial", "mine",
+        ]
+
+    def test_all_digit_tags_are_rejected(self):
+        store = VersionedStore(paper_example_base(), tag="initial")
+        with pytest.raises(ReproError, match="all digits"):
+            store.apply(salary_raise_program(), tag="2024")
+        assert len(store) == 1  # nothing committed
+
+    def test_log_level_access_skips_snapshot_parsing(self, tmp_path):
+        store = VersionedStore(
+            paper_example_base(), options=StoreOptions(snapshot_interval=2)
+        )
+        for index in range(4):
+            store.apply(salary_raise_program(), tag=f"r{index}")
+        save_store(store, tmp_path)
+        # corrupt a non-initial snapshot: metadata reads must not touch it
+        (tmp_path / "snap-000004.json").write_text("garbage", encoding="utf-8")
+        loaded = load_store(tmp_path)
+        assert [r.tag for r in loaded.revisions()] == [
+            "initial", "r0", "r1", "r2", "r3",
+        ]
+        assert loaded.has_snapshot(4)
+        assert set(loaded.base_at(1)) == set(store.base_at(1))  # via snap 0
+        with pytest.raises(Exception):
+            loaded.base_at(4)  # only now is the corrupt snapshot parsed
+
+
+class TestCompaction:
+    def test_compact_reduces_snapshots_and_preserves_facts(self, tmp_path):
+        store = VersionedStore(
+            paper_example_base(), options=StoreOptions(delta_chain=False)
+        )
+        program = targeted_raise_program("bob", percent=1)
+        for index in range(6):
+            store.apply(program, tag=f"r{index}")
+        save_store(store, tmp_path)
+        assert len(list(tmp_path.glob("snap-*.json"))) == 7
+
+        compact_journal(tmp_path, snapshot_interval=4)
+        compacted = load_store(tmp_path)
+        assert len(list(tmp_path.glob("snap-*.json"))) == 2  # revisions 0 and 4
+        assert compacted.options.delta_chain is True
+        for index in range(len(store)):
+            assert set(compacted.base_at(index)) == set(store.base_at(index))
+        assert [r.tag for r in compacted.revisions()] == [
+            r.tag for r in store.revisions()
+        ]
+
+
+# -- property tests ------------------------------------------------------
+
+#: One step of a random store history: apply one of two programs, roll back
+#: to a random earlier revision, or both in sequence.
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("apply"), st.integers(0, 1)),
+        st.tuples(st.just("rollback"), st.integers(0, 100)),
+    ),
+    min_size=1,
+    max_size=6,
+)
+intervals = st.sampled_from([1, 2, 3, 100])
+
+PROGRAMS = (
+    salary_raise_program(percent=10),
+    targeted_raise_program("bob", percent=3),
+)
+
+
+def run_history(steps_taken, interval) -> VersionedStore:
+    store = VersionedStore(
+        paper_example_base(),
+        tag="initial",
+        options=StoreOptions(snapshot_interval=interval),
+    )
+    for number, (kind, argument) in enumerate(steps_taken):
+        if kind == "apply":
+            store.apply(PROGRAMS[argument], tag=f"step{number}")
+        else:
+            store.rollback_to(argument % len(store), tag=f"step{number}")
+    return store
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps, intervals)
+def test_journal_round_trips_any_chain(tmp_path_factory, steps_taken, interval):
+    """Save→load preserves every revision's facts, tags and deltas."""
+    tmp_path = tmp_path_factory.mktemp("journal")
+    store = run_history(steps_taken, interval)
+    save_store(store, tmp_path)
+    assert_same_chain(store, load_store(tmp_path))
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps, intervals)
+def test_rollback_then_apply_chains_match_full_copy(steps_taken, interval):
+    """The delta representation agrees with the full-copy escape hatch on
+    arbitrary rollback-then-apply histories, at every revision."""
+    delta = run_history(steps_taken, interval)
+    full = run_history(steps_taken, 1)  # interval 1: snapshot everywhere
+    reference = VersionedStore(
+        paper_example_base(),
+        tag="initial",
+        options=StoreOptions(delta_chain=False),
+    )
+    for number, (kind, argument) in enumerate(steps_taken):
+        if kind == "apply":
+            reference.apply(PROGRAMS[argument], tag=f"step{number}")
+        else:
+            reference.rollback_to(argument % len(reference), tag=f"step{number}")
+    for index in range(len(delta)):
+        expected = set(reference.base_at(index))
+        assert set(delta.base_at(index)) == expected
+        assert set(full.base_at(index)) == expected

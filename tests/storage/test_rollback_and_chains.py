@@ -3,7 +3,7 @@
 import pytest
 
 from repro import UpdateEngine, query
-from repro.core.errors import VersionLinearityError
+from repro.core.errors import FrozenBaseError, VersionLinearityError
 from repro.core.trace import render_version_chains
 from repro.lang.parser import parse_object_base, parse_program
 from repro.storage import VersionedStore
@@ -41,11 +41,22 @@ class TestRollback:
             "bob": pytest.approx(4620.0),
         }
 
-    def test_rollback_target_is_copied(self):
+    def test_rollback_target_stays_immutable(self):
         store = VersionedStore(paper_example_base(), tag="initial")
         revision = store.rollback_to("initial")
-        revision.base.add_object("intruder")
+        with pytest.raises(FrozenBaseError):
+            revision.base.add_object("intruder")
         assert "intruder" not in {str(o) for o in store.as_of("initial").objects()}
+
+    def test_rollback_revision_records_the_returning_delta(self):
+        store = VersionedStore(paper_example_base(), tag="initial")
+        store.apply(paper_example_program(), tag="update")
+        revision = store.rollback_to("initial", tag="undo")
+        # the undo delta is the exact inverse of the update's diff
+        added, removed = store.diff("update", "undo", include_exists=True)
+        assert added == revision.added
+        assert removed == revision.removed
+        assert any(f.method == "exists" for f in revision.added)  # bob returns
 
 
 class TestChainRendering:
