@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Bench-regression guard: compare a fresh sweep against the committed
+baseline.
+
+Absolute wall times are not portable across CI machines, so the guard
+compares **ratios** (speedup factors measured within one process on one
+machine) and enforces two kinds of bound:
+
+* hard floors from the acceptance criteria — the memoized serving path
+  must stay >= 3x over per-call reads;
+* relative bounds — each tracked ratio must reach at least
+  ``(1 - tolerance)`` of the committed baseline's value.
+
+Exit status 0 when everything holds, 1 with a per-check report otherwise.
+
+Usage (what CI runs)::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_PR3.json --fresh bench-queries-ci.json \
+        --p1-baseline BENCH_PR1.json --p1-fresh bench-ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: The acceptance-criteria floor for the memoized serving path.
+SERVED_SPEEDUP_FLOOR = 3.0
+
+
+def check_ratio(
+    failures: list[str], name: str, fresh: float, baseline: float, tolerance: float
+) -> None:
+    bound = baseline * (1.0 - tolerance)
+    verdict = "ok" if fresh >= bound else "REGRESSION"
+    print(
+        f"{name:<45} fresh {fresh:7.2f}x  baseline {baseline:7.2f}x  "
+        f"(bound {bound:5.2f}x)  {verdict}"
+    )
+    if fresh < bound:
+        failures.append(name)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_PR3.json")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="query sweep produced by this run")
+    parser.add_argument("--p1-baseline", type=Path, default=None,
+                        help="committed BENCH_PR1.json (optional)")
+    parser.add_argument("--p1-fresh", type=Path, default=None,
+                        help="P1 sweep produced by this run (optional)")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed relative shortfall vs the baseline "
+                        "ratio (default: %(default)s — CI machines are noisy)")
+    arguments = parser.parse_args(argv)
+
+    baseline = json.loads(arguments.baseline.read_text(encoding="utf-8"))
+    fresh = json.loads(arguments.fresh.read_text(encoding="utf-8"))
+    failures: list[str] = []
+
+    served = fresh["speedup_served_over_per_call"]
+    verdict = "ok" if served >= SERVED_SPEEDUP_FLOOR else "REGRESSION"
+    print(
+        f"{'served speedup floor':<45} fresh {served:7.2f}x  "
+        f"floor {SERVED_SPEEDUP_FLOOR:.2f}x{'':>21}{verdict}"
+    )
+    if served < SERVED_SPEEDUP_FLOOR:
+        failures.append("served speedup floor")
+    check_ratio(
+        failures, "served over per-call",
+        served, baseline["speedup_served_over_per_call"], arguments.tolerance,
+    )
+    for name, entry in baseline["per_query_head"].items():
+        fresh_entry = fresh["per_query_head"].get(name)
+        if fresh_entry is None:
+            print(f"{name:<45} missing from fresh sweep            REGRESSION")
+            failures.append(name)
+            continue
+        check_ratio(
+            failures, f"indexed over dynamic [{name}]",
+            fresh_entry["speedup_indexed_over_dynamic"],
+            entry["speedup_indexed_over_dynamic"],
+            arguments.tolerance,
+        )
+
+    if arguments.p1_baseline and arguments.p1_fresh:
+        p1_baseline = json.loads(arguments.p1_baseline.read_text(encoding="utf-8"))
+        p1_fresh = json.loads(arguments.p1_fresh.read_text(encoding="utf-8"))
+        for size, ratio in p1_baseline["speedup_naive_over_semi_naive"].items():
+            fresh_ratio = p1_fresh["speedup_naive_over_semi_naive"].get(size)
+            if fresh_ratio is None:
+                continue  # the fresh run swept different sizes
+            check_ratio(
+                failures, f"P1 semi-naive speedup [n={size}]",
+                fresh_ratio, ratio, arguments.tolerance,
+            )
+
+    if failures:
+        print(f"\n{len(failures)} bench regression(s): {', '.join(failures)}")
+        return 1
+    print("\nall bench ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

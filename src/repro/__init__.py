@@ -70,7 +70,13 @@ from repro.core import (
     evaluate,
     stratify,
 )
-from repro.core.query import method_results, query_literals, result_value
+from repro.core.query import (
+    PreparedQuery,
+    method_results,
+    prepare_query,
+    query_literals,
+    result_value,
+)
 from repro.lang import (
     ParseError,
     format_object_base,
@@ -95,6 +101,7 @@ __all__ = [
     "Stratification", "stratify", "evaluate", "build_new_base",
     # queries
     "query", "query_literals", "method_results", "result_value",
+    "PreparedQuery", "prepare_query",
     # language
     "parse_program", "parse_rule", "parse_body", "parse_object_base",
     "parse_term", "format_program", "format_rule", "format_term",

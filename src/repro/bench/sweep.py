@@ -13,6 +13,15 @@ comparable across PRs (``benchmarks/run_bench.py`` is a thin wrapper):
   ``store.apply`` with the engine's cached ``CompiledProgram`` beats a cold
   ``UpdateEngine.apply`` that redoes the static analysis (safety,
   stratification, join plans) every time.
+* **Query sweep** (``--queries``, ``BENCH_PR3.json``) — the read-heavy
+  serving workload: a store absorbs small update transactions while a mix
+  of conjunctive queries is read back many times per revision.  Three
+  serving paths are timed over identical update/read traces: per-call
+  ``query_literals`` (the PR 2 path — full re-join on every read),
+  ``PreparedQuery.run`` (compile-once + secondary-index access paths), and
+  ``VersionedStore.query`` (prepared + per-revision memoization with
+  delta-driven invalidation/carry).  A differential check asserts all
+  paths agree with the dynamic reference matcher at every revision.
 """
 
 from __future__ import annotations
@@ -34,13 +43,27 @@ from repro.workloads.enterprise import (
     targeted_raise_program,
 )
 
-__all__ = ["run_p1_sweep", "run_store_sweep", "main"]
+__all__ = ["run_p1_sweep", "run_store_sweep", "run_query_sweep", "main"]
 
 DEFAULT_SIZES = (25, 100, 400)
 DEFAULT_REPEATS = 5
 DEFAULT_OUT = "BENCH_PR1.json"
 DEFAULT_STORE_OUT = "BENCH_PR2.json"
 DEFAULT_STORE_REVISIONS = 200
+DEFAULT_QUERY_OUT = "BENCH_PR3.json"
+DEFAULT_QUERY_UPDATES = 8
+DEFAULT_READS_PER_UPDATE = 25
+
+#: The read-heavy query mix.  ``org_chart`` reads no ``sal`` fact, so the
+#: targeted-raise deltas provably cannot change it and its memo is carried
+#: across every revision; the others are invalidated by each raise.
+READ_QUERIES: tuple[tuple[str, str], ...] = (
+    ("salaries", "E.isa -> empl, E.sal -> S"),
+    ("managers", "M.pos -> mgr, M.sal -> S"),
+    ("overpaid", "E.isa -> empl, E.boss -> B, E.sal -> SE, B.sal -> SB, SE > SB"),
+    ("mgr0_reports", "E.boss -> mgr0, E.sal -> S"),
+    ("org_chart", "E.boss -> B"),
+)
 
 
 def _time_apply(engine: UpdateEngine, program, base, repeats: int) -> dict:
@@ -195,6 +218,127 @@ def run_store_sweep(
     }
 
 
+def run_query_sweep(
+    n_employees: int = 400,
+    updates: int = DEFAULT_QUERY_UPDATES,
+    reads_per_update: int = DEFAULT_READS_PER_UPDATE,
+) -> dict:
+    """The PR 3 read-heavy serving benchmark (see the module docstring).
+
+    Each mode replays the identical trace — ``updates`` small transactions,
+    each followed by ``reads_per_update`` executions of every query in
+    ``READ_QUERIES`` — against its own store; only the read phases are
+    timed.  The differential check compares each path's answers with the
+    dynamic reference matcher at every revision, untimed, after that
+    revision's read burst.
+    """
+    from repro.core.query import PreparedQuery, query_literals
+    from repro.lang.parser import parse_body
+    from repro.storage import VersionedStore
+
+    base = enterprise_base(n_employees=n_employees, overpaid_ratio=0.1, seed=21)
+    program = targeted_raise_program("emp0", percent=1.0)
+    bodies = [(name, parse_body(text)) for name, text in READ_QUERIES]
+    prepared = [
+        (name, PreparedQuery(body, name=name)) for name, body in bodies
+    ]
+
+    def replay(read_phase, answers_of):
+        """Time ``read_phase`` per revision; after each timed burst run the
+        (untimed) differential check: this path's answers at *this*
+        revision must equal the dynamic reference matcher's."""
+        store = VersionedStore(base)
+        store.apply(program, tag="warm")  # warm compiled-program cache
+        total = 0.0
+        for update in range(updates):
+            store.apply(program, tag=f"u{update}")
+            start = time.perf_counter()
+            read_phase(store)
+            total += time.perf_counter() - start
+            current = store.current
+            for name, query in prepared:
+                if answers_of(store, query) != query.run_unplanned(current):
+                    raise AssertionError(
+                        f"answers diverge for {name!r} at revision "
+                        f"{len(store) - 1}"
+                    )
+        return total, store
+
+    def per_call_reads(store):
+        current = store.current
+        for _ in range(reads_per_update):
+            for _name, body in bodies:
+                query_literals(current, body)
+
+    def prepared_reads(store):
+        current = store.current
+        for _ in range(reads_per_update):
+            for _name, query in prepared:
+                query.run(current)
+
+    def served_reads(store):
+        for _ in range(reads_per_update):
+            for _name, query in prepared:
+                store.query(query)
+
+    per_call_s, _ = replay(
+        per_call_reads, lambda store, query: query_literals(store.current, query.body)
+    )
+    prepared_s, _ = replay(
+        prepared_reads, lambda store, query: query.run(store.current)
+    )
+    served_s, served_store = replay(
+        served_reads, lambda store, query: store.query(query)
+    )
+    head = served_store.current
+
+    reads = updates * reads_per_update * len(READ_QUERIES)
+    per_query = {}
+    for name, query in prepared:
+        best, result = _best_of(lambda q=query: q.run(head), 5)
+        best_dynamic, _reference = _best_of(lambda q=query: q.run_unplanned(head), 5)
+        per_query[name] = {
+            "planned_indexed_best_s": best,
+            "dynamic_reference_best_s": best_dynamic,
+            "speedup_indexed_over_dynamic": best_dynamic / best,
+            "answers": len(result),
+        }
+
+    return {
+        "benchmark": "p3_query_sweep",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "workload": {
+            "base": f"enterprise(n_employees={n_employees})",
+            "update_program": "targeted-raise-emp0 (two-fact delta per revision)",
+            "updates": updates,
+            "reads_per_update": reads_per_update,
+            "queries": {name: text for name, text in READ_QUERIES},
+            "total_reads": reads,
+        },
+        "read_seconds": {
+            "per_call": per_call_s,
+            "prepared": prepared_s,
+            "served_memoized": served_s,
+        },
+        "reads_per_second_served": reads / served_s,
+        "speedup_prepared_over_per_call": per_call_s / prepared_s,
+        "speedup_served_over_per_call": per_call_s / served_s,
+        "per_query_head": per_query,
+        "prepared_stats": served_store.prepared_stats(),
+    }
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench", description="run the P1 scaling or P2 store sweep"
@@ -217,7 +361,47 @@ def main(argv: list[str] | None = None) -> int:
         "--revisions", type=int, default=DEFAULT_STORE_REVISIONS,
         help="store sweep: chain length (default: %(default)s)",
     )
+    parser.add_argument(
+        "--queries", action="store_true",
+        help="run the read-heavy prepared-query sweep instead of the P1 "
+        "scaling sweep",
+    )
+    parser.add_argument(
+        "--updates", type=int, default=DEFAULT_QUERY_UPDATES,
+        help="query sweep: update transactions (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--reads", type=int, default=DEFAULT_READS_PER_UPDATE,
+        help="query sweep: reads per query per update (default: %(default)s)",
+    )
     arguments = parser.parse_args(argv)
+
+    if arguments.queries:
+        out = arguments.out or Path(DEFAULT_QUERY_OUT)
+        document = run_query_sweep(
+            updates=arguments.updates, reads_per_update=arguments.reads
+        )
+        out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        seconds = document["read_seconds"]
+        print(
+            f"reads: per-call {seconds['per_call']:.3f} s   "
+            f"prepared {seconds['prepared']:.3f} s   "
+            f"served {seconds['served_memoized']:.3f} s "
+            f"({document['reads_per_second_served']:.0f} reads/s)"
+        )
+        print(
+            f"speedup: prepared {document['speedup_prepared_over_per_call']:.2f}x   "
+            f"served {document['speedup_served_over_per_call']:.2f}x"
+        )
+        for name, entry in document["per_query_head"].items():
+            print(
+                f"  {name:<14} indexed {entry['planned_indexed_best_s'] * 1e3:7.2f} ms  "
+                f"dynamic {entry['dynamic_reference_best_s'] * 1e3:7.2f} ms  "
+                f"({entry['speedup_indexed_over_dynamic']:.2f}x, "
+                f"{entry['answers']} answers)"
+            )
+        print(f"wrote {out}")
+        return 0
 
     if arguments.store:
         out = arguments.out or Path(DEFAULT_STORE_OUT)

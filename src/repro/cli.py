@@ -6,8 +6,10 @@ Usage (installed as ``repro-updates``, also ``python -m repro``)::
     repro-updates stratify --program update.upd [--conditions abcd]
     repro-updates check --program update.upd
     repro-updates query --base world.ob "E.isa -> empl, E.sal -> S"
+    repro-updates query --base world.ob --prepared --repeat 100 "E.sal -> S"
     repro-updates bench [--out BENCH_PR1.json] [--sizes 25 100 400]
     repro-updates bench --store [--out BENCH_PR2.json]
+    repro-updates bench --queries [--out BENCH_PR3.json]
     repro-updates store init --dir STORE --base world.ob
     repro-updates store apply --dir STORE --program update.upd [--tag t]
     repro-updates store log --dir STORE
@@ -96,8 +98,24 @@ def build_parser() -> argparse.ArgumentParser:
     query_cmd = commands.add_parser("query", help="answer a conjunctive query")
     query_cmd.add_argument("--base", required=True, type=Path)
     query_cmd.add_argument("body", help="query text, e.g. 'E.isa -> empl'")
+    query_cmd.add_argument(
+        "--prepared",
+        action="store_true",
+        help="compile the query once (join plan + secondary-index column "
+        "selection) and execute via the prepared path",
+    )
+    query_cmd.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="execute the query N times and report serving timings on "
+        "stderr (answers are printed once)",
+    )
 
     from repro.bench.sweep import (
+        DEFAULT_QUERY_UPDATES,
+        DEFAULT_READS_PER_UPDATE,
         DEFAULT_REPEATS,
         DEFAULT_SIZES,
         DEFAULT_STORE_REVISIONS,
@@ -105,8 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_cmd = commands.add_parser(
         "bench",
-        help="run the P1 scaling sweep (semi-naive vs naive) or, with "
-        "--store, the P2 versioned-store sweep, and write JSON",
+        help="run the P1 scaling sweep (semi-naive vs naive), the P2 "
+        "versioned-store sweep (--store), or the P3 read-heavy "
+        "prepared-query sweep (--queries), and write JSON",
     )
     bench_cmd.add_argument("--out", type=Path, default=None)
     bench_cmd.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
@@ -114,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--store", action="store_true")
     bench_cmd.add_argument(
         "--revisions", type=int, default=DEFAULT_STORE_REVISIONS
+    )
+    bench_cmd.add_argument("--queries", action="store_true")
+    bench_cmd.add_argument(
+        "--updates", type=int, default=DEFAULT_QUERY_UPDATES
+    )
+    bench_cmd.add_argument(
+        "--reads", type=int, default=DEFAULT_READS_PER_UPDATE
     )
 
     store_cmd = commands.add_parser(
@@ -253,8 +279,33 @@ def _cmd_check(arguments) -> int:
 
 
 def _cmd_query(arguments) -> int:
+    import time
+
     base = parse_object_base(arguments.base.read_text(encoding="utf-8"))
-    answers = query_literals(base, parse_body(arguments.body))
+    repeat = max(1, arguments.repeat)
+    if arguments.prepared:
+        from repro.core.query import prepare_query
+
+        prepared = prepare_query(arguments.body)
+        times = []
+        for _ in range(repeat):
+            start = time.perf_counter()
+            answers = prepared.run(base)
+            times.append(time.perf_counter() - start)
+    else:
+        literals = parse_body(arguments.body)
+        times = []
+        for _ in range(repeat):
+            start = time.perf_counter()
+            answers = query_literals(base, literals)
+            times.append(time.perf_counter() - start)
+    if repeat > 1:
+        mode = "prepared" if arguments.prepared else "per-call"
+        print(
+            f"{mode}: {repeat} runs, best {min(times) * 1e3:.3f} ms, "
+            f"mean {sum(times) / len(times) * 1e3:.3f} ms",
+            file=sys.stderr,
+        )
     if not answers:
         print("(no answers)")
         return 0
@@ -275,6 +326,12 @@ def _cmd_bench(arguments) -> int:
     argv += ["--sizes", *(str(s) for s in arguments.sizes)]
     if arguments.store:
         argv += ["--store", "--revisions", str(arguments.revisions)]
+    if arguments.queries:
+        argv += [
+            "--queries",
+            "--updates", str(arguments.updates),
+            "--reads", str(arguments.reads),
+        ]
     return bench_main(argv)
 
 

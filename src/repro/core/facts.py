@@ -15,6 +15,8 @@ are immutable by convention: never assign to their attributes.
 
 from __future__ import annotations
 
+from sys import intern as _intern
+
 from repro.core.errors import TermError
 from repro.core.terms import Oid, Term, is_ground, object_of
 
@@ -50,7 +52,9 @@ class Fact:
         self, host: Term, method: str, args: tuple[Oid, ...], result: Oid
     ) -> None:
         self.host = host
-        self.method = method
+        # Interned method names turn the ``==`` in every index probe and in
+        # __eq__ below into a pointer comparison.
+        self.method = _intern(method)
         self.args = args
         self.result = result
         self._hash = hash((host, method, args, result))

@@ -39,6 +39,7 @@ from itertools import product
 from typing import TYPE_CHECKING, Iterator
 
 from repro.core.atoms import BuiltinAtom, Literal, UpdateAtom, VersionAtom
+from repro.core.caches import register_lru_cache
 from repro.core.errors import BuiltinError, EvaluationError
 from repro.core.exprs import evaluate_expr, expr_variables
 from repro.core.facts import Fact
@@ -101,6 +102,9 @@ def _body_plan(body: tuple[Literal, ...]) -> JoinPlan | None:
     return compile_plan(body)
 
 
+register_lru_cache("grounding.body_plan", _body_plan)
+
+
 def match_body(
     body: tuple[Literal, ...],
     base: ObjectBase,
@@ -160,13 +164,13 @@ def _search_planned(
             literal = step.literal
             index += 1
             if step.verify:
-                for extension in _generate(literal, binding, base):
+                for extension in _generate(literal, binding, base, step.index_cols):
                     # Re-verify with the authoritative semantics.
                     if _check_ground(literal, extension, base):
                         yield from _search_planned(steps, index, extension, base)
             else:
                 # Exact generator (see plans.PlanStep.verify).
-                for extension in _generate(literal, binding, base):
+                for extension in _generate(literal, binding, base, step.index_cols):
                     yield from _search_planned(steps, index, extension, base)
             return
     yield binding
@@ -417,13 +421,16 @@ def _bind_equality(atom: BuiltinAtom, binding: Binding) -> Binding | None:
 
 
 def _generate(
-    literal: Literal, binding: Binding, base: ObjectBase
+    literal: Literal,
+    binding: Binding,
+    base: ObjectBase,
+    index_cols: tuple[int, ...] = (),
 ) -> Iterator[Binding]:
     atom = literal.atom
     if isinstance(atom, VersionAtom):
-        yield from _generate_version_atom(atom, binding, base)
+        yield from _generate_version_atom(atom, binding, base, index_cols)
     elif isinstance(atom, UpdateAtom):
-        yield from _generate_update_atom(atom, binding, base)
+        yield from _generate_update_atom(atom, binding, base, index_cols)
     else:  # pragma: no cover - selection never sends builtins here
         raise EvaluationError(f"cannot generate bindings from {atom}")
 
@@ -457,29 +464,62 @@ def _match_position(pattern: Term, value: Oid, binding: Binding) -> Binding | No
 
 
 def _host_candidates(
-    pattern: Term, binding: Binding, method: str, arity: int, base: ObjectBase
+    pattern: Term,
+    binding: Binding,
+    method: str,
+    arity: int,
+    base: ObjectBase,
+    index_cols: tuple[int, ...] = (),
+    atom=None,
 ):
     """Facts possibly matching ``pattern.method@...`` under ``binding``.
 
-    Returns the live index sets (no defensive copy — the matcher never
-    mutates the base while a search is in flight)."""
+    Access-path order: the ``(host, method)`` index when the host is bound;
+    otherwise the smallest argument/result-column bucket among the
+    plan-selected ``index_cols`` (see
+    :class:`~repro.core.plans.PlanStep.index_cols`); a full
+    ``(method, arity)`` scan only when nothing is bound.  Returns the live
+    index sets (no defensive copy — the matcher never mutates the base
+    while a search is in flight)."""
     if type(pattern) is Var:
         # Matcher bindings map plain variables straight to ground OIDs, so
         # the generic term rewriting can be skipped on the hottest shape.
         concrete = binding.get(pattern)
         if concrete is not None:
             return base.iter_facts_by_host_method(concrete, method, arity)
-        return base.iter_facts_by_method(method, arity)
-    concrete = apply_term(pattern, binding)
-    if is_ground(concrete):
-        return base.iter_facts_by_host_method(concrete, method, arity)
+    else:
+        concrete = apply_term(pattern, binding)
+        if is_ground(concrete):
+            return base.iter_facts_by_host_method(concrete, method, arity)
+    if index_cols and atom is not None:
+        best = None
+        for column in index_cols:
+            term = atom.result if column < 0 else atom.args[column]
+            value = binding.get(term) if type(term) is Var else term
+            if value is None:
+                continue  # dynamic callers may pass partially bound columns
+            bucket = base.iter_facts_by_arg(method, arity, column, value)
+            if not bucket:
+                # A bound column with an empty bucket rules out every
+                # candidate: the generator can prune the whole branch.
+                return ()
+            if best is None or len(bucket) < len(best):
+                best = bucket
+        if best is not None:
+            return best
     return base.iter_facts_by_method(method, arity)
 
 
 def _generate_version_atom(
-    atom: VersionAtom, binding: Binding, base: ObjectBase
+    atom: VersionAtom,
+    binding: Binding,
+    base: ObjectBase,
+    index_cols: tuple[int, ...] = (),
 ) -> Iterator[Binding]:
-    for fact in _host_candidates(atom.host, binding, atom.method, len(atom.args), base):
+    candidates = _host_candidates(
+        atom.host, binding, atom.method, len(atom.args), base, index_cols, atom
+    )
+    for fact in candidates:
         host_binding = match_term(atom.host, fact.host, binding)
         if host_binding is None:
             continue
@@ -489,7 +529,10 @@ def _generate_version_atom(
 
 
 def _generate_update_atom(
-    atom: UpdateAtom, binding: Binding, base: ObjectBase
+    atom: UpdateAtom,
+    binding: Binding,
+    base: ObjectBase,
+    index_cols: tuple[int, ...] = (),
 ) -> Iterator[Binding]:
     """Generate candidate bindings for a positive body update-term.
 
@@ -503,7 +546,9 @@ def _generate_update_atom(
     if atom.kind is UpdateKind.INSERT:
         # true iff ins(v).m -> r ∈ I: a plain indexed lookup.
         new_pattern = atom.new_version()
-        for fact in _host_candidates(new_pattern, binding, atom.method, arity, base):
+        for fact in _host_candidates(
+            new_pattern, binding, atom.method, arity, base, index_cols, atom
+        ):
             host_binding = match_term(new_pattern, fact.host, binding)
             if host_binding is None:
                 continue

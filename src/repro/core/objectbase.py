@@ -138,8 +138,10 @@ class ObjectBase:
         "_by_method",
         "_by_host",
         "_by_host_method",
+        "_by_arg",
         "_exists",
         "_frozen",
+        "_cow",
     )
 
     def __init__(self, facts: Iterable[Fact] = ()):
@@ -147,8 +149,10 @@ class ObjectBase:
         self._by_method: dict[tuple[str, int], set[Fact]] | None = {}
         self._by_host: dict[Term, set[Fact]] | None = {}
         self._by_host_method: dict[tuple[Term, str, int], set[Fact]] | None = {}
+        self._by_arg: dict[MethodKey, dict[int, dict[Oid, set[Fact]]]] = {}
         self._exists: dict[Term, Oid] | None = {}
         self._frozen = False
+        self._cow = False
         for fact in facts:
             self.add(fact)
 
@@ -174,7 +178,25 @@ class ObjectBase:
         self._by_method = by_method
         self._by_host = by_host
         self._by_host_method = by_host_method
+        self._by_arg = {}
         self._exists = exists
+        self._cow = False
+
+    def _demote_shared_indexes(self) -> None:
+        """Give up indexes whose buckets are shared with another base.
+
+        A base produced by :meth:`apply_delta` adopts its parent's indexes
+        with shared buckets (see there); the store freezes such bases
+        immediately, so direct mutation of one is the rare path — it simply
+        falls back to a lazy full rebuild instead of tracking per-bucket
+        ownership forever.
+        """
+        self._by_method = None
+        self._by_host = None
+        self._by_host_method = None
+        self._by_arg = {}
+        self._exists = None
+        self._cow = False
 
     # ------------------------------------------------------------------
     # constructors
@@ -221,8 +243,10 @@ class ObjectBase:
         base._by_method = None
         base._by_host = None
         base._by_host_method = None
+        base._by_arg = {}
         base._exists = None
         base._frozen = False
+        base._cow = False
         return base
 
     def copy(self, *, lazy_indexes: bool = False) -> "ObjectBase":
@@ -235,6 +259,8 @@ class ObjectBase:
         clone = ObjectBase.__new__(ObjectBase)
         clone._facts = set(self._facts)
         clone._frozen = False
+        clone._cow = False
+        clone._by_arg = {}
         if lazy_indexes or self._by_method is None:
             clone._by_method = None
             clone._by_host = None
@@ -273,18 +299,103 @@ class ObjectBase:
     def apply_delta(
         self, added: Iterable[Fact], removed: Iterable[Fact]
     ) -> "ObjectBase":
-        """A new (mutable, lazily indexed) base equal to this one with
-        ``removed`` taken out and ``added`` put in.
+        """A new base equal to this one with ``removed`` taken out and
+        ``added`` put in.
 
         This is the structural-sharing step of the delta-chain store: the
         :class:`Fact` objects themselves are shared between the two bases
-        (facts are immutable), only the set spine is new, so advancing a
-        revision costs one set copy plus the delta — never an index copy.
+        (facts are immutable), and so are the index buckets.  When this
+        base is frozen with built indexes, the derived base *adopts* them
+        incrementally — dict spines are copied, the buckets touched by the
+        delta are copied and updated, every untouched bucket is shared —
+        so advancing a revision costs the delta, never an index rebuild.
+        Sharing is safe because the parent is frozen (its buckets can never
+        change again); the child carries ``_cow`` and falls back to a lazy
+        rebuild if it is mutated directly instead of being frozen.
         """
+        added = added if isinstance(added, (set, frozenset, list, tuple)) else list(added)
+        removed = (
+            removed if isinstance(removed, (set, frozenset, list, tuple)) else list(removed)
+        )
         facts = set(self._facts)
         facts.difference_update(removed)
         facts.update(added)
-        return ObjectBase.from_fact_set(facts)
+        child = ObjectBase.from_fact_set(facts)
+        if self._frozen and self._by_method is not None:
+            self._share_indexes_into(child, added, removed)
+        return child
+
+    def _share_indexes_into(
+        self, child: "ObjectBase", added: Iterable[Fact], removed: Iterable[Fact]
+    ) -> None:
+        """Copy-on-write index adoption for :meth:`apply_delta` (see there).
+
+        Ownership is tracked bucket-by-bucket only for the duration of the
+        delta application; afterwards the child's dict spines are its own
+        and every bucket is either its own (touched) or shared with the
+        immutable parent (untouched).
+        """
+        by_method = {k: v for k, v in self._by_method.items()}
+        by_host = {k: v for k, v in self._by_host.items()}
+        by_host_method = {k: v for k, v in self._by_host_method.items()}
+        # Per-method column spines must be copied up front: the (frozen)
+        # parent may still *build* new column indexes lazily, and those must
+        # not leak into the child's differently-populated view.
+        by_arg = {mkey: dict(per) for mkey, per in self._by_arg.items()}
+        exists = dict(self._exists)
+
+        owned: set[tuple] = set()
+
+        def bucket(index: dict, key, tag: str) -> set[Fact]:
+            mark = (tag, key)
+            current = index.get(key)
+            if current is None:
+                current = index[key] = set()
+                owned.add(mark)
+            elif mark not in owned:
+                current = index[key] = set(current)
+                owned.add(mark)
+            return current
+
+        def arg_bucket(per: dict, column: int, key, mkey) -> set[Fact]:
+            spine_mark = ("arg-spine", mkey, column)
+            index = per[column]
+            if spine_mark not in owned:
+                index = per[column] = dict(index)
+                owned.add(spine_mark)
+            return bucket(index, key, ("arg", mkey, column))
+
+        for fact in removed:
+            mkey = (fact.method, len(fact.args))
+            bucket(by_method, mkey, "m").discard(fact)
+            bucket(by_host, fact.host, "h").discard(fact)
+            bucket(by_host_method, (fact.host, *mkey), "hm").discard(fact)
+            per = by_arg.get(mkey)
+            if per:
+                for column in per:
+                    key = fact.result if column < 0 else fact.args[column]
+                    arg_bucket(per, column, key, mkey).discard(fact)
+            if fact.method == EXISTS and not fact.args:
+                exists.pop(fact.host, None)
+        for fact in added:
+            mkey = (fact.method, len(fact.args))
+            bucket(by_method, mkey, "m").add(fact)
+            bucket(by_host, fact.host, "h").add(fact)
+            bucket(by_host_method, (fact.host, *mkey), "hm").add(fact)
+            per = by_arg.get(mkey)
+            if per:
+                for column in per:
+                    key = fact.result if column < 0 else fact.args[column]
+                    arg_bucket(per, column, key, mkey).add(fact)
+            if fact.method == EXISTS and not fact.args:
+                exists[fact.host] = fact.result
+
+        child._by_method = by_method
+        child._by_host = by_host
+        child._by_host_method = by_host_method
+        child._by_arg = by_arg
+        child._exists = exists
+        child._cow = True
 
     # ------------------------------------------------------------------
     # set protocol
@@ -321,6 +432,8 @@ class ObjectBase:
         host = fact.host
         if not is_ground(host):
             raise TermError(f"object bases hold ground facts only, got {fact}")
+        if self._cow:
+            self._demote_shared_indexes()
         self._ensure_indexes()
         self._facts.add(fact)
         method = fact.method
@@ -338,6 +451,14 @@ class ObjectBase:
             self._by_host_method[hkey].add(fact)
         except KeyError:
             self._by_host_method[hkey] = {fact}
+        per_column = self._by_arg.get((method, arity))
+        if per_column:
+            for column, index in per_column.items():
+                key = fact.result if column < 0 else fact.args[column]
+                try:
+                    index[key].add(fact)
+                except KeyError:
+                    index[key] = {fact}
         if method == EXISTS and not fact.args:
             self._exists[host] = fact.result
         return True
@@ -350,12 +471,21 @@ class ObjectBase:
             raise FrozenBaseError(
                 f"cannot discard {fact} from a frozen base; copy() it first"
             )
+        if self._cow:
+            self._demote_shared_indexes()
         self._ensure_indexes()
         self._facts.discard(fact)
         mkey = (fact.method, len(fact.args))
         self._by_method[mkey].discard(fact)
         self._by_host[fact.host].discard(fact)
         self._by_host_method[(fact.host, *mkey)].discard(fact)
+        per_column = self._by_arg.get(mkey)
+        if per_column:
+            for column, index in per_column.items():
+                key = fact.result if column < 0 else fact.args[column]
+                bucket = index.get(key)
+                if bucket is not None:
+                    bucket.discard(fact)
         if fact.method == EXISTS and not fact.args:
             self._exists.pop(fact.host, None)
         return True
@@ -437,6 +567,49 @@ class ObjectBase:
     def facts_by_host_method(self, host: Term, method: str, arity: int) -> frozenset[Fact]:
         self._ensure_indexes()
         return frozenset(self._by_host_method.get((host, method, arity), ()))
+
+    def facts_by_arg(
+        self, method: str, arity: int, column: int, value: Oid
+    ) -> frozenset[Fact]:
+        """Facts of ``method/arity`` whose ``column`` holds ``value``.
+
+        ``column`` addresses an argument position (``0 .. arity-1``) or the
+        result position (``-1``) — the secondary access paths the compiled
+        join plans select when the host is unbound but an argument or the
+        result already is.
+        """
+        return frozenset(self.iter_facts_by_arg(method, arity, column, value))
+
+    def iter_facts_by_arg(
+        self, method: str, arity: int, column: int, value: Oid
+    ) -> Iterable[Fact]:
+        """Zero-copy variant of :meth:`facts_by_arg` (live bucket; callers
+        must not mutate the base while iterating).  The per-column index is
+        built on first use and maintained incrementally afterwards — through
+        :meth:`add` / :meth:`discard` and across :meth:`apply_delta`."""
+        self._ensure_indexes()
+        mkey = (method, arity)
+        per_column = self._by_arg.get(mkey)
+        if per_column is None:
+            per_column = self._by_arg[mkey] = {}
+        index = per_column.get(column)
+        if index is None:
+            index = {}
+            for fact in self._by_method.get(mkey, ()):
+                key = fact.result if column < 0 else fact.args[column]
+                try:
+                    index[key].add(fact)
+                except KeyError:
+                    index[key] = {fact}
+            per_column[column] = index
+        return index.get(value) or ()
+
+    def arg_index_columns(self) -> dict[MethodKey, tuple[int, ...]]:
+        """The secondary index columns currently materialized per method
+        key (introspection for tests and the cache-stats hook)."""
+        return {
+            mkey: tuple(sorted(per)) for mkey, per in self._by_arg.items() if per
+        }
 
     def state_of(self, version: Term) -> frozenset[Fact]:
         """All method-applications of ``version`` (including ``exists``)."""

@@ -47,9 +47,11 @@ from functools import lru_cache
 from typing import TYPE_CHECKING, Iterable
 
 from repro.core.atoms import BuiltinAtom, Literal, UpdateAtom, VersionAtom
+from repro.core.caches import register_lru_cache
 from repro.core.exprs import expr_variables
 from repro.core.facts import EXISTS, Fact
 from repro.core.terms import (
+    Oid,
     Term,
     UpdateKind,
     Var,
@@ -69,6 +71,8 @@ __all__ = [
     "JoinPlan",
     "compile_plan",
     "RuleSignature",
+    "QuerySignature",
+    "body_signature",
     "RulePlan",
     "rule_plan",
     "classify",
@@ -98,12 +102,22 @@ class PlanStep:
     fact itself and membership holds by construction; re-verification is
     skipped for them.  Update-term generators only approximate definition 3
     of Section 3 and keep the re-check.
+
+    ``index_cols`` is the generator's *access-path metadata*, chosen at
+    plan-compile time: the argument columns (``0 .. arity-1``; ``-1`` is
+    the result position) that are statically known to be bound — a constant
+    of the atom, or a variable bound by an earlier step or the seed — when
+    this step runs.  The runtime generator prefers the host index (when the
+    host is bound), then the smallest of these per-column hash buckets
+    (:meth:`~repro.core.objectbase.ObjectBase.iter_facts_by_arg`), and only
+    falls back to the full ``(method, arity)`` scan when nothing is bound.
     """
 
     literal: Literal
     variables: frozenset[Var]
     action: int
     verify: bool = True
+    index_cols: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -182,7 +196,10 @@ def compile_plan(
         index, action, binds = choice
         literal, variables = remaining.pop(index)
         verify = action != GENERATE or not isinstance(literal.atom, VersionAtom)
-        steps.append(PlanStep(literal, variables, action, verify))
+        index_cols = (
+            _bound_columns(literal.atom, bound) if action == GENERATE else ()
+        )
+        steps.append(PlanStep(literal, variables, action, verify, index_cols))
         bound |= binds
         if action == GENERATE:
             generators += 1
@@ -191,6 +208,34 @@ def compile_plan(
     # plans of the same body (seeded and full alike).
     order = tuple(sorted(key_vars, key=var_sort_key))
     return JoinPlan(tuple(steps), generators, order)
+
+
+def _bound_columns(atom, bound: set[Var]) -> tuple[int, ...]:
+    """The argument/result columns of a generator atom that are statically
+    bound when the step runs (constants count) — the candidate secondary
+    access paths.  Only atoms whose generator reads a straight fact index
+    qualify: version-terms, and ``ins`` update-terms (whose truth is plain
+    membership on the ``ins(v)`` host); ``del``/``mod`` generators walk the
+    exists map instead and get no column metadata.
+    """
+    if isinstance(atom, VersionAtom):
+        args, result = atom.args, atom.result
+    elif (
+        isinstance(atom, UpdateAtom)
+        and atom.kind is UpdateKind.INSERT
+        and not atom.delete_all
+    ):
+        args, result = atom.args, atom.result
+    else:
+        return ()
+    columns = [
+        position
+        for position, arg in enumerate(args)
+        if isinstance(arg, Oid) or (isinstance(arg, Var) and arg in bound)
+    ]
+    if isinstance(result, Oid) or (isinstance(result, Var) and result in bound):
+        columns.append(-1)
+    return tuple(columns)
 
 
 def _choose_static(
@@ -337,6 +382,54 @@ def rule_signature(rule: "UpdateRule") -> RuleSignature:
     return RuleSignature(tuple(seeds), tuple(dict.fromkeys(added)), tuple(dict.fromkeys(removed)))
 
 
+@dataclass(frozen=True)
+class QuerySignature:
+    """What a conjunctive *query* body reads, keyed for memo invalidation.
+
+    Unlike :class:`RuleSignature` there is no head and no seed/FULL split:
+    a cached answer set can change whenever any fact a body literal reads —
+    positively or under negation — is added *or* removed, so one trigger
+    list is checked against both directions of a
+    :class:`~repro.core.objectbase.Delta`.  A delta that fires no trigger
+    provably leaves the answers untouched, which is what lets the prepared
+    -query layer carry memoized results across store revisions.
+    """
+
+    triggers: tuple[Trigger, ...]
+
+    def affected_by(self, delta: "Delta") -> bool:
+        """True when ``delta`` may change the query's answers."""
+        added_index = delta.added_index()
+        added_shapes = delta.added_shapes()
+        removed_index = delta.removed_index()
+        removed_shapes = delta.removed_shapes()
+        for trigger in self.triggers:
+            if _trigger_fires(trigger, added_index, added_shapes):
+                return True
+            if _trigger_fires(trigger, removed_index, removed_shapes):
+                return True
+        return False
+
+
+def body_signature(body: tuple[Literal, ...]) -> QuerySignature:
+    """The :class:`QuerySignature` of a bare conjunctive body."""
+    triggers: list[Trigger] = []
+    for literal in body:
+        atom = literal.atom
+        if isinstance(atom, VersionAtom):
+            key = (atom.method, len(atom.args))
+            prefix, exact = _pattern_shape(atom.host)
+            triggers.append((key, prefix, exact))
+        elif isinstance(atom, UpdateAtom):
+            key = (atom.method, len(atom.args)) if atom.method else None
+            prefix, exact = _pattern_shape(atom.target)
+            triggers.append((key, (atom.kind.value, *prefix), exact))
+            triggers.append(((EXISTS, 0), (atom.kind.value, *prefix), exact))
+            triggers.extend(_v_star_triggers([key, (EXISTS, 0)], atom.target))
+        # Built-ins read no facts: no trigger.
+    return QuerySignature(tuple(dict.fromkeys(triggers)))
+
+
 class RulePlan:
     """Everything precompiled for one rule: its dependency signature, the
     full-body join plan, and (lazily) one plan per seed literal."""
@@ -370,6 +463,9 @@ def rule_plan(rule: "UpdateRule") -> RulePlan:
     """The cached :class:`RulePlan` for ``rule`` (rules are frozen values,
     so plans survive across iterations, strata and evaluations)."""
     return RulePlan(rule)
+
+
+register_lru_cache("plans.rule_plan", rule_plan)
 
 
 # ----------------------------------------------------------------------

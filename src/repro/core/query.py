@@ -1,4 +1,4 @@
-"""A small query API over object bases.
+"""A query API over object bases, with a prepared / memoized serving path.
 
 The paper's language derives updates, not queries, but inspecting states —
 "which salary does ``mod(phil)`` have?" — is what its examples do in prose.
@@ -10,6 +10,14 @@ With the concrete syntax of :mod:`repro.lang` this becomes::
     from repro import query
     query(base, "E.isa -> empl, E.sal -> S")
     # -> [{'E': 'bob', 'S': 4200}, {'E': 'phil', 'S': 4000}]
+
+For read-heavy serving, :class:`PreparedQuery` is the compile-once form: the
+join plan (literal ordering *and* secondary-index column selection) is built
+a single time, every execution walks the planned matcher, and the query
+carries the :class:`~repro.core.plans.QuerySignature` the versioned store
+uses to decide — from the exact ``(added, removed)`` delta of each commit —
+whether a memoized answer set is still valid at the new revision
+(:meth:`repro.storage.history.VersionedStore.query`).
 """
 
 from __future__ import annotations
@@ -17,36 +25,163 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.core.atoms import Literal
-from repro.core.grounding import match_body
+from repro.core.grounding import (
+    _body_plan,
+    _match_planned,
+    match_body,
+    match_body_dynamic,
+)
 from repro.core.objectbase import ObjectBase
-from repro.core.terms import Oid
+from repro.core.plans import body_signature
+from repro.core.terms import Oid, Var
 
-__all__ = ["query_literals", "result_value", "method_results"]
+__all__ = [
+    "PreparedQuery",
+    "prepare_query",
+    "query_literals",
+    "sorted_answers",
+    "result_value",
+    "method_results",
+]
+
+#: Formatted answer rows: variable name -> plain Python value.
+Answer = dict[str, object]
+
+
+def _format_binding(binding: dict[Var, object]) -> Answer:
+    """Bindings as plain ``{name: value}`` dicts.  Version variables
+    (``?W``) bind whole VIDs; those come back as their concrete-syntax
+    string (``"mod(joe)"``) since there is no plain value."""
+    return {
+        var.name: value.value if isinstance(value, Oid) else str(value)
+        for var, value in binding.items()
+    }
+
+
+def _item_key(item: tuple[str, object]) -> tuple:
+    """Totally ordered key for one ``(name, value)`` binding: numbers sort
+    numerically among themselves and before everything else; any other
+    value sorts by its text.  Never compares raw values of different types,
+    so answers mixing ``int`` and ``str`` for the same variable (legal —
+    OIDs carry either) no longer raise ``TypeError``."""
+    name, value = item
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (name, 1, value)
+    return (name, 2, str(value))
+
+
+def _answer_sort_key(answer: Answer) -> tuple:
+    """A total order over answer rows: each row is keyed by its
+    :func:`_item_key`-ranked bindings in variable order."""
+    return tuple(_item_key(item) for item in sorted(answer.items()))
+
+
+def sorted_answers(
+    bindings: Iterable[dict[Var, object]], *, dedupe: bool = False
+) -> list[Answer]:
+    """Format raw matcher bindings and sort them into the deterministic
+    answer order (shared by the update-language and Datalog query layers)."""
+    answers = [_format_binding(binding) for binding in bindings]
+    if dedupe:
+        answers = list(
+            {_answer_sort_key(answer): answer for answer in answers}.values()
+        )
+    answers.sort(key=_answer_sort_key)
+    return answers
+
+
+
+
+class PreparedQuery:
+    """A conjunctive query compiled once and executable many times.
+
+    Construction compiles the body's :class:`~repro.core.plans.JoinPlan`
+    (literal order + index-column selection) and its
+    :class:`~repro.core.plans.QuerySignature` (which method keys and host
+    shapes can change the answers).  ``run`` executes against any base; the
+    versioned store adds per-revision memoization on top (see
+    ``VersionedStore.prepare`` / ``VersionedStore.query``).
+
+    Instances are immutable and safe to share across stores and threads —
+    all memoization state lives with the store, keyed by the query.
+    """
+
+    __slots__ = ("body", "plan", "signature", "name", "_hash")
+
+    def __init__(
+        self, literals: Sequence[Literal], *, name: str = "<prepared>"
+    ) -> None:
+        self.body = tuple(literals)
+        # The shared cached compile (the same entry match_body uses at run
+        # time), so constructing a prepared query never compiles twice.
+        self.plan = _body_plan(self.body)
+        self.signature = body_signature(self.body)
+        self.name = name
+        self._hash = hash(self.body)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PreparedQuery):
+            return NotImplemented
+        return self.body == other.body
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PreparedQuery({self.name!r}, {len(self.body)} literals)"
+
+    def _execute(self, base: ObjectBase):
+        # The stored plan is executed directly — never refetched from the
+        # bounded global plan cache, whose eviction would otherwise make a
+        # long-lived prepared query recompile per run.
+        if self.plan is not None:
+            return _match_planned(self.plan, base)
+        return match_body_dynamic(self.body, base, rule_name=self.name)
+
+    def bindings(self, base: ObjectBase) -> list[dict[Var, object]]:
+        """Raw variable bindings (fresh dicts, unordered)."""
+        return list(self._execute(base))
+
+    def run(self, base: ObjectBase) -> list[Answer]:
+        """Formatted, deterministically sorted answers against ``base``.
+
+        No memoization here — a bare base has no revision identity to key
+        a memo on.  Use the store's ``query`` for the cached path.
+        """
+        return sorted_answers(self._execute(base))
+
+    def run_unplanned(self, base: ObjectBase) -> list[Answer]:
+        """The dynamic-ordering reference matcher, same output contract as
+        :meth:`run` — the differential baseline for tests and benchmarks."""
+        return sorted_answers(
+            match_body_dynamic(self.body, base, rule_name=self.name)
+        )
+
+
+def prepare_query(query, *, name: str | None = None) -> PreparedQuery:
+    """Coerce ``query`` — a :class:`PreparedQuery`, a literal sequence, or
+    concrete-syntax text — into a :class:`PreparedQuery`."""
+    if isinstance(query, PreparedQuery):
+        return query
+    if isinstance(query, str):
+        from repro.lang.parser import parse_body  # lazy: lang sits above core
+
+        return PreparedQuery(parse_body(query), name=name or query)
+    literals = tuple(query)
+    # Default programmatic names render the body, so stats keyed by name
+    # stay tellable-apart across distinct unnamed queries.
+    derived = ", ".join(str(literal) for literal in literals) or "<empty>"
+    return PreparedQuery(literals, name=name or derived)
 
 
 def query_literals(
     base: ObjectBase, literals: Sequence[Literal]
-) -> list[dict[str, object]]:
+) -> list[Answer]:
     """Answer a conjunctive query; bindings as plain ``{name: value}`` dicts,
-    sorted for stable output.
-
-    Version variables (``?W``) bind whole VIDs; those come back as their
-    concrete-syntax string (``"mod(joe)"``) since there is no plain value.
+    sorted for stable output (total order even for answers mixing ``int``
+    and ``str`` values of the same variable).
     """
-    answers = [
-        {
-            var.name: value.value if isinstance(value, Oid) else str(value)
-            for var, value in binding.items()
-        }
-        for binding in match_body(tuple(literals), base)
-    ]
-    answers.sort(key=lambda answer: sorted(answer.items(), key=_sort_key))
-    return answers
-
-
-def _sort_key(item):
-    name, value = item
-    return (name, str(value))
+    return sorted_answers(match_body(tuple(literals), base))
 
 
 def method_results(base: ObjectBase, host, method: str, args: Iterable = ()) -> set:

@@ -22,8 +22,10 @@ inserts have been performed on it (Figure 1 of the paper).
 from __future__ import annotations
 
 import enum
+import sys
 from typing import Iterator, Union
 
+from repro.core.caches import register_cache
 from repro.core.errors import TermError
 
 __all__ = [
@@ -34,6 +36,7 @@ __all__ = [
     "VersionVar",
     "VersionId",
     "OidValue",
+    "intern_oid",
     "is_ground",
     "is_object_id_term",
     "is_version_id_term",
@@ -92,6 +95,11 @@ class Oid:
                 f"an OID must carry a str, int or float, got "
                 f"{type(value).__name__}"
             )
+        if type(value) is str:
+            # Symbolic names recur across facts, rules and queries; CPython
+            # compares interned strings by pointer, which speeds up every
+            # index probe keyed on this OID.
+            value = sys.intern(value)
         self.value = value
         self._hash = hash((value,))
 
@@ -115,6 +123,43 @@ class Oid:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Oid({self.value!r})"
+
+
+#: The process-wide OID intern table.  Keys pair the payload with its exact
+#: type: ``1``, ``1.0`` and ``True`` hash alike in Python, and ``Oid(1)`` /
+#: ``Oid(1.0)`` must stay distinct interned objects.
+_OID_INTERN: dict[tuple[type, OidValue], "Oid"] = {}
+
+
+def intern_oid(value: "OidValue | Oid") -> "Oid":
+    """The canonical :class:`Oid` for ``value`` — one object per payload.
+
+    Interned OIDs make the ``self is other`` fast path of :meth:`Oid.__eq__`
+    hit on every comparison between interned terms, so index-bucket probes
+    and dedup keys compare by identity instead of by payload.  The table is
+    process-wide and grows with the active symbol universe (bounded by the
+    data); :func:`repro.core.caches.cache_stats` reports its size under
+    ``terms.oid_intern``.
+
+    Interning is optional — un-interned ``Oid``\\ s remain fully equal and
+    hash-compatible with interned ones — so callers on hot construction
+    paths (parsers, workload generators, the serializer) opt in.
+    """
+    if isinstance(value, Oid):
+        key = (type(value.value), value.value)
+        return _OID_INTERN.setdefault(key, value)
+    canonical = _OID_INTERN.get((type(value), value))
+    if canonical is None:
+        canonical = Oid(value)
+        _OID_INTERN[(type(value), value)] = canonical
+    return canonical
+
+
+register_cache(
+    "terms.oid_intern",
+    lambda: {"size": len(_OID_INTERN), "maxsize": None},
+    _OID_INTERN.clear,
+)
 
 
 class Var:

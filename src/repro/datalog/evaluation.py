@@ -25,10 +25,12 @@ position's predicate.
 
 from __future__ import annotations
 
+import weakref
 from functools import lru_cache
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.core.atoms import BuiltinAtom
+from repro.core.caches import register_lru_cache
 from repro.core.errors import BuiltinError, EvaluationError, EvaluationLimitError
 from repro.core.exprs import evaluate_expr, expr_variables
 from repro.core.terms import Oid, Var
@@ -39,6 +41,7 @@ from repro.datalog.stratify import stratify_datalog
 
 __all__ = [
     "match_datalog_rule",
+    "PreparedDatalogQuery",
     "evaluate_stratified",
     "evaluate_inflationary",
 ]
@@ -97,6 +100,9 @@ def _compile_plan(body: tuple[DatalogLiteral, ...]) -> tuple[_PlanStep, ...] | N
         else:
             bound |= literal.variables
     return tuple(steps)
+
+
+register_lru_cache("datalog.compile_plan", _compile_plan)
 
 
 def _equality_target(atom: BuiltinAtom, bound: set[Var]) -> Var | None:
@@ -165,6 +171,85 @@ def _search_planned(
                 )
             return
     yield binding
+
+
+class PreparedDatalogQuery:
+    """A conjunctive Datalog query compiled once, memoized per database.
+
+    The body's join plan comes from the shared ``_compile_plan`` cache; the
+    dependency set is the ``(predicate, arity)`` keys the body reads (either
+    polarity).  ``run`` stamps each memo with the database's per-predicate
+    version counters (:meth:`~repro.datalog.database.Database.version_stamp`)
+    — an unchanged stamp serves the cached answers, any change to a
+    dependency re-executes.  Memos are held per database via weak
+    references, so a prepared query can serve many databases without
+    keeping any of them alive.
+    """
+
+    __slots__ = ("body", "name", "dependencies", "hits", "misses", "_memos")
+
+    def __init__(
+        self, body: Sequence[DatalogLiteral], *, name: str = "<prepared>"
+    ) -> None:
+        self.body = tuple(body)
+        self.name = name
+        self.dependencies = tuple(
+            sorted(
+                {
+                    literal.atom.key
+                    for literal in self.body
+                    if isinstance(literal.atom, PredicateAtom)
+                }
+            )
+        )
+        _compile_plan(self.body)  # compile once, up front
+        self.hits = 0
+        self.misses = 0
+        # id(db) -> (weakref to db, stamp, answers).  Databases are
+        # value-equal and therefore unhashable, so the memo keys them by
+        # identity; the weakref both guards against id reuse and evicts the
+        # entry when the database is collected.
+        self._memos: dict[int, tuple] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PreparedDatalogQuery({self.name!r}, {len(self.body)} literals)"
+
+    def bindings(self, database: Database) -> Iterator[Binding]:
+        """All satisfying substitutions (unmemoized, possibly duplicated)."""
+        plan = _compile_plan(self.body)
+        if plan is None:
+            yield from _search(list(enumerate(self.body)), {}, database, None, None)
+            return
+        yield from _search_planned(plan, 0, {}, database, None, None)
+
+    def run(self, database: Database) -> list[dict[str, object]]:
+        """Deduplicated, deterministically sorted answers, memoized.
+
+        The returned list is the live memo entry — treat it as read-only
+        (mutating it would corrupt every later cache hit).
+        """
+        stamp = database.version_stamp(self.dependencies)
+        key = id(database)
+        memo = self._memos.get(key)
+        if memo is not None and memo[0]() is database and memo[1] == stamp:
+            self.hits += 1
+            return memo[2]
+        from repro.core.query import sorted_answers
+
+        answers = sorted_answers(self.bindings(database), dedupe=True)
+        reference = weakref.ref(
+            database, lambda _ref, memos=self._memos, key=key: memos.pop(key, None)
+        )
+        self._memos[key] = (reference, stamp, answers)
+        self.misses += 1
+        return answers
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memoized_databases": len(self._memos),
+        }
 
 
 def _search(

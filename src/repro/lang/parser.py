@@ -17,7 +17,7 @@ from repro.core.errors import ProgramError, TermError
 from repro.core.exprs import BinOp, Expr, Neg
 from repro.core.objectbase import ObjectBase
 from repro.core.rules import UpdateProgram, UpdateRule
-from repro.core.terms import Oid, Term, UpdateKind, Var, VersionId, VersionVar
+from repro.core.terms import Term, UpdateKind, Var, VersionId, VersionVar, intern_oid
 from repro.lang.errors import ParseError
 from repro.lang.lexer import Token, tokenize
 
@@ -96,14 +96,16 @@ class _Parser:
         if token.type == "IDENT":
             if token.value[0].isupper() or token.value[0] == "_":
                 return Var(token.value)
-            return Oid(token.value)
+            # Interned: parsed programs, bases and queries share one Oid
+            # object per symbol, so index probes compare by identity.
+            return intern_oid(token.value)
         if token.type == "STRING":
-            return Oid(token.value)
+            return intern_oid(token.value)
         if token.type == "NUMBER":
-            return Oid(_number(token.value))
+            return intern_oid(_number(token.value))
         if token.type == "MINUS" and self.peek().type == "NUMBER":
             number = self.advance()
-            return Oid(-_number(number.value))
+            return intern_oid(-_number(number.value))
         raise ParseError(
             f"expected a term, found {token.describe()}", token.line, token.column
         )

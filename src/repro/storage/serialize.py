@@ -29,7 +29,7 @@ from pathlib import Path
 from repro.core.errors import ReproError, TermError
 from repro.core.facts import Fact
 from repro.core.objectbase import ObjectBase
-from repro.core.terms import Oid, Term, UpdateKind, VersionId
+from repro.core.terms import Oid, Term, UpdateKind, VersionId, intern_oid
 from repro.lang.parser import parse_object_base
 from repro.lang.pretty import format_object_base
 from repro.storage.history import StoreOptions, StoreRevision, VersionedStore
@@ -79,7 +79,7 @@ def _term_to_json(term: Term):
 
 def _term_from_json(data) -> Term:
     if "oid" in data:
-        return Oid(data["oid"])
+        return intern_oid(data["oid"])
     return VersionId(UpdateKind.from_name(data["kind"]), _term_from_json(data["base"]))
 
 
@@ -137,8 +137,8 @@ def _fact_from_json(entry: dict) -> Fact:
     return Fact(
         _term_from_json(entry["host"]),
         entry["method"],
-        tuple(Oid(a) for a in entry["args"]),
-        Oid(entry["result"]),
+        tuple(intern_oid(a) for a in entry["args"]),
+        intern_oid(entry["result"]),
     )
 
 

@@ -1,0 +1,91 @@
+"""Tests for the Datalog prepared-query layer: plan reuse, per-database
+memoization stamped by predicate version counters, and invalidation."""
+
+from repro.core.terms import Oid, Var
+from repro.datalog import (
+    Database,
+    DatalogEngine,
+    PreparedDatalogQuery,
+    body_literal,
+)
+from repro.datalog.parser import parse_datalog
+
+
+def _setup():
+    program, edb = parse_datalog(
+        """
+        edge(a, b). edge(b, c). edge(c, d).
+        path(X, Y) <= edge(X, Y).
+        path(X, Z) <= edge(X, Y), path(Y, Z).
+        """
+    )
+    return DatalogEngine().run(program, edb)
+
+
+def _query(*atoms):
+    return PreparedDatalogQuery(
+        tuple(body_literal(atom) for atom in atoms), name="q"
+    )
+
+
+def test_memo_hit_and_answers():
+    database = _setup()
+    query = _query(DatalogEngine.atom("path", Var("X"), Var("Z")))
+    first = query.run(database)
+    assert {(a["X"], a["Z"]) for a in first} == {
+        ("a", "b"), ("a", "c"), ("a", "d"),
+        ("b", "c"), ("b", "d"), ("c", "d"),
+    }
+    assert query.run(database) is first
+    assert query.stats()["hits"] == 1 and query.stats()["misses"] == 1
+
+
+def test_dependency_change_invalidates():
+    database = _setup()
+    query = _query(DatalogEngine.atom("path", Var("X"), Var("Z")))
+    query.run(database)
+    database.add("path", (Oid("z"), Oid("w")))
+    answers = query.run(database)
+    assert {"X": "z", "Z": "w"} in answers
+    assert query.stats()["misses"] == 2
+
+
+def test_non_dependency_change_keeps_memo():
+    database = _setup()
+    query = _query(DatalogEngine.atom("path", Var("X"), Var("Z")))
+    query.run(database)
+    database.add("unrelated", (Oid(1),))
+    query.run(database)
+    assert query.stats()["hits"] == 1  # still served from the memo
+
+
+def test_memo_is_per_database():
+    query = _query(DatalogEngine.atom("edge", Var("X"), Var("Y")))
+    one = Database.from_tuples([("edge", "a", "b")])
+    two = Database.from_tuples([("edge", "x", "y")])
+    assert query.run(one) != query.run(two)
+    assert query.stats()["memoized_databases"] == 2
+    # hits accrue per database independently
+    query.run(one)
+    query.run(two)
+    assert query.stats()["hits"] == 2
+
+
+def test_memo_entry_evicted_when_database_dies():
+    import gc
+
+    query = _query(DatalogEngine.atom("edge", Var("X"), Var("Y")))
+    database = Database.from_tuples([("edge", "a", "b")])
+    query.run(database)
+    assert query.stats()["memoized_databases"] == 1
+    del database
+    gc.collect()
+    assert query.stats()["memoized_databases"] == 0
+
+
+def test_answers_match_engine_query():
+    database = _setup()
+    query = _query(DatalogEngine.atom("path", Oid("a"), Var("Z")))
+    answers = {a["Z"] for a in query.run(database)}
+    rows = DatalogEngine.query(database, "path", ("a", None))
+    assert answers == {b for _a, b in rows}

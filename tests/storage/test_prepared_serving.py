@@ -1,0 +1,136 @@
+"""Tests for the store's prepared-query serving layer: per-revision
+memoization, delta-driven invalidation, and carry across unaffected
+commits."""
+
+import pytest
+
+from repro import parse_object_base, parse_program
+from repro.core.query import query_literals
+from repro.lang.parser import parse_body
+from repro.storage import VersionedStore
+
+
+@pytest.fixture()
+def store():
+    return VersionedStore(
+        parse_object_base(
+            """
+            phil.isa -> empl.   phil.pos -> mgr.   phil.sal -> 4000.
+            bob.isa -> empl.    bob.sal -> 4200.   bob.boss -> phil.
+            """
+        )
+    )
+
+
+RAISE = parse_program(
+    "raise: mod[E].sal -> (S, S2) <= E.isa -> empl, E.sal -> S, S2 = S * 1.1."
+)
+
+
+def _fresh(store, text):
+    return query_literals(store.current, parse_body(text))
+
+
+def test_memo_hits_at_same_revision(store):
+    prepared = store.prepare("E.sal -> S", name="sal")
+    first = store.query(prepared)
+    assert store.query(prepared) is first  # the very cache entry
+    stats = store.prepared_stats()["sal"]
+    assert stats["misses"] == 1 and stats["hits"] == 1
+
+
+def test_invalidation_on_affecting_commit(store):
+    prepared = store.prepare("E.sal -> S", name="sal")
+    before = store.query(prepared)
+    store.apply(RAISE, tag="raise")
+    after = store.query(prepared)
+    assert after != before
+    assert after == _fresh(store, "E.sal -> S")
+    stats = store.prepared_stats()["sal"]
+    assert stats["invalidated"] == 1 and stats["misses"] == 2
+
+
+def test_carry_across_unaffected_commit(store):
+    prepared = store.prepare("E.boss -> B", name="org")
+    before = store.query(prepared)
+    store.apply(RAISE, tag="raise")  # touches sal facts only
+    assert store.query(prepared) is before  # carried, not recomputed
+    stats = store.prepared_stats()["org"]
+    assert stats["carried"] == 1 and stats["misses"] == 1
+    assert stats["invalidated"] == 0
+    assert store.query(prepared) == _fresh(store, "E.boss -> B")
+
+
+def test_unregistered_query_registers_on_first_use(store):
+    answers = store.query("E.isa -> empl")
+    assert len(answers) == 2
+    assert "E.isa -> empl" in store.prepared_stats()
+
+
+def test_prepare_returns_the_original_registration(store):
+    first = store.prepare("E.sal -> S", name="sal")
+    assert store.prepare("E.sal -> S") is first  # text repeat skips the parser
+    assert store.prepare(first) is first
+    store.query(first)
+    store.query("E.sal -> S")  # same registration -> a memo hit
+    stats = store.prepared_stats()["sal"]
+    assert stats["misses"] == 1 and stats["hits"] == 1
+
+
+def test_text_alias_recorded_for_programmatic_registration(store):
+    from repro.core.query import PreparedQuery
+
+    programmatic = PreparedQuery(parse_body("E.sal -> S"), name="sal")
+    registered = store.prepare(programmatic)
+    # The first text lookup parses, finds the existing registration, and
+    # records the alias; repeats then skip the parser entirely.
+    assert store.prepare("E.sal -> S") is registered
+    assert store._prepared_texts.get("E.sal -> S") is registered
+
+
+def test_prepared_registry_is_lru_bounded():
+    from repro import parse_object_base
+    from repro.storage import StoreOptions
+
+    bounded = VersionedStore(
+        parse_object_base("phil.isa -> empl."),
+        options=StoreOptions(prepared_cache_size=2),
+    )
+    for method in ("m1", "m2", "m3"):
+        bounded.query(f"E.{method} -> R")
+    stats = bounded.prepared_stats()
+    assert len(stats) == 2
+    assert "E.m1 -> R" not in stats  # least-recently used was evicted
+    # an evicted query re-registers with a cold memo on next use
+    bounded.query("E.m1 -> R")
+    assert "E.m1 -> R" in bounded.prepared_stats()
+    assert len(bounded.prepared_stats()) == 2
+
+
+def test_rollback_revalidates(store):
+    prepared = store.prepare("E.sal -> S", name="sal")
+    initial = list(store.query(prepared))
+    store.apply(RAISE, tag="raise")
+    store.query(prepared)
+    store.rollback_to(0, tag="undo")
+    assert store.query(prepared) == initial
+    assert store.query(prepared) == _fresh(store, "E.sal -> S")
+
+
+def test_serving_stays_correct_over_a_chain(store):
+    """Differential check across a revision chain: the memoized path always
+    equals a fresh per-call query, whatever mix of hits, carries and
+    invalidations it took."""
+    queries = {
+        "sal": store.prepare("E.sal -> S", name="sal"),
+        "org": store.prepare("E.boss -> B", name="org"),
+        "mgr": store.prepare("M.pos -> mgr", name="mgr"),
+    }
+    texts = {"sal": "E.sal -> S", "org": "E.boss -> B", "mgr": "M.pos -> mgr"}
+    for round_index in range(4):
+        for name, prepared in queries.items():
+            assert store.query(prepared) == _fresh(store, texts[name]), name
+        store.apply(RAISE, tag=f"round{round_index}")
+    stats = store.prepared_stats()
+    assert stats["org"]["carried"] >= 1
+    assert stats["sal"]["invalidated"] >= 1
