@@ -7,7 +7,8 @@ compares **ratios** (speedup factors measured within one process on one
 machine) and enforces two kinds of bound:
 
 * hard floors from the acceptance criteria — the memoized serving path
-  must stay >= 3x over per-call reads;
+  must stay >= 3x over per-call reads, and the concurrent push-serving
+  path >= 3x over naive per-request re-evaluation;
 * relative bounds — each tracked ratio must reach at least
   ``(1 - tolerance)`` of the committed baseline's value.
 
@@ -17,7 +18,8 @@ Usage (what CI runs)::
 
     python benchmarks/check_regression.py \
         --baseline BENCH_PR3.json --fresh bench-queries-ci.json \
-        --p1-baseline BENCH_PR1.json --p1-fresh bench-ci.json
+        --p1-baseline BENCH_PR1.json --p1-fresh bench-ci.json \
+        --serve-baseline BENCH_PR4.json --serve-fresh bench-serve-ci.json
 """
 
 from __future__ import annotations
@@ -29,6 +31,9 @@ from pathlib import Path
 
 #: The acceptance-criteria floor for the memoized serving path.
 SERVED_SPEEDUP_FLOOR = 3.0
+
+#: The acceptance-criteria floor for concurrent push serving (PR 4).
+SERVE_THROUGHPUT_FLOOR = 3.0
 
 
 def check_ratio(
@@ -54,6 +59,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed BENCH_PR1.json (optional)")
     parser.add_argument("--p1-fresh", type=Path, default=None,
                         help="P1 sweep produced by this run (optional)")
+    parser.add_argument("--serve-baseline", type=Path, default=None,
+                        help="committed BENCH_PR4.json (optional)")
+    parser.add_argument("--serve-fresh", type=Path, default=None,
+                        help="serve sweep produced by this run (optional)")
     parser.add_argument("--tolerance", type=float, default=0.5,
                         help="allowed relative shortfall vs the baseline "
                         "ratio (default: %(default)s — CI machines are noisy)")
@@ -85,6 +94,28 @@ def main(argv: list[str] | None = None) -> int:
             failures, f"indexed over dynamic [{name}]",
             fresh_entry["speedup_indexed_over_dynamic"],
             entry["speedup_indexed_over_dynamic"],
+            arguments.tolerance,
+        )
+
+    if arguments.serve_baseline and arguments.serve_fresh:
+        serve_baseline = json.loads(
+            arguments.serve_baseline.read_text(encoding="utf-8")
+        )
+        serve_fresh = json.loads(
+            arguments.serve_fresh.read_text(encoding="utf-8")
+        )
+        serve_ratio = serve_fresh["throughput_ratio_served_over_naive"]
+        verdict = "ok" if serve_ratio >= SERVE_THROUGHPUT_FLOOR else "REGRESSION"
+        print(
+            f"{'serve throughput floor':<45} fresh {serve_ratio:7.2f}x  "
+            f"floor {SERVE_THROUGHPUT_FLOOR:.2f}x{'':>21}{verdict}"
+        )
+        if serve_ratio < SERVE_THROUGHPUT_FLOOR:
+            failures.append("serve throughput floor")
+        check_ratio(
+            failures, "serve throughput served over naive",
+            serve_ratio,
+            serve_baseline["throughput_ratio_served_over_naive"],
             arguments.tolerance,
         )
 

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""CI smoke test for the serving subsystem, driven entirely through the CLI.
+
+Scenario (what the CI job runs)::
+
+    PYTHONPATH=src python scripts/server_smoke.py
+
+1. ``repro store init`` a journal directory from a small base;
+2. start ``repro serve`` on a unix socket as a subprocess and wait for its
+   readiness banner;
+3. start ``repro client subscribe`` (another subprocess) on a salary query
+   and wait until it printed the initial answers;
+4. ``repro client apply`` a raise — the subscriber must print exactly one
+   answer-diff JSON line and exit 0;
+5. ``repro client tx`` an optimistic transaction with a read footprint;
+6. ``repro client log`` must show the three revisions; a bad revision
+   reference must exit non-zero with a clean message.
+
+Exits 0 when every step holds; prints the failing step and exits 1
+otherwise.  No external dependencies beyond the repo itself.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+PYTHON = sys.executable
+
+BASE = """
+phil.isa -> empl.  phil.sal -> 4000.
+bob.isa -> empl.   bob.sal -> 4200.  bob.boss -> phil.
+"""
+
+RAISE = "raise: mod[phil].sal -> (S, S2) <= phil.sal -> S, S2 = S + 100.\n"
+RAISE_BOB = "raise_bob: mod[bob].sal -> (S, S2) <= bob.sal -> S, S2 = S + 50.\n"
+
+
+def cli(*args: str, check: bool = True, timeout: float = 60.0):
+    """Run one repro CLI invocation to completion."""
+    result = subprocess.run(
+        [PYTHON, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=REPO,
+    )
+    if check and result.returncode != 0:
+        fail(
+            f"`repro {' '.join(args)}` exited {result.returncode}\n"
+            f"stdout: {result.stdout}\nstderr: {result.stderr}"
+        )
+    return result
+
+
+def fail(message: str) -> None:
+    print(f"SMOKE FAILURE: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def read_lines_background(stream, sink: list, done: threading.Event) -> None:
+    for line in stream:
+        sink.append(line.rstrip("\n"))
+    done.set()
+
+
+def wait_for(predicate, what: str, timeout: float = 30.0) -> None:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    fail(f"timed out waiting for {what}")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as scratch:
+        scratch = Path(scratch)
+        base_file = scratch / "world.ob"
+        base_file.write_text(BASE, encoding="utf-8")
+        raise_file = scratch / "raise.upd"
+        raise_file.write_text(RAISE, encoding="utf-8")
+        raise_bob_file = scratch / "raise_bob.upd"
+        raise_bob_file.write_text(RAISE_BOB, encoding="utf-8")
+        store_dir = scratch / "store"
+        socket_path = scratch / "repro.sock"
+
+        print("1. store init")
+        cli("store", "init", "--dir", str(store_dir), "--base", str(base_file))
+
+        print("2. starting repro serve")
+        server = subprocess.Popen(
+            [PYTHON, "-m", "repro", "serve", "--dir", str(store_dir),
+             "--socket", str(socket_path)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            cwd=REPO,
+        )
+        try:
+            wait_for(socket_path.exists, "the server socket")
+            assert cli("client", "--socket", str(socket_path), "ping").stdout.startswith("pong")
+
+            print("3. starting a subscriber")
+            subscriber = subprocess.Popen(
+                [PYTHON, "-m", "repro", "client", "--socket", str(socket_path),
+                 "subscribe", "E.isa -> empl, E.sal -> S",
+                 "--pushes", "1", "--timeout", "30"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                cwd=REPO,
+            )
+            lines: list[str] = []
+            finished = threading.Event()
+            threading.Thread(
+                target=read_lines_background,
+                args=(subscriber.stdout, lines, finished),
+                daemon=True,
+            ).start()
+            # the initial answer set (two rows) prints before any push
+            wait_for(lambda: len(lines) >= 2, "the subscriber's initial answers")
+            if "S = 4000" not in lines[0] + lines[1]:
+                fail(f"unexpected initial answers: {lines[:2]}")
+
+            print("4. applying a raise; expecting one answer diff")
+            cli("client", "--socket", str(socket_path), "apply",
+                "--program", str(raise_file), "--tag", "smoke-raise")
+            wait_for(finished.is_set, "the subscriber to receive its diff")
+            if subscriber.wait(timeout=30) != 0:
+                fail(f"subscriber exited {subscriber.returncode}: "
+                     f"{subscriber.stderr.read()}")
+            diff = json.loads(lines[-1])
+            if diff["push"] != "diff" or diff["tag"] != "smoke-raise":
+                fail(f"unexpected push message: {diff}")
+            if diff["added"] != [{"E": "phil", "S": 4100}]:
+                fail(f"unexpected answer diff: {diff['added']}")
+            if diff["removed"] != [{"E": "phil", "S": 4000}]:
+                fail(f"unexpected answer diff: {diff['removed']}")
+
+            print("5. optimistic transaction with a read footprint")
+            transaction = cli(
+                "client", "--socket", str(socket_path), "tx",
+                "--program", str(raise_bob_file),
+                "--read", "bob.sal -> S", "--tag", "smoke-tx",
+            )
+            if "committed revision 2" not in transaction.stderr:
+                fail(f"unexpected tx outcome: {transaction.stderr}")
+
+            print("6. log and error handling")
+            log = cli("client", "--socket", str(socket_path), "log").stdout
+            for expected in ("initial", "smoke-raise", "smoke-tx"):
+                if expected not in log:
+                    fail(f"revision {expected!r} missing from log:\n{log}")
+            bad = cli("client", "--socket", str(socket_path), "as-of", "nope",
+                      check=False)
+            if bad.returncode == 0 or "error:" not in bad.stderr:
+                fail("bad revision reference did not fail cleanly")
+
+            print("7. durability: restart replays the journal")
+            server.terminate()
+            server.wait(timeout=30)
+            log_output = cli("store", "log", "--dir", str(store_dir)).stdout
+            if "smoke-tx" not in log_output:
+                fail(f"journal lost the transaction:\n{log_output}")
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=10)
+
+    print("server smoke test OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

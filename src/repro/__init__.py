@@ -39,6 +39,9 @@ Subpackages
     Workload generators for examples, tests and benchmarks.
 ``repro.ext``
     Section 6 extension: depth-bounded quantification over VIDs.
+``repro.server``
+    Concurrent serving: MVCC sessions, optimistic transactions, push-based
+    live queries, and the asyncio JSON-lines wire protocol.
 """
 
 from repro.core import (

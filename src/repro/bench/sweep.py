@@ -22,6 +22,22 @@ comparable across PRs (``benchmarks/run_bench.py`` is a thin wrapper):
   ``VersionedStore.query`` (prepared + per-revision memoization with
   delta-driven invalidation/carry).  A differential check asserts all
   paths agree with the dynamic reference matcher at every revision.
+* **Serve sweep** (``--serve``, ``BENCH_PR4.json``) — the concurrent
+  serving subsystem: N clients hold live subscriptions to the read-query
+  mix while update transactions commit.  The *served* path keeps every
+  client current by push (per commit: one signature check per query,
+  shared re-evaluation only for affected queries, answer diffs out); the
+  *naive* baseline re-evaluates every query for every client on every
+  commit — what polling against the PR 2 store would cost.  Both paths
+  are measured as up-to-date client query states per second; the headline
+  ratio (acceptance floor: >= 3x) is guarded in CI.  A wire section
+  additionally times the asyncio JSON-lines transport end-to-end
+  (concurrent subscribers on a unix socket, commit-to-push wall time,
+  request round-trip latency).
+
+Every sweep ends by refreshing ``BENCH_TRAJECTORY.json`` — the unified,
+machine-readable headline-metric trajectory across all committed
+``BENCH_PR*.json`` documents (also: ``--trajectory`` rebuilds it alone).
 """
 
 from __future__ import annotations
@@ -43,7 +59,14 @@ from repro.workloads.enterprise import (
     targeted_raise_program,
 )
 
-__all__ = ["run_p1_sweep", "run_store_sweep", "run_query_sweep", "main"]
+__all__ = [
+    "run_p1_sweep",
+    "run_store_sweep",
+    "run_query_sweep",
+    "run_serve_sweep",
+    "build_trajectory",
+    "main",
+]
 
 DEFAULT_SIZES = (25, 100, 400)
 DEFAULT_REPEATS = 5
@@ -53,6 +76,10 @@ DEFAULT_STORE_REVISIONS = 200
 DEFAULT_QUERY_OUT = "BENCH_PR3.json"
 DEFAULT_QUERY_UPDATES = 8
 DEFAULT_READS_PER_UPDATE = 25
+DEFAULT_SERVE_OUT = "BENCH_PR4.json"
+DEFAULT_SERVE_CLIENTS = 8
+DEFAULT_SERVE_UPDATES = 30
+TRAJECTORY_OUT = "BENCH_TRAJECTORY.json"
 
 #: The read-heavy query mix.  ``org_chart`` reads no ``sal`` fact, so the
 #: targeted-raise deltas provably cannot change it and its memo is carried
@@ -329,6 +356,311 @@ def run_query_sweep(
     }
 
 
+def run_serve_sweep(
+    n_clients: int = DEFAULT_SERVE_CLIENTS,
+    updates: int = DEFAULT_SERVE_UPDATES,
+    n_employees: int = 200,
+    wire_updates: int = 10,
+    wire_roundtrips: int = 50,
+) -> dict:
+    """The PR 4 concurrent-serving benchmark (see the module docstring).
+
+    In-process phase (the guarded headline): ``n_clients`` clients each
+    hold live subscriptions to every query in ``READ_QUERIES`` while
+    ``updates`` single-object update transactions commit.  *Served* keeps
+    all clients current via the push subsystem; *naive* re-evaluates every
+    query for every client after every commit (per-request
+    ``query_literals``, the polling cost against the PR 2 store).  Both
+    move every client through ``updates × len(READ_QUERIES)`` up-to-date
+    answer states.
+
+    Both paths pay the identical engine cost for the commits themselves,
+    so an *apply-only* phase (same chain, no subscribers, no reads)
+    measures that shared write cost once; the guarded throughput ratio
+    compares the **serving work** — total minus write cost — which is
+    exactly the component the subsystem replaces (a deployment's write
+    side is fixed by the update stream either way).  Total-time ratios are
+    reported alongside.
+
+    A differential check folds one client's diff stream over its initial
+    answers and asserts the result equals a fresh store query at the head.
+
+    Wire phase (informational): the same subscription workload end-to-end
+    through the asyncio JSON-lines server on a unix socket, plus request
+    round-trip latency.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.core.query import fold_answers, query_literals
+    from repro.lang.parser import parse_body
+    from repro.server import AsyncClient, ReproServer, StoreService, connect_local
+    from repro.storage import VersionedStore
+
+    base = enterprise_base(n_employees=n_employees, overpaid_ratio=0.1, seed=21)
+    program = targeted_raise_program("emp0", percent=1.0)
+    bodies = [(name, parse_body(text)) for name, text in READ_QUERIES]
+
+    # -- served: push subscriptions over the service ---------------------
+    service = StoreService(VersionedStore(base))
+    service.apply(program, tag="warm")  # warm compiled program + plans
+    clients = [connect_local(service) for _ in range(n_clients)]
+    initial: dict[int, dict[str, list]] = {}
+    for position, client in enumerate(clients):
+        initial[position] = {
+            name: client.subscribe(text, name=name)["answers"]
+            for name, text in READ_QUERIES
+        }
+    start = time.perf_counter()
+    for update in range(updates):
+        service.apply(program, tag=f"u{update}")
+    served_s = time.perf_counter() - start
+
+    # Differential check: client 0's folded diff stream == fresh queries.
+    folded = {name: list(answers) for name, answers in initial[0].items()}
+    by_name = {}
+    for push in clients[0].pushes():
+        by_name.setdefault(push["query"], []).append(push)
+    push_messages = 0
+    for position, client in enumerate(clients):
+        if position == 0:
+            streams = by_name
+        else:
+            streams = {}
+            for push in client.pushes():
+                streams.setdefault(push["query"], []).append(push)
+        push_messages += sum(len(pushes) for pushes in streams.values())
+        if position == 0:
+            for name, pushes in streams.items():
+                for push in pushes:
+                    folded[name] = fold_answers(
+                        folded[name], push["added"], push["removed"]
+                    )
+    head = service.store.current
+    for name, text in READ_QUERIES:
+        fresh = service.store.query(text)
+        if folded[name] != fresh:
+            raise AssertionError(
+                f"folded subscription stream diverges from the store for "
+                f"{name!r} at the head"
+            )
+    subscription_stats = service.subscriptions.stats()
+    skipped = sum(
+        entry["skipped"] for entry in subscription_stats["by_id"].values()
+    )
+    for client in clients:
+        client.close()
+
+    # -- naive: per-request re-evaluation on every commit ----------------
+    naive_store = VersionedStore(base)
+    naive_store.apply(program, tag="warm")
+    start = time.perf_counter()
+    for update in range(updates):
+        naive_store.apply(program, tag=f"u{update}")
+        current = naive_store.current
+        for _client in range(n_clients):
+            for _name, body in bodies:
+                query_literals(current, body)
+    naive_s = time.perf_counter() - start
+
+    # -- apply-only: the shared write cost of the commit chain -----------
+    write_store = VersionedStore(base)
+    write_store.apply(program, tag="warm")
+    start = time.perf_counter()
+    for update in range(updates):
+        write_store.apply(program, tag=f"u{update}")
+    write_s = time.perf_counter() - start
+
+    states = n_clients * len(READ_QUERIES) * updates
+    served_read_s = max(served_s - write_s, 1e-9)
+    naive_read_s = max(naive_s - write_s, 1e-9)
+    ratio = naive_read_s / served_read_s
+
+    # -- wire: the asyncio transport end-to-end --------------------------
+    async def wire_phase() -> dict:
+        wire_service = StoreService(VersionedStore(base))
+        wire_service.apply(program, tag="warm")
+        with tempfile.TemporaryDirectory() as socket_dir:
+            path = f"{socket_dir}/bench.sock"
+            server = await ReproServer(wire_service, path=path).start()
+            subscribers = [
+                await AsyncClient.connect(path=path) for _ in range(n_clients)
+            ]
+            writer = await AsyncClient.connect(path=path)
+            for subscriber in subscribers:
+                await subscriber.call(
+                    "subscribe", body=READ_QUERIES[0][1], name="salaries"
+                )
+            start = time.perf_counter()
+            for update in range(wire_updates):
+                await writer.call(
+                    "apply", program=SERVE_WIRE_PROGRAM, tag=f"w{update}"
+                )
+                # Every commit changes emp0's salary: each subscriber gets
+                # exactly one diff per commit.
+                for subscriber in subscribers:
+                    await subscriber.next_push(timeout=30.0)
+            wall_s = time.perf_counter() - start
+
+            latencies = []
+            for _ in range(wire_roundtrips):
+                probe = time.perf_counter()
+                await writer.call("query", body=READ_QUERIES[0][1])
+                latencies.append(time.perf_counter() - probe)
+            for subscriber in subscribers:
+                await subscriber.close()
+            await writer.close()
+            await server.close()
+            return {
+                "clients": n_clients,
+                "commits": wire_updates,
+                "wall_seconds": wall_s,
+                "commits_per_second": wire_updates / wall_s,
+                "pushes_delivered": wire_updates * n_clients,
+                "pushes_per_second": wire_updates * n_clients / wall_s,
+                "query_roundtrip_best_s": min(latencies),
+                "query_roundtrip_mean_s": sum(latencies) / len(latencies),
+            }
+
+    wire = asyncio.run(wire_phase())
+
+    return {
+        "benchmark": "p4_serve_sweep",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "workload": {
+            "base": f"enterprise(n_employees={n_employees})",
+            "update_program": "targeted-raise-emp0 (two-fact delta per commit)",
+            "clients": n_clients,
+            "updates": updates,
+            "queries": {name: text for name, text in READ_QUERIES},
+            "client_query_states": states,
+        },
+        "in_process": {
+            "served_seconds": served_s,
+            "naive_seconds": naive_s,
+            "write_only_seconds": write_s,
+            "served_serving_seconds": served_read_s,
+            "naive_serving_seconds": naive_read_s,
+            "served_states_per_second": states / served_read_s,
+            "naive_states_per_second": states / naive_read_s,
+            "total_ratio_served_over_naive": naive_s / served_s,
+            "push_messages": push_messages,
+            "skipped_evaluations": skipped,
+            "head_facts": len(head),
+        },
+        "throughput_ratio_served_over_naive": ratio,
+        "wire": wire,
+    }
+
+
+#: The wire phase commits through the protocol, so the program travels as
+#: concrete syntax (the same two-fact delta as ``targeted_raise_program``).
+SERVE_WIRE_PROGRAM = (
+    "raise_emp0: mod[emp0].sal -> (S, S2) <= emp0.sal -> S, S2 = S * 1.01."
+)
+
+
+# ----------------------------------------------------------------------
+# the unified trajectory document
+# ----------------------------------------------------------------------
+
+#: Headline-metric extractors per benchmark document kind.
+def _p1_headline(document: dict) -> dict:
+    speedups = document["speedup_naive_over_semi_naive"]
+    return {
+        "speedup_naive_over_semi_naive": speedups,
+        "headline": f"semi-naive {max(speedups.values()):.2f}x over naive "
+        f"(largest base)",
+    }
+
+
+def _p2_headline(document: dict) -> dict:
+    return {
+        "memory_ratio_full_over_delta": document["memory_ratio_full_over_delta"],
+        "speedup_cached_over_cold": document["speedup_cached_over_cold"],
+        "headline": f"delta chain {document['memory_ratio_full_over_delta']:.1f}x "
+        f"smaller, cached apply "
+        f"{document['speedup_cached_over_cold']:.2f}x faster",
+    }
+
+
+def _p3_headline(document: dict) -> dict:
+    return {
+        "speedup_served_over_per_call": document["speedup_served_over_per_call"],
+        "speedup_prepared_over_per_call": document[
+            "speedup_prepared_over_per_call"
+        ],
+        "reads_per_second_served": document["reads_per_second_served"],
+        "headline": f"memoized serving "
+        f"{document['speedup_served_over_per_call']:.1f}x over per-call reads",
+    }
+
+
+def _p4_headline(document: dict) -> dict:
+    in_process = document["in_process"]
+    return {
+        "throughput_ratio_served_over_naive": document[
+            "throughput_ratio_served_over_naive"
+        ],
+        "served_states_per_second": in_process["served_states_per_second"],
+        "wire_pushes_per_second": document["wire"]["pushes_per_second"],
+        "headline": f"push serving "
+        f"{document['throughput_ratio_served_over_naive']:.1f}x over naive "
+        f"per-request re-evaluation "
+        f"({document['workload']['clients']} clients)",
+    }
+
+
+_HEADLINES = {
+    "p1_base_size_sweep": _p1_headline,
+    "p2_store_sweep": _p2_headline,
+    "p3_query_sweep": _p3_headline,
+    "p4_serve_sweep": _p4_headline,
+}
+
+
+def build_trajectory(root: Path | str = ".") -> dict:
+    """Merge the headline metrics of every ``BENCH_PR*.json`` under
+    ``root`` into one machine-readable document, keyed ``"PR<n>"`` in PR
+    order — the one place to read the performance trajectory."""
+    root = Path(root)
+    prs: dict[str, dict] = {}
+    for path in sorted(
+        root.glob("BENCH_PR*.json"),
+        key=lambda p: int("".join(c for c in p.stem if c.isdigit()) or 0),
+    ):
+        digits = "".join(c for c in path.stem if c.isdigit())
+        if not digits:
+            continue
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        extractor = _HEADLINES.get(document.get("benchmark"))
+        entry = {
+            "source": path.name,
+            "benchmark": document.get("benchmark", "unknown"),
+        }
+        if extractor is not None:
+            entry.update(extractor(document))
+        prs[f"PR{int(digits)}"] = entry
+    return {
+        "format": "repro-bench-trajectory",
+        "version": 1,
+        "prs": prs,
+    }
+
+
+def write_trajectory(root: Path | str = ".") -> Path:
+    """Rebuild ``BENCH_TRAJECTORY.json`` next to the scanned documents."""
+    root = Path(root)
+    document = build_trajectory(root)
+    out = root / TRAJECTORY_OUT
+    out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return out
+
+
 def _best_of(fn, repeats: int) -> tuple[float, object]:
     best = float("inf")
     result = None
@@ -367,19 +699,88 @@ def main(argv: list[str] | None = None) -> int:
         "scaling sweep",
     )
     parser.add_argument(
-        "--updates", type=int, default=DEFAULT_QUERY_UPDATES,
-        help="query sweep: update transactions (default: %(default)s)",
+        "--updates", type=int, default=None,
+        help="update transactions per sweep (defaults: "
+        f"{DEFAULT_QUERY_UPDATES} for --queries, "
+        f"{DEFAULT_SERVE_UPDATES} for --serve)",
     )
     parser.add_argument(
         "--reads", type=int, default=DEFAULT_READS_PER_UPDATE,
         help="query sweep: reads per query per update (default: %(default)s)",
     )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="run the concurrent served-subscription sweep instead of the "
+        "P1 scaling sweep",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=DEFAULT_SERVE_CLIENTS,
+        help="serve sweep: concurrent subscribed clients (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--trajectory", action="store_true",
+        help="only rebuild BENCH_TRAJECTORY.json from the BENCH_PR*.json "
+        "documents in the current directory",
+    )
     arguments = parser.parse_args(argv)
+
+    if arguments.trajectory:
+        out = write_trajectory(".")
+        document = json.loads(out.read_text(encoding="utf-8"))
+        for pr, entry in document["prs"].items():
+            print(f"{pr}: {entry.get('headline', entry['benchmark'])}")
+        print(f"wrote {out}")
+        return 0
+
+    if arguments.serve:
+        out = arguments.out or Path(DEFAULT_SERVE_OUT)
+        updates = (
+            arguments.updates
+            if arguments.updates is not None
+            else DEFAULT_SERVE_UPDATES
+        )
+        document = run_serve_sweep(
+            n_clients=arguments.clients, updates=updates
+        )
+        out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        in_process = document["in_process"]
+        print(
+            f"served: {in_process['served_seconds']:.3f} s total / "
+            f"{in_process['served_serving_seconds']:.3f} s serving "
+            f"({in_process['served_states_per_second']:.0f} states/s, "
+            f"{in_process['push_messages']} pushes, "
+            f"{in_process['skipped_evaluations']} skipped evals)   "
+            f"naive: {in_process['naive_seconds']:.3f} s total / "
+            f"{in_process['naive_serving_seconds']:.3f} s serving"
+        )
+        print(
+            f"serving throughput ratio served/naive: "
+            f"{document['throughput_ratio_served_over_naive']:.2f}x "
+            f"(total-time ratio "
+            f"{in_process['total_ratio_served_over_naive']:.2f}x, "
+            f"write-only {in_process['write_only_seconds']:.3f} s)"
+        )
+        wire = document["wire"]
+        print(
+            f"wire: {wire['commits_per_second']:.0f} commits/s, "
+            f"{wire['pushes_per_second']:.0f} pushes/s to "
+            f"{wire['clients']} clients, query round-trip "
+            f"best {wire['query_roundtrip_best_s'] * 1e3:.2f} ms / "
+            f"mean {wire['query_roundtrip_mean_s'] * 1e3:.2f} ms"
+        )
+        print(f"wrote {out}")
+        write_trajectory(".")
+        return 0
 
     if arguments.queries:
         out = arguments.out or Path(DEFAULT_QUERY_OUT)
         document = run_query_sweep(
-            updates=arguments.updates, reads_per_update=arguments.reads
+            updates=(
+                arguments.updates
+                if arguments.updates is not None
+                else DEFAULT_QUERY_UPDATES
+            ),
+            reads_per_update=arguments.reads,
         )
         out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
         seconds = document["read_seconds"]
@@ -401,6 +802,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"{entry['answers']} answers)"
             )
         print(f"wrote {out}")
+        write_trajectory(".")
         return 0
 
     if arguments.store:
@@ -422,6 +824,7 @@ def main(argv: list[str] | None = None) -> int:
             f"speedup {document['speedup_cached_over_cold']:.2f}x"
         )
         print(f"wrote {out}")
+        write_trajectory(".")
         return 0
 
     out = arguments.out or Path(DEFAULT_OUT)
@@ -436,6 +839,7 @@ def main(argv: list[str] | None = None) -> int:
     for size, ratio in document["speedup_naive_over_semi_naive"].items():
         print(f"speedup n={size}: {ratio:.2f}x")
     print(f"wrote {out}")
+    write_trajectory(".")
     return 0
 
 

@@ -16,16 +16,28 @@ Usage (installed as ``repro-updates``, also ``python -m repro``)::
     repro-updates store diff --dir STORE OLDER NEWER
     repro-updates store as-of --dir STORE REVISION [--out new.ob]
     repro-updates store compact --dir STORE [--interval N]
+    repro-updates serve --dir STORE --socket /tmp/repro.sock
+    repro-updates client --socket /tmp/repro.sock query "E.sal -> S"
+    repro-updates client --socket /tmp/repro.sock subscribe "E.sal -> S" --pushes 1
+    repro-updates client --socket /tmp/repro.sock tx --program update.upd
+    repro-updates bench --serve [--out BENCH_PR4.json] [--clients 8]
 
 ``apply`` prints the new object base (``ob'``) to stdout, or writes it with
 ``--out``; ``--result-base`` dumps ``result(P)`` with all versions instead.
 ``store`` commands operate on a durable journal directory (JSONL delta log
-plus periodic snapshots) holding a whole revision chain.
+plus periodic snapshots) holding a whole revision chain.  ``serve`` exposes
+a journal directory over the concurrent JSON-lines protocol (MVCC sessions,
+optimistic transactions, push-based live queries); ``client`` talks to it.
+
+Every handler exits 0 on success and non-zero with a one-line ``error: …``
+on stderr for expected failures (unknown tags/revisions, missing files,
+corrupt journals, connection problems) — no tracebacks.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from pathlib import Path
 
@@ -117,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         DEFAULT_QUERY_UPDATES,
         DEFAULT_READS_PER_UPDATE,
         DEFAULT_REPEATS,
+        DEFAULT_SERVE_CLIENTS,
         DEFAULT_SIZES,
         DEFAULT_STORE_REVISIONS,
     )
@@ -124,8 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd = commands.add_parser(
         "bench",
         help="run the P1 scaling sweep (semi-naive vs naive), the P2 "
-        "versioned-store sweep (--store), or the P3 read-heavy "
-        "prepared-query sweep (--queries), and write JSON",
+        "versioned-store sweep (--store), the P3 read-heavy "
+        "prepared-query sweep (--queries), or the P4 concurrent "
+        "serving sweep (--serve), and write JSON",
     )
     bench_cmd.add_argument("--out", type=Path, default=None)
     bench_cmd.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
@@ -136,10 +150,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_cmd.add_argument("--queries", action="store_true")
     bench_cmd.add_argument(
-        "--updates", type=int, default=DEFAULT_QUERY_UPDATES
+        "--updates", type=int, default=None,
+        help="update transactions for the --queries / --serve sweeps "
+        "(each has its own default)",
     )
     bench_cmd.add_argument(
         "--reads", type=int, default=DEFAULT_READS_PER_UPDATE
+    )
+    bench_cmd.add_argument(
+        "--serve", action="store_true",
+        help="run the concurrent served-subscription sweep (multi-client "
+        "throughput vs naive per-request re-evaluation)",
+    )
+    bench_cmd.add_argument(
+        "--clients", type=int, default=DEFAULT_SERVE_CLIENTS
+    )
+    bench_cmd.add_argument(
+        "--trajectory", action="store_true",
+        help="only rebuild BENCH_TRAJECTORY.json from the committed "
+        "BENCH_PR*.json documents (no sweep)",
     )
 
     store_cmd = commands.add_parser(
@@ -199,17 +228,115 @@ def build_parser() -> argparse.ArgumentParser:
     _dir_arg(compact_cmd)
     compact_cmd.add_argument("--interval", type=int, default=None)
 
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="serve a journal directory over the concurrent JSON-lines "
+        "protocol (MVCC sessions, optimistic transactions, live queries)",
+    )
+    _dir_arg(serve_cmd)
+    serve_cmd.add_argument(
+        "--socket", type=Path, default=None,
+        help="listen on a unix socket at this path",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=None,
+        help="listen on TCP (0 picks a free port, printed on stderr)",
+    )
+
+    client_cmd = commands.add_parser(
+        "client", help="talk to a running `repro serve` instance"
+    )
+    client_cmd.add_argument("--socket", type=Path, default=None)
+    client_cmd.add_argument("--host", default="127.0.0.1")
+    client_cmd.add_argument("--port", type=int, default=None)
+    client_sub = client_cmd.add_subparsers(dest="client_command", required=True)
+
+    client_sub.add_parser("ping", help="liveness probe")
+    client_query = client_sub.add_parser(
+        "query", help="answer a conjunctive query at the server's head"
+    )
+    client_query.add_argument("body")
+    client_apply = client_sub.add_parser(
+        "apply", help="autocommit an update program on the server"
+    )
+    client_apply.add_argument("--program", required=True, type=Path)
+    client_apply.add_argument("--tag", default="")
+    client_subscribe = client_sub.add_parser(
+        "subscribe",
+        help="live query: print the initial answers, then answer diffs as "
+        "JSON lines as commits arrive",
+    )
+    client_subscribe.add_argument("body")
+    client_subscribe.add_argument(
+        "--pushes", type=int, default=1,
+        help="exit after this many answer diffs (default: %(default)s)",
+    )
+    client_subscribe.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="give up waiting after this many seconds",
+    )
+    client_tx = client_sub.add_parser(
+        "tx",
+        help="run one optimistic transaction: begin, stage a program "
+        "(validating any --read bodies), commit with retry on conflict",
+    )
+    client_tx.add_argument("--program", required=True, type=Path)
+    client_tx.add_argument("--tag", default="")
+    client_tx.add_argument(
+        "--read", action="append", default=[], metavar="BODY",
+        help="query to run at the pinned revision before staging "
+        "(repeatable; joins the conflict footprint)",
+    )
+    client_tx.add_argument(
+        "--retries", type=int, default=5,
+        help="attempts before giving up on repeated conflicts",
+    )
+    client_sub.add_parser("log", help="print the server's revision chain")
+    client_asof = client_sub.add_parser(
+        "as-of", help="print the base as of a revision on the server"
+    )
+    client_asof.add_argument("revision")
+    client_sub.add_parser("stats", help="print server counters as JSON")
+    client_script = client_sub.add_parser(
+        "script",
+        help="send raw JSONL requests from a file ('-' = stdin); print "
+        "every response and push as JSON lines",
+    )
+    client_script.add_argument("file")
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    import json
+
     arguments = build_parser().parse_args(argv)
     try:
         handler = _HANDLERS[arguments.command]
         return handler(arguments)
     except ReproError as error:
+        # Covers the whole library family, including the serving-layer
+        # errors (ConflictError and friends derive from ReproError).
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except FileNotFoundError as error:
+        name = error.filename if error.filename is not None else error
+        print(f"error: no such file: {name}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as error:
+        print(f"error: malformed JSON input: {error}", file=sys.stderr)
+        return 1
+    except (ConnectionError, asyncio.TimeoutError) as error:
+        detail = str(error) or error.__class__.__name__
+        print(f"error: server connection failed: {detail}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 def _cmd_apply(arguments) -> int:
@@ -327,12 +454,188 @@ def _cmd_bench(arguments) -> int:
     if arguments.store:
         argv += ["--store", "--revisions", str(arguments.revisions)]
     if arguments.queries:
-        argv += [
-            "--queries",
-            "--updates", str(arguments.updates),
-            "--reads", str(arguments.reads),
-        ]
+        argv += ["--queries", "--reads", str(arguments.reads)]
+    if arguments.serve:
+        argv += ["--serve", "--clients", str(arguments.clients)]
+    if arguments.updates is not None:
+        argv += ["--updates", str(arguments.updates)]
+    if arguments.trajectory:
+        argv += ["--trajectory"]
     return bench_main(argv)
+
+
+def _cmd_serve(arguments) -> int:
+    from repro.server import ReproServer, StoreService
+
+    if arguments.socket is None and arguments.port is None:
+        raise ReproError("serve needs --socket PATH or --port N")
+    service = StoreService.open(arguments.directory)
+
+    async def run() -> None:
+        server = ReproServer(
+            service,
+            path=str(arguments.socket) if arguments.socket else None,
+            host=arguments.host,
+            port=arguments.port if arguments.port is not None else 0,
+        )
+        await server.start()
+        print(
+            f"serving {arguments.directory} at {server.address} "
+            f"({len(service.store)} revisions, head "
+            f"[{service.store.head.tag}])",
+            file=sys.stderr,
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("server stopped", file=sys.stderr)
+    return 0
+
+
+def _client_connect_kwargs(arguments) -> dict:
+    if arguments.socket is None and arguments.port is None:
+        raise ReproError("client needs --socket PATH or --port N")
+    if arguments.socket is not None:
+        return {"path": str(arguments.socket)}
+    return {"host": arguments.host, "port": arguments.port}
+
+
+def _print_answers(answers) -> None:
+    if not answers:
+        print("(no answers)")
+        return
+    for answer in answers:
+        if answer:
+            print(", ".join(f"{k} = {v}" for k, v in sorted(answer.items())))
+        else:
+            print("yes")
+
+
+def _cmd_client(arguments) -> int:
+    import json
+
+    from repro.server import AsyncClient, ConflictError
+
+    connect = _client_connect_kwargs(arguments)
+
+    async def run() -> int:
+        client = await AsyncClient.connect(**connect)
+        try:
+            command = arguments.client_command
+            if command == "ping":
+                response = await client.call("ping")
+                print(f"pong (protocol {response['protocol']})")
+            elif command == "query":
+                response = await client.call("query", body=arguments.body)
+                _print_answers(response["answers"])
+            elif command == "apply":
+                program = arguments.program.read_text(encoding="utf-8")
+                response = await client.call(
+                    "apply", program=program, tag=arguments.tag
+                )
+                print(
+                    f"revision {response['revision']} [{response['tag']}]: "
+                    f"+{response['added']} -{response['removed']} facts",
+                    file=sys.stderr,
+                )
+            elif command == "subscribe":
+                response = await client.call("subscribe", body=arguments.body)
+                _print_answers(response["answers"])
+                for received in range(max(0, arguments.pushes)):
+                    try:
+                        push = await client.next_push(timeout=arguments.timeout)
+                    except asyncio.TimeoutError:
+                        # The connection is healthy — no commit touched the
+                        # query in time.  Say that, don't blame the socket.
+                        print(
+                            f"error: no answer diff arrived within "
+                            f"{arguments.timeout:g}s "
+                            f"({received} of {arguments.pushes} received)",
+                            file=sys.stderr,
+                        )
+                        return 1
+                    print(json.dumps(push), flush=True)
+            elif command == "tx":
+                return await _run_client_tx(client, arguments)
+            elif command == "log":
+                response = await client.call("log")
+                for revision in response["revisions"]:
+                    marker = "*" if revision["snapshot"] else " "
+                    program = revision["program"] or "-"
+                    print(
+                        f"{revision['index']:>4} {marker} "
+                        f"{revision['tag']:<24} +{revision['added']:<5} "
+                        f"-{revision['removed']:<5} {program}"
+                    )
+            elif command == "as-of":
+                response = await client.call("as-of", revision=arguments.revision)
+                print(response["facts"])
+            elif command == "stats":
+                response = await client.call("stats")
+                print(json.dumps(response["stats"], indent=2, sort_keys=True))
+            elif command == "script":
+                source = (
+                    sys.stdin.read()
+                    if arguments.file == "-"
+                    else Path(arguments.file).read_text(encoding="utf-8")
+                )
+                for line in source.splitlines():
+                    if not line.strip():
+                        continue
+                    request = json.loads(line)
+                    response = await client.request(**_script_request(request))
+                    print(json.dumps(response), flush=True)
+                    for push in client.drain_pushes():
+                        print(json.dumps(push), flush=True)
+            return 0
+        finally:
+            await client.close()
+
+    async def _run_client_tx(client, arguments) -> int:
+        program = arguments.program.read_text(encoding="utf-8")
+        for attempt in range(1, max(1, arguments.retries) + 1):
+            begun = await client.call("tx-begin")
+            session = begun["session"]
+            try:
+                for body in arguments.read:
+                    await client.call("tx-query", session=session, body=body)
+                await client.call(
+                    "tx-stage", session=session, program=program
+                )
+                response = await client.call(
+                    "tx-commit", session=session, tag=arguments.tag
+                )
+            except ConflictError as conflict:
+                print(
+                    f"attempt {attempt}: conflict with revision "
+                    f"{conflict.conflicting_index} "
+                    f"[{conflict.conflicting_tag}], retrying",
+                    file=sys.stderr,
+                )
+                continue
+            print(
+                f"committed revision {response['revision']} "
+                f"(pinned {begun['revision']}, attempt {attempt})",
+                file=sys.stderr,
+            )
+            return 0
+        print(f"error: gave up after {arguments.retries} conflicts", file=sys.stderr)
+        return 1
+
+    return asyncio.run(run())
+
+
+def _script_request(request: dict) -> dict:
+    """A raw script line becomes ``AsyncClient.request(cmd, **payload)``."""
+    payload = dict(request)
+    cmd = payload.pop("cmd", None)
+    if not isinstance(cmd, str):
+        raise ReproError(f"script line needs a string 'cmd' field: {request}")
+    payload.pop("id", None)  # the client numbers its own requests
+    return {"cmd": cmd, **payload}
 
 
 def _cmd_store(arguments) -> int:
@@ -365,7 +668,8 @@ def _cmd_store_init(arguments) -> int:
 def _cmd_store_apply(arguments) -> int:
     from repro.storage import append_revision, load_store
 
-    store = load_store(arguments.directory)
+    # apply is a journal writer: a torn tail line is repaired on disk
+    store = load_store(arguments.directory, repair=True)
     program = parse_program(arguments.program.read_text(encoding="utf-8"))
     program.name = arguments.program.stem
     store.apply(program, tag=arguments.tag)
@@ -461,6 +765,8 @@ _HANDLERS = {
     "query": _cmd_query,
     "bench": _cmd_bench,
     "store": _cmd_store,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
 }
 
 

@@ -73,6 +73,7 @@ __all__ = [
     "RuleSignature",
     "QuerySignature",
     "body_signature",
+    "program_signature",
     "RulePlan",
     "rule_plan",
     "classify",
@@ -409,6 +410,35 @@ class QuerySignature:
             if _trigger_fires(trigger, removed_index, removed_shapes):
                 return True
         return False
+
+
+def program_signature(program) -> QuerySignature:
+    """The read footprint of a whole :class:`~repro.core.rules.UpdateProgram`,
+    as one symmetric :class:`QuerySignature`.
+
+    This is the *transaction-validation* view of a program: the union, over
+    its rules, of every trigger through which a changed fact could alter
+    what the program derives — body reads (either polarity), seed literals,
+    and the head-truth reads of ``del``/``mod`` heads (all already
+    enumerated by :func:`rule_signature`).  Unlike :func:`classify`, which
+    asks the semi-naive question ("can this iteration's delta produce *new*
+    head instances?"), a validator must treat added and removed facts
+    symmetrically: a removed fact that a positive body literal matched can
+    change the outcome just as an added one can.  The optimistic-commit
+    protocol of :mod:`repro.server.service` intersects this signature with
+    the deltas committed since a transaction's pinned revision.
+    """
+    triggers: list[Trigger] = []
+    for rule in program:
+        signature = rule_signature(rule)
+        triggers.extend(signature.added_triggers)
+        triggers.extend(signature.removed_triggers)
+        for _position, key, prefix, exact in signature.seeds:
+            triggers.append((key, prefix, exact))
+        # Seed literals are only "added" triggers in the semi-naive sense;
+        # symmetric validation also needs them against removals, which the
+        # single trigger list of QuerySignature.affected_by provides.
+    return QuerySignature(tuple(dict.fromkeys(triggers)))
 
 
 def body_signature(body: tuple[Literal, ...]) -> QuerySignature:

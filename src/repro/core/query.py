@@ -40,6 +40,9 @@ __all__ = [
     "prepare_query",
     "query_literals",
     "sorted_answers",
+    "answer_sort_key",
+    "diff_answers",
+    "fold_answers",
     "result_value",
     "method_results",
 ]
@@ -74,6 +77,54 @@ def _answer_sort_key(answer: Answer) -> tuple:
     """A total order over answer rows: each row is keyed by its
     :func:`_item_key`-ranked bindings in variable order."""
     return tuple(_item_key(item) for item in sorted(answer.items()))
+
+
+def answer_sort_key(answer: Answer) -> tuple:
+    """The public total order over answer rows (see :func:`_answer_sort_key`).
+
+    This key is the identity the serving layer uses for answer *sets*: two
+    answers are the same row iff their keys are equal, and every answer list
+    the query layer hands out is sorted by it.  Exposed so diff/fold stay
+    consistent with the ordering of :func:`sorted_answers` forever.
+    """
+    return _answer_sort_key(answer)
+
+
+def diff_answers(
+    old: Sequence[Answer], new: Sequence[Answer]
+) -> tuple[list[Answer], list[Answer]]:
+    """``(added, removed)`` answer rows between two sorted answer lists.
+
+    The *answer diff* of the push-based serving layer: a subscription holds
+    ``old``, a commit produces ``new``, and only the difference travels to
+    the client.  Both outputs come back in :func:`answer_sort_key` order, so
+    a stream of diffs is replayable deterministically (see
+    :func:`fold_answers`).
+    """
+    old_keys = {_answer_sort_key(answer) for answer in old}
+    new_keys = {_answer_sort_key(answer) for answer in new}
+    added = [a for a in new if _answer_sort_key(a) not in old_keys]
+    removed = [a for a in old if _answer_sort_key(a) not in new_keys]
+    return added, removed
+
+
+def fold_answers(
+    answers: Sequence[Answer],
+    added: Sequence[Answer],
+    removed: Sequence[Answer],
+) -> list[Answer]:
+    """Apply one ``(added, removed)`` answer diff to a sorted answer list.
+
+    The client-side inverse of :func:`diff_answers`: folding every diff of a
+    subscription stream over its initial answer set reproduces the full
+    answer set at each revision (the differential test of the serving
+    subsystem asserts exactly this against fresh store queries).
+    """
+    removed_keys = {_answer_sort_key(answer) for answer in removed}
+    folded = [a for a in answers if _answer_sort_key(a) not in removed_keys]
+    folded.extend(added)
+    folded.sort(key=_answer_sort_key)
+    return folded
 
 
 def sorted_answers(

@@ -1,0 +1,55 @@
+"""Errors of the concurrent serving subsystem.
+
+Everything derives from :class:`~repro.core.errors.ReproError`, so embedders
+that already catch the library family keep working; the serving layer adds
+the distinctions a concurrent client actually branches on:
+
+* :class:`ConflictError` — an optimistic commit lost its validation race and
+  is **retryable**: begin a fresh session, restage, commit again (or use
+  :meth:`repro.server.service.StoreService.run_transaction`, which does the
+  loop).
+* :class:`SessionError` — a protocol misuse that retrying cannot fix: an
+  unknown or already-finished session, or a commit with nothing staged.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+__all__ = ["ServerError", "ConflictError", "SessionError"]
+
+
+class ServerError(ReproError):
+    """Base class for every serving-subsystem error."""
+
+
+class ConflictError(ServerError):
+    """An optimistic transaction failed validation and must be retried.
+
+    Attributes
+    ----------
+    pinned:
+        The revision index the losing session had pinned.
+    conflicting_index / conflicting_tag:
+        The first interim revision whose delta intersected the session's
+        read/write footprint.
+    """
+
+    #: Clients may transparently begin a fresh session and retry.
+    retryable = True
+
+    def __init__(
+        self, message: str, *, pinned: int, conflicting_index: int,
+        conflicting_tag: str,
+    ) -> None:
+        super().__init__(message)
+        self.pinned = pinned
+        self.conflicting_index = conflicting_index
+        self.conflicting_tag = conflicting_tag
+
+
+class SessionError(ServerError):
+    """A session was used outside its lifecycle (unknown id, already
+    committed/aborted, or committed with nothing staged)."""
+
+    retryable = False

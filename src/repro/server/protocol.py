@@ -1,0 +1,287 @@
+"""The JSON-lines wire protocol and its transport-independent dispatcher.
+
+One message per line, each a JSON object.  Requests carry ``cmd`` plus an
+optional client-chosen ``id`` echoed on the response; responses carry
+``ok`` (with the command payload inlined on success, ``error`` — and
+``conflict: true`` for retryable optimistic-commit failures — otherwise).
+Push messages (subscription answer diffs) carry ``push`` instead of ``id``
+and may arrive at any point between responses, including *before* the
+response of the commit that caused them.
+
+Commands::
+
+    ping                                     liveness probe
+    apply      {program, tag?}               autocommit an update program
+    query      {body}                        answers at the head (memoized)
+    prepare    {body, name?}                 register a prepared query
+    subscribe  {body, name?}                 live query; initial answers + sid
+    unsubscribe{sid}
+    tx-begin                                 MVCC session; pinned revision
+    tx-query   {session, body}               read at the pin (footprint-tracked)
+    tx-stage   {session, program}            queue an update program
+    tx-commit  {session, tag?}               optimistic commit (may conflict)
+    tx-abort   {session}
+    log                                      the revision chain
+    as-of      {revision}                    base text at a tag/index
+    stats                                    service counters
+
+The :class:`Dispatcher` maps request dicts to response dicts against a
+:class:`~repro.server.service.StoreService`; the asyncio server
+(:mod:`repro.server.server`) and the in-process
+:func:`~repro.server.client.connect_local` client are two transports over
+this one implementation, so tests of either exercise the same code.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.errors import ReproError
+from repro.lang.pretty import format_object_base
+from repro.server.errors import ConflictError, SessionError
+from repro.server.service import Session, StoreService
+
+__all__ = [
+    "encode", "decode", "ClientState", "Dispatcher",
+    "PROTOCOL_VERSION", "LINE_LIMIT",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Per-frame byte ceiling for both transports' stream readers.  asyncio's
+#: default readline limit is 64 KiB; one ``as-of`` response carries a whole
+#: formatted object base on a single line, which overruns that on a few
+#: thousand facts and would kill the connection.
+LINE_LIMIT = 32 * 1024 * 1024
+
+
+def encode(message: dict) -> bytes:
+    """One wire frame: compact JSON plus the line terminator."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one frame; raises :class:`ReproError` on garbage so transports
+    can answer with a protocol error instead of dying."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"malformed request line: {error}") from None
+    if not isinstance(message, dict):
+        raise ReproError("request must be a JSON object")
+    return message
+
+
+class ClientState:
+    """Per-connection state: open sessions, live subscriptions, and the
+    push sink the transport provided (a queue writer for sockets, a list
+    append for the in-process client)."""
+
+    def __init__(self, deliver) -> None:
+        self.deliver = deliver
+        self.sessions: dict[str, Session] = {}
+        self.subscription_ids: list[str] = []
+
+
+class Dispatcher:
+    """Transport-independent request handling for one service."""
+
+    def __init__(self, service: StoreService) -> None:
+        self.service = service
+
+    def handle(self, request: dict, state: ClientState) -> dict:
+        """One request in, one response out (pushes go via ``state.deliver``).
+
+        The contract holds for *any* JSON object: a type-malformed request
+        (non-string command, a number where text belongs) earns an
+        ``ok: false`` response, never an exception that would tear down
+        the transport's connection."""
+        request_id = request.get("id")
+        if not isinstance(request_id, (int, str, type(None))):
+            request_id = None
+        command = request.get("cmd")
+        handler = _HANDLERS.get(command) if isinstance(command, str) else None
+        if handler is None:
+            return self._error(request_id, f"unknown command {command!r}")
+        try:
+            payload = handler(self, request, state)
+        except ConflictError as conflict:
+            response = self._error(request_id, str(conflict))
+            response.update(
+                conflict=True,
+                pinned=conflict.pinned,
+                conflicting_index=conflict.conflicting_index,
+                conflicting_tag=conflict.conflicting_tag,
+            )
+            return response
+        except ReproError as error:
+            return self._error(request_id, str(error))
+        except Exception as error:  # malformed payloads must not kill the link
+            return self._error(
+                request_id,
+                f"bad {command!r} request: {error.__class__.__name__}: {error}",
+            )
+        response = {"id": request_id, "ok": True}
+        response.update(payload)
+        return response
+
+    def close(self, state: ClientState) -> None:
+        """Connection teardown: abort open sessions, drop subscriptions."""
+        for session in state.sessions.values():
+            session.abort()
+        state.sessions.clear()
+        for sid in state.subscription_ids:
+            self.service.subscriptions.unsubscribe(sid)
+        state.subscription_ids.clear()
+
+    @staticmethod
+    def _error(request_id, message: str) -> dict:
+        return {"id": request_id, "ok": False, "error": message}
+
+    def _session(self, request: dict, state: ClientState) -> Session:
+        session_id = request.get("session")
+        session = state.sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"unknown session {session_id!r} on this connection")
+        return session
+
+    # -- command handlers --------------------------------------------------
+    def _cmd_ping(self, request, state) -> dict:
+        return {"pong": True, "protocol": PROTOCOL_VERSION}
+
+    def _cmd_apply(self, request, state) -> dict:
+        outcome = self.service.apply(
+            _required(request, "program"), tag=request.get("tag", "")
+        )
+        revision = outcome.revision
+        return {
+            "revision": revision.index,
+            "tag": revision.tag,
+            "added": outcome.added,
+            "removed": outcome.removed,
+        }
+
+    def _cmd_query(self, request, state) -> dict:
+        answers = self.service.query(_required(request, "body"))
+        return {
+            "answers": list(answers),
+            "revision": len(self.service.store) - 1,
+        }
+
+    def _cmd_prepare(self, request, state) -> dict:
+        prepared = self.service.prepare(
+            _required(request, "body"), name=request.get("name")
+        )
+        return {"name": prepared.name, "literals": len(prepared.body)}
+
+    def _cmd_subscribe(self, request, state) -> dict:
+        subscription = self.service.subscriptions.subscribe(
+            _required(request, "body"), state.deliver, name=request.get("name")
+        )
+        state.subscription_ids.append(subscription.id)
+        return {
+            "sid": subscription.id,
+            "query": subscription.query.name,
+            "revision": subscription.revision,
+            "answers": list(subscription.answers),
+        }
+
+    def _cmd_unsubscribe(self, request, state) -> dict:
+        sid = _required(request, "sid")
+        # Connections may only cancel their own subscriptions — sids are
+        # sequential and guessable, so a global removal would let any
+        # client silently cut off another's live query.
+        if sid not in state.subscription_ids:
+            return {"removed": False}
+        state.subscription_ids.remove(sid)
+        return {"removed": self.service.subscriptions.unsubscribe(sid)}
+
+    def _cmd_tx_begin(self, request, state) -> dict:
+        session = self.service.begin()
+        state.sessions[session.id] = session
+        return {"session": session.id, "revision": session.pinned}
+
+    def _cmd_tx_query(self, request, state) -> dict:
+        session = self._session(request, state)
+        answers = session.query(_required(request, "body"))
+        return {"answers": list(answers), "revision": session.pinned}
+
+    def _cmd_tx_stage(self, request, state) -> dict:
+        session = self._session(request, state)
+        session.stage(_required(request, "program"))
+        return {"staged": len(session.staged)}
+
+    def _cmd_tx_commit(self, request, state) -> dict:
+        session = self._session(request, state)
+        try:
+            outcome = session.commit(tag=request.get("tag", ""))
+        finally:
+            if session.state != "open":
+                state.sessions.pop(session.id, None)
+        return {
+            "revision": outcome.revision.index,
+            "revisions": [
+                {"index": r.index, "tag": r.tag} for r in outcome.revisions
+            ],
+            "added": outcome.added,
+            "removed": outcome.removed,
+        }
+
+    def _cmd_tx_abort(self, request, state) -> dict:
+        session = self._session(request, state)
+        session.abort()
+        state.sessions.pop(session.id, None)
+        return {"aborted": True}
+
+    def _cmd_log(self, request, state) -> dict:
+        store = self.service.store
+        return {
+            "revisions": [
+                {
+                    "index": revision.index,
+                    "tag": revision.tag,
+                    "program": revision.program_name,
+                    "added": len(revision.added),
+                    "removed": len(revision.removed),
+                    "snapshot": store.has_snapshot(revision.index),
+                }
+                for revision in store.revisions()
+            ]
+        }
+
+    def _cmd_as_of(self, request, state) -> dict:
+        reference = _required(request, "revision")
+        if isinstance(reference, str) and reference.lstrip("-").isdigit():
+            reference = int(reference)
+        base = self.service.store.as_of(reference)
+        return {"facts": format_object_base(base), "count": len(base)}
+
+    def _cmd_stats(self, request, state) -> dict:
+        return {"stats": self.service.stats()}
+
+
+def _required(request: dict, field: str):
+    value = request.get(field)
+    if value is None:
+        raise ReproError(f"command {request.get('cmd')!r} needs a {field!r} field")
+    return value
+
+
+_HANDLERS = {
+    "ping": Dispatcher._cmd_ping,
+    "apply": Dispatcher._cmd_apply,
+    "query": Dispatcher._cmd_query,
+    "prepare": Dispatcher._cmd_prepare,
+    "subscribe": Dispatcher._cmd_subscribe,
+    "unsubscribe": Dispatcher._cmd_unsubscribe,
+    "tx-begin": Dispatcher._cmd_tx_begin,
+    "tx-query": Dispatcher._cmd_tx_query,
+    "tx-stage": Dispatcher._cmd_tx_stage,
+    "tx-commit": Dispatcher._cmd_tx_commit,
+    "tx-abort": Dispatcher._cmd_tx_abort,
+    "log": Dispatcher._cmd_log,
+    "as-of": Dispatcher._cmd_as_of,
+    "stats": Dispatcher._cmd_stats,
+}

@@ -1,0 +1,143 @@
+"""The asyncio transport: JSON-lines over a unix socket or TCP.
+
+``ReproServer`` accepts connections, runs each through the shared
+:class:`~repro.server.protocol.Dispatcher`, and pushes subscription answer
+diffs as they happen.  Each connection gets one outbox queue drained by a
+dedicated writer task, so responses and pushes — which can be produced from
+*another* connection's commit — interleave without two writers racing on
+one stream.
+
+The event loop is single-threaded, so command handling (including engine
+evaluation inside a commit) runs to completion between awaits: the service
+sees the same serialized access the FIFO writer queue enforces for
+threaded embedders.  A commit therefore briefly blocks other connections —
+the right trade at this scale, and the seam a later PR can move to a
+worker pool.
+
+Usage::
+
+    service = StoreService.open("journal-dir")
+    server = await ReproServer(service, path="/tmp/repro.sock").start()
+    await server.serve_forever()
+
+or, from the CLI, ``repro serve --dir journal-dir --socket /tmp/repro.sock``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.server.protocol import LINE_LIMIT, ClientState, Dispatcher, decode, encode
+from repro.server.service import StoreService
+
+__all__ = ["ReproServer"]
+
+
+class ReproServer:
+    """One listening endpoint over one :class:`StoreService`."""
+
+    def __init__(
+        self,
+        service: StoreService,
+        *,
+        path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if path is None and port is None:
+            raise ValueError("need a unix socket path or a TCP port")
+        self.service = service
+        self.dispatcher = Dispatcher(service)
+        self.path = path
+        self.host = host
+        self.port = port
+        self.connections = 0
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> "ReproServer":
+        if self.path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.path, limit=LINE_LIMIT
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.host,
+                port=self.port,
+                limit=LINE_LIMIT,
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> str:
+        """Printable endpoint (the CLI banner)."""
+        if self.path is not None:
+            return f"unix:{self.path}"
+        return f"tcp:{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self.connections += 1
+        outbox: asyncio.Queue = asyncio.Queue()
+        state = ClientState(outbox.put_nowait)
+        drain_task = asyncio.ensure_future(_drain(outbox, writer))
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode(line)
+                except Exception as error:  # malformed frame: answer, keep going
+                    outbox.put_nowait({"id": None, "ok": False, "error": str(error)})
+                    continue
+                outbox.put_nowait(self.dispatcher.handle(request, state))
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self.dispatcher.close(state)
+            outbox.put_nowait(_CLOSE)  # flush everything queued, then stop
+            try:
+                await drain_task
+            except asyncio.CancelledError:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            except asyncio.CancelledError:
+                # The loop is shutting down mid-teardown (server.close or
+                # asyncio.run finalization); the transport is closed.
+                pass
+
+
+#: Outbox sentinel: the connection is closing; drain returns after seeing it.
+_CLOSE = object()
+
+
+async def _drain(outbox: asyncio.Queue, writer) -> None:
+    """The connection's single writer: frames every queued message in
+    order, returns on the close sentinel or a dead peer."""
+    while True:
+        message = await outbox.get()
+        if message is _CLOSE:
+            return
+        try:
+            writer.write(encode(message))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            return

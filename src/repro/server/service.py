@@ -1,0 +1,412 @@
+"""`StoreService`: MVCC sessions and optimistic transactions over a store.
+
+The paper's update semantics assumes one mutator: ``apply`` maps ``ob`` to
+``ob'`` in isolation.  This module mediates *many* readers and writers over
+one :class:`~repro.storage.history.VersionedStore` with the classic MVCC
+recipe, built entirely from machinery the store already has:
+
+* **Snapshot reads for free.**  A :class:`Session` pins the head revision
+  index at ``begin()``; every read runs against that revision's frozen
+  shared view (``base_at`` — structural sharing makes the pin literally a
+  list index, no copy).  Readers never block writers and vice versa.
+* **Optimistic commits.**  A session stages update programs and commits
+  through a strict FIFO writer queue.  Validation intersects the session's
+  *read/write footprint* — the :class:`~repro.core.plans.QuerySignature` of
+  every query it ran plus the :func:`~repro.core.plans.program_signature`
+  of every staged program — against the exact ``(added, removed)`` deltas
+  committed since its pinned revision.  A fired trigger means a concurrent
+  commit may have changed something this transaction read, and a
+  :class:`~repro.server.errors.ConflictError` (retryable) is raised; a
+  clean validation proves the staged programs read nothing the interim
+  commits touched, so evaluating them against the *current* head is
+  equivalent to evaluating at the pin — first-committer-wins
+  serializability, the causal-rejection ordering problem of Eiter et al.
+  resolved by commit order.
+* **Durability.**  A service opened over a journal directory appends every
+  committed revision (``append_revision``); a restart replays the journal
+  (``StoreService.open``) and resumes exactly where the chain ended.
+
+Commit batches are atomic: all staged programs are evaluated first (each
+against the previous one's result, starting from the head), and only then
+committed — an evaluation error anywhere commits nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Sequence
+
+from repro.core.objectbase import Delta, ObjectBase
+from repro.core.plans import QuerySignature, program_signature
+from repro.core.query import Answer, PreparedQuery
+from repro.core.rules import UpdateProgram
+from repro.server.errors import ConflictError, SessionError
+from repro.storage.history import StoreRevision, VersionedStore
+from repro.storage.serialize import append_revision, load_store, save_store
+
+__all__ = ["Session", "CommitOutcome", "StoreService"]
+
+
+class _FIFOLock:
+    """A strict first-come-first-served mutual-exclusion lock.
+
+    ``threading.Lock`` makes no fairness promise; the ISSUE's commit
+    protocol wants writers *serialized in arrival order* so a burst of
+    optimistic committers cannot starve one session indefinitely.  Tickets
+    queue in a deque; each waiter sleeps until its ticket reaches the
+    front.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._tickets: deque[object] = deque()
+        self._holder: object | None = None
+
+    def __enter__(self) -> "_FIFOLock":
+        ticket = object()
+        with self._condition:
+            self._tickets.append(ticket)
+            while self._holder is not None or self._tickets[0] is not ticket:
+                self._condition.wait()
+            self._tickets.popleft()
+            self._holder = ticket
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self._condition:
+            self._holder = None
+            self._condition.notify_all()
+
+
+class CommitOutcome:
+    """What one successful commit produced.
+
+    ``revisions`` are the appended :class:`StoreRevision` objects (one per
+    staged program, in stage order); ``added``/``removed`` aggregate their
+    fact counts for quick reporting.
+    """
+
+    __slots__ = ("revisions",)
+
+    def __init__(self, revisions: Sequence[StoreRevision]) -> None:
+        self.revisions = tuple(revisions)
+
+    @property
+    def revision(self) -> StoreRevision:
+        """The last (newest) revision of the batch."""
+        return self.revisions[-1]
+
+    @property
+    def added(self) -> int:
+        return sum(len(r.added) for r in self.revisions)
+
+    @property
+    def removed(self) -> int:
+        return sum(len(r.removed) for r in self.revisions)
+
+
+#: Session lifecycle states.
+OPEN, COMMITTED, ABORTED = "open", "committed", "aborted"
+
+
+class Session:
+    """One MVCC transaction: a pinned read view plus staged writes.
+
+    Obtained from :meth:`StoreService.begin`.  All reads
+    (:meth:`query`, :meth:`base`) observe the revision that was the head at
+    ``begin()`` time, regardless of interim commits; every query's
+    dependency signature is recorded as the session's *read footprint* for
+    commit-time validation.  ``stage()`` queues update programs;
+    ``commit()`` runs the optimistic protocol (and raises
+    :class:`ConflictError` when validation fails — the session is dead
+    then, begin a fresh one to retry).
+    """
+
+    __slots__ = (
+        "service", "id", "pinned", "state",
+        "_signatures", "_staged", "conflict",
+    )
+
+    def __init__(self, service: "StoreService", session_id: str, pinned: int):
+        self.service = service
+        self.id = session_id
+        self.pinned = pinned
+        self.state = OPEN
+        self._signatures: list[QuerySignature] = []
+        self._staged: list[UpdateProgram] = []
+        self.conflict: ConflictError | None = None
+
+    # -- reading -----------------------------------------------------------
+    def base(self) -> ObjectBase:
+        """The pinned revision's base (frozen shared view, no copy)."""
+        return self.service.store.base_at(self.pinned)
+
+    def query(self, query) -> list[Answer]:
+        """Answer a conjunctive query against the pinned revision and add
+        its dependency signature to the session's read footprint.
+
+        Always evaluated against the pinned base — never routed to the
+        store's head memo, whose "head" can move between the check and the
+        read when another thread commits (``base_at`` pairs index and base
+        atomically, so the pin holds even mid-commit)."""
+        self._check_open()
+        prepared = self.service.store.prepare(query)
+        self._signatures.append(prepared.signature)
+        return prepared.run(self.base())
+
+    # -- writing -----------------------------------------------------------
+    def stage(self, program) -> "Session":
+        """Queue an update program (text or :class:`UpdateProgram`) to run
+        at commit; its full read footprint joins the validation set."""
+        self._check_open()
+        program = self.service.coerce_program(program)
+        self._staged.append(program)
+        self._signatures.append(program_signature(program))
+        return self
+
+    @property
+    def staged(self) -> tuple[UpdateProgram, ...]:
+        return tuple(self._staged)
+
+    def commit(self, *, tag: str = "") -> CommitOutcome:
+        """Validate and commit the staged programs (see the module doc).
+
+        Raises :class:`ConflictError` when a delta committed since the
+        pinned revision intersects this session's footprint; the session is
+        finished either way.
+        """
+        self._check_open()
+        if not self._staged:
+            raise SessionError(
+                f"session {self.id} has nothing staged; use stage() before "
+                f"commit(), or abort() to discard the session"
+            )
+        return self.service._commit_session(self, tag)
+
+    def abort(self) -> None:
+        """Discard the session (idempotent; committed sessions stay so)."""
+        if self.state == OPEN:
+            self.state = ABORTED
+
+    def _check_open(self) -> None:
+        if self.state != OPEN:
+            raise SessionError(f"session {self.id} is already {self.state}")
+
+    def _validate(self, interim: Sequence[StoreRevision]) -> None:
+        """First-committer-wins check: no interim delta may fire any
+        signature of this session's footprint."""
+        for revision in interim:
+            delta = self.service._revision_delta(revision)
+            for signature in self._signatures:
+                if signature.affected_by(delta):
+                    raise ConflictError(
+                        f"session {self.id} (pinned at revision "
+                        f"{self.pinned}) conflicts with revision "
+                        f"{revision.index} [{revision.tag}]: its delta "
+                        f"intersects the session's read/write footprint",
+                        pinned=self.pinned,
+                        conflicting_index=revision.index,
+                        conflicting_tag=revision.tag,
+                    )
+
+
+class StoreService:
+    """The concurrent serving facade over one :class:`VersionedStore`.
+
+    One instance mediates every reader and writer of a store (the asyncio
+    server holds exactly one); it owns the FIFO writer queue, the optional
+    journal binding, and the push-subscription manager
+    (:class:`~repro.server.subscriptions.SubscriptionManager`).
+
+    >>> service = StoreService(VersionedStore(base))        # doctest: +SKIP
+    >>> session = service.begin()                           # doctest: +SKIP
+    >>> session.query("E.sal -> S")                         # doctest: +SKIP
+    >>> session.stage(program).commit(tag="raise")          # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        store: VersionedStore,
+        *,
+        journal_dir=None,
+    ) -> None:
+        from repro.server.subscriptions import SubscriptionManager
+
+        self.store = store
+        self.journal_dir = journal_dir
+        self._journal_error: str | None = None
+        self._writer_queue = _FIFOLock()
+        self._state_lock = threading.Lock()
+        self._session_counter = 0
+        self._commits = 0
+        self._conflicts = 0
+        self._deltas: dict[int, Delta] = {}
+        self.subscriptions = SubscriptionManager(
+            store, delta_source=self._revision_delta
+        )
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def open(cls, directory, *, engine=None, options=None) -> "StoreService":
+        """Open a journal directory as a service: the journal is replayed
+        into a store (restart recovery — the service is the journal's
+        writer, so a torn tail line is repaired on disk here) and every
+        future commit appends."""
+        store = load_store(directory, engine=engine, options=options, repair=True)
+        return cls(store, journal_dir=directory)
+
+    @classmethod
+    def create(
+        cls, base: ObjectBase, directory, *, tag: str = "initial", **store_kwargs
+    ) -> "StoreService":
+        """Initialize a fresh journal directory from ``base`` and serve it."""
+        store = VersionedStore(base, tag=tag, **store_kwargs)
+        save_store(store, directory)
+        return cls(store, journal_dir=directory)
+
+    # -- coercion helpers --------------------------------------------------
+    @staticmethod
+    def coerce_program(program) -> UpdateProgram:
+        """Accept an :class:`UpdateProgram` or concrete-syntax text."""
+        if isinstance(program, UpdateProgram):
+            return program
+        from repro.lang.parser import parse_program  # lazy: lang sits above core
+
+        return parse_program(program)
+
+    # -- reading -----------------------------------------------------------
+    def query(self, query) -> list[Answer]:
+        """Answer against the current head, memoized per revision (the
+        store's prepared-query serving path)."""
+        return self.store.query(query)
+
+    def prepare(self, query, *, name: str | None = None) -> PreparedQuery:
+        return self.store.prepare(query, name=name)
+
+    # -- transactions ------------------------------------------------------
+    def begin(self) -> Session:
+        """Start an MVCC session pinned at the current head revision."""
+        with self._state_lock:
+            self._session_counter += 1
+            session_id = f"s{self._session_counter}"
+        return Session(self, session_id, len(self.store) - 1)
+
+    def apply(self, program, *, tag: str = "") -> CommitOutcome:
+        """One-shot autocommit: serialize behind the writer queue and run
+        ``program`` against the head (never conflicts — it has no pin)."""
+        program = self.coerce_program(program)
+        with self._writer_queue:
+            return self._commit_programs([program], tag)
+
+    def run_transaction(
+        self,
+        work: Callable[[Session], object],
+        *,
+        attempts: int = 5,
+        tag: str = "",
+    ) -> CommitOutcome:
+        """The retry loop every optimistic client wants: begin a session,
+        run ``work(session)`` (reads + stages), commit; on
+        :class:`ConflictError` begin a fresh session and try again, up to
+        ``attempts`` times."""
+        last: ConflictError | None = None
+        for _attempt in range(max(1, attempts)):
+            session = self.begin()
+            try:
+                work(session)
+                return session.commit(tag=tag)
+            except ConflictError as conflict:
+                last = conflict
+        raise last
+
+    def _commit_session(self, session: Session, tag: str) -> CommitOutcome:
+        with self._writer_queue:
+            interim = self.store.revisions()[session.pinned + 1:]
+            try:
+                session._validate(interim)
+            except ConflictError as conflict:
+                session.state = ABORTED
+                session.conflict = conflict
+                with self._state_lock:
+                    self._conflicts += 1
+                raise
+            outcome = self._commit_programs(session._staged, tag)
+            session.state = COMMITTED
+            return outcome
+
+    def _commit_programs(
+        self, programs: Sequence[UpdateProgram], tag: str
+    ) -> CommitOutcome:
+        """Evaluate-all-then-commit-all (atomic batch); caller holds the
+        writer queue.
+
+        Evaluation errors commit nothing.  A journal *append* failure
+        after an in-memory commit is unrecoverable divergence (the store
+        is ahead of its durable log), so the service fail-stops: the
+        error is raised and every further commit is refused until the
+        process restarts and replays the journal — never a silently
+        widening gap.
+        """
+        if self._journal_error is not None:
+            raise SessionError(
+                f"service is read-only after a journal failure "
+                f"({self._journal_error}); restart to replay the journal"
+            )
+        store = self.store
+        engine = store.engine
+        base = store.current
+        staged_bases: list[ObjectBase] = []
+        for program in programs:
+            result = engine.apply(program, base)
+            base = result.new_base.freeze()
+            staged_bases.append(base)
+        revisions: list[StoreRevision] = []
+        for position, (program, new_base) in enumerate(zip(programs, staged_bases)):
+            revision_tag = tag if len(programs) == 1 else (tag and f"{tag}.{position}")
+            revision = store.commit_update(
+                new_base, tag=revision_tag, program_name=program.name
+            )
+            if self.journal_dir is not None:
+                try:
+                    append_revision(store, self.journal_dir)
+                except Exception as error:
+                    self._journal_error = str(error)
+                    raise SessionError(
+                        f"revision {revision.index} [{revision.tag}] "
+                        f"committed in memory but could not be journalled "
+                        f"({error}); the service is now read-only — restart "
+                        f"to recover at the last durable revision"
+                    ) from error
+            revisions.append(revision)
+        with self._state_lock:
+            self._commits += len(revisions)
+        return CommitOutcome(revisions)
+
+    # -- shared per-revision deltas ----------------------------------------
+    def _revision_delta(self, revision: StoreRevision) -> Delta:
+        """The trigger-indexed :class:`Delta` of a committed revision,
+        built once and shared by every session validator and (via the
+        subscription manager's ``delta_source``) every subscription check
+        (revisions are immutable, so the cache never invalidates)."""
+        delta = self._deltas.get(revision.index)
+        if delta is None:
+            delta = Delta()
+            delta.record(revision.added, revision.removed)
+            self._deltas[revision.index] = delta
+            while len(self._deltas) > 1024:
+                self._deltas.pop(next(iter(self._deltas)))
+        return delta
+
+    # -- accounting --------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "revisions": len(self.store),
+            "head_tag": self.store.head.tag,
+            "commits": self._commits,
+            "conflicts": self._conflicts,
+            "sessions_begun": self._session_counter,
+            "journal": str(self.journal_dir) if self.journal_dir else None,
+            "subscriptions": self.subscriptions.stats(),
+            "prepared": self.store.prepared_stats(),
+        }

@@ -1,0 +1,206 @@
+"""Push-based live queries: subscriptions that receive *answer diffs*.
+
+PR 3's prepared-query layer made repeated reads cheap but still *pull*: a
+client has to re-ask to learn that nothing changed.  This module turns the
+same machinery into push delivery.  A subscription registers a prepared
+conjunctive body; on every store commit the manager folds the commit's
+exact ``(added, removed)`` fact delta through the query's
+:class:`~repro.core.plans.QuerySignature`:
+
+* **no trigger fires** — the delta provably cannot change the answers; the
+  subscription advances its revision silently, with no evaluation and no
+  message (the push analogue of PR 3's memo *carry*);
+* **a trigger fires** — the answers are refreshed through
+  :meth:`VersionedStore.query` (so N subscriptions sharing a body share one
+  evaluation via the store's per-revision memo) and only the **answer
+  diff** (:func:`~repro.core.query.diff_answers`) travels to the client —
+  an empty diff (the delta touched the query's keys but not its answers)
+  sends nothing.
+
+Folding a subscription's diff stream over its initial answer set
+reproduces the full answer set at every revision — the differential
+guarantee the server test suite checks against fresh store queries.
+
+The manager hooks :meth:`VersionedStore.add_commit_listener`, so *any*
+commit path — service transactions, direct ``store.apply`` in an embedding
+process — feeds subscriptions.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.core.objectbase import Delta
+from repro.core.query import Answer, diff_answers
+from repro.storage.history import StoreRevision, VersionedStore
+
+__all__ = ["Subscription", "SubscriptionManager"]
+
+#: A delivery sink: called with one JSON-ready push message per answer diff.
+Deliver = Callable[[dict], None]
+
+#: A per-revision Delta provider (the service shares its cached one).
+DeltaSource = Callable[[StoreRevision], Delta]
+
+
+class Subscription:
+    """One registered live query and its client-visible answer state.
+
+    ``answers``/``revision`` always describe the last state the client was
+    brought to (initial set plus every delivered diff); ``skipped`` counts
+    commits proven irrelevant by the signature, ``refreshed`` the commits
+    that forced a re-evaluation, and ``pushed`` the non-empty diffs
+    actually delivered.
+    """
+
+    __slots__ = (
+        "id", "query", "deliver", "answers", "revision",
+        "skipped", "refreshed", "pushed",
+    )
+
+    def __init__(self, sid, query, deliver, answers, revision):
+        self.id = sid
+        self.query = query
+        self.deliver = deliver
+        self.answers: list[Answer] = answers
+        self.revision: int = revision
+        self.skipped = 0
+        self.refreshed = 0
+        self.pushed = 0
+
+    def stats(self) -> dict:
+        return {
+            "query": self.query.name,
+            "revision": self.revision,
+            "answers": len(self.answers),
+            "skipped": self.skipped,
+            "refreshed": self.refreshed,
+            "pushed": self.pushed,
+        }
+
+
+class SubscriptionManager:
+    """Registry of live queries over one store (see the module doc).
+
+    Registration and commit processing serialize on one lock: a
+    subscription's ``(answers, revision)`` seed is captured atomically
+    with respect to `_on_commit`, so a commit landing concurrently from
+    another thread can never leave a subscriber one revision stale with
+    its first diff silently dropped.
+    """
+
+    def __init__(
+        self,
+        store: VersionedStore,
+        *,
+        delta_source: DeltaSource | None = None,
+    ) -> None:
+        self._store = store
+        self._subscriptions: dict[str, Subscription] = {}
+        self._counter = 0
+        self._lock = threading.RLock()
+        self._delta_source = delta_source or _build_delta
+        store.add_commit_listener(self._on_commit)
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def subscribe(
+        self, query, deliver: Deliver, *, name: str | None = None
+    ) -> Subscription:
+        """Register a live query; the returned subscription carries the
+        initial answer set at the current head (the client's fold seed).
+        No push is sent for the initial state — it is the subscribe
+        response."""
+        prepared = self._store.prepare(query, name=name)
+        with self._lock:
+            answers = list(self._store.query(prepared))
+            self._counter += 1
+            subscription = Subscription(
+                f"q{self._counter}",
+                prepared,
+                deliver,
+                answers,
+                len(self._store) - 1,
+            )
+            self._subscriptions[subscription.id] = subscription
+            return subscription
+
+    def unsubscribe(self, sid: str) -> bool:
+        with self._lock:
+            return self._subscriptions.pop(sid, None) is not None
+
+    def get(self, sid: str) -> Subscription | None:
+        return self._subscriptions.get(sid)
+
+    def _on_commit(self, revision: StoreRevision) -> None:
+        with self._lock:
+            self._process_commit(revision)
+
+    def _process_commit(self, revision: StoreRevision) -> None:
+        if not self._subscriptions:
+            return
+        delta = self._delta_source(revision)
+        # Subscriptions sharing a query body converge onto one refreshed
+        # answer list (one evaluation via the store's per-revision memo),
+        # and subscriptions that additionally share a prior answer state
+        # share the diff: with N clients on the same live query the whole
+        # refresh is computed once and delivered N times.  Diff keys hold
+        # the old list alive, so id() pairs stay unambiguous for the loop.
+        refreshed: dict[int, list] = {}
+        diffs: dict[tuple[int, int], tuple] = {}
+        for subscription in list(self._subscriptions.values()):
+            if not subscription.query.signature.affected_by(delta):
+                subscription.revision = revision.index
+                subscription.skipped += 1
+                continue
+            query_key = id(subscription.query)
+            new_answers = refreshed.get(query_key)
+            if new_answers is None:
+                new_answers = list(self._store.query(subscription.query))
+                refreshed[query_key] = new_answers
+            diff_key = (query_key, id(subscription.answers))
+            diff = diffs.get(diff_key)
+            if diff is None:
+                diff = (subscription.answers, *diff_answers(subscription.answers, new_answers))
+                diffs[diff_key] = diff
+            _old, added, removed = diff
+            subscription.answers = new_answers
+            subscription.revision = revision.index
+            subscription.refreshed += 1
+            if not added and not removed:
+                continue
+            subscription.pushed += 1
+            subscription.deliver(
+                {
+                    "push": "diff",
+                    "sid": subscription.id,
+                    "query": subscription.query.name,
+                    "revision": revision.index,
+                    "tag": revision.tag,
+                    "added": added,
+                    "removed": removed,
+                }
+            )
+
+    def stats(self) -> dict:
+        return {
+            "active": len(self._subscriptions),
+            "by_id": {
+                sid: sub.stats() for sid, sub in self._subscriptions.items()
+            },
+        }
+
+    def close(self) -> None:
+        """Detach from the store (idempotent)."""
+        self._store.remove_commit_listener(self._on_commit)
+        with self._lock:
+            self._subscriptions.clear()
+
+
+def _build_delta(revision: StoreRevision) -> Delta:
+    """The standalone fallback when no service shares its cached delta."""
+    delta = Delta()
+    delta.record(revision.added, revision.removed)
+    return delta

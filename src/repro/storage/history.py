@@ -30,6 +30,7 @@ expose identical facts at every revision (covered by an equivalence test).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -180,11 +181,13 @@ class VersionedStore:
         snapshot = base.copy()
         snapshot.ensure_exists()
         snapshot.freeze()
-        self._head: ObjectBase = snapshot
+        self._head_cache: "tuple[int, ObjectBase] | None" = (0, snapshot)
         self._materialized: dict[int, ObjectBase] = {}
         self._snapshot_sources: dict[int, "SnapshotSource"] = {}
         self._prepared: OrderedDict[PreparedQuery, _PreparedEntry] = OrderedDict()
         self._prepared_texts: dict[str, PreparedQuery] = {}
+        self._prepared_lock = threading.RLock()
+        self._commit_listeners: list[Callable[[StoreRevision], None]] = []
         self._revisions: list[StoreRevision] = [
             StoreRevision(0, _check_tag(tag), None, frozenset(), frozenset(), snapshot, self)
         ]
@@ -220,6 +223,8 @@ class VersionedStore:
         store._snapshot_sources = snapshot_sources
         store._prepared = OrderedDict()
         store._prepared_texts = {}
+        store._prepared_lock = threading.RLock()
+        store._commit_listeners = []
         store._revisions = []
         for expected, revision in enumerate(revisions):
             if revision.index != expected:
@@ -231,7 +236,7 @@ class VersionedStore:
                 revision.snapshot.freeze()
             object.__setattr__(revision, "_store", store)
             store._revisions.append(revision)
-        store._head = None  # reconstructed on first read (lazy, like snapshots)
+        store._head_cache = None  # reconstructed on first read (lazy, like snapshots)
         return store
 
     # -- reading ---------------------------------------------------------
@@ -245,10 +250,20 @@ class VersionedStore:
 
         Mutating it raises :class:`~repro.core.errors.FrozenBaseError`;
         call ``.copy()`` for a private mutable base.
+
+        The head is cached as one ``(index, base)`` tuple assigned
+        atomically, so a concurrent reader can never pair a revision index
+        with another revision's base — it either gets a matching cache or
+        reconstructs its index from snapshots + deltas (any cached pair is
+        immutable and stays correct forever).
         """
-        if self._head is None:
-            self._head = self._reconstruct(len(self._revisions) - 1)
-        return self._head
+        last = len(self._revisions) - 1
+        cache = self._head_cache
+        if cache is not None and cache[0] == last:
+            return cache[1]
+        base = self._reconstruct(last)
+        self._head_cache = (last, base)
+        return base
 
     @property
     def head(self) -> StoreRevision:
@@ -266,9 +281,14 @@ class VersionedStore:
 
     def base_at(self, index: int) -> ObjectBase:
         """The full frozen base of revision ``index``, reconstructed from
-        the nearest snapshot at or below it plus the deltas since."""
-        if index == len(self._revisions) - 1:
-            return self.current
+        the nearest snapshot at or below it plus the deltas since.
+
+        The head cache is consulted by exact index match only (see
+        :attr:`current`), so a session pinned at revision N keeps reading
+        N even when a commit lands mid-call."""
+        cache = self._head_cache
+        if cache is not None and cache[0] == index:
+            return cache[1]
         if self.has_snapshot(index):
             return self.snapshot_at(index)
         cached = self._materialized.get(index)
@@ -317,6 +337,10 @@ class VersionedStore:
 
     def _find(self, tag_or_index: str | int) -> StoreRevision:
         if isinstance(tag_or_index, int):
+            # Reject negative indexes instead of letting Python's sequence
+            # addressing silently resolve them to a revision near the head.
+            if tag_or_index < 0:
+                raise ReproError(f"no revision {tag_or_index}")
             try:
                 return self._revisions[tag_or_index]
             except IndexError:
@@ -343,36 +367,40 @@ class VersionedStore:
 
         The registry is LRU-bounded by
         :attr:`StoreOptions.prepared_cache_size`; an evicted query simply
-        re-registers with a cold memo on its next use.
+        re-registers with a cold memo on its next use.  Registry mutations
+        are serialized by a lock, so concurrent reader threads (the MVCC
+        sessions of :mod:`repro.server.service`) cannot corrupt the LRU
+        structure.
         """
-        if isinstance(query, str):
-            known = self._prepared_texts.get(query)
-            if known is not None:
-                entry = self._prepared.get(known)
-                if entry is not None:
-                    self._prepared.move_to_end(known)
-                    return entry.query
-        prepared = prepare_query(query, name=name)
-        entry = self._prepared.get(prepared)
-        if entry is not None:
-            self._prepared.move_to_end(prepared)
-            if isinstance(query, str) and entry.text is None:
-                # Remember the alias so repeats of this string skip the
-                # parser even though the body was first registered
-                # programmatically.
+        with self._prepared_lock:
+            if isinstance(query, str):
+                known = self._prepared_texts.get(query)
+                if known is not None:
+                    entry = self._prepared.get(known)
+                    if entry is not None:
+                        self._prepared.move_to_end(known)
+                        return entry.query
+            prepared = prepare_query(query, name=name)
+            entry = self._prepared.get(prepared)
+            if entry is not None:
+                self._prepared.move_to_end(prepared)
+                if isinstance(query, str) and entry.text is None:
+                    # Remember the alias so repeats of this string skip the
+                    # parser even though the body was first registered
+                    # programmatically.
+                    entry.text = query
+                    self._prepared_texts[query] = entry.query
+                return entry.query
+            entry = _PreparedEntry(prepared)
+            if isinstance(query, str):
                 entry.text = query
-                self._prepared_texts[query] = entry.query
+                self._prepared_texts[query] = prepared
+            self._prepared[prepared] = entry
+            while len(self._prepared) > self.options.prepared_cache_size:
+                _evicted, old_entry = self._prepared.popitem(last=False)
+                if old_entry.text is not None:
+                    self._prepared_texts.pop(old_entry.text, None)
             return entry.query
-        entry = _PreparedEntry(prepared)
-        if isinstance(query, str):
-            entry.text = query
-            self._prepared_texts[query] = prepared
-        self._prepared[prepared] = entry
-        while len(self._prepared) > self.options.prepared_cache_size:
-            _evicted, old_entry = self._prepared.popitem(last=False)
-            if old_entry.text is not None:
-                self._prepared_texts.pop(old_entry.text, None)
-        return entry.query
 
     def query(
         self, query: "PreparedQuery | str | Sequence[Literal]"
@@ -393,21 +421,24 @@ class VersionedStore:
         LRU-bounded registry; see :meth:`prepare`).
         """
         prepared = self.prepare(query)
-        entry = self._prepared[prepared]
-        head_index = len(self._revisions) - 1
-        if entry.revision == head_index and entry.answers is not None:
-            entry.hits += 1
+        with self._prepared_lock:
+            entry = self._prepared[prepared]
+            head_index = len(self._revisions) - 1
+            if entry.revision == head_index and entry.answers is not None:
+                entry.hits += 1
+                return entry.answers
+            entry.answers = prepared.run(self.base_at(head_index))
+            entry.revision = head_index
+            entry.misses += 1
             return entry.answers
-        entry.answers = prepared.run(self.current)
-        entry.revision = head_index
-        entry.misses += 1
-        return entry.answers
 
     def prepared_stats(self) -> dict[str, dict]:
         """Memo counters per registered prepared query, by query name
         (colliding names get a ``#n`` suffix so no entry is dropped)."""
         stats: dict[str, dict] = {}
-        for entry in self._prepared.values():
+        with self._prepared_lock:
+            entries = list(self._prepared.values())
+        for entry in entries:
             key = entry.query.name
             if key in stats:
                 suffix = 2
@@ -425,19 +456,46 @@ class VersionedStore:
         head_index = len(self._revisions) - 1
         previous = head_index - 1
         delta: Delta | None = None
-        for entry in self._prepared.values():
-            if entry.answers is None or entry.revision != previous:
-                continue
-            if delta is None:
-                delta = Delta()
-                delta.record(added, removed)
-            if entry.query.signature.affected_by(delta):
-                entry.answers = None
-                entry.revision = None
-                entry.invalidated += 1
-            else:
-                entry.revision = head_index
-                entry.carried += 1
+        with self._prepared_lock:
+            for entry in self._prepared.values():
+                if entry.answers is None or entry.revision != previous:
+                    continue
+                if delta is None:
+                    delta = Delta()
+                    delta.record(added, removed)
+                if entry.query.signature.affected_by(delta):
+                    entry.answers = None
+                    entry.revision = None
+                    entry.invalidated += 1
+                else:
+                    entry.revision = head_index
+                    entry.carried += 1
+
+    # -- commit listeners --------------------------------------------------
+    def add_commit_listener(
+        self, listener: Callable[[StoreRevision], None]
+    ) -> Callable[[StoreRevision], None]:
+        """Register ``listener`` to be called with every newly committed
+        :class:`StoreRevision` (after the store's own memo revalidation, so
+        listeners reading through :meth:`query` see the new head).
+
+        This is the seam the serving subsystem's subscription manager (and,
+        later, replication) plugs into: a listener receives the revision's
+        exact ``(added, removed)`` delta and can fold it through trigger
+        machinery instead of diffing bases.  Returns the listener so the
+        call can be used inline; remove with :meth:`remove_commit_listener`.
+        """
+        self._commit_listeners.append(listener)
+        return listener
+
+    def remove_commit_listener(
+        self, listener: Callable[[StoreRevision], None]
+    ) -> None:
+        """Unregister a commit listener (no-op when not registered)."""
+        try:
+            self._commit_listeners.remove(listener)
+        except ValueError:
+            pass
 
     # -- writing -----------------------------------------------------------
     def apply(self, program: UpdateProgram, *, tag: str = "") -> UpdateResult:
@@ -450,8 +508,27 @@ class VersionedStore:
         frozen and committed directly — no defensive copy.
         """
         result = self._engine.apply(program, self.current)
-        self._commit(result.new_base.freeze(), tag, program.name)
+        self.commit_update(result.new_base, tag=tag, program_name=program.name)
         return result
+
+    def commit_update(
+        self,
+        new_base: ObjectBase,
+        *,
+        tag: str = "",
+        program_name: str | None = None,
+    ) -> StoreRevision:
+        """Append an engine-produced ``new_base`` as a new revision, without
+        the defensive copy of :meth:`commit_base`.
+
+        This is the two-phase commit entry of the serving layer: a
+        transaction evaluates its staged programs first (against frozen
+        shared views, producing one ``new_base`` per program) and only then
+        commits the results, so an evaluation error rolls the whole batch
+        back by committing nothing.  ``new_base`` must already contain its
+        ``exists`` map (every engine result does).
+        """
+        return self._commit(new_base.freeze(), tag, program_name)
 
     def commit_base(self, base: ObjectBase, *, tag: str = "") -> StoreRevision:
         """Append an externally produced base as a new revision."""
@@ -492,8 +569,10 @@ class VersionedStore:
             self,
         )
         self._revisions.append(revision)
-        self._head = new_base
+        self._head_cache = (index, new_base)
         self._revalidate_prepared(added, removed)
+        for listener in tuple(self._commit_listeners):
+            listener(revision)
         return revision
 
     # -- comparing --------------------------------------------------------

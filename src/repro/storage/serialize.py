@@ -24,6 +24,7 @@ interval.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.core.errors import ReproError, TermError
@@ -109,7 +110,9 @@ def load_base_json(source: str | Path) -> ObjectBase:
     path = Path(source) if isinstance(source, Path) else None
     if path is None and isinstance(source, str) and not source.lstrip().startswith("{"):
         path = Path(source)
-    text = path.read_text(encoding="utf-8") if path and path.exists() else str(source)
+    if path is not None and not path.exists():
+        raise ReproError(f"no object-base JSON file at {path}")
+    text = path.read_text(encoding="utf-8") if path else str(source)
     payload = json.loads(text)
     if payload.get("format") != "repro-object-base":
         raise TermError("not a repro object-base JSON document")
@@ -240,7 +243,13 @@ def _last_journal_index(journal: Path) -> int:
                 last_line = line
     if last_line is None:
         return -1
-    return json.loads(last_line)["index"]
+    try:
+        return json.loads(last_line)["index"]
+    except (json.JSONDecodeError, KeyError, TypeError) as error:
+        raise ReproError(
+            f"journal {journal} ends in a torn line ({error}); load the "
+            f"store first to recover it, then retry the append"
+        ) from None
 
 
 def load_store(
@@ -248,12 +257,22 @@ def load_store(
     *,
     engine=None,
     options: StoreOptions | None = None,
+    repair: bool = False,
 ) -> VersionedStore:
     """Reconstruct a :class:`VersionedStore` from a journal directory.
 
     ``options`` overrides the journalled store options (e.g. to continue a
     full-copy journal as a delta chain); by default the journalled ones are
     used.
+
+    A *torn tail line* — the crash residue of an interrupted
+    ``append_revision`` — is always recovered **in memory**: the store
+    loads at the last durable revision.  With ``repair=True`` the journal
+    file is additionally truncated back to its last complete line so
+    future appends line up again; writers (the serving subsystem's
+    startup, ``store apply``) pass it, read-only paths (``store log``)
+    must not, since rewriting the file from a reader could race a live
+    appender.
     """
     directory = Path(directory)
     journal = directory / JOURNAL_FILE
@@ -262,40 +281,84 @@ def load_store(
     lines = journal.read_text(encoding="utf-8").splitlines()
     if not lines:
         raise ReproError(f"journal {journal} is empty")
-    header = json.loads(lines[0])
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        raise ReproError(f"journal {journal} has a corrupt header: {error}") from None
     if header.get("format") != _JOURNAL_FORMAT:
         raise ReproError(f"{journal} is not a repro store journal")
     if options is None:
         options = StoreOptions(**header.get("options", {}))
 
+    body = [
+        (number, line)
+        for number, line in enumerate(lines[1:], start=2)
+        if line.strip()
+    ]
     revisions: list[StoreRevision] = []
     snapshot_sources: dict[int, object] = {}
-    for line in lines[1:]:
-        if not line.strip():
-            continue
-        record = json.loads(line)
-        index = record["index"]
+    good_lines = [lines[0]]
+    for position, (number, line) in enumerate(body):
+        try:
+            record = json.loads(line)
+            index = record["index"]
+            added = frozenset(_fact_from_json(e) for e in record["added"])
+            removed = frozenset(_fact_from_json(e) for e in record["removed"])
+            tag = record["tag"]
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            if position == len(body) - 1 and revisions:
+                # A torn final line is the expected crash residue of an
+                # interrupted ``append_revision``: the revision never became
+                # durable.  Drop it so the store loads at the last durable
+                # revision; only a declared writer rewrites the file — via a
+                # temp file + atomic rename, so a crash mid-repair cannot
+                # destroy the durable history the repair is protecting.
+                if repair:
+                    replacement = journal.with_suffix(".repair")
+                    replacement.write_text(
+                        "\n".join(good_lines) + "\n", encoding="utf-8"
+                    )
+                    os.replace(replacement, journal)
+                break
+            raise ReproError(
+                f"journal {journal} is corrupt at line {number}: {error}"
+            ) from None
         if record.get("snapshot"):
             # deferred: parsed only when base_at/save actually needs it,
             # so log/append-style work never reads cold snapshots
             path = directory / record["snapshot"]
-            snapshot_sources[index] = lambda path=path: load_base_json(path)
+            snapshot_sources[index] = lambda path=path: _load_snapshot(path)
         revisions.append(
             StoreRevision(
                 index,
-                record["tag"],
+                tag,
                 record.get("program"),
-                frozenset(_fact_from_json(e) for e in record["added"]),
-                frozenset(_fact_from_json(e) for e in record["removed"]),
+                added,
+                removed,
                 None,
             )
         )
+        good_lines.append(line)
     return VersionedStore.from_revisions(
         revisions,
         engine=engine,
         options=options,
         snapshot_sources=snapshot_sources,
     )
+
+
+def _load_snapshot(path: Path) -> ObjectBase:
+    """Load a journal snapshot file, failing with a store-level message
+    (instead of a decoder traceback) when it is missing or unreadable."""
+    if not path.exists():
+        raise ReproError(
+            f"journal snapshot {path} is missing; the journal directory was "
+            f"modified outside the store tooling"
+        )
+    try:
+        return load_base_json(path)
+    except (json.JSONDecodeError, TermError, KeyError) as error:
+        raise ReproError(f"journal snapshot {path} is corrupt: {error}") from None
 
 
 def compact_journal(
@@ -308,7 +371,7 @@ def compact_journal(
     shrinks to the delta-chain layout.  Returns the compacted store (its
     journal is already on disk), so callers need not reload it.
     """
-    store = load_store(directory)
+    store = load_store(directory, repair=True)  # compaction rewrites anyway
     interval = snapshot_interval or store.options.snapshot_interval
     new_options = StoreOptions(
         delta_chain=True,

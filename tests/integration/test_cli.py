@@ -207,3 +207,67 @@ class TestStoreCli:
         assert code == 1
         assert "already exists" in capsys.readouterr().err
         assert (journal / "snap-000000.json").exists()  # history untouched
+
+
+class TestCliErrorPolish:
+    """Satellite: unknown tags/revisions, missing files and corrupt
+    journals exit non-zero with a one-line stderr message — never a
+    traceback."""
+
+    @pytest.fixture()
+    def journal(self, files, tmp_path):
+        _, base = files
+        directory = tmp_path / "store"
+        assert main(["store", "init", "--dir", str(directory), "--base", str(base)]) == 0
+        return directory
+
+    def test_unknown_tag_and_index(self, journal, capsys):
+        for argv in (
+            ["store", "as-of", "--dir", str(journal), "nope"],
+            ["store", "as-of", "--dir", str(journal), "99"],
+            ["store", "diff", "--dir", str(journal), "init", "nope"],
+            ["store", "log", "--dir", str(journal / "missing")],
+        ):
+            assert main(argv) == 1
+            err = capsys.readouterr().err
+            assert err.startswith("error: ")
+            assert "Traceback" not in err
+
+    def test_negative_index_is_rejected_not_resolved(self, journal, capsys):
+        code = main(["store", "as-of", "--dir", str(journal), "--", "-1"])
+        assert code == 1
+        assert "no revision -1" in capsys.readouterr().err
+
+    def test_missing_program_and_base_files(self, files, tmp_path, capsys):
+        program, base = files
+        assert main(["apply", "--program", str(tmp_path / "nope.upd"),
+                     "--base", str(base)]) == 1
+        assert "no such file" in capsys.readouterr().err
+        assert main(["apply", "--program", str(program),
+                     "--base", str(tmp_path / "nope.ob")]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_corrupt_journal_line(self, journal, capsys):
+        journal_file = journal / "journal.jsonl"
+        lines = journal_file.read_text(encoding="utf-8").splitlines()
+        lines.insert(1, "garbage")
+        journal_file.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert main(["store", "log", "--dir", str(journal)]) == 1
+        err = capsys.readouterr().err
+        assert "corrupt" in err and "Traceback" not in err
+
+    def test_missing_snapshot_file(self, journal, capsys):
+        (journal / "snap-000000.json").unlink()
+        assert main(["store", "as-of", "--dir", str(journal), "0"]) == 1
+        err = capsys.readouterr().err
+        assert "snapshot" in err and "Traceback" not in err
+
+    def test_client_without_server_is_an_error(self, tmp_path, capsys):
+        code = main(["client", "--socket", str(tmp_path / "no.sock"), "ping"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+
+    def test_serve_requires_an_endpoint(self, journal, capsys):
+        assert main(["serve", "--dir", str(journal)]) == 1
+        assert "--socket" in capsys.readouterr().err

@@ -28,6 +28,8 @@ def test_expected_examples_present():
         "version_audit",
         "control_comparison",
         "inventory_views",
+        "prepared_queries",
+        "live_queries",
     } <= names
 
 
@@ -57,3 +59,11 @@ class TestExampleOutcomes:
     def test_inventory_reports_schema_change(self, capsys):
         out = self._output_of("inventory_views", capsys)
         assert "+ class depleted" in out
+
+    def test_live_queries_pushes_only_answer_diffs(self, capsys):
+        out = self._output_of("live_queries", capsys)
+        assert "committed revision 1 [team-raise]" in out
+        # the raise reaches the salary subscription as a diff ...
+        assert '"added": [{"E": "ben", "S": 3360.0}' in out
+        # ... while the org-chart subscription skipped that commit
+        assert "'skipped': 1" in out

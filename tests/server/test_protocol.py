@@ -1,0 +1,207 @@
+"""The JSON-lines protocol through the in-process transport.
+
+``connect_local`` runs the same :class:`Dispatcher` as the asyncio server,
+so these tests cover the protocol semantics for both transports; the
+socket-level behaviour is covered by ``test_server_asyncio.py``.
+"""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.server import ConflictError, ServerError, StoreService, connect_local
+from repro.server.protocol import PROTOCOL_VERSION, ClientState, Dispatcher, decode, encode
+from repro.storage import VersionedStore
+from repro.workloads import paper_example_base
+
+RAISE_PHIL = "r: mod[phil].sal -> (S, S2) <= phil.sal -> S, S2 = S + 100."
+ADD_BOSS = "b: ins[joe].boss -> phil <= phil.isa -> empl."
+
+
+@pytest.fixture()
+def service():
+    return StoreService(VersionedStore(paper_example_base(), tag="initial"))
+
+
+@pytest.fixture()
+def client(service):
+    return connect_local(service)
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        message = {"id": 7, "cmd": "query", "body": "E.sal -> S"}
+        assert decode(encode(message)) == message
+        assert encode(message).endswith(b"\n")
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            decode(b"{not json\n")
+        with pytest.raises(ReproError):
+            decode(b'"a bare string"\n')
+
+
+class TestCommands:
+    def test_ping(self, client):
+        response = client.call("ping")
+        assert response["pong"] is True
+        assert response["protocol"] == PROTOCOL_VERSION
+
+    def test_unknown_command(self, client):
+        response = client.request("warp")
+        assert response["ok"] is False
+        assert "unknown command" in response["error"]
+
+    def test_missing_field(self, client):
+        response = client.request("query")
+        assert response["ok"] is False
+        assert "'body'" in response["error"]
+
+    def test_type_malformed_requests_get_error_responses(self, client):
+        # valid JSON, wrong types: must answer ok:false, never raise out
+        # of the dispatcher (which would kill a wire connection)
+        for request in (
+            {"cmd": "apply", "program": 123},
+            {"cmd": "query", "body": ["not", "text"]},
+            {"cmd": ["unhashable"]},
+            {"cmd": "tx-query", "session": {"weird": 1}, "body": "E.sal -> S"},
+            {"cmd": "as-of", "revision": {"t": 1}},
+        ):
+            response = client._dispatcher.handle(
+                dict(request, id=1), client._state
+            )
+            assert response["ok"] is False, request
+        assert client.call("ping")["pong"] is True  # connection state intact
+
+    def test_apply_and_query(self, client):
+        applied = client.call("apply", program=RAISE_PHIL, tag="raise")
+        assert applied["revision"] == 1
+        assert applied["tag"] == "raise"
+        assert applied["added"] == 1 and applied["removed"] == 1
+        assert client.query("phil.sal -> S") == [{"S": 4100}]
+
+    def test_log_and_as_of(self, client):
+        client.apply(RAISE_PHIL, tag="raise")
+        log = client.log()
+        assert [entry["tag"] for entry in log] == ["initial", "raise"]
+        assert log[0]["snapshot"] is True
+        assert "phil.sal -> 4000." in client.as_of("initial")
+        assert "phil.sal -> 4100." in client.as_of(1)
+        with pytest.raises(ServerError):
+            client.as_of("nope")
+
+    def test_prepare_and_stats(self, client):
+        prepared = client.prepare("E.sal -> S", name="sals")
+        assert prepared["name"] == "sals"
+        stats = client.stats()
+        assert stats["revisions"] == 1
+        assert "sals" in stats["prepared"]
+
+    def test_id_echo(self, client):
+        response = client.request("ping")
+        assert response["id"] == 1
+        assert client.request("ping")["id"] == 2
+
+
+class TestTransactions:
+    def test_full_lifecycle(self, client):
+        session = client.begin()
+        assert client.tx_query(session, "phil.sal -> S") == [{"S": 4000}]
+        staged = client.stage(session, RAISE_PHIL)
+        assert staged["staged"] == 1
+        committed = client.commit(session, tag="mine")
+        assert committed["revision"] == 1
+        assert committed["revisions"] == [{"index": 1, "tag": "mine"}]
+        # the session is gone from the connection after commit
+        response = client.request("tx-commit", session=session)
+        assert response["ok"] is False and "unknown session" in response["error"]
+
+    def test_conflict_response_carries_metadata(self, service):
+        reader = connect_local(service)
+        writer = connect_local(service)
+        session = reader.begin()
+        reader.tx_query(session, "phil.sal -> S")
+        writer.apply(RAISE_PHIL, tag="sneaky")
+        reader.stage(session, ADD_BOSS)
+        response = reader.request("tx-commit", session=session, tag="mine")
+        assert response["ok"] is False
+        assert response["conflict"] is True
+        assert response["pinned"] == 0
+        assert response["conflicting_index"] == 1
+        assert response["conflicting_tag"] == "sneaky"
+        # the typed exception comes back through call()
+        retry = reader.begin()
+        reader.tx_query(retry, "phil.sal -> S")
+        writer.apply(RAISE_PHIL, tag="again")
+        reader.stage(retry, ADD_BOSS)
+        with pytest.raises(ConflictError) as excinfo:
+            reader.commit(retry)
+        assert excinfo.value.conflicting_tag == "again"
+
+    def test_abort(self, client):
+        session = client.begin()
+        client.stage(session, RAISE_PHIL)
+        assert client.abort(session)["aborted"] is True
+        assert client.log()[-1]["index"] == 0  # nothing committed
+
+    def test_sessions_are_per_connection(self, service):
+        one = connect_local(service)
+        two = connect_local(service)
+        session = one.begin()
+        response = two.request("tx-query", session=session, body="E.sal -> S")
+        assert response["ok"] is False
+        assert "unknown session" in response["error"]
+
+
+class TestPushesAndTeardown:
+    def test_pushes_reach_only_the_subscribed_connection(self, service):
+        subscribed = connect_local(service)
+        other = connect_local(service)
+        subscribed.subscribe("E.sal -> S")
+        other.apply(RAISE_PHIL, tag="raise")
+        pushes = subscribed.pushes()
+        assert len(pushes) == 1 and pushes[0]["tag"] == "raise"
+        assert other.pushes() == []
+
+    def test_unsubscribe_via_protocol(self, client):
+        sid = client.subscribe("E.sal -> S")["sid"]
+        assert client.unsubscribe(sid)["removed"] is True
+        client.apply(RAISE_PHIL)
+        assert client.pushes() == []
+
+    def test_unsubscribe_cannot_touch_other_connections(self, service):
+        subscribed = connect_local(service)
+        intruder = connect_local(service)
+        sid = subscribed.subscribe("E.sal -> S")["sid"]
+        assert intruder.unsubscribe(sid)["removed"] is False
+        intruder.apply(RAISE_PHIL, tag="still-pushed")
+        assert [p["tag"] for p in subscribed.pushes()] == ["still-pushed"]
+
+    def test_close_aborts_sessions_and_unsubscribes(self, service):
+        client = connect_local(service)
+        client.begin()
+        client.subscribe("E.sal -> S")
+        assert len(service.subscriptions) == 1
+        client.close()
+        assert len(service.subscriptions) == 0
+        with pytest.raises(ServerError):
+            client.call("ping")
+
+    def test_connect_local_accepts_store_and_journal(self, tmp_path):
+        store_client = connect_local(VersionedStore(paper_example_base()))
+        assert store_client.query("phil.sal -> S") == [{"S": 4000}]
+        directory = tmp_path / "journal"
+        StoreService.create(paper_example_base(), directory)
+        journal_client = connect_local(directory)
+        journal_client.apply(RAISE_PHIL, tag="durable")
+        assert journal_client.service.journal_dir == directory
+        with pytest.raises(TypeError):
+            connect_local(42)
+
+
+class TestDispatcherDirect:
+    def test_error_payloads_do_not_leak_exceptions(self, service):
+        dispatcher = Dispatcher(service)
+        state = ClientState(lambda message: None)
+        response = dispatcher.handle({"cmd": "apply", "program": "not a program"}, state)
+        assert response["ok"] is False
+        assert response["id"] is None

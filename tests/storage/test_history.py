@@ -96,3 +96,139 @@ class TestDiff:
         assert all(f.method != "exists" for f in added | removed)
         _added, removed_with = store.diff("initial", "update", include_exists=True)
         assert any(f.method == "exists" for f in removed_with)  # bob vanished
+
+
+class TestNegativeIndexes:
+    def test_negative_revision_references_are_rejected(self, store):
+        store.apply(salary_raise_program(), tag="raise")
+        with pytest.raises(ReproError):
+            store.as_of(-1)
+        with pytest.raises(ReproError):
+            store.diff(-1, 1)
+        with pytest.raises(ReproError):
+            store.rollback_to(-2)
+
+
+class TestCommitListeners:
+    def test_listener_sees_every_commit_with_exact_delta(self, store):
+        seen = []
+        store.add_commit_listener(seen.append)
+        store.apply(salary_raise_program(), tag="raise")
+        assert [r.tag for r in seen] == ["raise"]
+        assert seen[0].index == 1
+        assert {str(f) for f in seen[0].removed} >= {"phil.sal -> 4000"}
+        store.remove_commit_listener(seen.append)  # different bound object: no-op
+        store.remove_commit_listener(seen[0])  # unknown listener: no-op
+
+    def test_removed_listener_stops_firing(self, store):
+        seen = []
+        listener = store.add_commit_listener(seen.append)
+        store.apply(salary_raise_program(), tag="one")
+        store.remove_commit_listener(listener)
+        store.apply(salary_raise_program(), tag="two")
+        assert [r.tag for r in seen] == ["one"]
+
+
+class TestJournalCompactionInterleaving:
+    """Satellite: compaction interleaved with ``append_revision`` must
+    round-trip (compact → append → reload), and a torn tail line is
+    recovered on load."""
+
+    @staticmethod
+    def _journal_store(tmp_path, revisions=5, interval=2):
+        from repro.storage import StoreOptions, save_store
+
+        store = VersionedStore(
+            paper_example_base(),
+            tag="initial",
+            options=StoreOptions(snapshot_interval=interval),
+        )
+        for index in range(revisions):
+            store.apply(salary_raise_program(), tag=f"r{index}")
+        save_store(store, tmp_path)
+        return store
+
+    def test_compact_then_append_then_reload(self, tmp_path):
+        from repro.storage import append_revision, compact_journal, load_store
+
+        self._journal_store(tmp_path, revisions=5, interval=2)
+        compacted = compact_journal(tmp_path, snapshot_interval=4)
+        # append onto the *compacted* store/journal, then reload
+        compacted.apply(salary_raise_program(), tag="after-compact")
+        append_revision(compacted, tmp_path)
+        reloaded = load_store(tmp_path)
+        assert len(reloaded) == 7
+        assert reloaded.head.tag == "after-compact"
+        assert reloaded.options.snapshot_interval == 4
+        for index in range(len(reloaded)):
+            assert set(reloaded.base_at(index)) == set(compacted.base_at(index))
+        # a second compact+append cycle keeps working
+        twice = compact_journal(tmp_path, snapshot_interval=3)
+        twice.apply(salary_raise_program(), tag="again")
+        append_revision(twice, tmp_path)
+        assert load_store(tmp_path).head.tag == "again"
+
+    def test_truncated_tail_line_is_recovered_on_load(self, tmp_path):
+        from repro.storage import append_revision, load_store
+        from repro.storage.serialize import JOURNAL_FILE
+
+        store = self._journal_store(tmp_path, revisions=3)
+        journal = tmp_path / JOURNAL_FILE
+        intact = journal.read_text(encoding="utf-8")
+        torn = intact.splitlines()
+        # simulate a crash mid-append: the final line is cut short
+        journal.write_text(
+            "\n".join(torn[:-1]) + "\n" + torn[-1][: len(torn[-1]) // 2],
+            encoding="utf-8",
+        )
+        torn_bytes = journal.read_bytes()
+        readonly = load_store(tmp_path)
+        assert len(readonly) == 3  # the torn revision never became durable
+        assert readonly.head.tag == "r1"
+        # a read-only load recovers in memory but must not touch the file
+        assert journal.read_bytes() == torn_bytes
+        # a writer load (repair=True) truncates, so appending lines up again
+        recovered = load_store(tmp_path, repair=True)
+        assert journal.read_bytes() != torn_bytes
+        for index in range(len(recovered)):
+            assert set(recovered.base_at(index)) == set(store.base_at(index))
+        recovered.apply(salary_raise_program(), tag="recovered")
+        append_revision(recovered, tmp_path)
+        reloaded = load_store(tmp_path)
+        assert [r.tag for r in reloaded.revisions()] == [
+            "initial", "r0", "r1", "recovered",
+        ]
+
+    def test_mid_journal_corruption_is_a_clean_error(self, tmp_path):
+        from repro.storage import load_store
+        from repro.storage.serialize import JOURNAL_FILE
+
+        self._journal_store(tmp_path, revisions=3)
+        journal = tmp_path / JOURNAL_FILE
+        lines = journal.read_text(encoding="utf-8").splitlines()
+        lines[2] = lines[2][:10]  # corrupt a non-final line
+        journal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ReproError, match="corrupt at line 3"):
+            load_store(tmp_path)
+
+    def test_append_on_torn_journal_is_a_clean_error(self, tmp_path):
+        from repro.storage import append_revision
+        from repro.storage.serialize import JOURNAL_FILE
+
+        store = self._journal_store(tmp_path, revisions=2)
+        journal = tmp_path / JOURNAL_FILE
+        journal.write_text(
+            journal.read_text(encoding="utf-8")[:-20], encoding="utf-8"
+        )
+        store.apply(salary_raise_program(), tag="next")
+        with pytest.raises(ReproError, match="torn line"):
+            append_revision(store, tmp_path)
+
+    def test_missing_snapshot_file_is_a_clean_error(self, tmp_path):
+        from repro.storage import load_store
+
+        self._journal_store(tmp_path, revisions=3, interval=2)
+        (tmp_path / "snap-000002.json").unlink()
+        recovered = load_store(tmp_path)
+        with pytest.raises(ReproError, match="snapshot .* is missing"):
+            recovered.base_at(2)
