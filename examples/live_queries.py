@@ -1,19 +1,21 @@
 #!/usr/bin/env python3
-"""Live queries: two concurrent clients over the serving subsystem.
+"""Live queries through the unified connection API, over a real server.
 
-A *watcher* client subscribes to two conjunctive queries; a *writer*
-client commits update transactions — one optimistic MVCC transaction and
-one autocommit.  The server pushes only *answer diffs*, and only for the
-queries each commit can actually affect (the commit's exact fact delta is
-folded through every subscription's dependency signature first):
+A *watcher* connection subscribes to two conjunctive queries; a *writer*
+connection commits update transactions — one optimistic MVCC transaction
+and one autocommit.  The server pushes only *answer diffs*, and only for
+the queries each commit can actually affect (the commit's exact fact delta
+is folded through every subscription's dependency signature first):
 
 * the salary raise reaches the ``salaries`` subscription as a two-row
   diff, while the ``org_chart`` subscription hears nothing — the delta
   provably cannot change it;
 * the hire touches both.
 
-Everything runs over the real asyncio JSON-lines server on a unix socket;
-the same conversation works across processes via ``repro serve`` /
+Everything runs over the real asyncio JSON-lines server on a unix socket
+(:class:`repro.api.BackgroundServer` hosts it in-process); both clients
+are plain synchronous ``repro.connect("serve:…")`` connections, and the
+same conversation works across processes via ``repro serve`` /
 ``repro client``.
 
 Run::
@@ -21,12 +23,11 @@ Run::
     PYTHONPATH=src python examples/live_queries.py
 """
 
-import asyncio
 import json
 import tempfile
 
-from repro import parse_object_base
-from repro.server import AsyncClient, ReproServer, StoreService
+import repro
+from repro.api import BackgroundServer
 from repro.storage import VersionedStore
 
 BASE = """
@@ -50,61 +51,52 @@ def show(label: str, message: dict) -> None:
     print(f"  {label}: {json.dumps(message, sort_keys=True)}")
 
 
-async def watcher_task(path: str, diffs_expected: int) -> dict:
-    watcher = await AsyncClient.connect(path=path)
-    salaries = await watcher.call("subscribe", body="E.isa -> empl, E.sal -> S")
-    org = await watcher.call("subscribe", body="E.boss -> B")
-    print(f"watcher: initial salaries = {salaries['answers']}")
-    print(f"watcher: initial org chart = {org['answers']}")
-    for _ in range(diffs_expected):
-        push = await watcher.next_push(timeout=10.0)
-        show(
-            f"watcher got a diff for {push['query']!r} "
-            f"(revision {push['revision']} [{push['tag']}])",
-            {"added": push["added"], "removed": push["removed"]},
-        )
-    accounting = (await watcher.call("stats"))["stats"]["subscriptions"]
-    await watcher.close()
-    return accounting
-
-
-async def writer_task(path: str) -> None:
-    writer = await AsyncClient.connect(path=path)
-    await asyncio.sleep(0.05)  # let the watcher subscribe first
+def writer_turn(path: str) -> None:
+    writer = repro.connect(f"serve:{path}")
 
     # An optimistic MVCC transaction: read at a pinned revision, stage,
-    # commit (a conflicting interim commit would come back as a
-    # retry-able ``conflict: true`` response).
-    begun = await writer.call("tx-begin")
-    session = begun["session"]
-    before = await writer.call(
-        "tx-query", session=session, body="E.sal -> S"
-    )
-    print(f"writer: tx pinned at revision {begun['revision']}, "
-          f"sees {len(before['answers'])} salaries")
-    await writer.call("tx-stage", session=session, program=RAISE)
-    committed = await writer.call("tx-commit", session=session, tag="team-raise")
-    print(f"writer: committed revision {committed['revision']} [team-raise]")
+    # commit (a conflicting interim commit would raise the retryable
+    # ConflictError; transaction(attempts=N) would replay automatically).
+    with writer.transaction(tag="team-raise") as tx:
+        before = tx.query("E.sal -> S")
+        print(f"writer: tx pinned at revision {tx.pinned}, "
+              f"sees {len(before)} salaries")
+        tx.stage(RAISE)
+    committed = tx.result.revision
+    print(f"writer: committed revision {committed.index} [{committed.tag}]")
 
     # An autocommit hire: no session, serialized behind the writer queue.
-    applied = await writer.call("apply", program=HIRE, tag="hire-dee")
-    print(f"writer: committed revision {applied['revision']} [hire-dee] "
-          f"(+{applied['added']} facts)")
-    await writer.close()
+    applied = writer.apply(HIRE, tag="hire-dee")
+    print(f"writer: committed revision {applied.index} [{applied.tag}] "
+          f"(+{applied.added} facts)")
+    writer.close()
 
 
-async def main() -> None:
-    service = StoreService(VersionedStore(parse_object_base(BASE), tag="day0"))
+def main() -> None:
+    store = VersionedStore(repro.parse_object_base(BASE), tag="day0")
     with tempfile.TemporaryDirectory() as scratch:
         path = f"{scratch}/live.sock"
-        server = await ReproServer(service, path=path).start()
-        print(f"server: {server.address}\n")
-        # three diffs: team-raise -> salaries only (org chart provably
-        # unaffected, no push); hire-dee -> salaries and org chart
-        accounting, _ = await asyncio.gather(
-            watcher_task(path, 3), writer_task(path)
-        )
-        await server.close()
+        with BackgroundServer(store, path=path) as server:
+            print(f"server: {server.address}\n")
+            watcher = repro.connect(server.target)
+            salaries = watcher.subscribe("E.isa -> empl, E.sal -> S")
+            org = watcher.subscribe("E.boss -> B")
+            print(f"watcher: initial salaries = {salaries.answers}")
+            print(f"watcher: initial org chart = {org.answers}")
+
+            writer_turn(path)
+
+            # three diffs: team-raise -> salaries only (org chart provably
+            # unaffected, no push); hire-dee -> salaries and org chart
+            for stream in (salaries, salaries, org):
+                delta = stream.next(timeout=10.0)
+                show(
+                    f"watcher got a diff for {delta.query!r} "
+                    f"(revision {delta.revision} [{delta.tag}])",
+                    {"added": list(delta.added), "removed": list(delta.removed)},
+                )
+            accounting = watcher.stats()["subscriptions"]
+            watcher.close()
 
     print("\nsubscription accounting (skipped = commits proven irrelevant):")
     for sid, stats in accounting["by_id"].items():
@@ -112,4 +104,4 @@ async def main() -> None:
 
 
 if __name__ == "__main__":
-    asyncio.run(main())
+    main()

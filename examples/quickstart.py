@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
 """Quickstart: the Section 2.1 salary raise, start to finish.
 
-Demonstrates the core loop of the library:
+Demonstrates the two layers of the library:
 
-1. load an object base (ground version-terms),
-2. write an update-program in the concrete syntax,
-3. apply it with :class:`repro.UpdateEngine`,
-4. inspect the new base ``ob'`` and the version structure of ``result(P)``.
+1. the **unified connection API** — ``repro.connect("memory:")`` gives the
+   same typed surface (query / apply / transactions / live queries) you
+   would get over a durable journal directory or a served socket;
+2. the **engine layer** underneath — :class:`repro.UpdateEngine` exposes
+   ``result(P)`` and the version structure the paper is about.
 
 The paper's point with this example: the rule is *intuitively* a one-shot
 raise, and versioning makes that literal — a variable only binds OIDs, so
@@ -16,7 +17,7 @@ every employee is raised exactly once.  Run::
     python examples/quickstart.py
 """
 
-from repro import UpdateEngine, format_object_base, parse_object_base, parse_program, query
+import repro
 
 BASE = """
     % three employees, salaries as stored base methods
@@ -36,30 +37,44 @@ PROGRAM = """
 
 
 def main() -> None:
-    base = parse_object_base(BASE)
-    program = parse_program(PROGRAM)
+    # One connection, any backend: swap "memory:" for a journal directory
+    # (durable) or "serve:/tmp/repro.sock" (a running `repro serve`) and
+    # every call below stays the same.
+    conn = repro.connect("memory:", base=BASE, tag="day0")
 
-    engine = UpdateEngine()
-    result = engine.apply(program, base)
-
-    print("new object base (ob'):")
-    print(format_object_base(result.new_base))
+    revision = conn.apply(PROGRAM, tag="raise")
+    print(f"committed revision {revision.index} [{revision.tag}]: "
+          f"+{revision.added} -{revision.removed} facts")
     print()
 
     print("salaries after the update:")
-    for answer in query(result.new_base, "E.isa -> empl, E.sal -> S"):
+    for answer in conn.query("E.isa -> empl, E.sal -> S"):
         print(f"  {answer['E']}: {answer['S']:.0f}")
     print()
 
+    print("what changed (delta between the two revisions):")
+    added, removed = conn.diff("day0", "raise")
+    for fact in added:
+        print(f"  + {fact}")
+    for fact in removed:
+        print(f"  - {fact}")
+    print()
+
+    # The engine layer underneath: result(P) keeps every version, so the
+    # pre-raise state stays queryable through the VIDs.
+    result = repro.UpdateEngine().apply(
+        repro.parse_program(PROGRAM), repro.parse_object_base(BASE)
+    )
     print("final version per object (the update history in the VID):")
-    for obj, version in sorted(result.final_versions.items(), key=lambda kv: str(kv[0])):
+    for obj, version in sorted(
+        result.final_versions.items(), key=lambda kv: str(kv[0])
+    ):
         print(f"  {obj} -> {version}")
     print()
 
-    # result(P) still contains the pre-raise states: versions are queryable.
     print("henry before vs after (read from result(P)):")
-    before = query(result.result_base, "henry.sal -> S")[0]["S"]
-    after = query(result.result_base, "mod(henry).sal -> S")[0]["S"]
+    before = repro.query(result.result_base, "henry.sal -> S")[0]["S"]
+    after = repro.query(result.result_base, "mod(henry).sal -> S")[0]["S"]
     print(f"  henry.sal -> {before},  mod(henry).sal -> {after}")
 
 

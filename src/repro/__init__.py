@@ -6,22 +6,36 @@ ground terms like ``ins(del(mod(phil)))`` that name an object's versions and
 encode its update history.  Update-programs have fixpoint semantics computed
 bottom-up along a stratification derived from the rules themselves.
 
-Quickstart::
+Quickstart — the unified connection API (one surface over an in-memory
+store, a durable journal directory, or a served socket)::
+
+    import repro
+
+    conn = repro.connect("memory:", base='''
+        henry.isa -> empl.   henry.sal -> 250.
+    ''')
+    conn.apply('''
+        raise: mod[E].sal -> (S, S2) <=
+            E.isa -> empl, E.sal -> S, S2 = S * 1.1.
+    ''', tag="raise")
+    conn.query("E.sal -> S")        # [{'E': 'henry', 'S': 275.0}]
+    conn.as_of("initial")           # the base before the raise
+    # repro.connect("path/to/store") and repro.connect("serve:/tmp/x.sock")
+    # accept the same calls and answer in the same shapes.
+
+The engine layer underneath stays available for direct use::
 
     from repro import UpdateEngine, parse_object_base, parse_program
 
-    base = parse_object_base('''
-        henry.isa -> empl.   henry.sal -> 250.
-    ''')
-    program = parse_program('''
-        raise: mod[E].sal -> (S, S2) <=
-            E.isa -> empl, E.sal -> S, S2 = S * 1.1.
-    ''')
-    result = UpdateEngine().apply(program, base)
-    # result.new_base now holds henry.sal -> 275.0
+    result = UpdateEngine().apply(parse_program(text), parse_object_base(ob))
+    # result.new_base, result.result_base, result.final_versions, ...
 
 Subpackages
 -----------
+``repro.api``
+    The unified connection facade: :func:`connect`, the
+    :class:`~repro.api.Connection` surface, transactions with conflict
+    retry, subscription streams, and the shared result model.
 ``repro.core``
     The paper's contribution: terms, truth, the ``T_P`` operator,
     stratification, evaluation, version linearity, new-base construction.
@@ -97,6 +111,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # the unified connection API
+    "connect", "Connection",
     # core types
     "Oid", "Var", "VersionVar", "VersionId", "Term", "UpdateKind", "Fact",
     "ObjectBase", "UpdateRule", "UpdateProgram",
@@ -115,6 +131,18 @@ __all__ = [
     "VersionDepthError", "VersionLinearityError", "BuiltinError",
     "ParseError",
 ]
+
+
+def __getattr__(name: str):
+    """Lazy surface for the connection facade (PEP 562): ``repro.connect``
+    and ``repro.Connection`` resolve to :mod:`repro.api`'s objects on
+    first touch, so engine-only users (``repro apply`` one-shots, the
+    paper's core path) never pay the server/asyncio import cost."""
+    if name in ("connect", "Connection"):
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def query(base: ObjectBase, text: str) -> list[dict[str, object]]:

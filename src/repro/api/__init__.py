@@ -1,0 +1,222 @@
+"""One connection API over every backend: ``repro.connect(target)``.
+
+The paper's update-programs are one semantics; this package gives them one
+*surface*.  A :class:`Connection` answers queries, autocommits programs,
+runs optimistic transactions and streams live-query answer diffs — and
+behaves identically whether it wraps an ephemeral in-memory store, a
+durable journal directory, or a running server:
+
+>>> import repro
+>>> conn = repro.connect("memory:", base="henry.isa -> empl. henry.sal -> 250.")
+>>> conn.query("E.sal -> S")
+[{'E': 'henry', 'S': 250}]
+
+Targets accepted by :func:`connect`:
+
+``"memory:"``
+    A fresh ephemeral store (seed it with ``base=...``).
+a directory path
+    A durable journal directory: opened (and appended to) when a journal
+    exists, initialized from ``base=...`` when not.  ``readonly=True``
+    opens without write access (and without journal repair).
+``"serve:<endpoint>"`` / ``"unix:<path>"`` / ``"tcp:<host>:<port>"``
+    A running ``repro serve`` instance; a bare path that names a live unix
+    socket also connects.
+a :class:`~repro.server.service.StoreService` or
+:class:`~repro.storage.history.VersionedStore`
+    Wrapped in-process as-is (embedding).
+
+Every backend speaks the same result model (:mod:`repro.api.model`), the
+same revision addressing (tags or indexes, digit strings included), and
+the same :class:`~repro.core.errors.ReproError` taxonomy — optimistic
+conflicts are the retryable
+:class:`~repro.server.errors.ConflictError` everywhere.  The differential
+parity suite (``tests/api/test_backend_parity.py``) holds the backends to
+byte-identical answers, revision logs and journals, so the next backend
+(sharded, replicated, remote) lands behind this same surface.
+"""
+
+from __future__ import annotations
+
+import stat
+from pathlib import Path
+
+from repro.api.connection import Connection, SubscriptionStream, Transaction
+from repro.api.hosting import BackgroundServer
+from repro.api.local import ServiceConnection
+from repro.api.model import AnswerDelta, CommitResult, Diff, Revision
+from repro.api.wire import WireConnection
+from repro.core.errors import ReproError
+from repro.core.objectbase import ObjectBase
+from repro.server.errors import ConflictError, ServerError, SessionError
+from repro.server.service import StoreService
+from repro.storage.history import StoreOptions, VersionedStore
+from repro.storage.serialize import JOURNAL_FILE, load_store
+
+__all__ = [
+    "connect",
+    "Connection",
+    "Transaction",
+    "SubscriptionStream",
+    "Revision",
+    "CommitResult",
+    "AnswerDelta",
+    "Diff",
+    "ServiceConnection",
+    "WireConnection",
+    "BackgroundServer",
+    "ConflictError",
+    "ServerError",
+    "SessionError",
+]
+
+
+def connect(
+    target="memory:",
+    *,
+    base=None,
+    tag: str = "initial",
+    options: StoreOptions | None = None,
+    readonly: bool = False,
+    call_timeout: float | None = None,
+) -> Connection:
+    """Open a :class:`Connection` to ``target`` (see the module doc).
+
+    ``base`` (an :class:`ObjectBase` or concrete-syntax text) seeds a
+    ``memory:`` store or initializes a fresh journal directory — it is an
+    error on targets that already hold data.  ``tag`` names revision 0 of
+    a newly created store; ``options`` are its
+    :class:`~repro.storage.history.StoreOptions`.  ``call_timeout`` bounds
+    request round-trips on served targets.
+    """
+    if isinstance(target, StoreService):
+        _reject_seed_kwargs("an existing StoreService", base, options)
+        return ServiceConnection(
+            target, target="service:", readonly=readonly
+        )
+    if isinstance(target, VersionedStore):
+        _reject_seed_kwargs("an existing VersionedStore", base, options)
+        return ServiceConnection(
+            StoreService(target), target="store:", readonly=readonly
+        )
+    if not isinstance(target, (str, Path)):
+        raise ReproError(
+            f"connect() needs a target string, path, StoreService or "
+            f"VersionedStore, not {type(target).__name__}"
+        )
+    text = str(target)
+    if text == "memory:":
+        store = VersionedStore(_coerce_base(base), tag=tag, options=options)
+        return ServiceConnection(
+            StoreService(store), target="memory:", readonly=readonly
+        )
+    endpoint = _wire_endpoint(text)
+    if endpoint is not None:
+        _reject_seed_kwargs("a served target", base, options)
+        if readonly:
+            # The server cannot be made read-only from a client; refusing
+            # is safer than handing back a silently writable connection.
+            raise ReproError(
+                "readonly= is not supported on served targets; open the "
+                "journal directory read-only instead"
+            )
+        return WireConnection(call_timeout=call_timeout, **endpoint)
+    return _connect_journal(
+        Path(target), base=base, tag=tag, options=options, readonly=readonly
+    )
+
+
+def _reject_seed_kwargs(what: str, base, options) -> None:
+    if base is not None:
+        raise ReproError(f"base= seeds new stores; {what} already has one")
+    if options is not None:
+        raise ReproError(f"options= shapes new stores; {what} is already built")
+
+
+def _coerce_base(base) -> ObjectBase:
+    if base is None:
+        return ObjectBase()
+    if isinstance(base, ObjectBase):
+        return base
+    if isinstance(base, str):
+        from repro.lang.parser import parse_object_base
+
+        return parse_object_base(base)
+    raise ReproError(
+        f"base= needs an ObjectBase or concrete-syntax text, not "
+        f"{type(base).__name__}"
+    )
+
+
+def _wire_endpoint(text: str) -> dict | None:
+    """Parse a served target into :class:`WireConnection` kwargs, or
+    ``None`` when the target is not a served endpoint."""
+    if text.startswith("serve:"):
+        rest = text[len("serve:"):]
+        inner = _wire_endpoint(rest)
+        if inner is not None:
+            return inner
+        host_port = _host_port(rest)
+        if host_port is not None:
+            return host_port
+        if not rest:
+            raise ReproError("serve: target needs an endpoint after the colon")
+        return {"path": rest}
+    if text.startswith("unix:"):
+        path = text[len("unix:"):]
+        if not path:
+            raise ReproError("unix: target needs a socket path")
+        return {"path": path}
+    if text.startswith("tcp:"):
+        host_port = _host_port(text[len("tcp:"):])
+        if host_port is None:
+            raise ReproError(f"tcp: target needs host:port, got {text!r}")
+        return host_port
+    try:
+        if stat.S_ISSOCK(Path(text).stat().st_mode):
+            return {"path": text}
+    except OSError:
+        pass
+    return None
+
+
+def _host_port(text: str) -> dict | None:
+    host, separator, port = text.rpartition(":")
+    if separator and host and port.isdigit():
+        return {"host": host, "port": int(port)}
+    return None
+
+
+def _connect_journal(
+    directory: Path, *, base, tag, options, readonly
+) -> ServiceConnection:
+    journal = directory / JOURNAL_FILE
+    if journal.exists():
+        if base is not None:
+            raise ReproError(
+                f"a journal already exists at {journal}; refusing to "
+                f"overwrite its history — pick a fresh directory"
+            )
+        if readonly:
+            # Readers never repair the journal (a live appender could be
+            # racing the rewrite) and never bind it for writing.
+            service = StoreService(load_store(directory, options=options))
+        else:
+            service = StoreService.open(directory, options=options)
+        return ServiceConnection(
+            service, target=str(directory), readonly=readonly
+        )
+    if base is None:
+        raise ReproError(
+            f"no journal at {journal}; pass base=... to initialize a new "
+            f"store there"
+        )
+    if readonly:
+        raise ReproError(
+            f"readonly= cannot initialize a new journal at {journal}; a "
+            f"read-only connection must not write to disk"
+        )
+    service = StoreService.create(
+        _coerce_base(base), directory, tag=tag, options=options
+    )
+    return ServiceConnection(service, target=str(directory))

@@ -1,0 +1,152 @@
+"""The one result model of the unified connection API.
+
+Every backend of :func:`repro.connect` — in-memory, journaled, served —
+answers in exactly these shapes:
+
+* query answers are the canonical rows of
+  :func:`repro.core.query.decode_answers` (value-equal to ``repro.query``
+  on the same base, in the same deterministic order);
+* commits come back as :class:`Revision` records (counts, not fact sets —
+  the shape that survives the wire unchanged);
+* subscription pushes are :class:`AnswerDelta` records carrying the
+  ``(added, removed)`` answer rows of one commit;
+* revision-to-revision comparisons are :class:`Diff` records of formatted
+  fact strings (identical text on every backend).
+
+The differential parity suite (``tests/api/test_backend_parity.py``) runs
+one scripted workload through all three backends and asserts these records
+are *identical* — the contract every future backend must meet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.query import Answer, decode_answers
+
+__all__ = ["Revision", "CommitResult", "AnswerDelta", "Diff"]
+
+
+@dataclass(frozen=True)
+class Revision:
+    """One committed revision, as every backend reports it.
+
+    ``added``/``removed`` are fact *counts* (the full sets live in the
+    store/journal; fetch them with :meth:`~repro.api.Connection.diff`);
+    ``snapshot`` says whether the store materialized a full base at this
+    revision under its snapshot policy.
+    """
+
+    index: int
+    tag: str
+    program: str | None
+    added: int
+    removed: int
+    snapshot: bool = False
+
+    @classmethod
+    def from_store(cls, store, revision) -> "Revision":
+        """Build from a :class:`~repro.storage.history.StoreRevision`."""
+        return cls(
+            index=revision.index,
+            tag=revision.tag,
+            program=revision.program_name,
+            added=len(revision.added),
+            removed=len(revision.removed),
+            snapshot=store.has_snapshot(revision.index),
+        )
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Revision":
+        """Build from a wire revision payload (``log``/``apply``/
+        ``tx-commit`` entries)."""
+        return cls(
+            index=record["index"],
+            tag=record["tag"],
+            program=record.get("program"),
+            added=record.get("added", 0),
+            removed=record.get("removed", 0),
+            snapshot=bool(record.get("snapshot", False)),
+        )
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """What one committed transaction (or autocommit) produced.
+
+    ``revisions`` holds one :class:`Revision` per staged program in stage
+    order; ``attempts`` is how many optimistic attempts the commit took
+    (1 unless conflict retry kicked in).
+    """
+
+    revisions: tuple[Revision, ...]
+    attempts: int = 1
+
+    @property
+    def revision(self) -> Revision:
+        """The last (newest) revision of the batch."""
+        return self.revisions[-1]
+
+    @property
+    def added(self) -> int:
+        return sum(revision.added for revision in self.revisions)
+
+    @property
+    def removed(self) -> int:
+        return sum(revision.removed for revision in self.revisions)
+
+
+@dataclass(frozen=True)
+class AnswerDelta:
+    """One pushed subscription update: the ``(added, removed)`` answer rows
+    of a commit that changed a live query's answers."""
+
+    sid: str
+    query: str
+    revision: int
+    tag: str
+    added: tuple[Answer, ...]
+    removed: tuple[Answer, ...]
+
+    @classmethod
+    def from_push(cls, push: dict) -> "AnswerDelta":
+        return cls(
+            sid=push.get("sid", ""),
+            query=push.get("query", ""),
+            revision=push.get("revision", -1),
+            tag=push.get("tag", ""),
+            added=tuple(decode_answers(push.get("added", []))),
+            removed=tuple(decode_answers(push.get("removed", []))),
+        )
+
+    def as_push(self) -> dict:
+        """The delta as the wire's push-message shape (JSON-ready)."""
+        return {
+            "push": "diff",
+            "sid": self.sid,
+            "query": self.query,
+            "revision": self.revision,
+            "tag": self.tag,
+            "added": [dict(row) for row in self.added],
+            "removed": [dict(row) for row in self.removed],
+        }
+
+
+@dataclass(frozen=True)
+class Diff:
+    """``(added, removed)`` fact strings between two revisions.
+
+    Facts travel as their concrete one-line text (``host.method -> result``),
+    sorted — the representation that is byte-identical whether computed
+    locally or requested over the wire.  Unpacks like the two-tuple the
+    store's ``diff`` returns: ``added, removed = conn.diff(a, b)``.
+    """
+
+    added: tuple[str, ...]
+    removed: tuple[str, ...]
+
+    def __iter__(self):
+        return iter((self.added, self.removed))
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)

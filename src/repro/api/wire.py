@@ -1,0 +1,338 @@
+"""The served backend: a synchronous facade over the asyncio wire client.
+
+A :class:`WireConnection` owns a private event loop on a daemon thread and
+drives one :class:`~repro.server.client.AsyncClient` through it, so the
+unified connection surface stays synchronous and identical to the
+in-process backends.  Push messages are routed off the client's push queue
+by subscription id into per-stream queues (a router task on the loop), so
+several live queries on one connection never steal each other's deltas.
+
+Failure mapping: connect and transport failures surface as
+:class:`~repro.server.errors.ServerError`; server-side errors arrive
+already typed (:class:`~repro.server.errors.ConflictError` keeps its
+``pinned``/``conflicting_index`` attributes across the wire) — everything
+a caller sees derives from :class:`~repro.core.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import queue
+import threading
+
+from repro.api.connection import Connection, SubscriptionStream, Transaction
+from repro.api.model import CommitResult, Diff, Revision
+from repro.core.objectbase import ObjectBase
+from repro.core.query import Answer, decode_answers
+from repro.core.rules import UpdateProgram
+from repro.lang.parser import parse_object_base
+from repro.lang.pretty import format_program
+from repro.server.client import AsyncClient
+from repro.server.errors import ServerError
+from repro.storage.history import resolve_revision_ref
+
+__all__ = ["WireConnection"]
+
+
+class _EventLoopThread:
+    """One private event loop running on a daemon thread."""
+
+    def __init__(self, name: str) -> None:
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def run(self, coro, timeout: float | None = None):
+        """Run a coroutine on the loop, blocking the calling thread."""
+        future = asyncio.run_coroutine_threadsafe(coro, self.loop)
+        try:
+            return future.result(timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise ServerError(
+                f"server did not answer within {timeout:g}s"
+            ) from None
+
+    def stop(self) -> None:
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=5)
+        self.loop.close()
+
+
+class WireConnection(Connection):
+    """A connection to a running ``repro serve`` endpoint.
+
+    ``call_timeout`` bounds every request round-trip (``None`` waits
+    forever — pushes are unaffected either way).
+    """
+
+    def __init__(
+        self,
+        *,
+        path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        call_timeout: float | None = None,
+    ) -> None:
+        super().__init__()
+        self.target = f"unix:{path}" if path is not None else f"tcp:{host}:{port}"
+        self.call_timeout = call_timeout
+        self._push_queues: dict[str, "queue.Queue[dict]"] = {}
+        self._unclaimed: "queue.Queue[dict]" = queue.Queue()
+        self._loop = _EventLoopThread(f"repro-wire[{self.target}]")
+        self._client: AsyncClient | None = None
+        self._router: asyncio.Future | None = None
+        try:
+            self._loop.run(self._connect(path, host, port), timeout=30)
+        except (ConnectionError, OSError) as error:
+            self._loop.stop()
+            raise ServerError(
+                f"cannot connect to {self.target}: {error}"
+            ) from None
+        except Exception:
+            self._loop.stop()
+            raise
+
+    async def _connect(self, path, host, port) -> None:
+        self._client = await AsyncClient.connect(path=path, host=host, port=port)
+        self._router = asyncio.ensure_future(self._route_pushes())
+
+    async def _route_pushes(self) -> None:
+        """Dispatch push messages to their stream's queue by ``sid``;
+        pushes for unknown sids (raw ``call("subscribe")`` users, the CLI
+        script command) collect in the unclaimed queue."""
+        while True:
+            push = await self._client.next_push()
+            sink = self._push_queues.get(push.get("sid"))
+            (sink if sink is not None else self._unclaimed).put(push)
+
+    # -- raw protocol access ----------------------------------------------
+    def call(self, cmd: str, **payload) -> dict:
+        """One protocol command, raising the typed error on failure — the
+        escape hatch for commands the facade does not wrap."""
+        self._check_open()
+        return self._run(self._client.call(cmd, **payload))
+
+    def request(self, cmd: str, **payload) -> dict:
+        """Like :meth:`call` but returning error responses as dicts
+        (``ok: false``) instead of raising — raw scripting."""
+        self._check_open()
+        return self._run(self._client.request(cmd, **payload))
+
+    def drain_pushes(self) -> list[dict]:
+        """Pushes that arrived for subscriptions made through raw
+        :meth:`call`/:meth:`request` (no stream routing), without waiting."""
+        drained = []
+        while True:
+            try:
+                drained.append(self._unclaimed.get_nowait())
+            except queue.Empty:
+                return drained
+
+    def _run(self, coro):
+        try:
+            return self._loop.run(coro, timeout=self.call_timeout)
+        except (ConnectionError, OSError) as error:
+            raise ServerError(
+                f"connection to {self.target} failed: {error}"
+            ) from None
+
+    # -- liveness ----------------------------------------------------------
+    def ping(self) -> dict:
+        response = self.call("ping")
+        return {"pong": response["pong"], "protocol": response["protocol"]}
+
+    # -- reading -----------------------------------------------------------
+    def query(self, body) -> list[Answer]:
+        response = self.call("query", body=_body_text(body))
+        return decode_answers(response["answers"])
+
+    def log(self) -> tuple[Revision, ...]:
+        response = self.call("log")
+        return tuple(
+            Revision.from_record(record) for record in response["revisions"]
+        )
+
+    @property
+    def head(self) -> Revision:
+        # one record over the wire, not the whole chain
+        response = self.call("log", last=1)
+        return Revision.from_record(response["revisions"][-1])
+
+    def as_of(self, revision) -> ObjectBase:
+        response = self.call("as-of", revision=resolve_revision_ref(revision))
+        return parse_object_base(response["facts"]).freeze()
+
+    def diff(self, older, newer, *, include_exists: bool = False) -> Diff:
+        response = self.call(
+            "diff",
+            older=resolve_revision_ref(older),
+            newer=resolve_revision_ref(newer),
+            include_exists=include_exists or None,
+        )
+        return Diff(
+            added=tuple(response["added"]), removed=tuple(response["removed"])
+        )
+
+    # -- writing -----------------------------------------------------------
+    def apply(self, program, *, tag: str = "") -> Revision:
+        response = self.call(
+            "apply",
+            program=_program_text(program),
+            tag=tag,
+            name=_program_name(program),
+        )
+        return Revision.from_record(response["revisions"][-1])
+
+    def transaction(self, *, tag: str = "", attempts: int = 1) -> "_WireTransaction":
+        self._check_open()
+        return _WireTransaction(self, tag=tag, attempts=attempts)
+
+    # -- live queries ------------------------------------------------------
+    def subscribe(self, body, *, name: str | None = None) -> SubscriptionStream:
+        self._check_open()
+        pushes: "queue.Queue[dict]" = queue.Queue()
+        response = self.call("subscribe", body=_body_text(body), name=name)
+        sid = response["sid"]
+        self._run(self._claim_pushes(sid, pushes))
+        stream = SubscriptionStream(
+            sid=sid,
+            query=response["query"],
+            revision=response["revision"],
+            answers=decode_answers(response["answers"]),
+            pushes=pushes,
+            closer=lambda: self._unsubscribe(sid),
+        )
+        return self._track(stream)
+
+    async def _claim_pushes(self, sid: str, pushes: "queue.Queue[dict]") -> None:
+        """Register a stream's queue and reclaim any pushes that raced the
+        registration into the unclaimed queue.  Runs on the loop thread —
+        the same thread as the router — so no push can be routed while the
+        sweep is rehoming, which keeps delivery order intact."""
+        self._push_queues[sid] = pushes
+        leftovers = []
+        while True:
+            try:
+                push = self._unclaimed.get_nowait()
+            except queue.Empty:
+                break
+            if push.get("sid") == sid:
+                pushes.put(push)
+            else:
+                leftovers.append(push)
+        for push in leftovers:
+            self._unclaimed.put(push)
+
+    def _unsubscribe(self, sid: str) -> None:
+        self._push_queues.pop(sid, None)
+        if not self._closed:
+            try:
+                self.call("unsubscribe", sid=sid)
+            except ServerError:  # connection already torn down server-side
+                pass
+
+    # -- accounting --------------------------------------------------------
+    def stats(self) -> dict:
+        return self.call("stats")["stats"]
+
+    # -- lifecycle ---------------------------------------------------------
+    def _teardown(self) -> None:
+        try:
+            self._loop.run(self._shutdown(), timeout=10)
+        except Exception:  # tearing down a dead link is best-effort
+            pass
+        finally:
+            self._loop.stop()
+
+    async def _shutdown(self) -> None:
+        if self._router is not None:
+            self._router.cancel()
+        if self._client is not None:
+            await self._client.close()
+
+
+class _WireTransaction(Transaction):
+    """MVCC session plumbing for the served backend."""
+
+    def __init__(self, conn: WireConnection, *, tag: str, attempts: int) -> None:
+        super().__init__(tag=tag, attempts=attempts)
+        self._conn = conn
+        self._session: str | None = None
+        self._pinned = -1
+        self._begin()
+
+    @property
+    def pinned(self) -> int:
+        return self._pinned
+
+    def _begin(self) -> None:
+        response = self._conn.call("tx-begin")
+        self._session = response["session"]
+        self._pinned = response["revision"]
+
+    def _do_query(self, body) -> list[Answer]:
+        response = self._conn.call(
+            "tx-query", session=self._session, body=_body_text(body)
+        )
+        return decode_answers(response["answers"])
+
+    def _do_stage(self, program) -> None:
+        self._conn.call(
+            "tx-stage",
+            session=self._session,
+            program=_program_text(program),
+            name=_program_name(program),
+        )
+
+    def _do_commit(self, tag: str) -> CommitResult:
+        response = self._conn.call("tx-commit", session=self._session, tag=tag)
+        return CommitResult(
+            tuple(Revision.from_record(r) for r in response["revisions"])
+        )
+
+    def _do_abort(self) -> None:
+        try:
+            self._conn.call("tx-abort", session=self._session)
+        except ServerError:  # already gone server-side (conflict, teardown)
+            pass
+
+
+def _body_text(body) -> str:
+    """Queries travel as concrete-syntax text."""
+    if isinstance(body, str):
+        return body
+    raise ServerError(
+        f"a served connection needs query bodies as concrete-syntax text, "
+        f"not {type(body).__name__}"
+    )
+
+
+def _program_name(program) -> str | None:
+    """A non-default program name travels alongside the text (the wire
+    payload's optional ``name`` field), so journals record the same
+    program name whichever backend committed it."""
+    if isinstance(program, UpdateProgram) and program.name != "program":
+        return program.name
+    return None
+
+
+def _program_text(program) -> str:
+    """Programs travel as concrete-syntax text; :class:`UpdateProgram`
+    objects are pretty-printed (names survive the trip via the payload's
+    ``name`` field)."""
+    if isinstance(program, str):
+        return program
+    if isinstance(program, UpdateProgram):
+        return format_program(program)
+    raise ServerError(
+        f"a served connection needs update programs as text or "
+        f"UpdateProgram, not {type(program).__name__}"
+    )

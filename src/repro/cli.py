@@ -29,6 +29,11 @@ plus periodic snapshots) holding a whole revision chain.  ``serve`` exposes
 a journal directory over the concurrent JSON-lines protocol (MVCC sessions,
 optimistic transactions, push-based live queries); ``client`` talks to it.
 
+The ``store`` and ``client`` command groups run through the unified
+connection facade (``repro.connect``) — the CLI is just another caller of
+the public API, so journal directories and served sockets behave
+identically here and in embedding code.
+
 Every handler exits 0 on success and non-zero with a one-line ``error: …``
 on stderr for expected failures (unknown tags/revisions, missing files,
 corrupt journals, connection problems) — no tracebacks.
@@ -515,117 +520,111 @@ def _print_answers(answers) -> None:
 
 
 def _cmd_client(arguments) -> int:
+    """Every client subcommand runs through the unified connection facade
+    (``repro.connect``) — the same surface embedders use — except
+    ``script``, which is deliberately a raw protocol tool."""
     import json
 
-    from repro.server import AsyncClient, ConflictError
+    from repro.api import ConflictError, connect
 
-    connect = _client_connect_kwargs(arguments)
-
-    async def run() -> int:
-        client = await AsyncClient.connect(**connect)
-        try:
-            command = arguments.client_command
-            if command == "ping":
-                response = await client.call("ping")
-                print(f"pong (protocol {response['protocol']})")
-            elif command == "query":
-                response = await client.call("query", body=arguments.body)
-                _print_answers(response["answers"])
-            elif command == "apply":
-                program = arguments.program.read_text(encoding="utf-8")
-                response = await client.call(
-                    "apply", program=program, tag=arguments.tag
-                )
-                print(
-                    f"revision {response['revision']} [{response['tag']}]: "
-                    f"+{response['added']} -{response['removed']} facts",
-                    file=sys.stderr,
-                )
-            elif command == "subscribe":
-                response = await client.call("subscribe", body=arguments.body)
-                _print_answers(response["answers"])
-                for received in range(max(0, arguments.pushes)):
-                    try:
-                        push = await client.next_push(timeout=arguments.timeout)
-                    except asyncio.TimeoutError:
-                        # The connection is healthy — no commit touched the
-                        # query in time.  Say that, don't blame the socket.
-                        print(
-                            f"error: no answer diff arrived within "
-                            f"{arguments.timeout:g}s "
-                            f"({received} of {arguments.pushes} received)",
-                            file=sys.stderr,
-                        )
-                        return 1
-                    print(json.dumps(push), flush=True)
-            elif command == "tx":
-                return await _run_client_tx(client, arguments)
-            elif command == "log":
-                response = await client.call("log")
-                for revision in response["revisions"]:
-                    marker = "*" if revision["snapshot"] else " "
-                    program = revision["program"] or "-"
-                    print(
-                        f"{revision['index']:>4} {marker} "
-                        f"{revision['tag']:<24} +{revision['added']:<5} "
-                        f"-{revision['removed']:<5} {program}"
-                    )
-            elif command == "as-of":
-                response = await client.call("as-of", revision=arguments.revision)
-                print(response["facts"])
-            elif command == "stats":
-                response = await client.call("stats")
-                print(json.dumps(response["stats"], indent=2, sort_keys=True))
-            elif command == "script":
-                source = (
-                    sys.stdin.read()
-                    if arguments.file == "-"
-                    else Path(arguments.file).read_text(encoding="utf-8")
-                )
-                for line in source.splitlines():
-                    if not line.strip():
-                        continue
-                    request = json.loads(line)
-                    response = await client.request(**_script_request(request))
-                    print(json.dumps(response), flush=True)
-                    for push in client.drain_pushes():
-                        print(json.dumps(push), flush=True)
-            return 0
-        finally:
-            await client.close()
-
-    async def _run_client_tx(client, arguments) -> int:
-        program = arguments.program.read_text(encoding="utf-8")
-        for attempt in range(1, max(1, arguments.retries) + 1):
-            begun = await client.call("tx-begin")
-            session = begun["session"]
-            try:
-                for body in arguments.read:
-                    await client.call("tx-query", session=session, body=body)
-                await client.call(
-                    "tx-stage", session=session, program=program
-                )
-                response = await client.call(
-                    "tx-commit", session=session, tag=arguments.tag
-                )
-            except ConflictError as conflict:
-                print(
-                    f"attempt {attempt}: conflict with revision "
-                    f"{conflict.conflicting_index} "
-                    f"[{conflict.conflicting_tag}], retrying",
-                    file=sys.stderr,
-                )
-                continue
+    kwargs = _client_connect_kwargs(arguments)
+    if "path" in kwargs:
+        target = f"serve:{kwargs['path']}"
+    else:
+        target = f"tcp:{kwargs['host']}:{kwargs['port']}"
+    command = arguments.client_command
+    with connect(target) as conn:
+        if command == "ping":
+            print(f"pong (protocol {conn.ping()['protocol']})")
+        elif command == "query":
+            _print_answers(conn.query(arguments.body))
+        elif command == "apply":
+            program = arguments.program.read_text(encoding="utf-8")
+            revision = conn.apply(program, tag=arguments.tag)
             print(
-                f"committed revision {response['revision']} "
-                f"(pinned {begun['revision']}, attempt {attempt})",
+                f"revision {revision.index} [{revision.tag}]: "
+                f"+{revision.added} -{revision.removed} facts",
                 file=sys.stderr,
             )
-            return 0
-        print(f"error: gave up after {arguments.retries} conflicts", file=sys.stderr)
-        return 1
+        elif command == "subscribe":
+            stream = conn.subscribe(arguments.body)
+            _print_answers(stream.answers)
+            for received in range(max(0, arguments.pushes)):
+                delta = stream.next(timeout=arguments.timeout)
+                if delta is None:
+                    # The connection is healthy — no commit touched the
+                    # query in time.  Say that, don't blame the socket.
+                    print(
+                        f"error: no answer diff arrived within "
+                        f"{arguments.timeout:g}s "
+                        f"({received} of {arguments.pushes} received)",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(json.dumps(delta.as_push()), flush=True)
+        elif command == "tx":
+            return _run_client_tx(conn, arguments, ConflictError)
+        elif command == "log":
+            for revision in conn.log():
+                marker = "*" if revision.snapshot else " "
+                program = revision.program or "-"
+                print(
+                    f"{revision.index:>4} {marker} "
+                    f"{revision.tag:<24} +{revision.added:<5} "
+                    f"-{revision.removed:<5} {program}"
+                )
+        elif command == "as-of":
+            # display-only: print the server's formatted text as-is (the
+            # raw escape hatch) instead of parse+reformat round-tripping
+            print(conn.call("as-of", revision=arguments.revision)["facts"])
+        elif command == "stats":
+            print(json.dumps(conn.stats(), indent=2, sort_keys=True))
+        elif command == "script":
+            source = (
+                sys.stdin.read()
+                if arguments.file == "-"
+                else Path(arguments.file).read_text(encoding="utf-8")
+            )
+            for line in source.splitlines():
+                if not line.strip():
+                    continue
+                request = json.loads(line)
+                response = conn.request(**_script_request(request))
+                print(json.dumps(response), flush=True)
+                for push in conn.drain_pushes():
+                    print(json.dumps(push), flush=True)
+        return 0
 
-    return asyncio.run(run())
+
+def _run_client_tx(conn, arguments, conflict_error) -> int:
+    """One optimistic transaction with conflict retry.  The loop stays in
+    the CLI (rather than `transaction(attempts=N)`) so every lost attempt
+    prints its conflict notice — operators watch that stderr stream to
+    spot contention."""
+    program = arguments.program.read_text(encoding="utf-8")
+    for attempt in range(1, max(1, arguments.retries) + 1):
+        transaction = conn.transaction(tag=arguments.tag)
+        try:
+            with transaction:
+                for body in arguments.read:
+                    transaction.query(body)
+                transaction.stage(program)
+        except conflict_error as conflict:
+            print(
+                f"attempt {attempt}: conflict with revision "
+                f"{conflict.conflicting_index} "
+                f"[{conflict.conflicting_tag}], retrying",
+                file=sys.stderr,
+            )
+            continue
+        print(
+            f"committed revision {transaction.result.revision.index} "
+            f"(pinned {transaction.pinned}, attempt {attempt})",
+            file=sys.stderr,
+        )
+        return 0
+    print(f"error: gave up after {arguments.retries} conflicts", file=sys.stderr)
+    return 1
 
 
 def _script_request(request: dict) -> dict:
@@ -644,81 +643,81 @@ def _cmd_store(arguments) -> int:
 
 
 def _cmd_store_init(arguments) -> int:
-    from repro.storage import StoreOptions, VersionedStore, save_store
+    from repro.api import connect
+    from repro.storage import StoreOptions
     from repro.storage.serialize import JOURNAL_FILE
 
-    existing = arguments.directory / JOURNAL_FILE
-    if existing.exists():
-        raise ReproError(
-            f"a journal already exists at {existing}; refusing to overwrite "
-            f"its history — pick a fresh directory"
-        )
     base = parse_object_base(arguments.base.read_text(encoding="utf-8"))
     overrides = {"delta_chain": not arguments.full_copy}
     if arguments.snapshot_interval is not None:
         overrides["snapshot_interval"] = arguments.snapshot_interval
-    store = VersionedStore(
-        base, tag=arguments.tag, options=StoreOptions(**overrides)
-    )
-    journal = save_store(store, arguments.directory)
-    print(f"initialized {journal} ({len(store.current)} facts)", file=sys.stderr)
+    # connect() refuses to initialize over an existing journal, so history
+    # cannot be overwritten from here.
+    with connect(
+        arguments.directory,
+        base=base,
+        tag=arguments.tag,
+        options=StoreOptions(**overrides),
+    ) as conn:
+        facts = len(conn.as_of(0))
+    journal = arguments.directory / JOURNAL_FILE
+    print(f"initialized {journal} ({facts} facts)", file=sys.stderr)
     return 0
 
 
 def _cmd_store_apply(arguments) -> int:
-    from repro.storage import append_revision, load_store
+    from repro.api import connect
 
-    # apply is a journal writer: a torn tail line is repaired on disk
-    store = load_store(arguments.directory, repair=True)
     program = parse_program(arguments.program.read_text(encoding="utf-8"))
     program.name = arguments.program.stem
-    store.apply(program, tag=arguments.tag)
-    append_revision(store, arguments.directory)
-    head = store.head
+    # connect() opens the journal as a writer: a torn tail line is repaired
+    # on disk, and the commit below is journalled automatically.
+    with connect(arguments.directory) as conn:
+        revision = conn.apply(program, tag=arguments.tag)
     print(
-        f"revision {head.index} [{head.tag}]: "
-        f"+{len(head.added)} -{len(head.removed)} facts",
+        f"revision {revision.index} [{revision.tag}]: "
+        f"+{revision.added} -{revision.removed} facts",
         file=sys.stderr,
     )
     return 0
 
 
 def _cmd_store_log(arguments) -> int:
-    from repro.storage import load_store
+    from repro.api import connect
 
-    # metadata only: lazy snapshot loading means no snap-*.json is parsed
-    store = load_store(arguments.directory)
-    for revision in store.revisions():
-        marker = "*" if store.has_snapshot(revision.index) else " "
-        program = revision.program_name or "-"
-        print(
-            f"{revision.index:>4} {marker} {revision.tag:<24} "
-            f"+{len(revision.added):<5} -{len(revision.removed):<5} {program}"
-        )
+    # readonly: metadata only, no journal repair, no cold snapshots parsed
+    with connect(arguments.directory, readonly=True) as conn:
+        for revision in conn.log():
+            marker = "*" if revision.snapshot else " "
+            program = revision.program or "-"
+            print(
+                f"{revision.index:>4} {marker} {revision.tag:<24} "
+                f"+{revision.added:<5} -{revision.removed:<5} {program}"
+            )
     return 0
 
 
 def _cmd_store_diff(arguments) -> int:
-    from repro.storage import load_store
+    from repro.api import connect
 
-    store = load_store(arguments.directory)
-    added, removed = store.diff(
-        _revision_ref(arguments.older),
-        _revision_ref(arguments.newer),
-        include_exists=arguments.include_exists,
-    )
-    for fact in sorted(added, key=str):
+    with connect(arguments.directory, readonly=True) as conn:
+        added, removed = conn.diff(
+            arguments.older,
+            arguments.newer,
+            include_exists=arguments.include_exists,
+        )
+    for fact in added:
         print(f"+ {fact}")
-    for fact in sorted(removed, key=str):
+    for fact in removed:
         print(f"- {fact}")
     return 0
 
 
 def _cmd_store_as_of(arguments) -> int:
-    from repro.storage import load_store
+    from repro.api import connect
 
-    store = load_store(arguments.directory)
-    text = format_object_base(store.as_of(_revision_ref(arguments.revision)))
+    with connect(arguments.directory, readonly=True) as conn:
+        text = format_object_base(conn.as_of(arguments.revision))
     if arguments.out:
         arguments.out.write_text(text + "\n", encoding="utf-8")
         print(f"wrote {arguments.out}", file=sys.stderr)
@@ -742,11 +741,6 @@ def _cmd_store_compact(arguments) -> int:
         file=sys.stderr,
     )
     return 0
-
-
-def _revision_ref(text: str) -> str | int:
-    """CLI revision references: digits mean an index, anything else a tag."""
-    return int(text) if text.lstrip("-").isdigit() else text
 
 
 _STORE_HANDLERS = {

@@ -41,6 +41,8 @@ __all__ = [
     "query_literals",
     "sorted_answers",
     "answer_sort_key",
+    "decode_answer",
+    "decode_answers",
     "diff_answers",
     "fold_answers",
     "result_value",
@@ -125,6 +127,51 @@ def fold_answers(
     folded.extend(added)
     folded.sort(key=_answer_sort_key)
     return folded
+
+
+def decode_answer(row) -> Answer:
+    """One received answer row in canonical form.
+
+    The canonical form is what :func:`query_literals` produces — plain
+    ``{name: value}`` dicts whose values are OID payloads (``str``/``int``/
+    ``float``) or concrete-syntax VID strings — with the bindings keyed in
+    sorted variable order, so two equal rows always render identically
+    (``repr``, ``json.dumps``) no matter which backend produced them.
+
+    This is the *decode on receipt* step of every client layer: a row that
+    crossed the JSON wire (or was handed out by an in-process dispatcher
+    straight from a store's live memo) becomes a fresh, canonical dict the
+    caller may mutate freely.  JSON artifacts are undone (lists become
+    tuples); a non-dict row is rejected as a protocol error.
+    """
+    from repro.core.errors import ReproError
+
+    if not isinstance(row, dict):
+        raise ReproError(f"malformed answer row {row!r}: expected an object")
+    return {
+        str(name): _decode_value(value)
+        for name, value in sorted(row.items(), key=lambda item: str(item[0]))
+    }
+
+
+def _decode_value(value):
+    if isinstance(value, list):
+        return tuple(_decode_value(item) for item in value)
+    return value
+
+
+def decode_answers(rows) -> list[Answer]:
+    """Decode a received answer list into canonical rows in canonical order.
+
+    Output is value-equal to what :func:`query_literals` returns for the
+    same query — the regression contract of the unified connection API: the
+    same query answered over the wire, through an in-process dispatcher, or
+    straight off a :class:`~repro.storage.history.VersionedStore` decodes to
+    the *same* list.
+    """
+    answers = [decode_answer(row) for row in rows]
+    answers.sort(key=_answer_sort_key)
+    return answers
 
 
 def sorted_answers(

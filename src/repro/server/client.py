@@ -9,6 +9,14 @@ messages accumulate in-process and are drained with :meth:`LocalClient.pushes`.
 :class:`AsyncClient` speaks the JSON-lines protocol over a unix socket or
 TCP: one background reader task routes responses to their awaiting callers
 by ``id`` and queues pushes for :meth:`AsyncClient.next_push`.
+
+.. deprecated::
+    For application code, prefer the unified connection facade —
+    ``repro.connect("serve:/path/to.sock")`` (or an in-process
+    ``repro.connect("memory:")`` / journal-directory target) yields the same
+    typed surface over every backend.  These clients remain the wire
+    building blocks the facade is built on and stay supported for raw
+    protocol work (scripting, new transports).
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 
+from repro.core.query import decode_answers
 from repro.server.errors import ConflictError, ServerError
 from repro.server.protocol import LINE_LIMIT, ClientState, Dispatcher, decode, encode
 from repro.server.service import StoreService
@@ -53,7 +62,10 @@ class _ClientConveniences:
         return self.call("apply", program=program, tag=tag)
 
     def query(self, body: str) -> list:
-        return self.call("query", body=body)["answers"]
+        """Answers at the head, decoded on receipt: canonical fresh rows,
+        value-equal to ``repro.query`` on the same base — never the
+        dispatcher's live memo lists."""
+        return decode_answers(self.call("query", body=body)["answers"])
 
     def prepare(self, body: str, *, name: str | None = None) -> dict:
         return self.call("prepare", body=body, name=name)
@@ -68,7 +80,11 @@ class _ClientConveniences:
         return self.call("tx-begin")["session"]
 
     def tx_query(self, session: str, body: str) -> list:
-        return self.call("tx-query", session=session, body=body)["answers"]
+        """Answers at the session's pinned revision, decoded on receipt
+        (same contract as :meth:`query`)."""
+        return decode_answers(
+            self.call("tx-query", session=session, body=body)["answers"]
+        )
 
     def stage(self, session: str, program: str) -> dict:
         return self.call("tx-stage", session=session, program=program)
@@ -140,7 +156,14 @@ class LocalClient(_ClientConveniences):
 def connect_local(target) -> LocalClient:
     """Connect in-process: ``target`` is a :class:`StoreService`, a
     :class:`~repro.storage.history.VersionedStore` (wrapped in a fresh
-    service), or a journal directory path (opened with durability)."""
+    service), or a journal directory path (opened with durability).
+
+    .. deprecated::
+        Prefer ``repro.connect(target)`` — the unified facade accepts the
+        same targets and returns the typed :class:`~repro.api.Connection`
+        surface instead of raw protocol dicts.  Kept as the thin shim for
+        code that wants the dict-protocol dispatcher directly.
+    """
     from pathlib import Path
 
     from repro.storage.history import VersionedStore

@@ -11,18 +11,19 @@ response of the commit that caused them.
 Commands::
 
     ping                                     liveness probe
-    apply      {program, tag?}               autocommit an update program
+    apply      {program, tag?, name?}        autocommit an update program
     query      {body}                        answers at the head (memoized)
     prepare    {body, name?}                 register a prepared query
     subscribe  {body, name?}                 live query; initial answers + sid
     unsubscribe{sid}
     tx-begin                                 MVCC session; pinned revision
     tx-query   {session, body}               read at the pin (footprint-tracked)
-    tx-stage   {session, program}            queue an update program
+    tx-stage   {session, program, name?}     queue an update program
     tx-commit  {session, tag?}               optimistic commit (may conflict)
     tx-abort   {session}
-    log                                      the revision chain
+    log        {last?}                       the revision chain (last N only)
     as-of      {revision}                    base text at a tag/index
+    diff       {older, newer, include_exists?}  fact strings between revisions
     stats                                    service counters
 
 The :class:`Dispatcher` maps request dicts to response dicts against a
@@ -40,13 +41,14 @@ from repro.core.errors import ReproError
 from repro.lang.pretty import format_object_base
 from repro.server.errors import ConflictError, SessionError
 from repro.server.service import Session, StoreService
+from repro.storage.history import resolve_revision_ref
 
 __all__ = [
     "encode", "decode", "ClientState", "Dispatcher",
     "PROTOCOL_VERSION", "LINE_LIMIT",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Per-frame byte ceiling for both transports' stream readers.  asyncio's
 #: default readline limit is 64 KiB; one ``as-of`` response carries a whole
@@ -147,13 +149,35 @@ class Dispatcher:
             raise SessionError(f"unknown session {session_id!r} on this connection")
         return session
 
+    def _revision_payload(self, revision) -> dict:
+        """One revision as the wire's uniform record shape (shared by
+        ``apply``, ``tx-commit`` and ``log``, and decoded by the connection
+        facade into its :class:`~repro.api.model.Revision` records)."""
+        return {
+            "index": revision.index,
+            "tag": revision.tag,
+            "program": revision.program_name,
+            "added": len(revision.added),
+            "removed": len(revision.removed),
+            "snapshot": self.service.store.has_snapshot(revision.index),
+        }
+
     # -- command handlers --------------------------------------------------
     def _cmd_ping(self, request, state) -> dict:
         return {"pong": True, "protocol": PROTOCOL_VERSION}
 
+    def _coerced_program(self, request):
+        """The request's program, parsed, with the optional ``name`` field
+        applied (so journals record the caller's program name)."""
+        program = self.service.coerce_program(_required(request, "program"))
+        name = request.get("name")
+        if isinstance(name, str) and name:
+            program.name = name
+        return program
+
     def _cmd_apply(self, request, state) -> dict:
         outcome = self.service.apply(
-            _required(request, "program"), tag=request.get("tag", "")
+            self._coerced_program(request), tag=request.get("tag", "")
         )
         revision = outcome.revision
         return {
@@ -161,6 +185,7 @@ class Dispatcher:
             "tag": revision.tag,
             "added": outcome.added,
             "removed": outcome.removed,
+            "revisions": [self._revision_payload(r) for r in outcome.revisions],
         }
 
     def _cmd_query(self, request, state) -> dict:
@@ -210,7 +235,7 @@ class Dispatcher:
 
     def _cmd_tx_stage(self, request, state) -> dict:
         session = self._session(request, state)
-        session.stage(_required(request, "program"))
+        session.stage(self._coerced_program(request))
         return {"staged": len(session.staged)}
 
     def _cmd_tx_commit(self, request, state) -> dict:
@@ -222,9 +247,7 @@ class Dispatcher:
                 state.sessions.pop(session.id, None)
         return {
             "revision": outcome.revision.index,
-            "revisions": [
-                {"index": r.index, "tag": r.tag} for r in outcome.revisions
-            ],
+            "revisions": [self._revision_payload(r) for r in outcome.revisions],
             "added": outcome.added,
             "removed": outcome.removed,
         }
@@ -236,27 +259,31 @@ class Dispatcher:
         return {"aborted": True}
 
     def _cmd_log(self, request, state) -> dict:
-        store = self.service.store
+        revisions = self.service.store.revisions()
+        last = request.get("last")
+        if isinstance(last, int) and not isinstance(last, bool) and last > 0:
+            revisions = revisions[-last:]
         return {
             "revisions": [
-                {
-                    "index": revision.index,
-                    "tag": revision.tag,
-                    "program": revision.program_name,
-                    "added": len(revision.added),
-                    "removed": len(revision.removed),
-                    "snapshot": store.has_snapshot(revision.index),
-                }
-                for revision in store.revisions()
+                self._revision_payload(revision) for revision in revisions
             ]
         }
 
     def _cmd_as_of(self, request, state) -> dict:
-        reference = _required(request, "revision")
-        if isinstance(reference, str) and reference.lstrip("-").isdigit():
-            reference = int(reference)
+        reference = resolve_revision_ref(_required(request, "revision"))
         base = self.service.store.as_of(reference)
         return {"facts": format_object_base(base), "count": len(base)}
+
+    def _cmd_diff(self, request, state) -> dict:
+        added, removed = self.service.store.diff(
+            resolve_revision_ref(_required(request, "older")),
+            resolve_revision_ref(_required(request, "newer")),
+            include_exists=bool(request.get("include_exists", False)),
+        )
+        return {
+            "added": sorted(str(fact) for fact in added),
+            "removed": sorted(str(fact) for fact in removed),
+        }
 
     def _cmd_stats(self, request, state) -> dict:
         return {"stats": self.service.stats()}
@@ -283,5 +310,6 @@ _HANDLERS = {
     "tx-abort": Dispatcher._cmd_tx_abort,
     "log": Dispatcher._cmd_log,
     "as-of": Dispatcher._cmd_as_of,
+    "diff": Dispatcher._cmd_diff,
     "stats": Dispatcher._cmd_stats,
 }

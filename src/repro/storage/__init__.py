@@ -14,7 +14,12 @@ object versioning as in [Kim91].  This subpackage provides that usual sense:
   ``compact_journal``).
 """
 
-from repro.storage.history import StoreOptions, StoreRevision, VersionedStore
+from repro.storage.history import (
+    StoreOptions,
+    StoreRevision,
+    VersionedStore,
+    resolve_revision_ref,
+)
 from repro.storage.serialize import (
     append_revision,
     compact_journal,
@@ -30,6 +35,7 @@ __all__ = [
     "VersionedStore",
     "StoreOptions",
     "StoreRevision",
+    "resolve_revision_ref",
     "dump_base_text",
     "load_base_text",
     "dump_base_json",

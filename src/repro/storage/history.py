@@ -43,7 +43,34 @@ from repro.core.objectbase import Delta, ObjectBase
 from repro.core.query import Answer, PreparedQuery, prepare_query
 from repro.core.rules import UpdateProgram
 
-__all__ = ["StoreOptions", "StoreRevision", "VersionedStore"]
+__all__ = [
+    "StoreOptions",
+    "StoreRevision",
+    "VersionedStore",
+    "resolve_revision_ref",
+]
+
+
+def resolve_revision_ref(ref: str | int) -> str | int:
+    """Canonical tag-or-index revision addressing, shared by every surface.
+
+    Integers and all-digit strings (optionally ``-``-signed, as produced by
+    CLIs and wire payloads) address revisions *by index*; any other string
+    addresses *by tag*.  All-digit tags are rejected at commit time
+    (:func:`_check_tag`), so the coercion is never ambiguous.  The store,
+    the wire dispatcher, the CLI and the connection facade all resolve
+    references through this one function, so ``as_of``/``diff`` accept the
+    same forms — and fail with the same messages — on every backend.
+    """
+    if isinstance(ref, bool):
+        raise ReproError(f"no revision {ref!r}")
+    if isinstance(ref, int):
+        return ref
+    if isinstance(ref, str) and ref.removeprefix("-").isdigit():
+        # exactly one optional sign: "--2" is not an index (nor a valid
+        # tag, but it must fail as "no revision tagged", not a ValueError)
+        return int(ref)
+    return ref
 
 #: A deferred snapshot: called once, on first need, to produce the base.
 SnapshotSource = Callable[[], ObjectBase]
@@ -336,6 +363,7 @@ class VersionedStore:
         return base.apply_delta(added, removed).freeze()
 
     def _find(self, tag_or_index: str | int) -> StoreRevision:
+        tag_or_index = resolve_revision_ref(tag_or_index)
         if isinstance(tag_or_index, int):
             # Reject negative indexes instead of letting Python's sequence
             # addressing silently resolve them to a revision near the head.

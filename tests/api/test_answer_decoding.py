@@ -1,0 +1,105 @@
+"""Satellite regression: every client surface returns *decoded* answers.
+
+``_ClientConveniences.query``/``tx_query`` used to hand back whatever the
+dispatcher produced — for the in-process client that was the store's live
+memo rows (mutating one corrupted the cache), and over the wire the raw
+JSON decode.  Now every receipt path decodes into canonical fresh rows
+that match ``repro.query`` exactly.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.api import BackgroundServer
+from repro.core.query import answer_sort_key, decode_answer, decode_answers
+from repro.server import connect_local
+from repro.server.service import StoreService
+from repro.storage import VersionedStore
+
+BASE = """
+    phil.isa -> empl.   phil.sal -> 4000.
+    bob.isa -> empl.    bob.sal -> 4200.
+    v7.isa -> widget.   v7.label -> seven.
+"""
+QUERY = "E.isa -> empl, E.sal -> S"
+
+
+@pytest.fixture()
+def service():
+    return StoreService(VersionedStore(repro.parse_object_base(BASE)))
+
+
+class TestLocalClientDecoding:
+    def test_matches_repro_query_exactly(self, service):
+        with connect_local(service) as client:
+            received = client.query(QUERY)
+        expected = repro.query(service.store.current, QUERY)
+        assert received == expected
+
+    def test_rows_are_fresh_copies_not_the_live_memo(self, service):
+        with connect_local(service) as client:
+            first = client.query(QUERY)
+            first[0]["S"] = "corrupted"
+            first.pop()
+            assert client.query(QUERY) == repro.query(
+                service.store.current, QUERY
+            )
+
+    def test_tx_query_matches_repro_query(self, service):
+        with connect_local(service) as client:
+            session = client.begin()
+            received = client.tx_query(session, QUERY)
+            client.abort(session)
+        assert received == repro.query(service.store.current, QUERY)
+
+
+class TestWireDecoding:
+    def test_served_answers_match_repro_query(self, service, tmp_path):
+        socket_path = str(tmp_path / "decode.sock")
+        with BackgroundServer(service, path=socket_path):
+            with repro.connect(f"serve:{socket_path}") as conn:
+                received = conn.query(QUERY)
+                with conn.transaction() as tx:
+                    tx_received = tx.query(QUERY)
+        expected = repro.query(service.store.current, QUERY)
+        assert received == expected
+        assert tx_received == expected
+
+    def test_mixed_value_types_survive_the_wire(self, service, tmp_path):
+        # int results and symbolic results of one variable sort and decode
+        # identically over the wire (the type-ranked answer order)
+        body = "X.isa -> T"
+        socket_path = str(tmp_path / "mixed.sock")
+        with BackgroundServer(service, path=socket_path):
+            with repro.connect(f"serve:{socket_path}") as conn:
+                assert conn.query(body) == repro.query(
+                    service.store.current, body
+                )
+
+
+class TestCanonicalForm:
+    def test_decode_answer_sorts_binding_keys(self):
+        row = {"S": 4000, "E": "phil"}
+        assert list(decode_answer(row)) == ["E", "S"]
+        assert json.dumps(decode_answer(row)) == '{"E": "phil", "S": 4000}'
+
+    def test_decode_answers_restores_canonical_order(self):
+        rows = [{"E": "zed"}, {"E": "abe"}]
+        decoded = decode_answers(rows)
+        assert decoded == sorted(decoded, key=answer_sort_key)
+        assert decoded[0] == {"E": "abe"}
+
+    def test_json_artifacts_are_undone(self):
+        assert decode_answer({"X": [1, 2]}) == {"X": (1, 2)}
+
+    def test_non_dict_rows_are_protocol_errors(self):
+        with pytest.raises(repro.ReproError, match="malformed answer row"):
+            decode_answer(["not", "a", "row"])
+
+    def test_facade_answers_are_canonical_on_every_backend(self):
+        with repro.connect("memory:", base=BASE) as conn:
+            rows = conn.query(QUERY)
+        assert [list(row) for row in rows] == [["E", "S"], ["E", "S"]]
+        assert rows == sorted(rows, key=answer_sort_key)

@@ -1,0 +1,209 @@
+"""Target resolution: every ``repro.connect`` form opens the right backend
+with the same surface, and bad targets fail with clean library errors."""
+
+import pytest
+
+import repro
+from repro.api import (
+    BackgroundServer,
+    ServiceConnection,
+    WireConnection,
+)
+from repro.core.errors import ReproError
+from repro.server.service import StoreService
+from repro.storage import StoreOptions, VersionedStore
+
+BASE = "phil.isa -> empl. phil.sal -> 4000."
+RAISE = "raise: mod[phil].sal -> (S, S2) <= phil.sal -> S, S2 = S + 100."
+
+
+class TestMemoryTargets:
+    def test_empty_memory_store(self):
+        with repro.connect("memory:") as conn:
+            assert conn.query("X.isa -> Y") == []
+            assert [r.tag for r in conn.log()] == ["initial"]
+
+    def test_seeded_with_text(self):
+        with repro.connect("memory:", base=BASE) as conn:
+            assert conn.query("phil.sal -> S") == [{"S": 4000}]
+
+    def test_seeded_with_object_base(self):
+        base = repro.parse_object_base(BASE)
+        with repro.connect("memory:", base=base, tag="seeded") as conn:
+            assert conn.head.tag == "seeded"
+
+    def test_store_options_apply(self):
+        options = StoreOptions(snapshot_interval=2)
+        with repro.connect("memory:", base=BASE, options=options) as conn:
+            for round_number in range(3):
+                conn.apply(RAISE, tag=f"r{round_number}a")
+            assert [r.snapshot for r in conn.log()] == [True, False, True, False]
+
+    def test_bad_base_type(self):
+        with pytest.raises(ReproError, match="base="):
+            repro.connect("memory:", base=42)
+
+    def test_readonly_memory_rejects_writes(self):
+        with repro.connect("memory:", base=BASE, readonly=True) as conn:
+            assert conn.query("phil.sal -> S") == [{"S": 4000}]
+            with pytest.raises(ReproError, match="read-only"):
+                conn.apply(RAISE)
+
+
+class TestEmbeddedObjects:
+    def test_versioned_store(self):
+        store = VersionedStore(repro.parse_object_base(BASE))
+        with repro.connect(store) as conn:
+            assert isinstance(conn, ServiceConnection)
+            conn.apply(RAISE, tag="raised")
+        assert store.head.tag == "raised"  # same store, not a copy
+
+    def test_store_service(self):
+        service = StoreService(VersionedStore(repro.parse_object_base(BASE)))
+        with repro.connect(service) as conn:
+            assert conn.service is service
+
+    def test_seed_kwargs_rejected_on_existing_objects(self):
+        store = VersionedStore(repro.parse_object_base(BASE))
+        with pytest.raises(ReproError, match="base="):
+            repro.connect(store, base=BASE)
+        with pytest.raises(ReproError, match="options="):
+            repro.connect(store, options=StoreOptions())
+
+    def test_unknown_target_type(self):
+        with pytest.raises(ReproError, match="connect\\(\\) needs"):
+            repro.connect(42)
+
+
+class TestJournalTargets:
+    def test_create_then_reopen(self, tmp_path):
+        directory = tmp_path / "store"
+        with repro.connect(directory, base=BASE, tag="day0") as conn:
+            conn.apply(RAISE, tag="raised")
+        with repro.connect(directory) as conn:
+            assert [r.tag for r in conn.log()] == ["day0", "raised"]
+            assert conn.query("phil.sal -> S") == [{"S": 4100}]
+
+    def test_missing_journal_without_base(self, tmp_path):
+        with pytest.raises(ReproError, match="no journal"):
+            repro.connect(tmp_path / "nope")
+
+    def test_refuses_to_overwrite_existing_journal(self, tmp_path):
+        directory = tmp_path / "store"
+        repro.connect(directory, base=BASE).close()
+        with pytest.raises(ReproError, match="already exists"):
+            repro.connect(directory, base=BASE)
+
+    def test_readonly_never_creates_a_journal(self, tmp_path):
+        directory = tmp_path / "fresh"
+        with pytest.raises(ReproError, match="read-only"):
+            repro.connect(directory, base=BASE, readonly=True)
+        assert not directory.exists()  # nothing written to disk
+
+    def test_readonly_rejects_writes(self, tmp_path):
+        directory = tmp_path / "store"
+        repro.connect(directory, base=BASE).close()
+        with repro.connect(directory, readonly=True) as conn:
+            assert conn.query("phil.sal -> S") == [{"S": 4000}]
+            with pytest.raises(ReproError, match="read-only"):
+                conn.apply(RAISE)
+            with pytest.raises(ReproError, match="read-only"):
+                conn.transaction()
+
+
+class TestServedTargets:
+    @pytest.fixture()
+    def served(self, tmp_path):
+        directory = tmp_path / "store"
+        repro.connect(directory, base=BASE).close()
+        socket_path = str(tmp_path / "x.sock")
+        with BackgroundServer(directory, path=socket_path) as server:
+            yield server, socket_path
+
+    def test_serve_prefix(self, served):
+        server, socket_path = served
+        with repro.connect(f"serve:{socket_path}") as conn:
+            assert isinstance(conn, WireConnection)
+            assert conn.ping()["pong"] is True
+
+    def test_server_target_property(self, served):
+        server, _ = served
+        with repro.connect(server.target) as conn:
+            assert conn.query("phil.sal -> S") == [{"S": 4000}]
+
+    def test_bare_socket_path(self, served):
+        _, socket_path = served
+        with repro.connect(socket_path) as conn:
+            assert isinstance(conn, WireConnection)
+
+    def test_tcp_target(self, tmp_path):
+        directory = tmp_path / "store"
+        repro.connect(directory, base=BASE).close()
+        with BackgroundServer(directory, port=0) as server:
+            with repro.connect(f"serve:{server.address[len('tcp:'):]}") as conn:
+                assert conn.ping()["pong"] is True
+            with repro.connect(server.address) as conn:  # tcp:host:port
+                assert conn.ping()["pong"] is True
+
+    def test_base_makes_no_sense_on_served_targets(self, served):
+        _, socket_path = served
+        with pytest.raises(ReproError, match="base="):
+            repro.connect(f"serve:{socket_path}", base=BASE)
+
+    def test_readonly_is_rejected_not_ignored(self, served):
+        # a client cannot make the server read-only; silently handing back
+        # a writable connection would defeat the caller's write guard
+        _, socket_path = served
+        with pytest.raises(ReproError, match="readonly"):
+            repro.connect(f"serve:{socket_path}", readonly=True)
+
+    def test_connect_failure_is_a_library_error(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot connect"):
+            repro.connect(f"serve:{tmp_path / 'nothing.sock'}")
+
+    def test_malformed_endpoints(self):
+        with pytest.raises(ReproError, match="endpoint"):
+            repro.connect("serve:")
+        with pytest.raises(ReproError, match="host:port"):
+            repro.connect("tcp:nowhere")
+        with pytest.raises(ReproError, match="socket path"):
+            repro.connect("unix:")
+
+
+class TestConnectionLifecycle:
+    def test_closed_connection_rejects_calls(self):
+        conn = repro.connect("memory:", base=BASE)
+        conn.close()
+        with pytest.raises(ReproError, match="closed"):
+            conn.query("phil.sal -> S")
+        conn.close()  # idempotent
+
+    def test_close_closes_streams(self):
+        conn = repro.connect("memory:", base=BASE)
+        stream = conn.subscribe("phil.sal -> S")
+        conn.close()
+        assert stream.closed
+
+    def test_stream_close_deregisters_from_the_connection(self):
+        conn = repro.connect("memory:", base=BASE)
+        stream = conn.subscribe("phil.sal -> S")
+        stream.close()
+        assert conn._streams == []  # no accumulation on long-lived conns
+        conn.close()
+
+    def test_close_wakes_a_blocked_consumer(self):
+        import threading
+        import time
+
+        conn = repro.connect("memory:", base=BASE)
+        stream = conn.subscribe("phil.sal -> S")
+        results = []
+        consumer = threading.Thread(
+            target=lambda: results.append(stream.next(timeout=None))
+        )
+        consumer.start()
+        time.sleep(0.2)  # let the consumer block inside next()
+        stream.close()
+        consumer.join(timeout=5)
+        assert not consumer.is_alive()
+        assert results == [None]

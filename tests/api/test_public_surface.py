@@ -1,0 +1,81 @@
+"""API-snapshot test: the public surface is exactly the documented names.
+
+``repro.__all__`` and ``repro.api.__all__`` must match these lists — name
+for name — and every name must import and be usable.  Accidental export
+churn (a renamed function, a dropped re-export, a new symbol that skipped
+the docs) fails here before it reaches a release.
+"""
+
+import repro
+import repro.api
+
+#: The documented root surface (README "Public API" + the module docstring).
+ROOT_SURFACE = [
+    "__version__",
+    # the unified connection API
+    "connect", "Connection",
+    # core types
+    "Oid", "Var", "VersionVar", "VersionId", "Term", "UpdateKind", "Fact",
+    "ObjectBase", "UpdateRule", "UpdateProgram",
+    "UpdateEngine", "UpdateResult", "EvaluationOptions",
+    "Stratification", "stratify", "evaluate", "build_new_base",
+    # queries
+    "query", "query_literals", "method_results", "result_value",
+    "PreparedQuery", "prepare_query",
+    # language
+    "parse_program", "parse_rule", "parse_body", "parse_object_base",
+    "parse_term", "format_program", "format_rule", "format_term",
+    "format_object_base",
+    # errors
+    "ReproError", "TermError", "ProgramError", "SafetyError",
+    "StratificationError", "EvaluationError", "EvaluationLimitError",
+    "VersionDepthError", "VersionLinearityError", "BuiltinError",
+    "ParseError",
+]
+
+#: The documented facade surface.
+API_SURFACE = [
+    "connect",
+    "Connection",
+    "Transaction",
+    "SubscriptionStream",
+    "Revision",
+    "CommitResult",
+    "AnswerDelta",
+    "Diff",
+    "ServiceConnection",
+    "WireConnection",
+    "BackgroundServer",
+    "ConflictError",
+    "ServerError",
+    "SessionError",
+]
+
+
+def test_root_all_matches_documented_surface():
+    assert list(repro.__all__) == ROOT_SURFACE
+
+
+def test_api_all_matches_documented_surface():
+    assert list(repro.api.__all__) == API_SURFACE
+
+
+def test_every_root_name_imports_and_is_usable():
+    for name in repro.__all__:
+        attribute = getattr(repro, name)  # AttributeError = broken export
+        if name == "__version__":
+            assert isinstance(attribute, str)
+        else:
+            assert callable(attribute), f"repro.{name} is not callable"
+
+
+def test_every_api_name_imports_and_is_usable():
+    for name in repro.api.__all__:
+        attribute = getattr(repro.api, name)
+        assert callable(attribute), f"repro.api.{name} is not callable"
+
+
+def test_facade_names_resolve_to_the_same_objects():
+    # The root re-exports are the facade's objects, not copies.
+    assert repro.connect is repro.api.connect
+    assert repro.Connection is repro.api.Connection

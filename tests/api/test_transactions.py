@@ -1,0 +1,131 @@
+"""The facade's transaction surface: context managers, conflict retry by
+replay, and the callable-retry form — identical over every backend."""
+
+import pytest
+
+import repro
+from repro.api import ConflictError, SessionError
+
+BASE = """
+    phil.isa -> empl.  phil.sal -> 4000.
+    bob.isa -> empl.   bob.sal -> 4200.
+"""
+RAISE = "raise: mod[E].sal -> (S, S2) <= E.isa -> empl, E.sal -> S, S2 = S + 50."
+BUMP = "bump: mod[E].sal -> (S, S2) <= E.isa -> empl, E.sal -> S, S2 = S + 1."
+
+
+@pytest.fixture()
+def conn():
+    with repro.connect("memory:", base=BASE) as connection:
+        yield connection
+
+
+class TestContextManager:
+    def test_clean_exit_commits_staged_programs(self, conn):
+        with conn.transaction(tag="raised") as tx:
+            assert tx.pinned == 0
+            tx.stage(RAISE)
+        assert tx.state == "committed"
+        assert tx.result.revision.tag == "raised"
+        assert conn.query("phil.sal -> S") == [{"S": 4050}]
+
+    def test_read_only_transaction_aborts_silently(self, conn):
+        with conn.transaction() as tx:
+            assert tx.query("phil.sal -> S") == [{"S": 4000}]
+        assert tx.state == "aborted"
+        assert len(conn.log()) == 1  # nothing committed
+
+    def test_exception_aborts_and_propagates(self, conn):
+        with pytest.raises(RuntimeError, match="boom"):
+            with conn.transaction() as tx:
+                tx.stage(RAISE)
+                raise RuntimeError("boom")
+        assert tx.state == "aborted"
+        assert len(conn.log()) == 1
+
+    def test_multiple_staged_programs_commit_as_a_batch(self, conn):
+        with conn.transaction(tag="batch") as tx:
+            tx.stage(RAISE)
+            tx.stage(BUMP)
+        assert [r.tag for r in tx.result.revisions] == ["batch.0", "batch.1"]
+        assert conn.query("phil.sal -> S") == [{"S": 4051}]
+
+
+class TestExplicitLifecycle:
+    def test_commit_returns_result_and_finishes(self, conn):
+        tx = conn.transaction()
+        tx.stage(RAISE)
+        result = tx.commit(tag="explicit")
+        assert result.revision.tag == "explicit"
+        with pytest.raises(SessionError, match="already committed"):
+            tx.commit()
+        with pytest.raises(SessionError, match="already committed"):
+            tx.stage(BUMP)
+
+    def test_commit_with_nothing_staged_is_an_error(self, conn):
+        tx = conn.transaction()
+        with pytest.raises(SessionError, match="nothing staged"):
+            tx.commit()
+
+    def test_abort_is_idempotent_and_final(self, conn):
+        tx = conn.transaction()
+        tx.stage(RAISE)
+        tx.abort()
+        tx.abort()
+        with pytest.raises(SessionError, match="already aborted"):
+            tx.query("phil.sal -> S")
+        assert len(conn.log()) == 1
+
+
+class TestConflictRetry:
+    def _race(self, conn, tx):
+        """Commit something inside the transaction's read footprint."""
+        tx.query("E.sal -> S")
+        conn.apply(BUMP, tag="interloper")
+        tx.stage(RAISE)
+
+    def test_single_attempt_raises_the_retryable_conflict(self, conn):
+        tx = conn.transaction()
+        self._race(conn, tx)
+        with pytest.raises(ConflictError) as info:
+            tx.commit()
+        assert info.value.retryable is True
+        assert info.value.conflicting_tag == "interloper"
+        assert tx.state == "aborted"
+
+    def test_attempts_replay_the_recorded_operations(self, conn):
+        tx = conn.transaction(tag="retried", attempts=3)
+        self._race(conn, tx)
+        result = tx.commit()
+        assert tx.attempts_used == 2
+        assert result.attempts == 2
+        assert result.revision.tag == "retried"
+        # the replayed transaction re-read at the *new* pin
+        assert tx.pinned == 1
+        # both the interloper and the retried raise landed
+        assert conn.query("phil.sal -> S") == [{"S": 4051}]
+
+    def test_run_transaction_reruns_the_callable(self, conn):
+        seen_salaries = []
+
+        def work(tx):
+            seen_salaries.append(tx.query("phil.sal -> S")[0]["S"])
+            if len(seen_salaries) == 1:
+                conn.apply(BUMP, tag="interloper")
+            tx.stage(RAISE)
+
+        result = conn.run_transaction(work, attempts=3, tag="cb")
+        assert result.attempts == 2
+        # the callable observed the pre- and post-interloper values: real
+        # re-execution, not a replayed recording
+        assert seen_salaries == [4000, 4001]
+        assert result.revision.tag == "cb"
+
+    def test_run_transaction_exhausts_attempts(self, conn):
+        def work(tx):
+            tx.query("E.sal -> S")
+            conn.apply(BUMP)
+            tx.stage(RAISE)
+
+        with pytest.raises(ConflictError):
+            conn.run_transaction(work, attempts=2)

@@ -110,7 +110,10 @@ class TestTransactions:
         assert staged["staged"] == 1
         committed = client.commit(session, tag="mine")
         assert committed["revision"] == 1
-        assert committed["revisions"] == [{"index": 1, "tag": "mine"}]
+        [revision] = committed["revisions"]
+        assert revision["index"] == 1 and revision["tag"] == "mine"
+        assert revision["added"] == 1 and revision["removed"] == 1
+        assert revision["snapshot"] is False
         # the session is gone from the connection after commit
         response = client.request("tx-commit", session=session)
         assert response["ok"] is False and "unknown session" in response["error"]
