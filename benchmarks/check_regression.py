@@ -20,6 +20,12 @@ Usage (what CI runs)::
         --baseline BENCH_PR3.json --fresh bench-queries-ci.json \
         --p1-baseline BENCH_PR1.json --p1-fresh bench-ci.json \
         --serve-baseline BENCH_PR4.json --serve-fresh bench-serve-ci.json
+
+The chaos job runs the soak checks on their own — correctness
+invariants are absolute, throughput is a ratio::
+
+    python benchmarks/check_regression.py \
+        --soak-baseline BENCH_PR6.json --soak-fresh bench-soak-ci.json
 """
 
 from __future__ import annotations
@@ -51,10 +57,10 @@ def check_ratio(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", type=Path, required=True,
-                        help="committed BENCH_PR3.json")
-    parser.add_argument("--fresh", type=Path, required=True,
-                        help="query sweep produced by this run")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed BENCH_PR3.json (optional)")
+    parser.add_argument("--fresh", type=Path, default=None,
+                        help="query sweep produced by this run (optional)")
     parser.add_argument("--p1-baseline", type=Path, default=None,
                         help="committed BENCH_PR1.json (optional)")
     parser.add_argument("--p1-fresh", type=Path, default=None,
@@ -63,39 +69,48 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed BENCH_PR4.json (optional)")
     parser.add_argument("--serve-fresh", type=Path, default=None,
                         help="serve sweep produced by this run (optional)")
+    parser.add_argument("--soak-baseline", type=Path, default=None,
+                        help="committed BENCH_PR6.json (optional)")
+    parser.add_argument("--soak-fresh", type=Path, default=None,
+                        help="soak run produced by this CI job (optional)")
     parser.add_argument("--tolerance", type=float, default=0.5,
                         help="allowed relative shortfall vs the baseline "
                         "ratio (default: %(default)s — CI machines are noisy)")
     arguments = parser.parse_args(argv)
 
-    baseline = json.loads(arguments.baseline.read_text(encoding="utf-8"))
-    fresh = json.loads(arguments.fresh.read_text(encoding="utf-8"))
     failures: list[str] = []
 
-    served = fresh["speedup_served_over_per_call"]
-    verdict = "ok" if served >= SERVED_SPEEDUP_FLOOR else "REGRESSION"
-    print(
-        f"{'served speedup floor':<45} fresh {served:7.2f}x  "
-        f"floor {SERVED_SPEEDUP_FLOOR:.2f}x{'':>21}{verdict}"
-    )
-    if served < SERVED_SPEEDUP_FLOOR:
-        failures.append("served speedup floor")
-    check_ratio(
-        failures, "served over per-call",
-        served, baseline["speedup_served_over_per_call"], arguments.tolerance,
-    )
-    for name, entry in baseline["per_query_head"].items():
-        fresh_entry = fresh["per_query_head"].get(name)
-        if fresh_entry is None:
-            print(f"{name:<45} missing from fresh sweep            REGRESSION")
-            failures.append(name)
-            continue
+    if arguments.baseline and arguments.fresh:
+        baseline = json.loads(arguments.baseline.read_text(encoding="utf-8"))
+        fresh = json.loads(arguments.fresh.read_text(encoding="utf-8"))
+        served = fresh["speedup_served_over_per_call"]
+        verdict = "ok" if served >= SERVED_SPEEDUP_FLOOR else "REGRESSION"
+        print(
+            f"{'served speedup floor':<45} fresh {served:7.2f}x  "
+            f"floor {SERVED_SPEEDUP_FLOOR:.2f}x{'':>21}{verdict}"
+        )
+        if served < SERVED_SPEEDUP_FLOOR:
+            failures.append("served speedup floor")
         check_ratio(
-            failures, f"indexed over dynamic [{name}]",
-            fresh_entry["speedup_indexed_over_dynamic"],
-            entry["speedup_indexed_over_dynamic"],
+            failures, "served over per-call",
+            served, baseline["speedup_served_over_per_call"],
             arguments.tolerance,
         )
+        for name, entry in baseline["per_query_head"].items():
+            fresh_entry = fresh["per_query_head"].get(name)
+            if fresh_entry is None:
+                print(
+                    f"{name:<45} missing from fresh sweep            "
+                    "REGRESSION"
+                )
+                failures.append(name)
+                continue
+            check_ratio(
+                failures, f"indexed over dynamic [{name}]",
+                fresh_entry["speedup_indexed_over_dynamic"],
+                entry["speedup_indexed_over_dynamic"],
+                arguments.tolerance,
+            )
 
     if arguments.serve_baseline and arguments.serve_fresh:
         serve_baseline = json.loads(
@@ -116,6 +131,34 @@ def main(argv: list[str] | None = None) -> int:
             failures, "serve throughput served over naive",
             serve_ratio,
             serve_baseline["throughput_ratio_served_over_naive"],
+            arguments.tolerance,
+        )
+
+    if arguments.soak_baseline and arguments.soak_fresh:
+        soak_baseline = json.loads(
+            arguments.soak_baseline.read_text(encoding="utf-8")
+        )
+        soak_fresh = json.loads(
+            arguments.soak_fresh.read_text(encoding="utf-8")
+        )
+        # correctness invariants are absolute: any breach is a regression
+        for invariant, want in (
+            ("consistent", True),
+            ("journal_ok", True),
+            ("non_retryable_errors", 0),
+        ):
+            got = soak_fresh.get(invariant)
+            verdict = "ok" if got == want else "REGRESSION"
+            print(
+                f"{f'soak {invariant}':<45} fresh {got!r:>8}  "
+                f"required {want!r}{'':>14}{verdict}"
+            )
+            if got != want:
+                failures.append(f"soak {invariant}")
+        check_ratio(
+            failures, "soak commit throughput (commits/s)",
+            soak_fresh["commits_per_second"],
+            soak_baseline["commits_per_second"],
             arguments.tolerance,
         )
 

@@ -14,7 +14,13 @@ Scenario (what the CI job runs)::
    answer-diff JSON line and exit 0;
 5. ``repro client tx`` an optimistic transaction with a read footprint;
 6. ``repro client log`` must show the three revisions; a bad revision
-   reference must exit non-zero with a clean message.
+   reference must exit non-zero with a clean message;
+7. terminate the server (graceful drain) and check the journal kept the
+   transaction;
+8. restart, commit once more, then SIGKILL the server: every
+   acknowledged journal byte must survive the crash, ``repro store
+   verify`` must pass, and a restarted server must replay the journal
+   byte-identically and serve the full history.
 
 Exits 0 when every step holds; prints the failing step and exits 1
 otherwise.  No external dependencies beyond the repo itself.
@@ -79,6 +85,17 @@ def wait_for(predicate, what: str, timeout: float = 30.0) -> None:
     fail(f"timed out waiting for {what}")
 
 
+def start_server(store_dir: Path, socket_path: Path) -> subprocess.Popen:
+    return subprocess.Popen(
+        [PYTHON, "-m", "repro", "serve", "--dir", str(store_dir),
+         "--socket", str(socket_path)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO,
+    )
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory() as scratch:
         scratch = Path(scratch)
@@ -95,14 +112,7 @@ def main() -> int:
         cli("store", "init", "--dir", str(store_dir), "--base", str(base_file))
 
         print("2. starting repro serve")
-        server = subprocess.Popen(
-            [PYTHON, "-m", "repro", "serve", "--dir", str(store_dir),
-             "--socket", str(socket_path)],
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-            cwd=REPO,
-        )
+        server = start_server(store_dir, socket_path)
         try:
             wait_for(socket_path.exists, "the server socket")
             assert cli("client", "--socket", str(socket_path), "ping").stdout.startswith("pong")
@@ -169,6 +179,42 @@ def main() -> int:
             log_output = cli("store", "log", "--dir", str(store_dir)).stdout
             if "smoke-tx" not in log_output:
                 fail(f"journal lost the transaction:\n{log_output}")
+
+            print("8. crash safety: SIGKILL, verify, byte-identical replay")
+            journal_file = store_dir / "journal.jsonl"
+            server = start_server(store_dir, socket_path)
+            # the crashed socket file may linger, so readiness is a ping
+            wait_for(
+                lambda: cli("client", "--socket", str(socket_path), "ping",
+                            check=False).returncode == 0,
+                "the restarted server",
+            )
+            cli("client", "--socket", str(socket_path), "apply",
+                "--program", str(raise_file), "--tag", "smoke-crash")
+            acknowledged = journal_file.read_bytes()
+            server.kill()  # SIGKILL: no drain, no goodbye
+            server.wait(timeout=30)
+            if journal_file.read_bytes() != acknowledged:
+                fail("SIGKILL lost or mangled acknowledged journal bytes")
+            audit = cli("store", "verify", "--dir", str(store_dir))
+            if "ok" not in audit.stdout:
+                fail(f"journal failed verification after SIGKILL:\n"
+                     f"{audit.stdout}")
+            server = start_server(store_dir, socket_path)
+            wait_for(
+                lambda: cli("client", "--socket", str(socket_path), "ping",
+                            check=False).returncode == 0,
+                "the server after the crash",
+            )
+            log = cli("client", "--socket", str(socket_path), "log").stdout
+            for expected in ("initial", "smoke-raise", "smoke-tx",
+                             "smoke-crash"):
+                if expected not in log:
+                    fail(f"revision {expected!r} lost in the crash:\n{log}")
+            server.terminate()
+            server.wait(timeout=30)
+            if journal_file.read_bytes() != acknowledged:
+                fail("replaying after the crash rewrote the journal")
         finally:
             if server.poll() is None:
                 server.kill()

@@ -112,7 +112,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     # the unified connection API
-    "connect", "Connection",
+    "connect", "Connection", "RetryPolicy", "DurabilityOptions",
     # core types
     "Oid", "Var", "VersionVar", "VersionId", "Term", "UpdateKind", "Fact",
     "ObjectBase", "UpdateRule", "UpdateProgram",
@@ -138,7 +138,7 @@ def __getattr__(name: str):
     and ``repro.Connection`` resolve to :mod:`repro.api`'s objects on
     first touch, so engine-only users (``repro apply`` one-shots, the
     paper's core path) never pay the server/asyncio import cost."""
-    if name in ("connect", "Connection"):
+    if name in ("connect", "Connection", "RetryPolicy", "DurabilityOptions"):
         from repro import api
 
         return getattr(api, name)

@@ -44,14 +44,20 @@ from pathlib import Path
 from repro.api.connection import Connection, SubscriptionStream, Transaction
 from repro.api.hosting import BackgroundServer
 from repro.api.local import ServiceConnection
-from repro.api.model import AnswerDelta, CommitResult, Diff, Revision
+from repro.api.model import AnswerDelta, CommitResult, Diff, RetryPolicy, Revision
 from repro.api.wire import WireConnection
 from repro.core.errors import ReproError
 from repro.core.objectbase import ObjectBase
-from repro.server.errors import ConflictError, ServerError, SessionError
+from repro.server.errors import (
+    ConflictError,
+    ConnectionClosed,
+    ServerBusyError,
+    ServerError,
+    SessionError,
+)
 from repro.server.service import StoreService
 from repro.storage.history import StoreOptions, VersionedStore
-from repro.storage.serialize import JOURNAL_FILE, load_store
+from repro.storage.serialize import JOURNAL_FILE, DurabilityOptions, load_store
 
 __all__ = [
     "connect",
@@ -62,12 +68,16 @@ __all__ = [
     "CommitResult",
     "AnswerDelta",
     "Diff",
+    "RetryPolicy",
+    "DurabilityOptions",
     "ServiceConnection",
     "WireConnection",
     "BackgroundServer",
     "ConflictError",
     "ServerError",
     "SessionError",
+    "ConnectionClosed",
+    "ServerBusyError",
 ]
 
 
@@ -79,6 +89,8 @@ def connect(
     options: StoreOptions | None = None,
     readonly: bool = False,
     call_timeout: float | None = None,
+    retry: RetryPolicy | None = None,
+    durability: DurabilityOptions | None = None,
 ) -> Connection:
     """Open a :class:`Connection` to ``target`` (see the module doc).
 
@@ -87,15 +99,24 @@ def connect(
     error on targets that already hold data.  ``tag`` names revision 0 of
     a newly created store; ``options`` are its
     :class:`~repro.storage.history.StoreOptions`.  ``call_timeout`` bounds
-    request round-trips on served targets.
+    request round-trips on served targets, and ``retry`` (a
+    :class:`RetryPolicy`) makes a served connection survive server
+    restarts — reconnect with backoff, re-established subscriptions,
+    safe requests re-issued.  ``durability`` (a
+    :class:`~repro.storage.serialize.DurabilityOptions`) picks the
+    crash-safety level of a journal-directory target's writes.
     """
     if isinstance(target, StoreService):
         _reject_seed_kwargs("an existing StoreService", base, options)
+        _reject_wire_kwargs("an in-process target", retry)
+        _reject_durability("an existing StoreService", durability)
         return ServiceConnection(
             target, target="service:", readonly=readonly
         )
     if isinstance(target, VersionedStore):
         _reject_seed_kwargs("an existing VersionedStore", base, options)
+        _reject_wire_kwargs("an in-process target", retry)
+        _reject_durability("an existing VersionedStore", durability)
         return ServiceConnection(
             StoreService(target), target="store:", readonly=readonly
         )
@@ -106,6 +127,8 @@ def connect(
         )
     text = str(target)
     if text == "memory:":
+        _reject_wire_kwargs("a memory: target", retry)
+        _reject_durability("a memory: target", durability)
         store = VersionedStore(_coerce_base(base), tag=tag, options=options)
         return ServiceConnection(
             StoreService(store), target="memory:", readonly=readonly
@@ -113,6 +136,9 @@ def connect(
     endpoint = _wire_endpoint(text)
     if endpoint is not None:
         _reject_seed_kwargs("a served target", base, options)
+        _reject_durability(
+            "a served target (the server owns its journal)", durability
+        )
         if readonly:
             # The server cannot be made read-only from a client; refusing
             # is safer than handing back a silently writable connection.
@@ -120,9 +146,13 @@ def connect(
                 "readonly= is not supported on served targets; open the "
                 "journal directory read-only instead"
             )
-        return WireConnection(call_timeout=call_timeout, **endpoint)
+        return WireConnection(
+            call_timeout=call_timeout, retry=retry, **endpoint
+        )
+    _reject_wire_kwargs("a journal-directory target", retry)
     return _connect_journal(
-        Path(target), base=base, tag=tag, options=options, readonly=readonly
+        Path(target), base=base, tag=tag, options=options, readonly=readonly,
+        durability=durability,
     )
 
 
@@ -131,6 +161,21 @@ def _reject_seed_kwargs(what: str, base, options) -> None:
         raise ReproError(f"base= seeds new stores; {what} already has one")
     if options is not None:
         raise ReproError(f"options= shapes new stores; {what} is already built")
+
+
+def _reject_wire_kwargs(what: str, retry) -> None:
+    if retry is not None:
+        raise ReproError(
+            f"retry= reconnects served targets; {what} has no link to lose"
+        )
+
+
+def _reject_durability(what: str, durability) -> None:
+    if durability is not None:
+        raise ReproError(
+            f"durability= shapes journal-directory writes; {what} does not "
+            f"take one"
+        )
 
 
 def _coerce_base(base) -> ObjectBase:
@@ -188,7 +233,7 @@ def _host_port(text: str) -> dict | None:
 
 
 def _connect_journal(
-    directory: Path, *, base, tag, options, readonly
+    directory: Path, *, base, tag, options, readonly, durability=None
 ) -> ServiceConnection:
     journal = directory / JOURNAL_FILE
     if journal.exists():
@@ -198,11 +243,18 @@ def _connect_journal(
                 f"overwrite its history — pick a fresh directory"
             )
         if readonly:
+            if durability is not None:
+                raise ReproError(
+                    "durability= shapes writes; a readonly connection "
+                    "never writes"
+                )
             # Readers never repair the journal (a live appender could be
             # racing the rewrite) and never bind it for writing.
             service = StoreService(load_store(directory, options=options))
         else:
-            service = StoreService.open(directory, options=options)
+            service = StoreService.open(
+                directory, options=options, durability=durability
+            )
         return ServiceConnection(
             service, target=str(directory), readonly=readonly
         )
@@ -217,6 +269,7 @@ def _connect_journal(
             f"read-only connection must not write to disk"
         )
     service = StoreService.create(
-        _coerce_base(base), directory, tag=tag, options=options
+        _coerce_base(base), directory, tag=tag, options=options,
+        durability=durability,
     )
     return ServiceConnection(service, target=str(directory))

@@ -27,12 +27,13 @@ Three interaction styles:
 from __future__ import annotations
 
 import queue
+import time
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
 from repro.api.model import AnswerDelta, CommitResult, Diff, Revision
 from repro.core.objectbase import ObjectBase
-from repro.core.query import Answer
+from repro.core.query import Answer, decode_answers, diff_answers, fold_answers
 from repro.server.errors import ConflictError, ServerError, SessionError
 
 __all__ = ["Connection", "Transaction", "SubscriptionStream"]
@@ -301,11 +302,20 @@ class Transaction(ABC):
 class SubscriptionStream:
     """A live query: the initial answers plus a stream of answer deltas.
 
-    ``answers`` is the decoded answer set at subscribe time (the client's
-    fold seed); :meth:`next` blocks for the next
+    ``answers`` always holds the full decoded answer set as of the last
+    delta consumed (the subscribe-time seed, folded forward by every
+    :meth:`next`); :meth:`next` blocks for the next
     :class:`~repro.api.model.AnswerDelta` (``None`` on timeout).
     Iterating yields deltas until :meth:`close`.  Commits that provably
     cannot change the answers never produce a delta — on any backend.
+
+    When the stream falls behind — the server load-shed its queued diffs,
+    or the connection was redialed after a restart — the next delta is a
+    coalesced one (``delta.lagged`` is true): its ``(added, removed)`` is
+    the exact answer diff between the last state this stream saw and the
+    current resynchronized state, so folding stays correct across the gap.
+    An outage whose resync shows *no* answer change produces no delta at
+    all (the revision still advances).
     """
 
     def __init__(
@@ -332,20 +342,60 @@ class SubscriptionStream:
         (forever when ``None``), returns ``None`` when none arrived.
         Closing the stream — even from another thread, mid-block — makes
         this return ``None``, never raise, so consumer loops end cleanly."""
-        if self._closed:
-            return None
-        try:
-            if timeout is not None and timeout <= 0:
-                push = self._pushes.get_nowait()
-            else:
-                push = self._pushes.get(timeout=timeout)
-        except queue.Empty:
-            return None
-        if push is _STREAM_CLOSED:
-            return None
-        delta = AnswerDelta.from_push(push)
-        self.revision = delta.revision
-        return delta
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._closed:
+                return None
+            try:
+                if deadline is None:
+                    push = self._pushes.get()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        push = self._pushes.get_nowait()
+                    else:
+                        push = self._pushes.get(timeout=remaining)
+            except queue.Empty:
+                return None
+            if push is _STREAM_CLOSED:
+                return None
+            delta = self._ingest(push)
+            if delta is not None:
+                return delta
+            # an empty resync (or an unknown push kind): nothing for the
+            # consumer; keep waiting out the original deadline
+
+    def _ingest(self, push: dict) -> AnswerDelta | None:
+        """Fold one push message into the stream state; ``None`` when the
+        push carries nothing the consumer needs to see."""
+        kind = push.get("push", "diff")
+        if kind == "diff":
+            delta = AnswerDelta.from_push(push)
+            self.answers = fold_answers(self.answers, delta.added, delta.removed)
+            self.revision = delta.revision
+            return delta
+        if kind == "lagged":
+            # Coalesced catch-up: the push carries the full current answer
+            # set; the delta the consumer sees is the diff against the last
+            # state *this* stream reached, so folding stays exact.
+            current = decode_answers(push.get("answers", []))
+            added, removed = diff_answers(self.answers, current)
+            self.answers = list(current)
+            self.revision = push.get(
+                "to_revision", push.get("revision", self.revision)
+            )
+            if not added and not removed:
+                return None
+            return AnswerDelta(
+                sid=self.sid,
+                query=self.query,
+                revision=self.revision,
+                tag=push.get("tag", ""),
+                added=tuple(added),
+                removed=tuple(removed),
+                lagged=True,
+            )
+        return None  # forward compatibility: ignore unknown push kinds
 
     def __iter__(self):
         while not self._closed:
@@ -364,6 +414,16 @@ class SubscriptionStream:
         if not self._closed:
             self._closed = True
             self._closer()
+            self._pushes.put(_STREAM_CLOSED)
+            if self._unregister is not None:
+                self._unregister()
+
+    def _mark_dead(self) -> None:
+        """Terminate without the unsubscribe round-trip: the connection is
+        gone for good (retry exhausted, or no policy).  Safe to call from
+        the wire backend's loop thread — no network, no locks."""
+        if not self._closed:
+            self._closed = True
             self._pushes.put(_STREAM_CLOSED)
             if self._unregister is not None:
                 self._unregister()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.api.wire import _EventLoopThread
 from repro.core.errors import ReproError
-from repro.server.server import ReproServer
+from repro.server.server import ReproServer, ServerLimits
 from repro.server.service import StoreService
 from repro.storage.history import VersionedStore
 
@@ -25,7 +25,8 @@ class BackgroundServer:
     ``source`` is a :class:`StoreService`, a :class:`VersionedStore`
     (wrapped), or a journal directory (opened as the journal's writer).
     Endpoint selection mirrors ``repro serve``: a unix-socket ``path`` or a
-    TCP ``port`` (0 picks a free port).
+    TCP ``port`` (0 picks a free port).  ``limits`` are the transport's
+    backpressure knobs (:class:`~repro.server.server.ServerLimits`).
     """
 
     def __init__(
@@ -35,12 +36,14 @@ class BackgroundServer:
         path: str | None = None,
         host: str = "127.0.0.1",
         port: int | None = None,
+        limits: ServerLimits | None = None,
     ) -> None:
         if path is None and port is None:
             raise ReproError("BackgroundServer needs path=... or port=...")
         self.service = self._coerce_service(source)
         self._server = ReproServer(
-            self.service, path=path, host=host, port=port if port is not None else 0
+            self.service, path=path, host=host,
+            port=port if port is not None else 0, limits=limits,
         )
         self._loop = _EventLoopThread("repro-background-server")
         self._closed = False
@@ -67,6 +70,28 @@ class BackgroundServer:
     def target(self) -> str:
         """The :func:`repro.connect` target string for this endpoint."""
         return f"serve:{self.address}"
+
+    @property
+    def server(self) -> ReproServer:
+        """The wrapped transport (shedding counters, limits)."""
+        return self._server
+
+    def shutdown(self, *, deadline: float | None = None) -> None:
+        """Graceful stop: no new connections, in-flight work finishes,
+        outboxes flush within ``deadline``, then the loop is released.
+        Idempotent, and interchangeable with :meth:`close`."""
+        if self._closed:
+            return
+        self._closed = True
+        budget = deadline if deadline is not None else (
+            self._server.limits.shutdown_deadline
+        )
+        try:
+            self._loop.run(
+                self._server.shutdown(deadline=deadline), timeout=budget + 10
+            )
+        finally:
+            self._loop.stop()
 
     def close(self) -> None:
         """Stop serving and release the loop thread (idempotent)."""

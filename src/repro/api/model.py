@@ -20,11 +20,13 @@ are *identical* — the contract every future backend must meet.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
+from repro.core.errors import ReproError
 from repro.core.query import Answer, decode_answers
 
-__all__ = ["Revision", "CommitResult", "AnswerDelta", "Diff"]
+__all__ = ["Revision", "CommitResult", "AnswerDelta", "Diff", "RetryPolicy"]
 
 
 @dataclass(frozen=True)
@@ -99,7 +101,14 @@ class CommitResult:
 @dataclass(frozen=True)
 class AnswerDelta:
     """One pushed subscription update: the ``(added, removed)`` answer rows
-    of a commit that changed a live query's answers."""
+    of a commit that changed a live query's answers.
+
+    ``lagged`` deltas are *coalesced*: the stream fell behind (a slow
+    consumer was load-shed, or the connection was re-established after a
+    server restart) and this one delta catches it up across every missed
+    revision.  Folding it is exactly as correct as folding each missed
+    diff in turn — only per-commit attribution (``tag``) is lost.
+    """
 
     sid: str
     query: str
@@ -107,6 +116,7 @@ class AnswerDelta:
     tag: str
     added: tuple[Answer, ...]
     removed: tuple[Answer, ...]
+    lagged: bool = False
 
     @classmethod
     def from_push(cls, push: dict) -> "AnswerDelta":
@@ -130,6 +140,48 @@ class AnswerDelta:
             "added": [dict(row) for row in self.added],
             "removed": [dict(row) for row in self.removed],
         }
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Reconnect-and-retry behaviour for served connections.
+
+    Passed to ``repro.connect(target, retry=RetryPolicy(...))``, it makes a
+    :class:`~repro.api.wire.WireConnection` survive a server restart: on a
+    dropped connection the client redials with exponential backoff plus
+    jitter, re-establishes its live subscriptions (each stream receives one
+    coalesced *lagged* delta spanning the outage), and transparently
+    re-issues the request that failed — but only when that request is
+    **safe** (reads, subscribes, pings).  Mutations (``apply``, transaction
+    commits) are never replayed automatically: the server may have
+    committed them before the link died, and a blind re-issue would
+    double-apply.  Those surface the retryable
+    :class:`~repro.server.errors.ConnectionClosed` instead, for the caller
+    to decide.
+
+    ``attempts`` bounds redials per outage; attempt ``n`` sleeps
+    ``min(max_delay, base_delay * 2**n)`` scaled by a uniform jitter in
+    ``[1 - jitter, 1 + jitter]`` (decorrelates client herds after a
+    restart).
+    """
+
+    attempts: int = 8
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ReproError("RetryPolicy needs attempts >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError("RetryPolicy delays must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ReproError("RetryPolicy jitter must be within [0, 1]")
+
+    def delay(self, attempt: int, *, rng=random.random) -> float:
+        """The backoff sleep before redial ``attempt`` (0-based)."""
+        base = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return base * (1 - self.jitter + 2 * self.jitter * rng())
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,16 @@ Failure mapping: connect and transport failures surface as
 already typed (:class:`~repro.server.errors.ConflictError` keeps its
 ``pinned``/``conflicting_index`` attributes across the wire) — everything
 a caller sees derives from :class:`~repro.core.errors.ReproError`.
+
+**Reconnect.**  With a :class:`~repro.api.model.RetryPolicy`, a dropped
+link is not terminal: the connection redials with exponential backoff plus
+jitter, re-subscribes every live query, and hands each stream one
+coalesced *lagged* delta spanning the outage (the stream diffs the resync
+answers against its own folded state, so folding stays exact across a
+server restart).  Only **safe** commands — reads, subscribes, pings — are
+re-issued transparently; a mutation that was in flight when the link died
+surfaces :class:`~repro.server.errors.ConnectionClosed` (retryable) for
+the caller, because the server may already have committed it.
 """
 
 from __future__ import annotations
@@ -22,17 +32,44 @@ import queue
 import threading
 
 from repro.api.connection import Connection, SubscriptionStream, Transaction
-from repro.api.model import CommitResult, Diff, Revision
+from repro.api.model import CommitResult, Diff, RetryPolicy, Revision
+from repro.core.errors import ReproError
 from repro.core.objectbase import ObjectBase
 from repro.core.query import Answer, decode_answers
 from repro.core.rules import UpdateProgram
 from repro.lang.parser import parse_object_base
 from repro.lang.pretty import format_program
-from repro.server.client import AsyncClient
-from repro.server.errors import ServerError
+from repro.server.client import AsyncClient, _raise_for
+from repro.server.errors import ConnectionClosed, ServerError
 from repro.storage.history import resolve_revision_ref
 
 __all__ = ["WireConnection"]
+
+#: Commands safe to re-issue on a fresh connection after a drop: they read,
+#: register, or cancel — never mutate the store.  ``apply`` and the ``tx-*``
+#: family are deliberately absent: the server may have committed the lost
+#: request before the link died, and replaying would double-apply.
+_SAFE_COMMANDS = frozenset(
+    {"ping", "query", "prepare", "log", "as-of", "diff", "stats",
+     "subscribe", "unsubscribe"}
+)
+
+#: Redial timeout per attempt (matches the initial-connect bound).
+_DIAL_TIMEOUT = 30.0
+
+
+class _LiveSub:
+    """Book-keeping for one live subscription: everything needed to
+    re-establish it on a fresh connection."""
+
+    __slots__ = ("sid", "body", "name", "pushes", "stream")
+
+    def __init__(self, *, sid, body, name, pushes, stream) -> None:
+        self.sid = sid
+        self.body = body
+        self.name = name
+        self.pushes = pushes
+        self.stream = stream
 
 
 class _EventLoopThread:
@@ -70,7 +107,10 @@ class WireConnection(Connection):
     """A connection to a running ``repro serve`` endpoint.
 
     ``call_timeout`` bounds every request round-trip (``None`` waits
-    forever — pushes are unaffected either way).
+    forever — pushes are unaffected either way).  ``retry`` (a
+    :class:`~repro.api.model.RetryPolicy`) enables transparent reconnect
+    after a dropped link — see the module doc for what is and is not
+    re-issued.
     """
 
     def __init__(
@@ -80,17 +120,23 @@ class WireConnection(Connection):
         host: str = "127.0.0.1",
         port: int | None = None,
         call_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         super().__init__()
         self.target = f"unix:{path}" if path is not None else f"tcp:{host}:{port}"
         self.call_timeout = call_timeout
+        self.retry = retry
+        self._endpoint = {"path": path, "host": host, "port": port}
         self._push_queues: dict[str, "queue.Queue[dict]"] = {}
         self._unclaimed: "queue.Queue[dict]" = queue.Queue()
+        self._subs: dict[str, _LiveSub] = {}
         self._loop = _EventLoopThread(f"repro-wire[{self.target}]")
         self._client: AsyncClient | None = None
         self._router: asyncio.Future | None = None
+        self._reconnecting: asyncio.Future | None = None
+        self.reconnects = 0
         try:
-            self._loop.run(self._connect(path, host, port), timeout=30)
+            self._loop.run(self._dial(), timeout=_DIAL_TIMEOUT + 5)
         except (ConnectionError, OSError) as error:
             self._loop.stop()
             raise ServerError(
@@ -100,31 +146,182 @@ class WireConnection(Connection):
             self._loop.stop()
             raise
 
-    async def _connect(self, path, host, port) -> None:
-        self._client = await AsyncClient.connect(path=path, host=host, port=port)
-        self._router = asyncio.ensure_future(self._route_pushes())
+    async def _dial(self) -> None:
+        """(Re)establish the client and its push router.  Loop thread."""
+        if self._router is not None:
+            self._router.cancel()
+            self._router = None
+        if self._client is not None:
+            await self._client.close()
+            self._client = None
+        client = await asyncio.wait_for(
+            AsyncClient.connect(**self._endpoint), _DIAL_TIMEOUT
+        )
+        self._client = client
+        self._router = asyncio.ensure_future(self._route_pushes(client))
 
-    async def _route_pushes(self) -> None:
+    async def _route_pushes(self, client: AsyncClient) -> None:
         """Dispatch push messages to their stream's queue by ``sid``;
         pushes for unknown sids (raw ``call("subscribe")`` users, the CLI
-        script command) collect in the unclaimed queue."""
-        while True:
-            push = await self._client.next_push()
-            sink = self._push_queues.get(push.get("sid"))
-            (sink if sink is not None else self._unclaimed).put(push)
+        script command) collect in the unclaimed queue.  When the link
+        dies the router either kicks off a reconnect (retry policy set) or
+        terminates every stream so blocked consumers wake."""
+        try:
+            while True:
+                push = await client.next_push()
+                sink = self._push_queues.get(push.get("sid"))
+                (sink if sink is not None else self._unclaimed).put(push)
+        except ConnectionClosed:
+            if self._closed or client is not self._client:
+                return  # deliberate teardown, or an already-replaced link
+            if self.retry is not None:
+                self._start_reconnect()
+            else:
+                self._fail_streams()
+
+    # -- reconnect ---------------------------------------------------------
+    def _start_reconnect(self) -> asyncio.Future:
+        """Begin (or join) the single in-flight reconnect.  Loop thread."""
+        if self._reconnecting is None or self._reconnecting.done():
+            task = asyncio.ensure_future(self._reconnect())
+            # consume the exception when no _invoke is waiting on it (the
+            # router kicked this off); waiters still see it via shield
+            task.add_done_callback(
+                lambda fut: fut.cancelled() or fut.exception()
+            )
+            self._reconnecting = task
+        return self._reconnecting
+
+    async def _reconnect(self) -> None:
+        """Redial with backoff, then re-establish every live subscription.
+        Raises :class:`ConnectionClosed` — and terminates the streams —
+        when the policy's attempts are exhausted."""
+        policy = self.retry
+        failure: Exception | None = None
+        for attempt in range(policy.attempts):
+            if self._closed:
+                failure = ServerError("connection closed during reconnect")
+                break
+            try:
+                await asyncio.sleep(policy.delay(attempt))
+                await self._dial()
+                await self._resubscribe()
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    ReproError) as error:
+                failure = error
+                continue
+            self.reconnects += 1
+            return
+        self._fail_streams()
+        raise ConnectionClosed(
+            f"cannot re-establish {self.target} after "
+            f"{policy.attempts} attempts: {failure}"
+        )
+
+    async def _resubscribe(self) -> None:
+        """Re-register every live stream on the fresh connection and queue
+        each one coalesced ``lagged`` push carrying the resync answers.
+        The stream folds it against its own last-seen state, so consumers
+        observe one exact catch-up delta instead of a gap."""
+        for old_sid, sub in list(self._subs.items()):
+            if sub.stream.closed:
+                self._subs.pop(old_sid, None)
+                self._push_queues.pop(old_sid, None)
+                continue
+            response = await self._client.call(
+                "subscribe", body=sub.body, name=sub.name
+            )
+            new_sid = response["sid"]
+            self._subs.pop(old_sid, None)
+            self._push_queues.pop(old_sid, None)
+            sub.sid = new_sid
+            sub.stream.sid = new_sid
+            self._subs[new_sid] = sub
+            self._push_queues[new_sid] = sub.pushes
+            sub.pushes.put(
+                {
+                    "push": "lagged",
+                    "sid": new_sid,
+                    "query": response["query"],
+                    "from_revision": sub.stream.revision,
+                    "to_revision": response["revision"],
+                    "revision": response["revision"],
+                    "tag": "",
+                    "answers": response["answers"],
+                }
+            )
+
+    def _fail_streams(self) -> None:
+        """The link is gone for good: wake and terminate every stream so
+        blocked consumers end cleanly instead of hanging.  Loop thread."""
+        for sub in list(self._subs.values()):
+            sub.stream._mark_dead()
+        self._subs.clear()
+        self._push_queues.clear()
 
     # -- raw protocol access ----------------------------------------------
     def call(self, cmd: str, **payload) -> dict:
         """One protocol command, raising the typed error on failure — the
         escape hatch for commands the facade does not wrap."""
         self._check_open()
-        return self._run(self._client.call(cmd, **payload))
+        return self._run(self._invoke(cmd, payload))
 
     def request(self, cmd: str, **payload) -> dict:
         """Like :meth:`call` but returning error responses as dicts
         (``ok: false``) instead of raising — raw scripting."""
         self._check_open()
-        return self._run(self._client.request(cmd, **payload))
+        return self._run(self._invoke(cmd, payload, raw=True))
+
+    async def _invoke(self, cmd: str, payload: dict, *, raw: bool = False):
+        """One request with the reconnect funnel: a live client carries it;
+        a dead one triggers (or joins) the reconnect first.  A request that
+        dies *after* it may have reached the server is re-issued only for
+        safe commands — everything else surfaces the retryable
+        :class:`ConnectionClosed` to the caller."""
+        attempts = 1 + (self.retry.attempts if self.retry is not None else 0)
+        for _ in range(attempts):
+            client = self._client
+            if client is None or not client.alive:
+                # nothing sent yet: any command may wait out a reconnect
+                await self._await_reconnect(cmd, sent=False)
+                client = self._client
+            try:
+                send = client.request(cmd, **payload)
+                if self.call_timeout is not None:
+                    response = await asyncio.wait_for(send, self.call_timeout)
+                else:
+                    response = await send
+            except asyncio.TimeoutError:
+                raise ServerError(
+                    f"server did not answer within {self.call_timeout:g}s"
+                ) from None
+            except ConnectionClosed:
+                # the link died with the request possibly delivered: only
+                # safe commands may be blindly re-issued
+                await self._await_reconnect(cmd, sent=True)
+                continue
+            return response if raw else _raise_for(response)
+        raise ConnectionClosed(
+            f"request {cmd!r} kept losing its connection to {self.target}"
+        )
+
+    async def _await_reconnect(self, cmd: str, *, sent: bool) -> None:
+        """Block until the shared reconnect lands; refuse when the command
+        must not be replayed (or there is no policy to replay under)."""
+        if self._closed:
+            raise ServerError(f"connection to {self.target} is closed")
+        if self.retry is None:
+            raise ConnectionClosed(
+                f"connection to {self.target} was lost (no retry policy; "
+                f"pass retry=RetryPolicy(...) to reconnect automatically)"
+            )
+        if sent and cmd not in _SAFE_COMMANDS:
+            raise ConnectionClosed(
+                f"connection to {self.target} was lost with {cmd!r} in "
+                f"flight; it is not automatically re-issued — the server "
+                f"may have already applied it"
+            )
+        await asyncio.shield(self._start_reconnect())
 
     def drain_pushes(self) -> list[dict]:
         """Pushes that arrived for subscriptions made through raw
@@ -138,11 +335,30 @@ class WireConnection(Connection):
 
     def _run(self, coro):
         try:
-            return self._loop.run(coro, timeout=self.call_timeout)
+            return self._loop.run(coro, timeout=self._deadline())
         except (ConnectionError, OSError) as error:
             raise ServerError(
                 f"connection to {self.target} failed: {error}"
             ) from None
+
+    def _deadline(self) -> float | None:
+        """The blocking bound for one facade call: the per-request timeout
+        plus, under a retry policy, the worst-case reconnect budget (the
+        request timeout is enforced per attempt inside :meth:`_invoke`)."""
+        if self.call_timeout is None:
+            return None
+        if self.retry is None:
+            # margin: the in-coroutine wait_for fires first with the
+            # precise "did not answer" error; this bound is the backstop
+            return self.call_timeout + 5.0
+        policy = self.retry
+        backoff = sum(
+            min(policy.max_delay, policy.base_delay * (2 ** attempt))
+            * (1 + policy.jitter)
+            for attempt in range(policy.attempts)
+        )
+        per_attempt = self.call_timeout + _DIAL_TIMEOUT
+        return (1 + policy.attempts) * per_attempt + backoff
 
     # -- liveness ----------------------------------------------------------
     def ping(self) -> dict:
@@ -198,42 +414,51 @@ class WireConnection(Connection):
     # -- live queries ------------------------------------------------------
     def subscribe(self, body, *, name: str | None = None) -> SubscriptionStream:
         self._check_open()
+        body_text = _body_text(body)
         pushes: "queue.Queue[dict]" = queue.Queue()
-        response = self.call("subscribe", body=_body_text(body), name=name)
+        response = self.call("subscribe", body=body_text, name=name)
         sid = response["sid"]
-        self._run(self._claim_pushes(sid, pushes))
         stream = SubscriptionStream(
             sid=sid,
             query=response["query"],
             revision=response["revision"],
             answers=decode_answers(response["answers"]),
             pushes=pushes,
-            closer=lambda: self._unsubscribe(sid),
+            closer=lambda: self._unsubscribe(stream),
         )
+        sub = _LiveSub(
+            sid=sid, body=body_text, name=name, pushes=pushes, stream=stream
+        )
+        self._run(self._claim_pushes(sub))
         return self._track(stream)
 
-    async def _claim_pushes(self, sid: str, pushes: "queue.Queue[dict]") -> None:
-        """Register a stream's queue and reclaim any pushes that raced the
-        registration into the unclaimed queue.  Runs on the loop thread —
-        the same thread as the router — so no push can be routed while the
-        sweep is rehoming, which keeps delivery order intact."""
-        self._push_queues[sid] = pushes
+    async def _claim_pushes(self, sub: _LiveSub) -> None:
+        """Register a stream's queue (and its reconnect book-keeping) and
+        reclaim any pushes that raced the registration into the unclaimed
+        queue.  Runs on the loop thread — the same thread as the router —
+        so no push can be routed while the sweep is rehoming, which keeps
+        delivery order intact."""
+        self._subs[sub.sid] = sub
+        self._push_queues[sub.sid] = sub.pushes
         leftovers = []
         while True:
             try:
                 push = self._unclaimed.get_nowait()
             except queue.Empty:
                 break
-            if push.get("sid") == sid:
-                pushes.put(push)
+            if push.get("sid") == sub.sid:
+                sub.pushes.put(push)
             else:
                 leftovers.append(push)
         for push in leftovers:
             self._unclaimed.put(push)
 
-    def _unsubscribe(self, sid: str) -> None:
+    def _unsubscribe(self, stream: SubscriptionStream) -> None:
+        sid = stream.sid
         self._push_queues.pop(sid, None)
-        if not self._closed:
+        self._subs.pop(sid, None)
+        client = self._client
+        if not self._closed and client is not None and client.alive:
             try:
                 self.call("unsubscribe", sid=sid)
             except ServerError:  # connection already torn down server-side
@@ -253,6 +478,8 @@ class WireConnection(Connection):
             self._loop.stop()
 
     async def _shutdown(self) -> None:
+        if self._reconnecting is not None:
+            self._reconnecting.cancel()
         if self._router is not None:
             self._router.cancel()
         if self._client is not None:

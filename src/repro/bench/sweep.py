@@ -64,6 +64,7 @@ __all__ = [
     "run_store_sweep",
     "run_query_sweep",
     "run_serve_sweep",
+    "run_soak_sweep",
     "build_trajectory",
     "main",
 ]
@@ -79,6 +80,9 @@ DEFAULT_READS_PER_UPDATE = 25
 DEFAULT_SERVE_OUT = "BENCH_PR4.json"
 DEFAULT_SERVE_CLIENTS = 8
 DEFAULT_SERVE_UPDATES = 30
+DEFAULT_SOAK_OUT = "BENCH_PR6.json"
+DEFAULT_SOAK_SECONDS = 60.0
+DEFAULT_SOAK_SUBSCRIBERS = 4
 TRAJECTORY_OUT = "BENCH_TRAJECTORY.json"
 
 #: The read-heavy query mix.  ``org_chart`` reads no ``sal`` fact, so the
@@ -561,6 +565,180 @@ SERVE_WIRE_PROGRAM = (
 )
 
 
+def run_soak_sweep(
+    duration: float = DEFAULT_SOAK_SECONDS,
+    n_subscribers: int = DEFAULT_SOAK_SUBSCRIBERS,
+    n_employees: int = 100,
+) -> dict:
+    """The PR 6 fault-tolerance soak (see the module docstring).
+
+    A journalled store is served over a unix socket while a writer commits
+    mixed churn (targeted raises cycling over distinct employees, plus a
+    hire/fire pair that adds and removes subscription rows) and
+    ``n_subscribers`` reconnecting clients fold live answer diffs.  Halfway
+    through, the server is killed abruptly, the journal is compacted and
+    verified offline, and a fresh server comes up on the same socket —
+    every connection carries a :class:`~repro.api.RetryPolicy` and must
+    ride the restart.
+
+    The soak fails (``"consistent": false`` / non-zero error counters) if
+    any client sees a non-retryable error, or if any subscriber's folded
+    answers diverge from a fresh head query once the dust settles.  A
+    mutation that dies with the link is *not* replayed — it surfaces the
+    retryable :class:`~repro.api.ConnectionClosed` and is counted, which
+    is the documented contract.
+    """
+    import tempfile
+
+    import repro
+    from repro.api import BackgroundServer, ConnectionClosed, RetryPolicy
+    from repro.server.errors import ServerBusyError
+    from repro.storage import compact_journal, verify_journal
+
+    base = enterprise_base(
+        n_employees=n_employees, overpaid_ratio=0.1, seed=21
+    )
+    query = READ_QUERIES[0][1]  # salaries: one diff per raise
+    policy = RetryPolicy(attempts=60, base_delay=0.05, max_delay=1.0)
+    churn_ids = [f"emp{k}" for k in range(10)]
+
+    counters = {
+        "commits": 0,
+        "reads": 0,
+        "deltas_folded": 0,
+        "lagged_resyncs": 0,
+        "retryable_errors": 0,
+        "non_retryable_errors": 0,
+        "restarts": 0,
+    }
+    failures: list[str] = []
+
+    def drain(streams) -> None:
+        for stream in streams:
+            while True:
+                delta = stream.next(timeout=0.0)
+                if delta is None:
+                    break
+                counters["deltas_folded"] += 1
+                if delta.lagged:
+                    counters["lagged_resyncs"] += 1
+
+    with tempfile.TemporaryDirectory() as scratch:
+        journal_dir = Path(scratch) / "journal"
+        socket = str(Path(scratch) / "soak.sock")
+        repro.connect(journal_dir, base=base, tag="soak-seed").close()
+
+        server = BackgroundServer(journal_dir, path=socket)
+        writer = repro.connect(server.target, retry=policy)
+        subscribers = [
+            repro.connect(server.target, retry=policy)
+            for _ in range(n_subscribers)
+        ]
+        streams = [conn.subscribe(query) for conn in subscribers]
+
+        start = time.perf_counter()
+        deadline = start + duration
+        kill_at = start + duration / 2
+        killed = False
+        tick = 0
+        while time.perf_counter() < deadline:
+            tick += 1
+            if not killed and time.perf_counter() >= kill_at:
+                # the chaos step: SIGKILL-equivalent, offline maintenance
+                # (compaction + checksum audit), restart on the same path
+                killed = True
+                server.close()
+                compact_journal(journal_dir, snapshot_interval=1000)
+                audit = verify_journal(journal_dir)
+                if not audit["ok"]:
+                    failures.append(
+                        f"journal damaged after kill: {audit['problems']}"
+                    )
+                server = BackgroundServer(journal_dir, path=socket)
+                counters["restarts"] += 1
+            if tick % 7 == 0:
+                program = (
+                    f"hire: ins[temp{tick}].isa -> empl <= "
+                    f"emp0.isa -> empl.\n"
+                    f"pay: ins[temp{tick}].sal -> {1000 + tick} <= "
+                    f"emp0.isa -> empl."
+                )
+            elif tick % 7 == 1 and tick > 7:
+                fired = tick - 1  # the object hired on the previous tick
+                program = (
+                    f"fire: del[temp{fired}].* <= temp{fired}.isa -> empl."
+                )
+            else:
+                program = targeted_raise_program(
+                    churn_ids[tick % len(churn_ids)], percent=1.0
+                )
+            try:
+                writer.apply(program, tag=f"soak-{tick}")
+                counters["commits"] += 1
+                if tick % 25 == 0:
+                    writer.query(query)
+                    counters["reads"] += 1
+            except (ConnectionClosed, ServerBusyError):
+                counters["retryable_errors"] += 1
+            except Exception as error:  # any other failure sinks the soak
+                counters["non_retryable_errors"] += 1
+                failures.append(f"{type(error).__name__}: {error}")
+            drain(streams)
+        wall_s = time.perf_counter() - start
+
+        # settle: one marker commit, then every stream must fold to the head
+        head = writer.apply(
+            targeted_raise_program("emp0", percent=1.0), tag="soak-final"
+        ).index
+        expected = writer.query(query)
+        consistent = True
+        for position, stream in enumerate(streams):
+            settle_deadline = time.monotonic() + 30.0
+            while (
+                stream.revision < head
+                and time.monotonic() < settle_deadline
+            ):
+                delta = stream.next(timeout=1.0)
+                if delta is not None:
+                    counters["deltas_folded"] += 1
+                    if delta.lagged:
+                        counters["lagged_resyncs"] += 1
+            if stream.answers != expected:
+                consistent = False
+                failures.append(
+                    f"subscriber {position} diverged: folded "
+                    f"{len(stream.answers)} rows at revision "
+                    f"{stream.revision}, head {head} has {len(expected)}"
+                )
+        reconnects = writer.reconnects + sum(
+            conn.reconnects for conn in subscribers
+        )
+        final_audit = verify_journal(journal_dir)
+        for conn in (writer, *subscribers):
+            conn.close()
+        server.close()
+
+    return {
+        "benchmark": "p6_soak",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "workload": {
+            "base": f"enterprise(n_employees={n_employees})",
+            "churn": "targeted raises over 10 objects + hire/fire pair",
+            "query": query,
+            "subscribers": n_subscribers,
+            "requested_seconds": duration,
+        },
+        "wall_seconds": wall_s,
+        "commits_per_second": counters["commits"] / wall_s,
+        "consistent": consistent,
+        "journal_ok": final_audit["ok"],
+        "reconnects": reconnects,
+        "failures": failures,
+        **counters,
+    }
+
+
 # ----------------------------------------------------------------------
 # the unified trajectory document
 # ----------------------------------------------------------------------
@@ -612,11 +790,25 @@ def _p4_headline(document: dict) -> dict:
     }
 
 
+def _p6_headline(document: dict) -> dict:
+    return {
+        "commits_per_second": document["commits_per_second"],
+        "non_retryable_errors": document["non_retryable_errors"],
+        "reconnects": document["reconnects"],
+        "consistent": document["consistent"],
+        "headline": f"soak {document['wall_seconds']:.0f}s: "
+        f"{document['commits_per_second']:.0f} commits/s through "
+        f"kill+compact+restart, {document['reconnects']} reconnects, "
+        f"{document['non_retryable_errors']} non-retryable errors",
+    }
+
+
 _HEADLINES = {
     "p1_base_size_sweep": _p1_headline,
     "p2_store_sweep": _p2_headline,
     "p3_query_sweep": _p3_headline,
     "p4_serve_sweep": _p4_headline,
+    "p6_soak": _p6_headline,
 }
 
 
@@ -718,6 +910,19 @@ def main(argv: list[str] | None = None) -> int:
         help="serve sweep: concurrent subscribed clients (default: %(default)s)",
     )
     parser.add_argument(
+        "--soak", action="store_true",
+        help="run the fault-tolerance soak (mixed churn through a server "
+        "kill, offline compaction and restart) instead of the P1 sweep",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=DEFAULT_SOAK_SECONDS,
+        help="soak: churn for this many seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--subscribers", type=int, default=DEFAULT_SOAK_SUBSCRIBERS,
+        help="soak: reconnecting subscriber connections (default: %(default)s)",
+    )
+    parser.add_argument(
         "--trajectory", action="store_true",
         help="only rebuild BENCH_TRAJECTORY.json from the BENCH_PR*.json "
         "documents in the current directory",
@@ -731,6 +936,40 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{pr}: {entry.get('headline', entry['benchmark'])}")
         print(f"wrote {out}")
         return 0
+
+    if arguments.soak:
+        out = arguments.out or Path(DEFAULT_SOAK_OUT)
+        document = run_soak_sweep(
+            duration=arguments.duration,
+            n_subscribers=arguments.subscribers,
+        )
+        out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        print(
+            f"soak: {document['wall_seconds']:.1f} s, "
+            f"{document['commits']} commits "
+            f"({document['commits_per_second']:.0f}/s), "
+            f"{document['deltas_folded']} deltas folded "
+            f"({document['lagged_resyncs']} lagged resyncs), "
+            f"{document['restarts']} restart(s), "
+            f"{document['reconnects']} reconnects"
+        )
+        print(
+            f"errors: {document['retryable_errors']} retryable, "
+            f"{document['non_retryable_errors']} non-retryable   "
+            f"consistent: {document['consistent']}   "
+            f"journal ok: {document['journal_ok']}"
+        )
+        for failure in document["failures"]:
+            print(f"  failure: {failure}")
+        print(f"wrote {out}")
+        write_trajectory(".")
+        return (
+            0
+            if document["consistent"]
+            and document["journal_ok"]
+            and not document["non_retryable_errors"]
+            else 1
+        )
 
     if arguments.serve:
         out = arguments.out or Path(DEFAULT_SERVE_OUT)

@@ -16,7 +16,9 @@ Usage (installed as ``repro-updates``, also ``python -m repro``)::
     repro-updates store diff --dir STORE OLDER NEWER
     repro-updates store as-of --dir STORE REVISION [--out new.ob]
     repro-updates store compact --dir STORE [--interval N]
+    repro-updates store verify --dir STORE [--json]
     repro-updates serve --dir STORE --socket /tmp/repro.sock
+    repro-updates serve --dir STORE --socket S --durability fsync
     repro-updates client --socket /tmp/repro.sock query "E.sal -> S"
     repro-updates client --socket /tmp/repro.sock subscribe "E.sal -> S" --pushes 1
     repro-updates client --socket /tmp/repro.sock tx --program update.upd
@@ -131,7 +133,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     from repro.bench.sweep import (
-        DEFAULT_QUERY_UPDATES,
         DEFAULT_READS_PER_UPDATE,
         DEFAULT_REPEATS,
         DEFAULT_SERVE_CLIENTS,
@@ -169,6 +170,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_cmd.add_argument(
         "--clients", type=int, default=DEFAULT_SERVE_CLIENTS
+    )
+    bench_cmd.add_argument(
+        "--soak", action="store_true",
+        help="run the fault-tolerance soak (mixed churn with reconnecting "
+        "subscribers through a kill, offline compaction and restart)",
+    )
+    bench_cmd.add_argument(
+        "--duration", type=float, default=None,
+        help="soak: churn for this many seconds (default: 60)",
+    )
+    bench_cmd.add_argument(
+        "--subscribers", type=int, default=None,
+        help="soak: reconnecting subscriber connections (default: 4)",
     )
     bench_cmd.add_argument(
         "--trajectory", action="store_true",
@@ -233,6 +247,16 @@ def build_parser() -> argparse.ArgumentParser:
     _dir_arg(compact_cmd)
     compact_cmd.add_argument("--interval", type=int, default=None)
 
+    verify_cmd = store_sub.add_parser(
+        "verify",
+        help="audit the journal without replaying it: per-line checksums, "
+        "chain order, snapshot presence; non-zero exit on any damage",
+    )
+    _dir_arg(verify_cmd)
+    verify_cmd.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+
     serve_cmd = commands.add_parser(
         "serve",
         help="serve a journal directory over the concurrent JSON-lines "
@@ -247,6 +271,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument(
         "--port", type=int, default=None,
         help="listen on TCP (0 picks a free port, printed on stderr)",
+    )
+    serve_cmd.add_argument(
+        "--durability", choices=["none", "flush", "fsync"], default=None,
+        help="journal write discipline for served commits (default: flush; "
+        "fsync survives power loss, none is fastest)",
+    )
+    serve_cmd.add_argument(
+        "--shutdown-deadline", type=float, default=None, metavar="SECONDS",
+        help="on SIGTERM/SIGINT, stop accepting, finish in-flight work and "
+        "flush outboxes for at most this long before cutting connections",
     )
 
     client_cmd = commands.add_parser(
@@ -462,6 +496,12 @@ def _cmd_bench(arguments) -> int:
         argv += ["--queries", "--reads", str(arguments.reads)]
     if arguments.serve:
         argv += ["--serve", "--clients", str(arguments.clients)]
+    if arguments.soak:
+        argv += ["--soak"]
+        if arguments.duration is not None:
+            argv += ["--duration", str(arguments.duration)]
+        if arguments.subscribers is not None:
+            argv += ["--subscribers", str(arguments.subscribers)]
     if arguments.updates is not None:
         argv += ["--updates", str(arguments.updates)]
     if arguments.trajectory:
@@ -470,11 +510,19 @@ def _cmd_bench(arguments) -> int:
 
 
 def _cmd_serve(arguments) -> int:
+    import signal
+
     from repro.server import ReproServer, StoreService
+    from repro.storage import DurabilityOptions
 
     if arguments.socket is None and arguments.port is None:
         raise ReproError("serve needs --socket PATH or --port N")
-    service = StoreService.open(arguments.directory)
+    durability = (
+        DurabilityOptions(mode=arguments.durability)
+        if arguments.durability is not None
+        else None
+    )
+    service = StoreService.open(arguments.directory, durability=durability)
 
     async def run() -> None:
         server = ReproServer(
@@ -491,7 +539,22 @@ def _cmd_serve(arguments) -> int:
             file=sys.stderr,
             flush=True,
         )
-        await server.serve_forever()
+        # SIGTERM/SIGINT drain gracefully: stop accepting, let in-flight
+        # commands finish, flush outboxes (bounded by the deadline), then
+        # close sockets with the journal already clean on disk.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        serving = asyncio.ensure_future(server.serve_forever())
+        waiting = asyncio.ensure_future(stop.wait())
+        await asyncio.wait(
+            [serving, waiting], return_when=asyncio.FIRST_COMPLETED
+        )
+        waiting.cancel()
+        serving.cancel()
+        await server.shutdown(deadline=arguments.shutdown_deadline)
+        print("server stopped (drained)", file=sys.stderr)
 
     try:
         asyncio.run(run())
@@ -743,6 +806,32 @@ def _cmd_store_compact(arguments) -> int:
     return 0
 
 
+def _cmd_store_verify(arguments) -> int:
+    import json
+
+    from repro.storage import verify_journal
+
+    report = verify_journal(arguments.directory)
+    if arguments.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{arguments.directory}: {report['revisions']} revisions, "
+            f"{report['checksummed']} checksummed, "
+            f"{report['unchecksummed']} pre-checksum, "
+            f"{report['snapshots']} snapshots"
+        )
+        for problem in report["problems"]:
+            print(
+                f"  line {problem['line']} (byte {problem['offset']}): "
+                f"{problem['error']}"
+            )
+        for name in report["missing_snapshots"]:
+            print(f"  missing snapshot: {name}")
+        print("ok" if report["ok"] else "DAMAGED")
+    return 0 if report["ok"] else 1
+
+
 _STORE_HANDLERS = {
     "init": _cmd_store_init,
     "apply": _cmd_store_apply,
@@ -750,6 +839,7 @@ _STORE_HANDLERS = {
     "diff": _cmd_store_diff,
     "as-of": _cmd_store_as_of,
     "compact": _cmd_store_compact,
+    "verify": _cmd_store_verify,
 }
 
 _HANDLERS = {

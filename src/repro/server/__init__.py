@@ -28,8 +28,14 @@ revisions, deltas and signatures — never raw bases.
 """
 
 from repro.server.client import AsyncClient, LocalClient, connect_local
-from repro.server.errors import ConflictError, ServerError, SessionError
-from repro.server.server import ReproServer
+from repro.server.errors import (
+    ConflictError,
+    ConnectionClosed,
+    ServerBusyError,
+    ServerError,
+    SessionError,
+)
+from repro.server.server import ReproServer, ServerLimits
 from repro.server.service import CommitOutcome, Session, StoreService
 from repro.server.subscriptions import Subscription, SubscriptionManager
 
@@ -40,10 +46,13 @@ __all__ = [
     "SubscriptionManager",
     "Subscription",
     "ReproServer",
+    "ServerLimits",
     "AsyncClient",
     "LocalClient",
     "connect_local",
     "ConflictError",
     "ServerError",
     "SessionError",
+    "ConnectionClosed",
+    "ServerBusyError",
 ]

@@ -25,7 +25,12 @@ import asyncio
 import itertools
 
 from repro.core.query import decode_answers
-from repro.server.errors import ConflictError, ServerError
+from repro.server.errors import (
+    ConflictError,
+    ConnectionClosed,
+    ServerBusyError,
+    ServerError,
+)
 from repro.server.protocol import LINE_LIMIT, ClientState, Dispatcher, decode, encode
 from repro.server.service import StoreService
 
@@ -44,6 +49,9 @@ def _raise_for(response: dict) -> dict:
             conflicting_index=response.get("conflicting_index", -1),
             conflicting_tag=response.get("conflicting_tag", ""),
         )
+    if response.get("retryable"):
+        # non-conflict but typed-retryable: the server shed load
+        raise ServerBusyError(message)
     raise ServerError(message)
 
 
@@ -180,6 +188,11 @@ def connect_local(target) -> LocalClient:
     )
 
 
+#: Push-queue sentinel: the connection died; every ``next_push`` waiter
+#: (present and future) gets a :class:`ConnectionClosed` instead of hanging.
+_PUSHES_CLOSED = object()
+
+
 class AsyncClient:
     """The asyncio wire client (see the module doc).
 
@@ -195,7 +208,13 @@ class AsyncClient:
         self._waiting: dict[int, asyncio.Future] = {}
         self._pushes: asyncio.Queue = asyncio.Queue()
         self._dead: str | None = None
+        self._closed = False
         self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @property
+    def alive(self) -> bool:
+        """Whether the connection can still carry requests."""
+        return self._dead is None and not self._closed
 
     @classmethod
     async def connect(
@@ -245,13 +264,16 @@ class AsyncClient:
                 self._dead = "connection closed"
             for future in self._waiting.values():
                 if not future.done():
-                    future.set_exception(ServerError(self._dead))
+                    future.set_exception(ConnectionClosed(self._dead))
             self._waiting.clear()
+            # wake every pending (and future) next_push waiter: a stream
+            # that will never produce again must say so, not hang
+            self._pushes.put_nowait(_PUSHES_CLOSED)
 
     async def request(self, cmd: str, **payload) -> dict:
         """Send one command and await its raw response dict."""
         if self._dead is not None:
-            raise ServerError(self._dead)
+            raise ConnectionClosed(self._dead)
         request_id = next(self._ids)
         message = {"id": request_id, "cmd": cmd}
         message.update(
@@ -259,8 +281,14 @@ class AsyncClient:
         )
         future = asyncio.get_event_loop().create_future()
         self._waiting[request_id] = future
-        self._writer.write(encode(message))
-        await self._writer.drain()
+        try:
+            self._writer.write(encode(message))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            stale = self._waiting.pop(request_id, None)
+            if stale is not None and stale.done() and not stale.cancelled():
+                stale.exception()  # read loop failed it first: observe it
+            raise ConnectionClosed(f"connection failed: {error}") from None
         return await future
 
     async def call(self, cmd: str, **payload) -> dict:
@@ -268,19 +296,39 @@ class AsyncClient:
         return _raise_for(await self.request(cmd, **payload))
 
     async def next_push(self, *, timeout: float | None = None) -> dict:
-        """Await the next push message (subscription answer diff)."""
+        """Await the next push message (subscription answer diff).
+
+        Raises :class:`ConnectionClosed` — instead of waiting forever —
+        once the connection has died or :meth:`close` was called.
+        """
         if timeout is None:
-            return await self._pushes.get()
-        return await asyncio.wait_for(self._pushes.get(), timeout)
+            message = await self._pushes.get()
+        else:
+            message = await asyncio.wait_for(self._pushes.get(), timeout)
+        if message is _PUSHES_CLOSED:
+            # leave the sentinel in place so every other waiter wakes too
+            self._pushes.put_nowait(_PUSHES_CLOSED)
+            raise ConnectionClosed(self._dead or "client closed")
+        return message
 
     def drain_pushes(self) -> list[dict]:
         """Already-received pushes, without waiting."""
         drained = []
         while not self._pushes.empty():
-            drained.append(self._pushes.get_nowait())
+            message = self._pushes.get_nowait()
+            if message is _PUSHES_CLOSED:
+                self._pushes.put_nowait(_PUSHES_CLOSED)
+                break
+            drained.append(message)
         return drained
 
     async def close(self) -> None:
+        """Tear down the connection: cancel *and await* the reader task,
+        resolve pending ``next_push``/``request`` waiters with
+        :class:`ConnectionClosed`, close the socket.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
         self._reader_task.cancel()
         try:
             await self._reader_task

@@ -10,17 +10,33 @@ the distinctions a concurrent client actually branches on:
   loop).
 * :class:`SessionError` — a protocol misuse that retrying cannot fix: an
   unknown or already-finished session, or a commit with nothing staged.
+* :class:`ConnectionClosed` — the transport died (server restart, dropped
+  socket, shutdown); **retryable** through a reconnecting client.
+* :class:`ServerBusyError` — the server shed load (writer-queue timeout,
+  outbox overflow); **retryable** after a backoff.
+
+Every error exposes a boolean ``retryable`` class attribute, which also
+travels on the wire so remote clients can branch without string matching.
 """
 
 from __future__ import annotations
 
 from repro.core.errors import ReproError
 
-__all__ = ["ServerError", "ConflictError", "SessionError"]
+__all__ = [
+    "ServerError",
+    "ConflictError",
+    "SessionError",
+    "ConnectionClosed",
+    "ServerBusyError",
+]
 
 
 class ServerError(ReproError):
     """Base class for every serving-subsystem error."""
+
+    #: May a client transparently retry the failed operation?
+    retryable = False
 
 
 class ConflictError(ServerError):
@@ -53,3 +69,24 @@ class SessionError(ServerError):
     committed/aborted, or committed with nothing staged)."""
 
     retryable = False
+
+
+class ConnectionClosed(ServerError):
+    """The wire link died: server restart, dropped socket, or a local
+    ``close()`` while requests or push waiters were outstanding.
+
+    Retryable by definition — the request may or may not have reached the
+    server, so clients re-issue only *safe* (read-only or idempotent)
+    commands; a reconnecting :class:`~repro.api.wire.WireConnection` does
+    exactly that under its :class:`~repro.api.model.RetryPolicy`.
+    """
+
+    retryable = True
+
+
+class ServerBusyError(ServerError):
+    """The server shed load instead of queueing without bound: the FIFO
+    writer queue did not free up within the configured timeout, or a
+    connection's outbox overflowed its hard cap.  Back off and retry."""
+
+    retryable = True

@@ -2,11 +2,26 @@
 
 One message per line, each a JSON object.  Requests carry ``cmd`` plus an
 optional client-chosen ``id`` echoed on the response; responses carry
-``ok`` (with the command payload inlined on success, ``error`` — and
-``conflict: true`` for retryable optimistic-commit failures — otherwise).
-Push messages (subscription answer diffs) carry ``push`` instead of ``id``
-and may arrive at any point between responses, including *before* the
-response of the commit that caused them.
+``ok`` (with the command payload inlined on success, ``error`` otherwise).
+Failed responses set ``retryable: true`` when a client may back off and
+re-issue (optimistic-commit conflicts — which additionally carry
+``conflict: true`` and the conflicting revision — and load-shedding
+rejections); anything else is a terminal error for that request.
+
+Push messages carry ``push`` instead of ``id`` and may arrive at any
+point between responses, including *before* the response of the commit
+that caused them:
+
+* ``{"push": "diff", sid, query, revision, tag, added, removed}`` — one
+  subscription answer diff;
+* ``{"push": "lagged", sid, query, from_revision, to_revision, answers}``
+  — this subscriber fell behind and its queued diffs were shed; the full
+  current answer set replaces everything in ``[from_revision,
+  to_revision]`` (see the server module doc for the contract);
+* ``{"push": "closed", error, retryable}`` — the server is about to
+  disconnect this client (outbox hard-cap overflow);
+* ``{"push": "shutdown", reason}`` — graceful shutdown: no further
+  requests will be answered, reconnect after the restart.
 
 Commands::
 
@@ -113,13 +128,19 @@ class Dispatcher:
             response = self._error(request_id, str(conflict))
             response.update(
                 conflict=True,
+                retryable=True,
                 pinned=conflict.pinned,
                 conflicting_index=conflict.conflicting_index,
                 conflicting_tag=conflict.conflicting_tag,
             )
             return response
         except ReproError as error:
-            return self._error(request_id, str(error))
+            response = self._error(request_id, str(error))
+            if getattr(error, "retryable", False):
+                # the typed-retryable contract: clients branch on this
+                # field (backoff + re-issue) instead of matching strings
+                response["retryable"] = True
+            return response
         except Exception as error:  # malformed payloads must not kill the link
             return self._error(
                 request_id,

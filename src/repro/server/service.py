@@ -34,16 +34,23 @@ committed — an evaluation error anywhere commits nothing.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
+from contextlib import contextmanager
 from typing import Callable, Sequence
 
 from repro.core.objectbase import Delta, ObjectBase
 from repro.core.plans import QuerySignature, program_signature
 from repro.core.query import Answer, PreparedQuery
 from repro.core.rules import UpdateProgram
-from repro.server.errors import ConflictError, SessionError
+from repro.server.errors import ConflictError, ServerBusyError, SessionError
 from repro.storage.history import StoreRevision, VersionedStore
-from repro.storage.serialize import append_revision, load_store, save_store
+from repro.storage.serialize import (
+    DurabilityOptions,
+    append_revision,
+    load_store,
+    save_store,
+)
 
 __all__ = ["Session", "CommitOutcome", "StoreService"]
 
@@ -63,20 +70,38 @@ class _FIFOLock:
         self._tickets: deque[object] = deque()
         self._holder: object | None = None
 
-    def __enter__(self) -> "_FIFOLock":
+    def acquire(self, timeout: float | None = None) -> bool:
+        """Take the lock in arrival order; ``False`` on timeout (the
+        ticket is withdrawn, so a timed-out waiter never blocks the
+        queue behind it)."""
         ticket = object()
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._condition:
             self._tickets.append(ticket)
             while self._holder is not None or self._tickets[0] is not ticket:
-                self._condition.wait()
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._tickets.remove(ticket)
+                        self._condition.notify_all()
+                        return False
+                self._condition.wait(remaining)
             self._tickets.popleft()
             self._holder = ticket
-        return self
+        return True
 
-    def __exit__(self, *exc_info) -> None:
+    def release(self) -> None:
         with self._condition:
             self._holder = None
             self._condition.notify_all()
+
+    def __enter__(self) -> "_FIFOLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
 class CommitOutcome:
@@ -230,11 +255,18 @@ class StoreService:
         store: VersionedStore,
         *,
         journal_dir=None,
+        durability: DurabilityOptions | None = None,
+        write_timeout: float | None = None,
     ) -> None:
         from repro.server.subscriptions import SubscriptionManager
 
         self.store = store
         self.journal_dir = journal_dir
+        self.durability = durability
+        #: Seconds a commit may wait in the FIFO writer queue before the
+        #: service sheds it with a retryable :class:`ServerBusyError`
+        #: (``None`` = wait forever, the embedded-single-writer default).
+        self.write_timeout = write_timeout
         self._journal_error: str | None = None
         self._writer_queue = _FIFOLock()
         self._state_lock = threading.Lock()
@@ -248,22 +280,47 @@ class StoreService:
 
     # -- construction ------------------------------------------------------
     @classmethod
-    def open(cls, directory, *, engine=None, options=None) -> "StoreService":
+    def open(
+        cls,
+        directory,
+        *,
+        engine=None,
+        options=None,
+        durability: DurabilityOptions | None = None,
+        write_timeout: float | None = None,
+    ) -> "StoreService":
         """Open a journal directory as a service: the journal is replayed
         into a store (restart recovery — the service is the journal's
-        writer, so a torn tail line is repaired on disk here) and every
-        future commit appends."""
+        writer, so torn/duplicated tail lines are repaired on disk here)
+        and every future commit appends under ``durability``."""
         store = load_store(directory, engine=engine, options=options, repair=True)
-        return cls(store, journal_dir=directory)
+        return cls(
+            store,
+            journal_dir=directory,
+            durability=durability,
+            write_timeout=write_timeout,
+        )
 
     @classmethod
     def create(
-        cls, base: ObjectBase, directory, *, tag: str = "initial", **store_kwargs
+        cls,
+        base: ObjectBase,
+        directory,
+        *,
+        tag: str = "initial",
+        durability: DurabilityOptions | None = None,
+        write_timeout: float | None = None,
+        **store_kwargs,
     ) -> "StoreService":
         """Initialize a fresh journal directory from ``base`` and serve it."""
         store = VersionedStore(base, tag=tag, **store_kwargs)
-        save_store(store, directory)
-        return cls(store, journal_dir=directory)
+        save_store(store, directory, durability=durability)
+        return cls(
+            store,
+            journal_dir=directory,
+            durability=durability,
+            write_timeout=write_timeout,
+        )
 
     # -- coercion helpers --------------------------------------------------
     @staticmethod
@@ -296,7 +353,7 @@ class StoreService:
         """One-shot autocommit: serialize behind the writer queue and run
         ``program`` against the head (never conflicts — it has no pin)."""
         program = self.coerce_program(program)
-        with self._writer_queue:
+        with self._writer():
             return self._commit_programs([program], tag)
 
     def run_transaction(
@@ -320,8 +377,22 @@ class StoreService:
                 last = conflict
         raise last
 
+    @contextmanager
+    def _writer(self):
+        """Hold the FIFO writer queue, shedding with a retryable
+        :class:`ServerBusyError` when ``write_timeout`` elapses first."""
+        if not self._writer_queue.acquire(self.write_timeout):
+            raise ServerBusyError(
+                f"writer queue still busy after {self.write_timeout}s; "
+                f"the commit was shed — back off and retry"
+            )
+        try:
+            yield
+        finally:
+            self._writer_queue.release()
+
     def _commit_session(self, session: Session, tag: str) -> CommitOutcome:
-        with self._writer_queue:
+        with self._writer():
             interim = self.store.revisions()[session.pinned + 1:]
             try:
                 session._validate(interim)
@@ -369,7 +440,9 @@ class StoreService:
             )
             if self.journal_dir is not None:
                 try:
-                    append_revision(store, self.journal_dir)
+                    append_revision(
+                        store, self.journal_dir, durability=self.durability
+                    )
                 except Exception as error:
                     self._journal_error = str(error)
                     raise SessionError(
@@ -407,6 +480,12 @@ class StoreService:
             "conflicts": self._conflicts,
             "sessions_begun": self._session_counter,
             "journal": str(self.journal_dir) if self.journal_dir else None,
+            "durability": (
+                (self.durability or DurabilityOptions()).mode
+                if self.journal_dir
+                else None
+            ),
+            "write_timeout": self.write_timeout,
             "subscriptions": self.subscriptions.stats(),
             "prepared": self.store.prepared_stats(),
         }

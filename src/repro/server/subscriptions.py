@@ -134,6 +134,32 @@ class SubscriptionManager:
     def get(self, sid: str) -> Subscription | None:
         return self._subscriptions.get(sid)
 
+    def resync(self, sid: str, *, acknowledge=None) -> dict | None:
+        """The full current answer state of one subscription, captured
+        atomically with respect to commit processing.
+
+        This is the load-shedding path: when a slow connection's outbox
+        sheds queued diffs for ``sid``, the transport later delivers one
+        coalesced ``lagged`` push built from this snapshot instead.
+        ``acknowledge`` (when given) runs *inside* the manager lock just
+        before the snapshot is taken — the transport uses it to clear its
+        per-sid lag flag, so no diff computed against a newer state can
+        sneak into the queue between snapshot and flag-clear (which would
+        double-apply on the client).
+        """
+        with self._lock:
+            if acknowledge is not None:
+                acknowledge(sid)
+            subscription = self._subscriptions.get(sid)
+            if subscription is None:
+                return None
+            return {
+                "sid": subscription.id,
+                "query": subscription.query.name,
+                "revision": subscription.revision,
+                "answers": list(subscription.answers),
+            }
+
     def _on_commit(self, revision: StoreRevision) -> None:
         with self._lock:
             self._process_commit(revision)

@@ -21,6 +21,8 @@ from repro.storage.history import (
     resolve_revision_ref,
 )
 from repro.storage.serialize import (
+    DurabilityOptions,
+    JournalCorruptError,
     append_revision,
     compact_journal,
     dump_base_json,
@@ -29,6 +31,7 @@ from repro.storage.serialize import (
     load_base_text,
     load_store,
     save_store,
+    verify_journal,
 )
 
 __all__ = [
@@ -36,6 +39,8 @@ __all__ = [
     "StoreOptions",
     "StoreRevision",
     "resolve_revision_ref",
+    "DurabilityOptions",
+    "JournalCorruptError",
     "dump_base_text",
     "load_base_text",
     "dump_base_json",
@@ -44,4 +49,5 @@ __all__ = [
     "load_store",
     "append_revision",
     "compact_journal",
+    "verify_journal",
 ]

@@ -9,8 +9,9 @@ The **journal** is the durable form of a
 :class:`~repro.storage.history.VersionedStore`: a directory holding
 
 * ``journal.jsonl`` — a header line (format, store options) followed by one
-  JSON line per revision carrying its tag, program name and ``(added,
-  removed)`` fact delta, appendable without rewriting history;
+  JSON line per revision carrying its tag, program name, ``(added,
+  removed)`` fact delta and a CRC-32 of the record, appendable without
+  rewriting history;
 * ``snap-<index>.json`` — full object-base snapshots (the
   :func:`dump_base_json` format) for the revisions the snapshot policy
   materialized.
@@ -18,13 +19,26 @@ The **journal** is the durable form of a
 ``save_store`` / ``load_store`` round-trip a whole revision chain;
 ``append_revision`` extends a journal by the store's newest revision in
 O(|delta|); ``compact_journal`` rewrites a journal under a fresh snapshot
-interval.
+interval; ``verify_journal`` audits a journal's checksums without
+replaying it.
+
+Durability is a policy, not a property of the data: :class:`DurabilityOptions`
+selects how hard each append and snapshot write is pushed toward the platter
+(``none``/``flush``/``fsync``), and every whole-file write — snapshots, the
+journal itself on save/compaction, tail repair — goes through an atomic
+temp-file + ``os.replace`` so a crash never leaves a half-written file under
+a durable name.  All file I/O funnels through a single module-level
+filesystem object so the fault-injection harness
+(:mod:`repro.testing.faults`) can interpose deterministic crashes, torn
+writes and ``ENOSPC`` at exact byte offsets.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.errors import ReproError, TermError
@@ -41,14 +55,131 @@ __all__ = [
     "dump_base_json",
     "load_base_json",
     "JOURNAL_FILE",
+    "DurabilityOptions",
+    "JournalCorruptError",
     "save_store",
     "load_store",
     "append_revision",
     "compact_journal",
+    "verify_journal",
 ]
 
 JOURNAL_FILE = "journal.jsonl"
 _JOURNAL_FORMAT = "repro-store-journal"
+
+_DURABILITY_MODES = ("none", "flush", "fsync")
+
+
+@dataclass(frozen=True)
+class DurabilityOptions:
+    """How hard journal writes are pushed toward stable storage.
+
+    ``mode`` governs each ``append_revision`` line:
+
+    * ``"none"`` — hand the bytes to the OS and move on (buffered write,
+      closed immediately); fastest, loses the tail on a machine crash.
+    * ``"flush"`` — explicitly flush the stream before close (the
+      historical behavior; survives process death, not power loss).
+    * ``"fsync"`` — flush **and** ``os.fsync`` the journal (and the
+      directory after a rename), so an acknowledged commit survives power
+      loss.
+
+    ``fsync_snapshots`` extends the same discipline to snapshot files; it
+    defaults to following the mode (``None`` ⇒ fsync snapshots exactly
+    when ``mode == "fsync"``).
+    """
+
+    mode: str = "flush"
+    fsync_snapshots: bool | None = None
+
+    def __post_init__(self):
+        if self.mode not in _DURABILITY_MODES:
+            raise ReproError(
+                f"unknown durability mode {self.mode!r}; "
+                f"expected one of {', '.join(_DURABILITY_MODES)}"
+            )
+
+    @property
+    def flush_appends(self) -> bool:
+        return self.mode in ("flush", "fsync")
+
+    @property
+    def fsync_appends(self) -> bool:
+        return self.mode == "fsync"
+
+    @property
+    def sync_snapshots(self) -> bool:
+        if self.fsync_snapshots is None:
+            return self.mode == "fsync"
+        return self.fsync_snapshots
+
+
+#: The durability applied when callers do not pass one explicitly.
+DEFAULT_DURABILITY = DurabilityOptions()
+
+
+class _Filesystem:
+    """The single seam between journal logic and the OS.
+
+    Every byte the journal subsystem persists flows through one of these
+    methods, so the fault-injection harness can swap in a faulty double
+    (see :func:`swap_filesystem`) and interpose crashes at exact byte
+    offsets without monkeypatching ``pathlib`` internals.
+    """
+
+    def write_text(self, path: Path, text: str, *, fsync: bool = False) -> None:
+        """Atomically replace ``path`` with ``text`` (temp file + rename)."""
+        temp = path.with_name(path.name + ".tmp")
+        with temp.open("w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        self.replace(temp, path, fsync=fsync)
+
+    def append_text(
+        self, path: Path, text: str, *, flush: bool = True, fsync: bool = False
+    ) -> None:
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(text)
+            if flush or fsync:
+                handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+
+    def replace(self, source: Path, target: Path, *, fsync: bool = False) -> None:
+        os.replace(source, target)
+        if fsync:
+            self.fsync_dir(target.parent)
+
+    def unlink(self, path: Path) -> None:
+        path.unlink()
+
+    def fsync_dir(self, directory: Path) -> None:
+        """Make a rename durable by fsyncing the containing directory."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir-open
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+_fs = _Filesystem()
+
+
+def swap_filesystem(filesystem) -> object:
+    """Install ``filesystem`` as the journal I/O backend; returns the old one.
+
+    The hook behind :mod:`repro.testing.faults` — production code never
+    calls this.
+    """
+    global _fs
+    previous = _fs
+    _fs = filesystem
+    return previous
 
 
 def dump_base_text(base: ObjectBase, path: str | Path | None = None) -> str:
@@ -149,6 +280,13 @@ def _snapshot_name(index: int) -> str:
     return f"snap-{index:06d}.json"
 
 
+def _record_crc(record: dict) -> str:
+    """CRC-32 (hex) over the canonical JSON of ``record`` minus its ``crc``."""
+    payload = {key: value for key, value in record.items() if key != "crc"}
+    text = json.dumps(payload, sort_keys=True)
+    return format(zlib.crc32(text.encode("utf-8")), "08x")
+
+
 def _revision_line(revision: StoreRevision, has_snapshot: bool) -> str:
     record = {
         "index": revision.index,
@@ -158,16 +296,34 @@ def _revision_line(revision: StoreRevision, has_snapshot: bool) -> str:
         "removed": [_fact_to_json(f) for f in sorted(revision.removed, key=str)],
         "snapshot": _snapshot_name(revision.index) if has_snapshot else None,
     }
+    record["crc"] = _record_crc(record)
     return json.dumps(record, sort_keys=True)
 
 
-def save_store(store: VersionedStore, directory: str | Path) -> Path:
+def _write_snapshot(
+    base: ObjectBase, path: Path, durability: DurabilityOptions
+) -> None:
+    _fs.write_text(path, dump_base_json(base), fsync=durability.sync_snapshots)
+
+
+def save_store(
+    store: VersionedStore,
+    directory: str | Path,
+    *,
+    durability: DurabilityOptions | None = None,
+) -> Path:
     """Write the whole revision chain of ``store`` to ``directory``.
 
     Returns the journal path.  Snapshot files are written exactly where the
     store's revisions carry snapshots; stale snapshot files from earlier
     saves are removed so the directory always mirrors one chain.
+
+    The write order is crash-safe: snapshots land first (each via atomic
+    temp-file + rename), then the journal is atomically replaced, and only
+    then are stale snapshots unlinked — at no point does the durable
+    journal reference a snapshot that is not fully on disk.
     """
+    durability = durability or DEFAULT_DURABILITY
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     lines = [
@@ -190,16 +346,25 @@ def save_store(store: VersionedStore, directory: str | Path) -> Path:
         if has_snapshot:
             name = _snapshot_name(revision.index)
             kept.add(name)
-            dump_base_json(store.snapshot_at(revision.index), directory / name)
+            _write_snapshot(
+                store.snapshot_at(revision.index), directory / name, durability
+            )
+    journal = directory / JOURNAL_FILE
+    _fs.write_text(
+        journal, "\n".join(lines) + "\n", fsync=durability.fsync_appends
+    )
     for stale in directory.glob("snap-*.json"):
         if stale.name not in kept:
-            stale.unlink()
-    journal = directory / JOURNAL_FILE
-    journal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+            _fs.unlink(stale)
     return journal
 
 
-def append_revision(store: VersionedStore, directory: str | Path) -> Path:
+def append_revision(
+    store: VersionedStore,
+    directory: str | Path,
+    *,
+    durability: DurabilityOptions | None = None,
+) -> Path:
     """Append the store's newest revision to an existing journal.
 
     This is the fast path of ``repro store apply``: one JSONL line (plus a
@@ -208,7 +373,12 @@ def append_revision(store: VersionedStore, directory: str | Path) -> Path:
     against the revision being appended, so a journal that moved under us
     (a concurrent ``store apply``) fails cleanly instead of silently
     forking the chain into an unreadable state.
+
+    The snapshot (when due) is written before the journal line, so a crash
+    between the two leaves a dangling snapshot file (harmless, cleaned by
+    the next compaction) rather than a journal line pointing at nothing.
     """
+    durability = durability or DEFAULT_DURABILITY
     directory = Path(directory)
     journal = directory / JOURNAL_FILE
     if not journal.exists():
@@ -223,12 +393,17 @@ def append_revision(store: VersionedStore, directory: str | Path) -> Path:
         )
     has_snapshot = store.has_snapshot(revision.index)
     if has_snapshot:
-        dump_base_json(
+        _write_snapshot(
             store.snapshot_at(revision.index),
             directory / _snapshot_name(revision.index),
+            durability,
         )
-    with journal.open("a", encoding="utf-8") as handle:
-        handle.write(_revision_line(revision, has_snapshot) + "\n")
+    _fs.append_text(
+        journal,
+        _revision_line(revision, has_snapshot) + "\n",
+        flush=durability.flush_appends,
+        fsync=durability.fsync_appends,
+    )
     return journal
 
 
@@ -252,6 +427,58 @@ def _last_journal_index(journal: Path) -> int:
         ) from None
 
 
+def _journal_lines(journal: Path) -> list[tuple[int, int, str]]:
+    """``(line_number, byte_offset, text)`` for every line of the journal.
+
+    Decoding is per-line with replacement, so a corrupt (non-UTF-8) line
+    still gets reported with its exact byte offset instead of aborting the
+    whole read.
+    """
+    data = journal.read_bytes()
+    out: list[tuple[int, int, str]] = []
+    offset = 0
+    for number, raw in enumerate(data.split(b"\n"), start=1):
+        out.append((number, offset, raw.decode("utf-8", errors="replace")))
+        offset += len(raw) + 1
+    # a trailing newline yields one empty phantom line; drop it
+    if out and not out[-1][2]:
+        out.pop()
+    return out
+
+
+class JournalCorruptError(ReproError):
+    """A journal record that cannot be trusted: unparsable, checksum
+    mismatch, or chain-order violation.  Carries the 1-based line number
+    and the byte offset of the offending line so operators can inspect
+    (``dd``, an editor) and surgically repair."""
+
+    def __init__(self, journal: Path, line: int, offset: int, reason: str):
+        super().__init__(
+            f"journal {journal} is corrupt at line {line} "
+            f"(byte offset {offset}): {reason}"
+        )
+        self.journal = str(journal)
+        self.line = line
+        self.offset = offset
+        self.reason = reason
+
+
+def _parse_record(line: str) -> tuple[dict, str | None]:
+    """Parse one journal line; returns ``(record, problem)`` where
+    ``problem`` describes a checksum/shape violation (``None`` if clean).
+    Raises ``ValueError`` when the line is not even JSON."""
+    record = json.loads(line)
+    if not isinstance(record, dict):
+        return {}, "record is not a JSON object"
+    for key in ("index", "tag", "added", "removed"):
+        if key not in record:
+            return record, f"record is missing the {key!r} field"
+    crc = record.get("crc")
+    if crc is not None and crc != _record_crc(record):
+        return record, f"checksum mismatch (stored {crc}, computed {_record_crc(record)})"
+    return record, None
+
+
 def load_store(
     directory: str | Path,
     *,
@@ -265,24 +492,33 @@ def load_store(
     full-copy journal as a delta chain); by default the journalled ones are
     used.
 
-    A *torn tail line* — the crash residue of an interrupted
-    ``append_revision`` — is always recovered **in memory**: the store
-    loads at the last durable revision.  With ``repair=True`` the journal
-    file is additionally truncated back to its last complete line so
-    future appends line up again; writers (the serving subsystem's
-    startup, ``store apply``) pass it, read-only paths (``store log``)
-    must not, since rewriting the file from a reader could race a live
-    appender.
+    Two kinds of *tail* crash residue are always recovered **in memory**,
+    loading the store at the last durable revision:
+
+    * a torn or checksum-failing final line — an ``append_revision``
+      interrupted mid-write; the revision never became durable;
+    * an exact duplicate of the preceding line — an append that was
+      retried after a crash that hid its acknowledgement.
+
+    With ``repair=True`` the journal file is additionally rewritten back
+    to its last-good content (via a temp file + atomic rename) so future
+    appends line up again; writers (the serving subsystem's startup,
+    ``store apply``) pass it, read-only paths (``store log``) must not,
+    since rewriting the file from a reader could race a live appender.
+
+    Corruption *before* the final line is never repaired automatically:
+    it raises :class:`JournalCorruptError` carrying the line number and
+    byte offset.
     """
     directory = Path(directory)
     journal = directory / JOURNAL_FILE
     if not journal.exists():
         raise ReproError(f"no journal at {journal}")
-    lines = journal.read_text(encoding="utf-8").splitlines()
+    lines = _journal_lines(journal)
     if not lines:
         raise ReproError(f"journal {journal} is empty")
     try:
-        header = json.loads(lines[0])
+        header = json.loads(lines[0][2])
     except json.JSONDecodeError as error:
         raise ReproError(f"journal {journal} has a corrupt header: {error}") from None
     if header.get("format") != _JOURNAL_FORMAT:
@@ -291,37 +527,51 @@ def load_store(
         options = StoreOptions(**header.get("options", {}))
 
     body = [
-        (number, line)
-        for number, line in enumerate(lines[1:], start=2)
+        (number, offset, line)
+        for number, offset, line in lines[1:]
         if line.strip()
     ]
     revisions: list[StoreRevision] = []
     snapshot_sources: dict[int, object] = {}
-    good_lines = [lines[0]]
-    for position, (number, line) in enumerate(body):
+    good_lines = [lines[0][2]]
+    dirty = False  # journal bytes differ from the recovered chain
+    for position, (number, offset, line) in enumerate(body):
+        is_tail = position == len(body) - 1
+        if good_lines[1:] and line == good_lines[-1]:
+            # Exact duplicate of the previous record: the crash residue of
+            # a retried append whose first write survived.  The revision is
+            # already in the chain; drop the echo.
+            dirty = True
+            continue
         try:
-            record = json.loads(line)
+            record, problem = _parse_record(line)
+        except ValueError as error:
+            record, problem = {}, str(error)
+        if problem is None:
+            index = record["index"]
+            expected = revisions[-1].index + 1 if revisions else None
+            if expected is not None and index != expected:
+                problem = f"revision index {index} breaks the chain (expected {expected})"
+        if problem is not None:
+            if is_tail and revisions:
+                # A torn/garbled final line is the expected crash residue of
+                # an interrupted ``append_revision``: the revision never
+                # became durable.  Drop it so the store loads at the last
+                # durable revision; only a declared writer rewrites the file.
+                dirty = True
+                break
+            raise JournalCorruptError(journal, number, offset, problem)
+        try:
             index = record["index"]
             added = frozenset(_fact_from_json(e) for e in record["added"])
             removed = frozenset(_fact_from_json(e) for e in record["removed"])
             tag = record["tag"]
-        except (json.JSONDecodeError, KeyError, TypeError) as error:
-            if position == len(body) - 1 and revisions:
-                # A torn final line is the expected crash residue of an
-                # interrupted ``append_revision``: the revision never became
-                # durable.  Drop it so the store loads at the last durable
-                # revision; only a declared writer rewrites the file — via a
-                # temp file + atomic rename, so a crash mid-repair cannot
-                # destroy the durable history the repair is protecting.
-                if repair:
-                    replacement = journal.with_suffix(".repair")
-                    replacement.write_text(
-                        "\n".join(good_lines) + "\n", encoding="utf-8"
-                    )
-                    os.replace(replacement, journal)
+        except (KeyError, TypeError) as error:
+            if is_tail and revisions:
+                dirty = True
                 break
-            raise ReproError(
-                f"journal {journal} is corrupt at line {number}: {error}"
+            raise JournalCorruptError(
+                journal, number, offset, f"malformed fact payload ({error})"
             ) from None
         if record.get("snapshot"):
             # deferred: parsed only when base_at/save actually needs it,
@@ -339,6 +589,10 @@ def load_store(
             )
         )
         good_lines.append(line)
+    if dirty and repair:
+        # Rewrite via a temp file + atomic rename, so a crash mid-repair
+        # cannot destroy the durable history the repair is protecting.
+        _fs.write_text(journal, "\n".join(good_lines) + "\n")
     return VersionedStore.from_revisions(
         revisions,
         engine=engine,
@@ -361,8 +615,94 @@ def _load_snapshot(path: Path) -> ObjectBase:
         raise ReproError(f"journal snapshot {path} is corrupt: {error}") from None
 
 
+def verify_journal(directory: str | Path) -> dict:
+    """Audit a journal without replaying it.
+
+    Walks every line once, checking JSON shape, the per-line CRC (lines
+    written before checksums existed are counted, not failed), revision
+    chain order, and that every referenced snapshot file exists.  Returns
+    a report::
+
+        {"ok": bool, "revisions": int, "checksummed": int,
+         "unchecksummed": int, "snapshots": int,
+         "problems": [{"line": int, "offset": int, "error": str}, ...],
+         "missing_snapshots": [name, ...]}
+
+    No facts are interned and no snapshots are parsed, so verification is
+    cheap even on journals too large to load comfortably.
+    """
+    directory = Path(directory)
+    journal = directory / JOURNAL_FILE
+    if not journal.exists():
+        raise ReproError(f"no journal at {journal}")
+    lines = _journal_lines(journal)
+    report = {
+        "ok": True,
+        "revisions": 0,
+        "checksummed": 0,
+        "unchecksummed": 0,
+        "snapshots": 0,
+        "problems": [],
+        "missing_snapshots": [],
+    }
+
+    def flag(number: int, offset: int, error: str) -> None:
+        report["ok"] = False
+        report["problems"].append({"line": number, "offset": offset, "error": error})
+
+    if not lines:
+        flag(1, 0, "journal is empty")
+        return report
+    try:
+        header = json.loads(lines[0][2])
+        if header.get("format") != _JOURNAL_FORMAT:
+            flag(lines[0][0], lines[0][1], "not a repro store journal header")
+    except json.JSONDecodeError as error:
+        flag(lines[0][0], lines[0][1], f"corrupt header: {error}")
+    expected_index = None
+    previous_line = None
+    for number, offset, line in lines[1:]:
+        if not line.strip():
+            continue
+        if previous_line is not None and line == previous_line:
+            flag(number, offset, "exact duplicate of the previous record")
+            continue
+        previous_line = line
+        try:
+            record, problem = _parse_record(line)
+        except ValueError as error:
+            flag(number, offset, f"unparsable record: {error}")
+            continue
+        if problem is not None:
+            flag(number, offset, problem)
+            continue
+        report["revisions"] += 1
+        if record.get("crc") is not None:
+            report["checksummed"] += 1
+        else:
+            report["unchecksummed"] += 1
+        index = record["index"]
+        if expected_index is not None and index != expected_index:
+            flag(
+                number,
+                offset,
+                f"revision index {index} breaks the chain (expected {expected_index})",
+            )
+        expected_index = index + 1
+        snapshot = record.get("snapshot")
+        if snapshot:
+            report["snapshots"] += 1
+            if not (directory / snapshot).exists():
+                report["ok"] = False
+                report["missing_snapshots"].append(snapshot)
+    return report
+
+
 def compact_journal(
-    directory: str | Path, *, snapshot_interval: int | None = None
+    directory: str | Path,
+    *,
+    snapshot_interval: int | None = None,
+    durability: DurabilityOptions | None = None,
 ) -> VersionedStore:
     """Rewrite a journal under a (possibly new) snapshot interval.
 
@@ -370,6 +710,11 @@ def compact_journal(
     rest, so a journal grown with a dense interval (or a full-copy one)
     shrinks to the delta-chain layout.  Returns the compacted store (its
     journal is already on disk), so callers need not reload it.
+
+    The rewrite inherits ``save_store``'s crash-safe ordering: new
+    snapshots first, then an atomic journal replace, then stale-snapshot
+    cleanup — a crash at any point leaves either the old journal with all
+    its snapshots or the new journal with all of its.
     """
     store = load_store(directory, repair=True)  # compaction rewrites anyway
     interval = snapshot_interval or store.options.snapshot_interval
@@ -397,5 +742,5 @@ def compact_journal(
     compacted = VersionedStore.from_revisions(
         revisions, engine=store.engine, options=new_options
     )
-    save_store(compacted, directory)
+    save_store(compacted, directory, durability=durability)
     return compacted

@@ -1,0 +1,24 @@
+"""Deterministic fault-injection harnesses for tests and chaos tooling.
+
+``repro.testing`` is shipped (not test-only) so downstream users can run
+the same crash/chaos drills against their own deployments; see
+:mod:`repro.testing.faults` for the filesystem and wire harnesses.
+"""
+
+from repro.testing.faults import (
+    ChaosProxy,
+    FaultSpec,
+    FaultyFilesystem,
+    InjectedCrash,
+    InjectedFault,
+    inject_faults,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultyFilesystem",
+    "InjectedFault",
+    "InjectedCrash",
+    "inject_faults",
+    "ChaosProxy",
+]

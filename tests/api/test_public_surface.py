@@ -13,7 +13,7 @@ import repro.api
 ROOT_SURFACE = [
     "__version__",
     # the unified connection API
-    "connect", "Connection",
+    "connect", "Connection", "RetryPolicy", "DurabilityOptions",
     # core types
     "Oid", "Var", "VersionVar", "VersionId", "Term", "UpdateKind", "Fact",
     "ObjectBase", "UpdateRule", "UpdateProgram",
@@ -43,12 +43,16 @@ API_SURFACE = [
     "CommitResult",
     "AnswerDelta",
     "Diff",
+    "RetryPolicy",
+    "DurabilityOptions",
     "ServiceConnection",
     "WireConnection",
     "BackgroundServer",
     "ConflictError",
     "ServerError",
     "SessionError",
+    "ConnectionClosed",
+    "ServerBusyError",
 ]
 
 

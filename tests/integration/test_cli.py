@@ -194,6 +194,31 @@ class TestStoreCli:
         assert main(["store", "log", "--dir", str(journal)]) == 0
         assert "three" in capsys.readouterr().out
 
+    def test_verify_clean_journal(self, files, journal, capsys):
+        program, _ = files
+        main(["store", "apply", "--dir", str(journal),
+              "--program", str(program), "--tag", "one"])
+        assert main(["store", "verify", "--dir", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "2 revisions" in out and "ok" in out
+
+    def test_verify_flags_corruption_with_location(self, journal, capsys):
+        journal_file = journal / "journal.jsonl"
+        with journal_file.open("a", encoding="utf-8") as handle:
+            handle.write('{"broken": tru\n')
+        assert main(["store", "verify", "--dir", str(journal)]) == 1
+        out = capsys.readouterr().out
+        assert "DAMAGED" in out
+        assert "line 3" in out and "byte" in out
+
+    def test_verify_json_report(self, journal, capsys):
+        import json
+
+        assert main(["store", "verify", "--dir", str(journal),
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True and report["revisions"] == 1
+
     def test_missing_journal_is_an_error(self, tmp_path, capsys):
         code = main(["store", "log", "--dir", str(tmp_path / "nope")])
         assert code == 1

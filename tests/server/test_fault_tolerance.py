@@ -1,0 +1,421 @@
+"""Degradation-under-load and teardown tests for the asyncio transport.
+
+Covers the PR-6 server contracts: bounded outboxes that shed slow
+subscribers into one coalesced ``lagged`` resync, hard-cap disconnects
+with a typed retryable error, graceful shutdown that drains outboxes, and
+connection teardown (vanishing clients release their sessions and
+subscriptions; duplicate unsubscribes are harmless).
+
+The pipelining trick: the server loop is single-threaded and its handler
+only yields when the read buffer runs dry, so N requests written in one
+frame batch are processed back-to-back — pushes for another connection
+pile into its outbox faster than its drain task can run, which is exactly
+the backlog the shedding policy exists for.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.query import fold_answers
+from repro.server import (
+    AsyncClient,
+    ConnectionClosed,
+    ReproServer,
+    ServerLimits,
+    StoreService,
+)
+from repro.server.protocol import encode
+from repro.server.server import Outbox
+from repro.storage import VersionedStore
+from repro.workloads import paper_example_base
+
+SALARIES = "E.isa -> empl, E.sal -> S"
+RAISE_PHIL = "r: mod[phil].sal -> (S, S2) <= phil.sal -> S, S2 = S + 100."
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture()
+def socket_path(tmp_path):
+    return str(tmp_path / "repro.sock")
+
+
+def _fold(state, push):
+    """Fold one push message the way a client must: diffs compose, a
+    lagged resync replaces."""
+    if push.get("push") == "diff":
+        return fold_answers(state, push["added"], push["removed"])
+    if push.get("push") == "lagged":
+        return list(push["answers"])
+    return state
+
+
+@pytest.fixture()
+def idle_loop():
+    """A live (not running) loop: Outbox wakeups post to it harmlessly."""
+    loop = asyncio.new_event_loop()
+    yield loop
+    loop.close()
+
+
+class TestOutboxShedding:
+    """Unit tests of the bounded queue's policy, no sockets involved."""
+
+    @staticmethod
+    def _outbox(loop, *, soft=2, hard=10):
+        return Outbox(loop, ServerLimits(outbox_soft=soft, outbox_hard=hard))
+
+    @staticmethod
+    def _diff(sid, revision):
+        return {"push": "diff", "sid": sid, "revision": revision,
+                "added": [], "removed": []}
+
+    def test_diffs_over_the_soft_limit_coalesce_into_one_marker(self, idle_loop):
+        outbox = self._outbox(idle_loop, soft=2)
+        outbox.put(self._diff("q1", 1))
+        outbox.put(self._diff("q1", 2))
+        assert len(outbox) == 2 and outbox.shed == 0
+        outbox.put(self._diff("q1", 3))  # trips the soft limit
+        # both queued diffs and the new one are shed into one marker
+        assert outbox.shed == 3
+        assert len(outbox) == 1
+        marker = outbox._items[0]
+        assert marker.sid == "q1" and marker.from_revision == 1
+
+    def test_lagging_sid_swallows_further_diffs_until_acknowledged(self, idle_loop):
+        outbox = self._outbox(idle_loop, soft=2)
+        outbox.put(self._diff("q1", 1))
+        outbox.put(self._diff("q1", 2))
+        outbox.put(self._diff("q1", 3))  # sheds all q1 diffs into the marker
+        assert len(outbox) == 1 and outbox.shed == 3
+        outbox.put(self._diff("q1", 4))  # covered by the pending resync
+        assert outbox.shed == 4
+        assert len(outbox) == 1  # still just the marker
+        assert outbox.clear_lag("q1") == 1  # earliest shed revision
+        outbox.put(self._diff("q1", 5))  # post-resync diffs flow again
+        assert len(outbox) == 2
+
+    def test_soft_limit_only_sheds_the_guilty_sid(self, idle_loop):
+        outbox = self._outbox(idle_loop, soft=2)
+        outbox.put({"id": 1, "ok": True})
+        outbox.put(self._diff("q2", 1))
+        outbox.put(self._diff("q1", 2))  # trips; only q1 diffs shed
+        kept_kinds = [
+            item.get("push") if isinstance(item, dict) else type(item).__name__
+            for item in outbox._items
+        ]
+        assert kept_kinds == [None, "diff", "_Lagged"]
+
+    def test_hard_cap_kills_with_a_typed_reason(self, idle_loop):
+        outbox = self._outbox(idle_loop, soft=50, hard=3)
+        for index in range(4):
+            outbox.put({"id": index, "ok": True})
+        assert outbox.kill_reason is not None
+        assert "hard cap" in outbox.kill_reason
+        # one kill marker, then the outbox goes deaf
+        outbox.put({"id": 99, "ok": True})
+        assert len(outbox) == 5  # 4 responses + the kill marker
+
+
+class TestSlowSubscriberDegradation:
+    def test_slow_subscriber_gets_coalesced_resync(self, socket_path):
+        """A subscriber that cannot keep up is shed to one ``lagged`` push;
+        folding it lands on exactly the fresh answers (bounded memory, no
+        lost updates)."""
+        commits = 8
+
+        async def scenario():
+            service = StoreService(VersionedStore(paper_example_base()))
+            limits = ServerLimits(outbox_soft=1, outbox_hard=64)
+            server = await ReproServer(
+                service, path=socket_path, limits=limits
+            ).start()
+            watcher = await AsyncClient.connect(path=socket_path)
+            subscribed = await watcher.call("subscribe", body=SALARIES)
+
+            # pipeline every apply in one write: the handler processes them
+            # without yielding, so the watcher's outbox backs up and sheds
+            _reader, writer = await asyncio.open_unix_connection(socket_path)
+            frames = b"".join(
+                encode({"id": index, "cmd": "apply", "program": RAISE_PHIL,
+                        "tag": f"raise-{index}"})
+                for index in range(commits)
+            )
+            writer.write(frames)
+            await writer.drain()
+
+            state = list(subscribed["answers"])
+            lagged = []
+            revision = subscribed["revision"]
+            while revision < commits:
+                push = await watcher.next_push(timeout=5.0)
+                state = _fold(state, push)
+                if push.get("push") == "lagged":
+                    lagged.append(push)
+                    revision = push["to_revision"]
+                else:
+                    revision = push["revision"]
+            fresh = (await watcher.call("query", body=SALARIES))["answers"]
+            counters = (server.lagged_resyncs, server.overload_disconnects)
+            writer.close()
+            await watcher.close()
+            await server.close()
+            return state, fresh, lagged, counters
+
+        state, fresh, lagged, (resyncs, disconnects) = run(scenario())
+        assert state == fresh
+        assert lagged, "the backlog never coalesced into a lagged resync"
+        assert resyncs >= 1 and disconnects == 0
+        for push in lagged:
+            assert push["from_revision"] <= push["to_revision"]
+            assert push["sid"] and push["query"]
+
+    def test_hard_cap_disconnects_with_typed_error(self, socket_path):
+        """A connection whose outbox overflows the hard cap receives one
+        ``{"push": "closed", retryable: true}`` and is cut off."""
+
+        async def scenario():
+            service = StoreService(VersionedStore(paper_example_base()))
+            limits = ServerLimits(outbox_soft=1000, outbox_hard=3)
+            server = await ReproServer(
+                service, path=socket_path, limits=limits
+            ).start()
+            reader, writer = await asyncio.open_unix_connection(socket_path)
+            writer.write(
+                b"".join(
+                    encode({"id": index, "cmd": "ping"}) for index in range(10)
+                )
+            )
+            await writer.drain()
+            closed = None
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if not line:
+                    break  # server cut the connection
+                frame = json.loads(line)
+                if frame.get("push") == "closed":
+                    closed = frame
+            disconnects = server.overload_disconnects
+            writer.close()
+            await server.close()
+            return closed, disconnects
+
+        closed, disconnects = run(scenario())
+        assert closed is not None
+        assert closed["retryable"] is True
+        assert "hard cap" in closed["error"]
+        assert disconnects == 1
+
+
+class TestGracefulShutdown:
+    def test_shutdown_flushes_outboxes_and_says_goodbye(self, socket_path):
+        async def scenario():
+            service = StoreService(VersionedStore(paper_example_base()))
+            server = await ReproServer(service, path=socket_path).start()
+            client = await AsyncClient.connect(path=socket_path)
+            await client.call("subscribe", body=SALARIES)
+            await server.shutdown(deadline=5.0)
+            push = await client.next_push(timeout=5.0)
+            # the link then dies; further requests fail fast and typed
+            with pytest.raises(ConnectionClosed):
+                await client.call("ping")
+                await client.call("ping")
+            await client.close()
+            return push
+
+        push = run(scenario())
+        assert push["push"] == "shutdown"
+        assert "shut" in push["reason"]
+
+    def test_shutdown_refuses_new_connections(self, socket_path):
+        async def scenario():
+            service = StoreService(VersionedStore(paper_example_base()))
+            server = await ReproServer(service, path=socket_path).start()
+            await server.shutdown(deadline=1.0)
+            try:
+                reader, writer = await asyncio.open_unix_connection(socket_path)
+            except (ConnectionError, OSError):
+                return "refused"
+            # accepted by a lingering socket: the link must be dead anyway
+            writer.write(encode({"id": 1, "cmd": "ping"}))
+            try:
+                await writer.drain()
+                line = await asyncio.wait_for(reader.readline(), timeout=2.0)
+            except (ConnectionError, OSError):
+                return "refused"
+            finally:
+                writer.close()
+            return "answered" if line else "refused"
+
+        assert run(scenario()) == "refused"
+
+
+class TestConnectionTeardown:
+    def test_vanishing_client_releases_session_and_subscription(
+        self, socket_path
+    ):
+        """A client that disappears mid-transaction must not leak its MVCC
+        session or its subscriptions — and must not block later writers."""
+
+        async def scenario():
+            service = StoreService(VersionedStore(paper_example_base()))
+            server = await ReproServer(service, path=socket_path).start()
+            ghost = await AsyncClient.connect(path=socket_path)
+            session = (await ghost.call("tx-begin"))["session"]
+            await ghost.call(
+                "tx-stage", session=session, program=RAISE_PHIL
+            )
+            await ghost.call("subscribe", body=SALARIES)
+            assert len(service.subscriptions) == 1
+            # vanish without tx-abort/unsubscribe/goodbye
+            ghost._writer.transport.abort()
+            await ghost.close()
+
+            survivor = await AsyncClient.connect(path=socket_path)
+            for _ in range(100):
+                if len(service.subscriptions) == 0:
+                    break
+                await asyncio.sleep(0.01)
+            applied = await survivor.call(
+                "apply", program=RAISE_PHIL, tag="after-ghost"
+            )
+            subscriptions = len(service.subscriptions)
+            head = (await survivor.call("query", body="phil.sal -> S"))[
+                "answers"
+            ]
+            await survivor.close()
+            await server.close()
+            return applied, subscriptions, head
+
+        applied, subscriptions, head = run(scenario())
+        assert subscriptions == 0  # the ghost's live query is gone
+        assert applied["revision"] == 1  # the staged-but-dead tx never landed
+        assert head == [{"S": 4100}]
+
+    def test_duplicate_unsubscribe_is_harmless(self, socket_path):
+        async def scenario():
+            service = StoreService(VersionedStore(paper_example_base()))
+            server = await ReproServer(service, path=socket_path).start()
+            client = await AsyncClient.connect(path=socket_path)
+            other = await AsyncClient.connect(path=socket_path)
+            sid = (await client.call("subscribe", body=SALARIES))["sid"]
+            first = await client.call("unsubscribe", sid=sid)
+            second = await client.call("unsubscribe", sid=sid)
+            foreign = await other.call("unsubscribe", sid=sid)
+            alive = (await client.call("ping"))["pong"]
+            await client.close()
+            await other.close()
+            await server.close()
+            return first, second, foreign, alive
+
+        first, second, foreign, alive = run(scenario())
+        assert first["removed"] is True
+        assert second["removed"] is False
+        assert foreign["removed"] is False  # never someone else's sid
+        assert alive is True
+
+    def test_subscribe_then_disconnect_race(self, socket_path):
+        """Subscribing and dropping the link while commits are in flight
+        must neither crash the server nor leak the subscription."""
+
+        async def scenario():
+            service = StoreService(VersionedStore(paper_example_base()))
+            server = await ReproServer(service, path=socket_path).start()
+            writer_client = await AsyncClient.connect(path=socket_path)
+
+            async def churn():
+                for index in range(5):
+                    await writer_client.call(
+                        "apply", program=RAISE_PHIL, tag=f"race-{index}"
+                    )
+
+            async def flicker():
+                for _ in range(5):
+                    flaky = await AsyncClient.connect(path=socket_path)
+                    await flaky.call("subscribe", body=SALARIES)
+                    flaky._writer.transport.abort()
+                    await flaky.close()
+
+            await asyncio.gather(churn(), flicker())
+            for _ in range(100):
+                if len(service.subscriptions) == 0:
+                    break
+                await asyncio.sleep(0.01)
+            remaining = len(service.subscriptions)
+            head = (await writer_client.call("query", body="phil.sal -> S"))[
+                "answers"
+            ]
+            await writer_client.close()
+            await server.close()
+            return remaining, head
+
+        remaining, head = run(scenario())
+        assert remaining == 0
+        assert head == [{"S": 4500}]
+
+
+class TestAsyncClientClose:
+    def test_close_wakes_pending_push_waiters(self, socket_path):
+        async def scenario():
+            service = StoreService(VersionedStore(paper_example_base()))
+            server = await ReproServer(service, path=socket_path).start()
+            client = await AsyncClient.connect(path=socket_path)
+            waiter = asyncio.ensure_future(client.next_push())
+            await asyncio.sleep(0.05)  # let the waiter block
+            await client.close()
+            try:
+                await asyncio.wait_for(waiter, timeout=5.0)
+            except ConnectionClosed:
+                outcome = "closed"
+            else:
+                outcome = "hung-or-returned"
+            await server.close()
+            return outcome
+
+        assert run(scenario()) == "closed"
+
+    def test_close_is_idempotent_and_kills_pending_requests(self, socket_path):
+        async def scenario():
+            service = StoreService(VersionedStore(paper_example_base()))
+            server = await ReproServer(service, path=socket_path).start()
+            client = await AsyncClient.connect(path=socket_path)
+            await client.close()
+            await client.close()  # second close must be a no-op
+            try:
+                await client.request("ping")
+            except ConnectionClosed:
+                outcome = "closed"
+            else:
+                outcome = "answered"
+            await server.close()
+            return outcome
+
+        assert run(scenario()) == "closed"
+
+    def test_server_death_fails_pending_request_waiters(self, socket_path):
+        async def scenario():
+            service = StoreService(VersionedStore(paper_example_base()))
+            server = await ReproServer(service, path=socket_path).start()
+            client = await AsyncClient.connect(path=socket_path)
+            assert client.alive
+            # one round-trip first, so the server has fully adopted the
+            # connection before we cut it (close only cuts adopted links)
+            assert (await client.call("ping"))["pong"] is True
+            await server.close()
+            try:
+                await asyncio.wait_for(client.call("ping"), timeout=5.0)
+            except ConnectionClosed:
+                outcome = "closed"
+            else:  # pragma: no cover - would be the bug
+                outcome = "answered"
+            alive = client.alive
+            await client.close()
+            return outcome, alive
+
+        outcome, alive = run(scenario())
+        assert outcome == "closed"
+        assert alive is False
