@@ -19,7 +19,8 @@ Usage (what CI runs)::
     python benchmarks/check_regression.py \
         --baseline BENCH_PR3.json --fresh bench-queries-ci.json \
         --p1-baseline BENCH_PR1.json --p1-fresh bench-ci.json \
-        --serve-baseline BENCH_PR4.json --serve-fresh bench-serve-ci.json
+        --serve-baseline BENCH_PR4.json --serve-fresh bench-serve-ci.json \
+        --joins-baseline BENCH_PR7.json --joins-fresh bench-joins-ci.json
 
 The chaos job runs the soak checks on their own — correctness
 invariants are absolute, throughput is a ratio::
@@ -40,6 +41,11 @@ SERVED_SPEEDUP_FLOOR = 3.0
 
 #: The acceptance-criteria floor for concurrent push serving (PR 4).
 SERVE_THROUGHPUT_FLOOR = 3.0
+
+#: The acceptance-criteria floor for compiled join execution (PR 7): the
+#: codegen'd path must stay >= 1.5x over the interpreted planned walker on
+#: the largest P1 base of the sweep.
+COMPILED_SPEEDUP_FLOOR = 1.5
 
 
 def check_ratio(
@@ -69,6 +75,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed BENCH_PR4.json (optional)")
     parser.add_argument("--serve-fresh", type=Path, default=None,
                         help="serve sweep produced by this run (optional)")
+    parser.add_argument("--joins-baseline", type=Path, default=None,
+                        help="committed BENCH_PR7.json (optional)")
+    parser.add_argument("--joins-fresh", type=Path, default=None,
+                        help="joins sweep produced by this run (optional)")
     parser.add_argument("--soak-baseline", type=Path, default=None,
                         help="committed BENCH_PR6.json (optional)")
     parser.add_argument("--soak-fresh", type=Path, default=None,
@@ -131,6 +141,44 @@ def main(argv: list[str] | None = None) -> int:
             failures, "serve throughput served over naive",
             serve_ratio,
             serve_baseline["throughput_ratio_served_over_naive"],
+            arguments.tolerance,
+        )
+
+    if arguments.joins_baseline and arguments.joins_fresh:
+        joins_baseline = json.loads(
+            arguments.joins_baseline.read_text(encoding="utf-8")
+        )
+        joins_fresh = json.loads(
+            arguments.joins_fresh.read_text(encoding="utf-8")
+        )
+        fresh_speedups = joins_fresh["p1"]["speedup_compiled_over_interpreted"]
+        largest = str(max(int(size) for size in fresh_speedups))
+        floor_speedup = fresh_speedups[largest]
+        verdict = (
+            "ok" if floor_speedup >= COMPILED_SPEEDUP_FLOOR else "REGRESSION"
+        )
+        print(
+            f"{f'compiled speedup floor [n={largest}]':<45} "
+            f"fresh {floor_speedup:7.2f}x  "
+            f"floor {COMPILED_SPEEDUP_FLOOR:.2f}x{'':>21}{verdict}"
+        )
+        if floor_speedup < COMPILED_SPEEDUP_FLOOR:
+            failures.append("compiled speedup floor")
+        baseline_speedups = joins_baseline["p1"][
+            "speedup_compiled_over_interpreted"
+        ]
+        for size, ratio in baseline_speedups.items():
+            fresh_ratio = fresh_speedups.get(size)
+            if fresh_ratio is None:
+                continue  # the fresh run swept different sizes
+            check_ratio(
+                failures, f"compiled over interpreted [n={size}]",
+                fresh_ratio, ratio, arguments.tolerance,
+            )
+        check_ratio(
+            failures, "compiled over interpreted [wide join]",
+            joins_fresh["wide_join"]["speedup_compiled_over_interpreted"],
+            joins_baseline["wide_join"]["speedup_compiled_over_interpreted"],
             arguments.tolerance,
         )
 

@@ -34,6 +34,13 @@ comparable across PRs (``benchmarks/run_bench.py`` is a thin wrapper):
   additionally times the asyncio JSON-lines transport end-to-end
   (concurrent subscribers on a unix socket, commit-to-push wall time,
   request round-trip latency).
+* **Joins sweep** (``--joins``, ``BENCH_PR7.json``) — the compiled
+  (codegen'd, set-at-a-time) execution path against the interpreted
+  planned walker and the naive dynamic-ordering reference.  Two
+  workloads: the P1 enterprise program over the standard size sweep, and
+  a wide-join synthetic (a four-way chain join plus an arithmetic
+  filter) whose cost is all in the join itself.  A differential check
+  asserts all three paths produce the same result base at every size.
 
 Every sweep ends by refreshing ``BENCH_TRAJECTORY.json`` — the unified,
 machine-readable headline-metric trajectory across all committed
@@ -65,6 +72,7 @@ __all__ = [
     "run_query_sweep",
     "run_serve_sweep",
     "run_soak_sweep",
+    "run_joins_sweep",
     "build_trajectory",
     "main",
 ]
@@ -83,6 +91,8 @@ DEFAULT_SERVE_UPDATES = 30
 DEFAULT_SOAK_OUT = "BENCH_PR6.json"
 DEFAULT_SOAK_SECONDS = 60.0
 DEFAULT_SOAK_SUBSCRIBERS = 4
+DEFAULT_JOINS_OUT = "BENCH_PR7.json"
+DEFAULT_WIDE_NODES = 1500
 TRAJECTORY_OUT = "BENCH_TRAJECTORY.json"
 
 #: The read-heavy query mix.  ``org_chart`` reads no ``sal`` fact, so the
@@ -150,6 +160,135 @@ def run_p1_sweep(
         "sizes": list(sizes),
         "results": results,
         "speedup_naive_over_semi_naive": speedups,
+    }
+
+
+#: The wide-join synthetic: a four-way chain join (``a``/``b``/``c`` hops
+#: into a ``v`` payload) closed by an arithmetic filter, so virtually all
+#: evaluation time is spent in the join — the workload the codegen'd,
+#: set-at-a-time executor is built for.
+WIDE_JOIN_PROGRAM = """
+wide: ins[X].hit -> V <=
+    X.a -> Y, Y.b -> Z, Z.c -> W, W.v -> V, V > 50.
+"""
+
+
+def _wide_join_base(n_nodes: int):
+    """A deterministic fan-in chain: ``n`` x-nodes funnel through ``n/3``
+    y-nodes and ``n/9`` z-nodes into ``n/9`` w-payloads, so every join
+    level has real multiplicity (no RNG — the same ``n`` is the same base).
+    """
+    from repro.core.facts import make_fact
+    from repro.core.objectbase import ObjectBase
+    from repro.core.terms import Oid
+
+    n_y = max(1, n_nodes // 3)
+    n_z = max(1, n_nodes // 9)
+    base = ObjectBase()
+    for i in range(n_nodes):
+        base.add(make_fact(Oid(f"x{i}"), "a", (), Oid(f"y{i % n_y}")))
+    for j in range(n_y):
+        base.add(make_fact(Oid(f"y{j}"), "b", (), Oid(f"z{j % n_z}")))
+    for k in range(n_z):
+        base.add(make_fact(Oid(f"z{k}"), "c", (), Oid(f"w{k}")))
+        base.add(make_fact(Oid(f"w{k}"), "v", (), Oid((k * 7) % 100)))
+    base.ensure_exists()
+    return base
+
+
+def run_joins_sweep(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    repeats: int = DEFAULT_REPEATS,
+    wide_nodes: int = DEFAULT_WIDE_NODES,
+) -> dict:
+    """Time compiled vs interpreted vs naive execution (see the module
+    docstring).
+
+    *Compiled* is the codegen'd, set-at-a-time path (the default);
+    *interpreted* is the same join plans walked by the generic planned
+    matcher (``EvaluationOptions(compiled=False)``); *naive* is the
+    dynamic-ordering reference without plans or deltas.  All three engines
+    replay identical workloads; a differential check asserts equal result
+    bases before anything is timed.  Under ``REPRO_NO_CODEGEN`` the
+    compiled engine silently degrades to the interpreted path — the
+    document records ``codegen_enabled`` so that run is tellable-apart.
+    """
+    from repro.core.codegen import codegen_enabled
+    from repro.core.rules import UpdateProgram
+    from repro.lang.parser import parse_program
+
+    engines = (
+        ("compiled", UpdateEngine()),
+        ("interpreted", UpdateEngine(compiled=False)),
+        ("naive", UpdateEngine(semi_naive=False)),
+    )
+
+    def compare_and_time(program, base, label: str):
+        outcomes = {
+            mode: engine.apply(program, base) for mode, engine in engines
+        }
+        reference = outcomes["compiled"].result_base
+        for mode in ("interpreted", "naive"):
+            if outcomes[mode].result_base != reference:
+                raise AssertionError(
+                    f"compiled and {mode} results diverge on {label}"
+                )
+        return {
+            mode: _time_apply(engine, program, base, repeats)
+            for mode, engine in engines
+        }
+
+    program = enterprise_update_program(hpe_threshold=4000)
+    p1_results = []
+    p1_over_interpreted = {}
+    p1_over_naive = {}
+    for size in sizes:
+        base = enterprise_base(n_employees=size, overpaid_ratio=0.1, seed=21)
+        timed = compare_and_time(program, base, f"P1 n={size}")
+        for mode, entry in timed.items():
+            p1_results.append({"n_employees": size, "mode": mode, **entry})
+        p1_over_interpreted[str(size)] = (
+            timed["interpreted"]["best_s"] / timed["compiled"]["best_s"]
+        )
+        p1_over_naive[str(size)] = (
+            timed["naive"]["best_s"] / timed["compiled"]["best_s"]
+        )
+
+    wide_program = UpdateProgram(
+        parse_program(WIDE_JOIN_PROGRAM), "wide-join"
+    )
+    wide_base = _wide_join_base(wide_nodes)
+    wide_timed = compare_and_time(
+        wide_program, wide_base, f"wide join n={wide_nodes}"
+    )
+
+    return {
+        "benchmark": "p7_joins_sweep",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "codegen_enabled": codegen_enabled(),
+        "sizes": list(sizes),
+        "p1": {
+            "program": "enterprise-update (rules 1-4, hpe threshold 4000)",
+            "results": p1_results,
+            "speedup_compiled_over_interpreted": p1_over_interpreted,
+            "speedup_compiled_over_naive": p1_over_naive,
+        },
+        "wide_join": {
+            "program": WIDE_JOIN_PROGRAM.strip(),
+            "n_nodes": wide_nodes,
+            "base_facts": len(wide_base),
+            "results": [
+                {"mode": mode, **entry} for mode, entry in wide_timed.items()
+            ],
+            "speedup_compiled_over_interpreted": (
+                wide_timed["interpreted"]["best_s"]
+                / wide_timed["compiled"]["best_s"]
+            ),
+            "speedup_compiled_over_naive": (
+                wide_timed["naive"]["best_s"] / wide_timed["compiled"]["best_s"]
+            ),
+        },
     }
 
 
@@ -803,12 +942,25 @@ def _p6_headline(document: dict) -> dict:
     }
 
 
+def _p7_headline(document: dict) -> dict:
+    speedups = document["p1"]["speedup_compiled_over_interpreted"]
+    largest = str(max(int(size) for size in speedups))
+    wide = document["wide_join"]["speedup_compiled_over_interpreted"]
+    return {
+        "speedup_compiled_over_interpreted": speedups,
+        "wide_join_speedup_compiled_over_interpreted": wide,
+        "headline": f"codegen {speedups[largest]:.2f}x over interpreted "
+        f"(P1 n={largest}), {wide:.2f}x on the wide join",
+    }
+
+
 _HEADLINES = {
     "p1_base_size_sweep": _p1_headline,
     "p2_store_sweep": _p2_headline,
     "p3_query_sweep": _p3_headline,
     "p4_serve_sweep": _p4_headline,
     "p6_soak": _p6_headline,
+    "p7_joins_sweep": _p7_headline,
 }
 
 
@@ -923,6 +1075,17 @@ def main(argv: list[str] | None = None) -> int:
         help="soak: reconnecting subscriber connections (default: %(default)s)",
     )
     parser.add_argument(
+        "--joins", action="store_true",
+        help="run the compiled-vs-interpreted-vs-naive join-execution "
+        "sweep (P1 sizes plus a wide-join synthetic) instead of the "
+        "P1 sweep",
+    )
+    parser.add_argument(
+        "--wide-nodes", type=int, default=DEFAULT_WIDE_NODES,
+        help="joins sweep: x-nodes in the wide-join synthetic base "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
         "--trajectory", action="store_true",
         help="only rebuild BENCH_TRAJECTORY.json from the BENCH_PR*.json "
         "documents in the current directory",
@@ -935,6 +1098,47 @@ def main(argv: list[str] | None = None) -> int:
         for pr, entry in document["prs"].items():
             print(f"{pr}: {entry.get('headline', entry['benchmark'])}")
         print(f"wrote {out}")
+        return 0
+
+    if arguments.joins:
+        out = arguments.out or Path(DEFAULT_JOINS_OUT)
+        document = run_joins_sweep(
+            tuple(arguments.sizes), arguments.repeats,
+            wide_nodes=arguments.wide_nodes,
+        )
+        out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        for entry in document["p1"]["results"]:
+            print(
+                f"P1 n={entry['n_employees']:>5}  {entry['mode']:>12}  "
+                f"best {entry['best_s'] * 1000:8.2f} ms   "
+                f"mean {entry['mean_s'] * 1000:8.2f} ms"
+            )
+        for size in document["sizes"]:
+            interpreted = document["p1"][
+                "speedup_compiled_over_interpreted"][str(size)]
+            naive = document["p1"]["speedup_compiled_over_naive"][str(size)]
+            print(
+                f"P1 n={size}: compiled {interpreted:.2f}x over "
+                f"interpreted, {naive:.2f}x over naive"
+            )
+        wide = document["wide_join"]
+        for entry in wide["results"]:
+            print(
+                f"wide join     {entry['mode']:>12}  "
+                f"best {entry['best_s'] * 1000:8.2f} ms   "
+                f"mean {entry['mean_s'] * 1000:8.2f} ms"
+            )
+        print(
+            f"wide join: compiled "
+            f"{wide['speedup_compiled_over_interpreted']:.2f}x over "
+            f"interpreted, {wide['speedup_compiled_over_naive']:.2f}x "
+            f"over naive"
+        )
+        if not document["codegen_enabled"]:
+            print("note: REPRO_NO_CODEGEN is set — 'compiled' degraded to "
+                  "the interpreted path in this run")
+        print(f"wrote {out}")
+        write_trajectory(".")
         return 0
 
     if arguments.soak:

@@ -23,6 +23,7 @@ Usage (installed as ``repro-updates``, also ``python -m repro``)::
     repro-updates client --socket /tmp/repro.sock subscribe "E.sal -> S" --pushes 1
     repro-updates client --socket /tmp/repro.sock tx --program update.upd
     repro-updates bench --serve [--out BENCH_PR4.json] [--clients 8]
+    repro-updates bench --joins [--out BENCH_PR7.json]
 
 ``apply`` prints the new object base (``ob'``) to stdout, or writes it with
 ``--out``; ``--result-base`` dumps ``result(P)`` with all versions instead.
@@ -144,8 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run the P1 scaling sweep (semi-naive vs naive), the P2 "
         "versioned-store sweep (--store), the P3 read-heavy "
-        "prepared-query sweep (--queries), or the P4 concurrent "
-        "serving sweep (--serve), and write JSON",
+        "prepared-query sweep (--queries), the P4 concurrent "
+        "serving sweep (--serve), or the P7 compiled-join sweep "
+        "(--joins), and write JSON",
     )
     bench_cmd.add_argument("--out", type=Path, default=None)
     bench_cmd.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
@@ -183,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument(
         "--subscribers", type=int, default=None,
         help="soak: reconnecting subscriber connections (default: 4)",
+    )
+    bench_cmd.add_argument(
+        "--joins", action="store_true",
+        help="run the compiled-vs-interpreted-vs-naive join-execution "
+        "sweep (P1 sizes plus a wide-join synthetic)",
+    )
+    bench_cmd.add_argument(
+        "--wide-nodes", type=int, default=None,
+        help="joins sweep: x-nodes in the wide-join synthetic base",
     )
     bench_cmd.add_argument(
         "--trajectory", action="store_true",
@@ -496,6 +507,10 @@ def _cmd_bench(arguments) -> int:
         argv += ["--queries", "--reads", str(arguments.reads)]
     if arguments.serve:
         argv += ["--serve", "--clients", str(arguments.clients)]
+    if arguments.joins:
+        argv += ["--joins"]
+        if arguments.wide_nodes is not None:
+            argv += ["--wide-nodes", str(arguments.wide_nodes)]
     if arguments.soak:
         argv += ["--soak"]
         if arguments.duration is not None:

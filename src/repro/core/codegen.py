@@ -1,0 +1,897 @@
+"""Plan compilation: specialized, set-at-a-time join closures per body.
+
+The planned matcher of :mod:`repro.core.grounding` already fixed the literal
+order and the access paths statically, but still *interprets* the plan tuple
+at a time: every candidate fact costs a ``dict(binding)`` copy in
+``_match_position``, an atom-kind dispatch, and a re-derivation of the access
+path the plan chose long ago.  This module removes that interpretive layer by
+generating one specialized Python function per :class:`~repro.core.plans.JoinPlan`:
+
+* **slot-based bindings** — a partial match is a plain tuple whose layout
+  (variable → slot index) is fixed at compile time; extending a match is
+  tuple concatenation, never a dict copy;
+* **inlined constants and hoisted probes** — the atom's method names, bound
+  OIDs and VID kinds become closure globals, and the base's index accessors
+  (``iter_facts_by_host_method`` / ``iter_facts_by_arg`` /
+  ``iter_facts_by_method``) are bound to locals once per call;
+* **set-at-a-time execution** — the generated function maps a whole *list*
+  of rows through each plan step at once (filters are list comprehensions,
+  generators are batch joins).  A generator step whose probe and field
+  checks do not depend on the current row materializes its extension tuples
+  **once** from the index bucket and extends every row with them
+  (filter → extend), instead of re-scanning the bucket per row;
+* **dedup keys only when needed** — like the interpreter, duplicate
+  elimination over ``plan.key_vars`` is emitted only when
+  ``generator_count > 1``, and the key is an :func:`operator.itemgetter`
+  over precomputed slot indexes.
+
+Semantics are pinned to the interpreted walker, which stays in place as the
+differential oracle (with the naive dynamic matcher below it):
+
+* version-term generators are *exact* (``PlanStep.verify`` is False) and are
+  compiled to direct index loops;
+* update-term generators and filters keep the authoritative re-verification:
+  they bridge into :func:`repro.core.grounding._generate` /
+  ``_check_ground`` through a thin dict adapter, so definition 3 of
+  Section 3 has exactly one implementation;
+* built-in filters and binders compile the expression tree to nested
+  closures that reproduce :func:`repro.core.exprs.evaluate_expr` —
+  including exact integer division and ``BuiltinError`` → candidate-fails
+  (never raises) behaviour.
+
+Compilation failures are deliberately *not* swallowed: the emitter covers
+every shape :func:`repro.core.plans.compile_plan` can produce, and the test
+suite proves it.  Bodies the planner itself cannot order (``plan is None``)
+simply have no compiled form and callers fall back to the dynamic matcher.
+
+``REPRO_NO_CODEGEN=1`` disables the whole backend at run time (the
+interpreted planned matcher takes over, same results), and the compile
+caches are registered with :mod:`repro.core.caches` as ``codegen.rule`` /
+``codegen.body`` / ``codegen.backend``.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from operator import itemgetter
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.core.atoms import BuiltinAtom, Literal, UpdateAtom, VersionAtom
+from repro.core.caches import register_cache, register_lru_cache
+from repro.core.errors import BuiltinError, TermError
+from repro.core.exprs import BinOp, Neg, _numeric, expr_variables
+from repro.core.facts import Fact
+from repro.core.grounding import _body_plan, _check_ground, _generate
+from repro.core.plans import (
+    BINDER,
+    FILTER,
+    JoinPlan,
+    PlanStep,
+    rule_plan,
+    seed_facts,
+    var_sort_key,
+)
+from repro.core.terms import Oid, Var, VersionId, VersionVar, is_ground
+from repro.unify.substitution import apply_term
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.objectbase import Delta, ObjectBase
+    from repro.core.rules import UpdateRule
+
+__all__ = [
+    "codegen_enabled",
+    "CompiledBody",
+    "CompiledRule",
+    "compiled_body",
+    "compiled_rule",
+    "match_rule_compiled",
+    "match_rule_seeded_compiled",
+]
+
+Binding = dict[Var, Oid]
+Row = tuple
+
+#: Backend counters surfaced through the cache registry (``codegen.backend``).
+_STATS = {
+    "bodies_compiled": 0,
+    "seed_matchers_compiled": 0,
+    "batch_steps": 0,
+    "loop_steps": 0,
+}
+
+
+def codegen_enabled() -> bool:
+    """True unless the ``REPRO_NO_CODEGEN`` escape hatch is set.
+
+    Read per call (cheap) so tests and operators can flip the flag in a
+    running process; ``""`` and ``"0"`` count as *not* set.
+    """
+    return os.environ.get("REPRO_NO_CODEGEN", "0") in ("", "0")
+
+
+# ----------------------------------------------------------------------
+# expression compilation (built-in filters and binders)
+# ----------------------------------------------------------------------
+
+
+def _compile_var_load(var: Var, slot: int, strict: bool) -> Callable[[Row], Oid]:
+    """Load a variable's value from its row slot.
+
+    Plain variables always hold OIDs (the matcher's sort discipline), so
+    they load unchecked.  Version variables may hold VIDs; in a *binder*
+    context that is a ``BuiltinError`` (candidate fails), in a ground
+    *filter* context the interpreter's substitute-then-evaluate pipeline
+    raises ``TermError`` — ``strict`` selects which to mirror.
+    """
+    if type(var) is Var:
+        return lambda row: row[slot]
+
+    def load(row: Row) -> Oid:
+        value = row[slot]
+        if isinstance(value, Oid):
+            return value
+        if strict:
+            raise TermError(f"not an expression: {value!r}")
+        raise BuiltinError(f"variable {var} bound to a version identity")
+
+    return load
+
+
+def _compile_expr(
+    expr, slot_of: dict[Var, int], *, strict: bool = False
+) -> Callable[[Row], Oid]:
+    """Compile an arithmetic expression to a row closure.
+
+    Mirrors :func:`repro.core.exprs.evaluate_expr` exactly, including the
+    integer-exact division rule and every ``BuiltinError`` site.
+    """
+    if isinstance(expr, Oid):
+        return lambda row, _c=expr: _c
+    if isinstance(expr, Var):
+        return _compile_var_load(expr, slot_of[expr], strict)
+    if isinstance(expr, Neg):
+        inner = _compile_expr(expr.operand, slot_of, strict=strict)
+        return lambda row: Oid(-_numeric(inner(row), "negation"))
+    if isinstance(expr, BinOp):
+        left = _compile_expr(expr.left, slot_of, strict=strict)
+        right = _compile_expr(expr.right, slot_of, strict=strict)
+        op = expr.op
+        context = f"operand of {op}"
+        if op == "+":
+            return lambda row: Oid(
+                _numeric(left(row), context) + _numeric(right(row), context)
+            )
+        if op == "-":
+            return lambda row: Oid(
+                _numeric(left(row), context) - _numeric(right(row), context)
+            )
+        if op == "*":
+            return lambda row: Oid(
+                _numeric(left(row), context) * _numeric(right(row), context)
+            )
+
+        def divide(row: Row) -> Oid:
+            a = _numeric(left(row), context)
+            b = _numeric(right(row), context)
+            if b == 0:
+                raise BuiltinError("division by zero in a built-in atom")
+            if isinstance(a, int) and isinstance(b, int) and a % b == 0:
+                return Oid(a // b)
+            return Oid(a / b)
+
+        return divide
+    raise TermError(f"not an expression: {expr!r}")  # pragma: no cover
+
+
+def _builtin_filter(
+    atom: BuiltinAtom, positive: bool, slot_of: dict[Var, int]
+) -> Callable[[Row], bool]:
+    """A row predicate mirroring ``literal_true`` on a ground built-in,
+    with ``BuiltinError`` failing the candidate regardless of polarity
+    (the ``_check_ground`` contract, DESIGN.md D6)."""
+    left = _compile_expr(atom.left, slot_of, strict=True)
+    right = _compile_expr(atom.right, slot_of, strict=True)
+    op = atom.op
+
+    if op in ("=", "!="):
+        want_equal = op == "="
+
+        def predicate(row: Row) -> bool:
+            try:
+                equal = left(row).value == right(row).value
+            except BuiltinError:
+                return False
+            value = equal if want_equal else not equal
+            return value if positive else not value
+
+        return predicate
+
+    def compare(row: Row) -> bool:
+        try:
+            a = left(row)
+            b = right(row)
+            if not (a.is_numeric and b.is_numeric):
+                return False  # BuiltinError in the interpreter: candidate dies
+            av, bv = a.value, b.value
+            if op == "<":
+                value = av < bv
+            elif op == "<=":
+                value = av <= bv
+            elif op == ">":
+                value = av > bv
+            else:  # >=
+                value = av >= bv
+        except BuiltinError:
+            return False
+        return value if positive else not value
+
+    return compare
+
+
+# ----------------------------------------------------------------------
+# bridges into the authoritative update-term semantics
+# ----------------------------------------------------------------------
+
+
+def _update_filter(
+    literal: Literal, in_slots: tuple[tuple[Var, int], ...]
+) -> Callable[["ObjectBase", Row], bool]:
+    """A ground update-term filter: rebuild the dict binding and delegate to
+    ``_check_ground`` so definition 3 has exactly one implementation."""
+
+    def predicate(base: "ObjectBase", row: Row) -> bool:
+        binding = {var: row[slot] for var, slot in in_slots}
+        return _check_ground(literal, binding, base)
+
+    return predicate
+
+
+def _update_generator(
+    literal: Literal,
+    index_cols: tuple[int, ...],
+    in_slots: tuple[tuple[Var, int], ...],
+    out_vars: tuple[Var, ...],
+) -> Callable[["ObjectBase", list[Row]], list[Row]]:
+    """A batch update-term generator bridging into the interpreted
+    ``_generate`` + re-verify pipeline (``PlanStep.verify`` is always True
+    for update-term generators)."""
+
+    def generate(base: "ObjectBase", rows: list[Row]) -> list[Row]:
+        out: list[Row] = []
+        append = out.append
+        for row in rows:
+            binding = {var: row[slot] for var, slot in in_slots}
+            for extension in _generate(literal, binding, base, index_cols):
+                if _check_ground(literal, extension, base):
+                    append(row + tuple(extension[v] for v in out_vars))
+        return out
+
+    return generate
+
+
+def _pick_bucket(base: "ObjectBase", method: str, arity: int, cols_vals):
+    """Runtime mirror of the multi-column branch of
+    ``grounding._host_candidates``: the smallest bound-column bucket, with
+    any empty bucket pruning the whole step."""
+    best = None
+    for column, value in cols_vals:
+        bucket = base.iter_facts_by_arg(method, arity, column, value)
+        if not bucket:
+            return ()
+        if best is None or len(bucket) < len(best):
+            best = bucket
+    if best is not None:
+        return best
+    return base.iter_facts_by_method(method, arity)  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# the source emitter
+# ----------------------------------------------------------------------
+
+
+class _Emitter:
+    """Accumulates generated source plus the closure globals it references."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lines: list[str] = []
+        self.namespace: dict[str, object] = {
+            "Fact": Fact,
+            "VersionId": VersionId,
+            "BuiltinError": BuiltinError,
+            "_pick_bucket": _pick_bucket,
+        }
+        self._counter = 0
+
+    def const(self, value, prefix: str = "_C") -> str:
+        self._counter += 1
+        label = f"{prefix}{self._counter}"
+        self.namespace[label] = value
+        return label
+
+    def fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def build(self, fn_name: str):
+        source = "\n".join(self.lines) + "\n"
+        code = compile(source, f"<codegen:{self.name}>", "exec")
+        exec(code, self.namespace)
+        return self.namespace[fn_name], source
+
+
+def _tuple_src(parts: Sequence[str]) -> str:
+    """Source for a tuple literal (correct for the empty and 1-ary cases)."""
+    if not parts:
+        return "()"
+    return "(" + ", ".join(parts) + ",)"
+
+
+def _bound_term_src(em: _Emitter, term, slot_of: dict[Var, int]) -> str:
+    """Source expression rebuilding a fully-bound term from the row."""
+    if is_ground(term):
+        return em.const(term)
+    if isinstance(term, VersionId):
+        return (
+            f"VersionId({em.const(term.kind, '_K')}, "
+            f"{_bound_term_src(em, term.base, slot_of)})"
+        )
+    return f"r[{slot_of[term]}]"  # a bound Var / VersionVar
+
+
+def _emit_filter(
+    em: _Emitter, step: PlanStep, slot_of: dict[Var, int]
+) -> None:
+    literal = step.literal
+    atom = literal.atom
+    if isinstance(atom, VersionAtom):
+        # Mirror of the _check_ground fast path: plain fact membership.
+        host = _bound_term_src(em, atom.host, slot_of)
+        args = _tuple_src(
+            [_bound_term_src(em, a, slot_of) for a in atom.args]
+        )
+        result = _bound_term_src(em, atom.result, slot_of)
+        fact = f"Fact({host}, {em.const(atom.method, '_M')}, {args}, {result})"
+        condition = f"has({fact})" if literal.positive else f"not has({fact})"
+        em.emit(1, f"rows = [r for r in rows if {condition}]")
+    elif isinstance(atom, BuiltinAtom):
+        label = em.const(
+            _builtin_filter(atom, literal.positive, slot_of), "_B"
+        )
+        em.emit(1, f"rows = [r for r in rows if {label}(r)]")
+    else:  # UpdateAtom — delegate to the authoritative semantics
+        label = em.const(
+            _update_filter(literal, tuple(slot_of.items())), "_U"
+        )
+        em.emit(1, f"rows = [r for r in rows if {label}(base, r)]")
+
+
+def _emit_binder(
+    em: _Emitter, step: PlanStep, slot_of: dict[Var, int]
+) -> None:
+    atom = step.literal.atom
+    target = None
+    source = None
+    bound = set(slot_of)
+    # Direction order mirrors grounding._bind_equality / plans._binder_target.
+    for candidate, other in ((atom.left, atom.right), (atom.right, atom.left)):
+        if (
+            isinstance(candidate, Var)
+            and candidate not in bound
+            and all(v in bound for v in expr_variables(other))
+        ):
+            target, source = candidate, other
+            break
+    assert target is not None, "binder step with no bindable side"
+    label = em.const(_compile_expr(source, slot_of), "_E")
+    em.emit(1, "out = []")
+    em.emit(1, "app = out.append")
+    em.emit(1, "for r in rows:")
+    em.emit(2, "try:")
+    em.emit(3, f"v = {label}(r)")
+    em.emit(2, "except BuiltinError:")
+    em.emit(3, "continue")
+    em.emit(2, "app(r + (v,))")
+    em.emit(1, "rows = out")
+    slot_of[target] = len(slot_of)
+
+
+def _emit_fact_checks(
+    em: _Emitter,
+    atom,
+    slot_of: dict[Var, int],
+    *,
+    indent: int,
+    skip_col: int | None,
+    check_host: bool,
+) -> tuple[dict[Var, str], bool]:
+    """Emit the per-fact checks of a version-term generator (or seed
+    matcher) at ``indent``, reading the candidate from ``_f``.
+
+    Returns ``(new_locals, row_dependent)`` where ``new_locals`` maps each
+    newly-bound variable to the local that holds its value, in binding order
+    (host, then arguments, then result), and ``row_dependent`` reports
+    whether any emitted check reads the current row.
+    """
+    new_locals: dict[Var, str] = {}
+    row_dependent = False
+
+    kinds: list = []
+    inner = atom.host
+    while isinstance(inner, VersionId):
+        kinds.append(inner.kind)
+        inner = inner.base
+
+    if check_host:
+        if not isinstance(inner, Var):
+            # Fully ground host: one whole-term comparison.
+            em.emit(indent, f"if _f.host != {em.const(atom.host)}:")
+            em.emit(indent + 1, "continue")
+        elif inner in slot_of:
+            host = _bound_term_src_for_fact(em, kinds, inner, slot_of)
+            em.emit(indent, f"if _f.host != {host}:")
+            em.emit(indent + 1, "continue")
+            row_dependent = True
+        else:
+            # Destructure the VID chain, binding the innermost variable.
+            em.emit(indent, "_h = _f.host")
+            for kind in kinds:
+                label = em.const(kind, "_K")
+                em.emit(
+                    indent,
+                    f"if type(_h) is not VersionId or _h.kind is not {label}:",
+                )
+                em.emit(indent + 1, "continue")
+                em.emit(indent, "_h = _h.base")
+            if type(inner) is Var:
+                # Plain variables bind OIDs only (the matcher's sort rules);
+                # version variables bind any remaining VID.
+                em.emit(indent, "if type(_h) is not Oid:")
+                em.emit(indent + 1, "continue")
+            local = em.fresh("_v")
+            em.emit(indent, f"{local} = _h")
+            new_locals[inner] = local
+
+    positions: list[tuple[int, object, str]] = [
+        (j, pattern, f"_f.args[{j}]") for j, pattern in enumerate(atom.args)
+    ]
+    if atom.result is not None:
+        positions.append((-1, atom.result, "_f.result"))
+    for column, pattern, access in positions:
+        if column == skip_col:
+            continue  # the probe already guaranteed equality on this column
+        if isinstance(pattern, Var):
+            if pattern in new_locals:
+                em.emit(indent, f"if {access} != {new_locals[pattern]}:")
+                em.emit(indent + 1, "continue")
+            elif pattern in slot_of:
+                em.emit(indent, f"if {access} != r[{slot_of[pattern]}]:")
+                em.emit(indent + 1, "continue")
+                row_dependent = True
+            else:
+                local = em.fresh("_v")
+                em.emit(indent, f"{local} = {access}")
+                new_locals[pattern] = local
+        else:
+            em.emit(indent, f"if {access} != {em.const(pattern)}:")
+            em.emit(indent + 1, "continue")
+    return new_locals, row_dependent
+
+
+def _bound_term_src_for_fact(
+    em: _Emitter, kinds: list, inner: Var, slot_of: dict[Var, int]
+) -> str:
+    src = f"r[{slot_of[inner]}]"
+    for kind in reversed(kinds):
+        src = f"VersionId({em.const(kind, '_K')}, {src})"
+    return src
+
+
+def _emit_version_generator(
+    em: _Emitter, step: PlanStep, slot_of: dict[Var, int]
+) -> None:
+    """Compile an exact version-term generator (``verify`` is False: the
+    candidates come from the base's own index and every position is checked
+    against the pattern, so membership holds by construction)."""
+    atom = step.literal.atom
+    arity = len(atom.args)
+    method = em.const(atom.method, "_M")
+
+    kinds: list = []
+    inner = atom.host
+    while isinstance(inner, VersionId):
+        kinds.append(inner.kind)
+        inner = inner.base
+
+    skip_col: int | None = None
+    check_host = False
+    probe_row_dependent = False
+
+    if not isinstance(inner, Var):
+        # Ground host: the (host, method, arity) bucket is exact on all three.
+        probe = f"probe_hm({em.const(atom.host)}, {method}, {arity})"
+    elif inner in slot_of:
+        host = _bound_term_src_for_fact(em, kinds, inner, slot_of)
+        probe = f"probe_hm({host}, {method}, {arity})"
+        probe_row_dependent = True
+    else:
+        check_host = True
+        cols = step.index_cols
+        if len(cols) > 1:
+            # Mirror the interpreter: smallest bucket wins, empty prunes.
+            parts = []
+            for column in cols:
+                term = atom.result if column < 0 else atom.args[column]
+                if isinstance(term, Var):
+                    parts.append(f"({column}, r[{slot_of[term]}])")
+                    probe_row_dependent = True
+                else:
+                    parts.append(f"({column}, {em.const(term)})")
+            probe = (
+                f"_pick_bucket(base, {method}, {arity}, "
+                f"{_tuple_src(parts)})"
+            )
+        elif cols:
+            column = cols[0]
+            term = atom.result if column < 0 else atom.args[column]
+            if isinstance(term, Var):
+                value = f"r[{slot_of[term]}]"
+                probe_row_dependent = True
+            else:
+                value = em.const(term)
+            probe = f"probe_arg({method}, {arity}, {column}, {value})"
+            skip_col = column
+        else:
+            probe = f"probe_m({method}, {arity})"
+
+    if probe_row_dependent:
+        # The probe reads the row: plain nested loop over rows × bucket.
+        new_locals = _emit_loop_generator(
+            em, atom, slot_of, probe, skip_col, check_host
+        )
+        _STATS["loop_steps"] += 1
+    else:
+        new_locals = _emit_batch_or_loop_generator(
+            em, atom, slot_of, probe, skip_col, check_host
+        )
+
+    unbound = {v for v in step.variables if v not in slot_of}
+    assert set(new_locals) == unbound, (
+        f"codegen missed variables {unbound - set(new_locals)} "
+        f"in generator {step.literal}"
+    )
+    for var in new_locals:
+        slot_of[var] = len(slot_of)
+
+
+def _emit_loop_generator(
+    em: _Emitter,
+    atom,
+    slot_of: dict[Var, int],
+    probe: str,
+    skip_col: int | None,
+    check_host: bool,
+) -> dict[Var, str]:
+    em.emit(1, "out = []")
+    em.emit(1, "app = out.append")
+    em.emit(1, "for r in rows:")
+    em.emit(2, f"for _f in {probe}:")
+    new_locals, _ = _emit_fact_checks(
+        em, atom, slot_of, indent=3, skip_col=skip_col, check_host=check_host
+    )
+    extension = _tuple_src(list(new_locals.values()))
+    em.emit(3, f"app(r + {extension})")
+    em.emit(1, "rows = out")
+    em.emit(1, "if not rows:")
+    em.emit(2, "return rows")
+    return new_locals
+
+
+def _emit_batch_or_loop_generator(
+    em: _Emitter,
+    atom,
+    slot_of: dict[Var, int],
+    probe: str,
+    skip_col: int | None,
+    check_host: bool,
+) -> dict[Var, str]:
+    """Try the set-at-a-time form: when the per-fact checks are also
+    row-independent, materialize the extension tuples once and cross them
+    with the rows (filter → extend); otherwise fall back to the loop."""
+    checkpoint = len(em.lines)
+    ext = em.fresh("_ext")
+    em.emit(1, f"{ext} = []")
+    em.emit(1, f"ea = {ext}.append")
+    em.emit(1, f"for _f in {probe}:")
+    new_locals, row_dependent = _emit_fact_checks(
+        em, atom, slot_of, indent=2, skip_col=skip_col, check_host=check_host
+    )
+    if row_dependent:
+        # Some check reads r: rewind and emit the row-major loop instead.
+        del em.lines[checkpoint:]
+        _STATS["loop_steps"] += 1
+        return _emit_loop_generator(
+            em, atom, slot_of, probe, skip_col, check_host
+        )
+    extension = _tuple_src(list(new_locals.values()))
+    em.emit(2, f"ea({extension})")
+    em.emit(1, f"if not {ext}:")
+    em.emit(2, "return []")
+    em.emit(1, f"rows = [r + e for r in rows for e in {ext}]")
+    _STATS["batch_steps"] += 1
+    return new_locals
+
+
+def _emit_update_generator(
+    em: _Emitter, step: PlanStep, slot_of: dict[Var, int]
+) -> None:
+    out_vars = tuple(
+        sorted(
+            (v for v in step.variables if v not in slot_of),
+            key=var_sort_key,
+        )
+    )
+    generator = _update_generator(
+        step.literal, step.index_cols, tuple(slot_of.items()), out_vars
+    )
+    label = em.const(generator, "_G")
+    em.emit(1, f"rows = {label}(base, rows)")
+    em.emit(1, "if not rows:")
+    em.emit(2, "return rows")
+    for var in out_vars:
+        slot_of[var] = len(slot_of)
+
+
+# ----------------------------------------------------------------------
+# compiled artifacts
+# ----------------------------------------------------------------------
+
+
+class CompiledBody:
+    """One body's compiled executor: a batch function over slot rows.
+
+    ``slots`` is the variable layout (slot index → variable); ``key_getter``
+    projects a row onto the plan's ``key_vars`` order for deduplication.
+    ``source`` keeps the generated text for introspection and tests.
+    """
+
+    __slots__ = (
+        "fn",
+        "slots",
+        "key_slots",
+        "key_getter",
+        "generator_count",
+        "source",
+    )
+
+    def __init__(
+        self,
+        fn,
+        slots: tuple[Var, ...],
+        key_slots: tuple[int, ...],
+        generator_count: int,
+        source: str,
+    ) -> None:
+        self.fn = fn
+        self.slots = slots
+        self.key_slots = key_slots
+        if len(key_slots) == 1:
+            slot = key_slots[0]
+            self.key_getter = lambda row: (row[slot],)
+        elif key_slots:
+            self.key_getter = itemgetter(*key_slots)
+        else:  # a fully-ground body: at most one row, keyed trivially
+            self.key_getter = lambda row: ()
+        self.generator_count = generator_count
+        self.source = source
+
+    def rows(self, base: "ObjectBase", seed_rows: list[Row]) -> list[Row]:
+        """Run the compiled steps over ``seed_rows`` (no deduplication —
+        seeded callers dedup across seed positions themselves)."""
+        return self.fn(base, seed_rows)
+
+    def bindings(self, base: "ObjectBase") -> list[Binding]:
+        """Complete matches as fresh dicts — the compiled equivalent of
+        ``grounding._match_planned`` (dedup only with > 1 generator)."""
+        rows = self.fn(base, [()])
+        slots = self.slots
+        if self.generator_count <= 1:
+            return [dict(zip(slots, row)) for row in rows]
+        seen: set[tuple] = set()
+        out: list[Binding] = []
+        key_getter = self.key_getter
+        for row in rows:
+            key = key_getter(row)
+            if key not in seen:
+                seen.add(key)
+                out.append(dict(zip(slots, row)))
+        return out
+
+
+def _compile_body_plan(
+    plan: JoinPlan, seed_vars: tuple[Var, ...], name: str
+) -> CompiledBody:
+    """Generate and exec the specialized function for ``plan``.
+
+    ``seed_vars`` (sorted by :func:`var_sort_key`) occupy the leading row
+    slots; the remaining slots are assigned in plan binding order.
+    """
+    em = _Emitter(name)
+    em.namespace["Oid"] = Oid
+    slot_of: dict[Var, int] = {var: i for i, var in enumerate(seed_vars)}
+    em.emit(0, "def _run(base, rows):")
+    em.emit(1, "if not rows:")
+    em.emit(2, "return rows")
+    em.emit(1, "probe_hm = base.iter_facts_by_host_method")
+    em.emit(1, "probe_arg = base.iter_facts_by_arg")
+    em.emit(1, "probe_m = base.iter_facts_by_method")
+    em.emit(1, "has = base.__contains__")
+    for step in plan.steps:
+        if step.action == FILTER:
+            _emit_filter(em, step, slot_of)
+        elif step.action == BINDER:
+            _emit_binder(em, step, slot_of)
+        elif isinstance(step.literal.atom, VersionAtom):
+            _emit_version_generator(em, step, slot_of)
+        else:
+            _emit_update_generator(em, step, slot_of)
+    em.emit(1, "return rows")
+    fn, source = em.build("_run")
+    slots = tuple(sorted(slot_of, key=slot_of.__getitem__))
+    key_slots = tuple(slot_of[var] for var in plan.key_vars)
+    _STATS["bodies_compiled"] += 1
+    return CompiledBody(fn, slots, key_slots, plan.generator_count, source)
+
+
+def _compile_seed_matcher(
+    atom: VersionAtom, seed_vars: tuple[Var, ...], name: str
+):
+    """Compile the bulk seed matcher: delta facts in, slot rows out.
+
+    The interpreted path matches each delta fact against the seed literal
+    one ``match_term`` + ``_match_application`` at a time; this generates
+    one loop that destructures, checks and projects every fact into a row
+    laid out in ``seed_vars`` order (the seed plan's leading slots).
+    """
+    em = _Emitter(name)
+    em.namespace["Oid"] = Oid
+    em.emit(0, "def _seed(facts):")
+    em.emit(1, "out = []")
+    em.emit(1, "app = out.append")
+    em.emit(1, "for _f in facts:")
+    new_locals, row_dependent = _emit_fact_checks(
+        em, atom, {}, indent=2, skip_col=None, check_host=True
+    )
+    assert not row_dependent  # no row exists yet
+    assert set(new_locals) == set(seed_vars)
+    projection = _tuple_src([new_locals[var] for var in seed_vars])
+    em.emit(2, f"app({projection})")
+    em.emit(1, "return out")
+    fn, _source = em.build("_seed")
+    _STATS["seed_matchers_compiled"] += 1
+    return fn
+
+
+class CompiledRule:
+    """Everything compiled for one rule: the full-body executor plus one
+    (lazily built) bulk seed matcher + seeded executor per seed literal."""
+
+    __slots__ = ("rule", "plans", "full", "_seeded")
+
+    def __init__(self, rule: "UpdateRule") -> None:
+        self.rule = rule
+        self.plans = rule_plan(rule)
+        full_plan = self.plans.full_plan
+        self.full = (
+            _compile_body_plan(full_plan, (), rule.name)
+            if full_plan is not None
+            else None
+        )
+        self._seeded: dict[int, tuple | None] = {}
+
+    def seeded(self, position: int):
+        """``(seed_matcher, compiled_body)`` for the seed literal at
+        ``position``, or ``None`` when the seeded plan could not be
+        compiled (caller falls back to the interpreted seeded matcher)."""
+        try:
+            return self._seeded[position]
+        except KeyError:
+            plan = self.plans.seed_plan(position)
+            if plan is None:
+                entry = None
+            else:
+                literal = self.rule.body[position]
+                seed_vars = tuple(
+                    sorted(literal.variables, key=var_sort_key)
+                )
+                name = f"{self.rule.name}/seed{position}"
+                matcher = _compile_seed_matcher(
+                    literal.atom, seed_vars, name
+                )
+                body = _compile_body_plan(plan, seed_vars, name)
+                entry = (matcher, body)
+            self._seeded[position] = entry
+            return entry
+
+
+# ----------------------------------------------------------------------
+# cached entry points
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=4096)
+def compiled_rule(rule: "UpdateRule") -> CompiledRule:
+    return CompiledRule(rule)
+
+
+@lru_cache(maxsize=4096)
+def compiled_body(body: tuple[Literal, ...]) -> CompiledBody | None:
+    """The compiled executor for a bare body (prepared queries), sharing
+    the plan cache with ``match_body``; ``None`` for unplannable bodies."""
+    plan = _body_plan(body)
+    if plan is None:
+        return None
+    return _compile_body_plan(plan, (), "<body>")
+
+
+register_lru_cache("codegen.rule", compiled_rule)
+register_lru_cache("codegen.body", compiled_body)
+register_cache("codegen.backend", lambda: dict(_STATS))
+
+
+def match_rule_compiled(
+    rule: "UpdateRule", base: "ObjectBase"
+) -> list[Binding] | None:
+    """Compiled equivalent of :func:`repro.core.grounding.match_rule`;
+    ``None`` when the rule's body has no plan (dynamic fallback)."""
+    compiled = compiled_rule(rule)
+    if compiled.full is None:
+        return None
+    return compiled.full.bindings(base)
+
+
+def match_rule_seeded_compiled(
+    rule: "UpdateRule",
+    base: "ObjectBase",
+    delta: "Delta",
+    positions: tuple[int, ...],
+) -> list[Binding] | None:
+    """Compiled equivalent of ``match_rule_seeded``: delta facts stream
+    through the bulk seed matcher and the compiled seeded body in one batch
+    per position, with the same shared dedup across positions.
+
+    Returns ``None`` (caller falls back to the interpreted seeded matcher)
+    when any needed seed plan is unavailable.
+    """
+    compiled = compiled_rule(rule)
+    entries = []
+    for position in positions:
+        entry = compiled.seeded(position)
+        if entry is None:
+            return None
+        entries.append((position, entry))
+    signature = compiled.plans.signature
+    seen: set[tuple] = set()
+    results: list[Binding] = []
+    for position, (matcher, body) in entries:
+        facts = seed_facts(delta, signature, position)
+        if not facts:
+            continue
+        seed_rows = matcher(facts)
+        if not seed_rows:
+            continue
+        # key_vars is the sorted set of *all* body variables, so the key
+        # tuples agree across every seed position of the rule.
+        key_getter = body.key_getter
+        slots = body.slots
+        for row in body.rows(base, seed_rows):
+            key = key_getter(row)
+            if key not in seen:
+                seen.add(key)
+                results.append(dict(zip(slots, row)))
+    return results

@@ -28,6 +28,11 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.core.atoms import UpdateAtom
+from repro.core.codegen import (
+    codegen_enabled,
+    match_rule_compiled,
+    match_rule_seeded_compiled,
+)
 from repro.core.errors import EvaluationError
 from repro.core.facts import EXISTS, Fact, exists_fact
 from repro.core.grounding import match_rule, match_rule_dynamic, match_rule_seeded
@@ -132,6 +137,7 @@ def tp_step(
     collect_fired: bool = False,
     delta: Delta | None = None,
     use_plans: bool = True,
+    compiled: bool | None = None,
 ) -> TPResult:
     """One application of ``T_P`` for the given rules against ``base``.
 
@@ -159,11 +165,20 @@ def tp_step(
 
     ``use_plans=False`` selects the original dynamic-ordering matcher for
     every rule — the naive reference path.
+
+    ``compiled`` — run plan-compiled (set-at-a-time) rule bodies where
+    available (:mod:`repro.core.codegen`); ``None`` defers to the
+    ``REPRO_NO_CODEGEN`` escape hatch.  Rules whose bodies have no compiled
+    form fall back to the interpreted planned matcher per rule, so this
+    only ever affects speed.
     """
     pending = PendingUpdates()
     fired: list[FiredInstance] = []
     reading = base if match_base is None else match_base
     restricted = delta is not None and match_base is None and use_plans
+    if compiled is None:
+        compiled = codegen_enabled()
+    compiled = compiled and use_plans
 
     # ---- step 1: T¹ — the set of true ground heads -----------------------
     for rule in rules:
@@ -172,11 +187,23 @@ def tp_step(
             if mode == SKIP:
                 continue
             if mode == SEED:
-                bindings = match_rule_seeded(rule, reading, delta, positions)
+                bindings = (
+                    match_rule_seeded_compiled(rule, reading, delta, positions)
+                    if compiled
+                    else None
+                )
+                if bindings is None:
+                    bindings = match_rule_seeded(
+                        rule, reading, delta, positions
+                    )
             else:
-                bindings = match_rule(rule, reading)
+                bindings = match_rule_compiled(rule, reading) if compiled else None
+                if bindings is None:
+                    bindings = match_rule(rule, reading)
         elif use_plans:
-            bindings = match_rule(rule, reading)
+            bindings = match_rule_compiled(rule, reading) if compiled else None
+            if bindings is None:
+                bindings = match_rule(rule, reading)
         else:
             bindings = match_rule_dynamic(rule, reading)
         for binding in bindings:

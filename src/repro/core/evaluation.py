@@ -26,8 +26,9 @@ benchmarks that claim).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.core.codegen import codegen_enabled
 from repro.core.consequence import apply_tp, tp_step
 from repro.core.errors import EvaluationLimitError, ProgramError, VersionDepthError
 from repro.core.linearity import LinearityTracker
@@ -74,6 +75,13 @@ class EvaluationOptions:
         the dynamic-ordering matcher.  Both paths compute the same
         ``result(P)``, fire the same rule-instance sets and reach the same
         linearity verdicts — only the work per iteration differs.
+    compiled:
+        Run plan-compiled, set-at-a-time rule bodies
+        (:mod:`repro.core.codegen`) where available; bodies without a
+        compiled form fall back to the interpreted planned matcher per
+        rule.  Defaults to on unless the ``REPRO_NO_CODEGEN`` environment
+        escape hatch is set.  Ignored on the naive path
+        (``semi_naive=False`` keeps the dynamic reference matcher).
     """
 
     max_iterations_per_stratum: int = 10_000
@@ -84,6 +92,7 @@ class EvaluationOptions:
     collect_snapshots: bool = False
     max_version_depth: int | None = None
     semi_naive: bool = True
+    compiled: bool = field(default_factory=codegen_enabled)
 
 
 @dataclass
@@ -117,6 +126,10 @@ class CompiledProgram:
     program: UpdateProgram
     stratification: Stratification
     safety_checked: bool
+    #: The plan-compiled rule executors (``repro.core.codegen``), pinned
+    #: here so a long-lived compiled program never loses its closures to
+    #: LRU eviction.  Empty when compiled execution was off at compile time.
+    compiled_rules: tuple = ()
 
 
 def compile_program(
@@ -133,12 +146,19 @@ def compile_program(
     if options.check_safety:
         check_program_safety(program)
     stratification = stratify(program)
+    compiled_rules: tuple = ()
     if options.semi_naive:
         from repro.core.plans import rule_plan
 
         for rule in program:
             rule_plan(rule)
-    return CompiledProgram(program, stratification, options.check_safety)
+        if options.compiled and codegen_enabled():
+            from repro.core.codegen import compiled_rule
+
+            compiled_rules = tuple(compiled_rule(rule) for rule in program)
+    return CompiledProgram(
+        program, stratification, options.check_safety, compiled_rules
+    )
 
 
 def evaluate(
@@ -198,6 +218,7 @@ def evaluate(
                 collect_fired=options.collect_trace,
                 delta=delta,
                 use_plans=options.semi_naive,
+                compiled=options.compiled and codegen_enabled(),
             )
             if options.max_version_depth is not None:
                 for version in step.new_versions:

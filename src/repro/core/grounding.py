@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 from itertools import product
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.core.atoms import BuiltinAtom, Literal, UpdateAtom, VersionAtom
 from repro.core.caches import register_lru_cache
@@ -112,9 +112,18 @@ def match_body(
     rule_name: str = "<body>",
 ) -> Iterator[Binding]:
     """Like :func:`match_rule` for a bare body (used by the query API)."""
-    plan = _body_plan(tuple(body))
+    body = tuple(body)
+    plan = _body_plan(body)
     if plan is None:
         return match_body_dynamic(body, base, rule_name=rule_name)
+    # Prefer the codegen'd executor (lazy import: codegen sits above this
+    # module).  Same results; _match_planned stays as the oracle.
+    from repro.core.codegen import codegen_enabled, compiled_body
+
+    if codegen_enabled():
+        compiled = compiled_body(body)
+        if compiled is not None:
+            return iter(compiled.bindings(base))
     return _match_planned(plan, base)
 
 
@@ -560,8 +569,18 @@ def _generate_update_atom(
     # del / mod: the transition target must be an *existing* version
     # kind(v); enumerate those from the exists map, then read the old value
     # from v* and (for mod) the new value from the new version's state.
+    # When the transition host is already bound the exists map has exactly
+    # one candidate — probe it directly instead of scanning every version
+    # (the same fast path the INSERT branch gets from its host index).
     new_pattern = atom.new_version()
-    for version in base.iter_existing_versions():
+    concrete = apply_term(new_pattern, binding)
+    if is_ground(concrete):
+        versions: Iterable[Term] = (
+            (concrete,) if base.version_exists(concrete) else ()
+        )
+    else:
+        versions = base.iter_existing_versions()
+    for version in versions:
         host_binding = match_term(new_pattern, version, binding)
         if host_binding is None:
             continue

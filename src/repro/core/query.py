@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.core.atoms import Literal
+from repro.core.codegen import codegen_enabled, compiled_body
 from repro.core.grounding import (
     _body_plan,
     _match_planned,
@@ -204,7 +205,7 @@ class PreparedQuery:
     all memoization state lives with the store, keyed by the query.
     """
 
-    __slots__ = ("body", "plan", "signature", "name", "_hash")
+    __slots__ = ("body", "plan", "compiled", "signature", "name", "_hash")
 
     def __init__(
         self, literals: Sequence[Literal], *, name: str = "<prepared>"
@@ -213,6 +214,14 @@ class PreparedQuery:
         # The shared cached compile (the same entry match_body uses at run
         # time), so constructing a prepared query never compiles twice.
         self.plan = _body_plan(self.body)
+        # The codegen'd executor for the same plan (None for unplannable
+        # bodies or under REPRO_NO_CODEGEN); kept on the query so a
+        # long-lived prepared query never recompiles on cache eviction.
+        self.compiled = (
+            compiled_body(self.body)
+            if self.plan is not None and codegen_enabled()
+            else None
+        )
         self.signature = body_signature(self.body)
         self.name = name
         self._hash = hash(self.body)
@@ -232,6 +241,8 @@ class PreparedQuery:
         # The stored plan is executed directly — never refetched from the
         # bounded global plan cache, whose eviction would otherwise make a
         # long-lived prepared query recompile per run.
+        if self.compiled is not None and codegen_enabled():
+            return self.compiled.bindings(base)
         if self.plan is not None:
             return _match_planned(self.plan, base)
         return match_body_dynamic(self.body, base, rule_name=self.name)

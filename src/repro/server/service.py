@@ -39,6 +39,7 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Callable, Sequence
 
+from repro.core.caches import cache_stats
 from repro.core.objectbase import Delta, ObjectBase
 from repro.core.plans import QuerySignature, program_signature
 from repro.core.query import Answer, PreparedQuery
@@ -488,4 +489,8 @@ class StoreService:
             "write_timeout": self.write_timeout,
             "subscriptions": self.subscriptions.stats(),
             "prepared": self.store.prepared_stats(),
+            # The process-wide cache registry (join-plan compilers, the
+            # codegen backend counters, the OID intern table, ...) — what
+            # ``repro client stats`` shows an operator.
+            "caches": cache_stats(),
         }
