@@ -27,6 +27,15 @@ invariants are absolute, throughput is a ratio::
 
     python benchmarks/check_regression.py \
         --soak-baseline BENCH_PR6.json --soak-fresh bench-soak-ci.json
+
+and likewise the replication checks (PR 8): zero lost acknowledged
+commits and a consistent post-failover subscription are absolute,
+catch-up time has an absolute ceiling, and replica read fanout is a
+throughput ratio against the committed baseline::
+
+    python benchmarks/check_regression.py \
+        --replication-baseline BENCH_PR8.json \
+        --replication-fresh bench-replication-ci.json
 """
 
 from __future__ import annotations
@@ -46,6 +55,16 @@ SERVE_THROUGHPUT_FLOOR = 3.0
 #: codegen'd path must stay >= 1.5x over the interpreted planned walker on
 #: the largest P1 base of the sweep.
 COMPILED_SPEEDUP_FLOOR = 1.5
+
+#: Replication (PR 8): followers must absorb the burst within this many
+#: seconds — an absolute ceiling, generous because CI machines are noisy
+#: (the committed baseline is well under a second).
+REPLICATION_CATCHUP_CEILING_S = 15.0
+
+#: Replication (PR 8): aggregate replica reads/s must stay above this
+#: floor — three followers serving essentially nothing means the fanout
+#: path is broken, whatever the machine.
+REPLICA_READS_FLOOR = 50.0
 
 
 def check_ratio(
@@ -83,6 +102,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed BENCH_PR6.json (optional)")
     parser.add_argument("--soak-fresh", type=Path, default=None,
                         help="soak run produced by this CI job (optional)")
+    parser.add_argument("--replication-baseline", type=Path, default=None,
+                        help="committed BENCH_PR8.json (optional)")
+    parser.add_argument("--replication-fresh", type=Path, default=None,
+                        help="replication run produced by this CI job "
+                        "(optional)")
     parser.add_argument("--tolerance", type=float, default=0.5,
                         help="allowed relative shortfall vs the baseline "
                         "ratio (default: %(default)s — CI machines are noisy)")
@@ -207,6 +231,53 @@ def main(argv: list[str] | None = None) -> int:
             failures, "soak commit throughput (commits/s)",
             soak_fresh["commits_per_second"],
             soak_baseline["commits_per_second"],
+            arguments.tolerance,
+        )
+
+    if arguments.replication_baseline and arguments.replication_fresh:
+        repl_baseline = json.loads(
+            arguments.replication_baseline.read_text(encoding="utf-8")
+        )
+        repl_fresh = json.loads(
+            arguments.replication_fresh.read_text(encoding="utf-8")
+        )
+        # correctness invariants are absolute: any breach is a regression
+        for invariant, want in (
+            ("lost_acknowledged_commits", 0),
+            ("consistent", True),
+            ("journal_ok", True),
+        ):
+            got = repl_fresh.get(invariant)
+            verdict = "ok" if got == want else "REGRESSION"
+            print(
+                f"{f'replication {invariant}':<45} fresh {got!r:>8}  "
+                f"required {want!r}{'':>14}{verdict}"
+            )
+            if got != want:
+                failures.append(f"replication {invariant}")
+        catchup = repl_fresh["replication_catchup_seconds"]
+        verdict = (
+            "ok" if catchup <= REPLICATION_CATCHUP_CEILING_S else "REGRESSION"
+        )
+        print(
+            f"{'replication catch-up ceiling (s)':<45} "
+            f"fresh {catchup:7.2f}   "
+            f"ceiling {REPLICATION_CATCHUP_CEILING_S:.2f}{'':>16}{verdict}"
+        )
+        if catchup > REPLICATION_CATCHUP_CEILING_S:
+            failures.append("replication catch-up ceiling")
+        fanout = repl_fresh["replica_reads_per_second"]
+        verdict = "ok" if fanout >= REPLICA_READS_FLOOR else "REGRESSION"
+        print(
+            f"{'replica read fanout floor (reads/s)':<45} "
+            f"fresh {fanout:7.0f}   "
+            f"floor {REPLICA_READS_FLOOR:.0f}{'':>19}{verdict}"
+        )
+        if fanout < REPLICA_READS_FLOOR:
+            failures.append("replica read fanout floor")
+        check_ratio(
+            failures, "replica read fanout (reads/s)",
+            fanout, repl_baseline["replica_reads_per_second"],
             arguments.tolerance,
         )
 

@@ -20,7 +20,14 @@ Scenario (what the CI job runs)::
 8. restart, commit once more, then SIGKILL the server: every
    acknowledged journal byte must survive the crash, ``repro store
    verify`` must pass, and a restarted server must replay the journal
-   byte-identically and serve the full history.
+   byte-identically and serve the full history;
+9. replication failover: attach a ``repro replica serve`` follower,
+   SIGKILL the primary mid-subscription, ``repro replica promote
+   --takeover`` the follower onto the dead primary's socket — the
+   follower's journal must hold every acknowledged byte as an identical
+   prefix, the reconnecting subscriber must receive exactly one
+   coalesced ``lagged`` resync, and writes must resume on the old
+   socket at the new fencing epoch.
 
 Exits 0 when every step holds; prints the failing step and exits 1
 otherwise.  No external dependencies beyond the repo itself.
@@ -215,6 +222,125 @@ def main() -> int:
             server.wait(timeout=30)
             if journal_file.read_bytes() != acknowledged:
                 fail("replaying after the crash rewrote the journal")
+
+            print("9. replica failover: follower, SIGKILL, promote, takeover")
+            replica_dir = scratch / "replica"
+            replica_sock = scratch / "replica.sock"
+            server = start_server(store_dir, socket_path)
+            wait_for(
+                lambda: cli("client", "--socket", str(socket_path), "ping",
+                            check=False).returncode == 0,
+                "the primary before replication",
+            )
+            replica = subprocess.Popen(
+                [PYTHON, "-m", "repro", "replica", "serve",
+                 "--dir", str(replica_dir),
+                 "--primary", f"unix:{socket_path}",
+                 "--socket", str(replica_sock),
+                 "--heartbeat-interval", "0.2"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                cwd=REPO,
+            )
+            try:
+                wait_for(
+                    lambda: cli("client", "--socket", str(replica_sock),
+                                "ping", check=False).returncode == 0,
+                    "the replica to bootstrap and serve",
+                )
+                denied = cli("client", "--socket", str(replica_sock),
+                             "apply", "--program", str(raise_file),
+                             check=False)
+                if denied.returncode == 0:
+                    fail("a replica accepted a write before promotion")
+
+                subscriber = subprocess.Popen(
+                    [PYTHON, "-m", "repro", "client",
+                     "--socket", str(socket_path), "--retry", "30",
+                     "subscribe", "E.isa -> empl, E.sal -> S",
+                     "--pushes", "2", "--timeout", "60"],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                    cwd=REPO,
+                )
+                lines = []
+                finished = threading.Event()
+                threading.Thread(
+                    target=read_lines_background,
+                    args=(subscriber.stdout, lines, finished),
+                    daemon=True,
+                ).start()
+                wait_for(lambda: len(lines) >= 2,
+                         "the failover subscriber's initial answers")
+                cli("client", "--socket", str(socket_path), "apply",
+                    "--program", str(raise_file), "--tag", "smoke-replicated")
+                wait_for(lambda: len(lines) >= 3,
+                         "the pre-failover answer diff")
+                replica_journal = replica_dir / "journal.jsonl"
+                wait_for(
+                    lambda: replica_journal.exists()
+                    and replica_journal.read_bytes()
+                    == journal_file.read_bytes(),
+                    "the replica to catch up byte-for-byte",
+                )
+                acknowledged = journal_file.read_bytes()
+
+                server.kill()  # SIGKILL: the replica's heartbeats notice
+                server.wait(timeout=30)
+                promote = cli("replica", "promote",
+                              "--socket", str(replica_sock))
+                if "promoted at epoch" not in promote.stderr:
+                    fail(f"unexpected promote outcome: {promote.stderr}")
+
+                # a write the disconnected subscriber misses: it lands on
+                # the promoted replica while the old socket is still dead
+                cli("client", "--socket", str(replica_sock), "apply",
+                    "--program", str(raise_file), "--tag", "smoke-failover")
+
+                # now claim the dead primary's socket; the reconnecting
+                # subscriber lands on the promoted replica and catches up
+                # with exactly one coalesced lagged resync
+                takeover = cli("replica", "promote",
+                               "--socket", str(replica_sock),
+                               "--takeover", str(socket_path))
+                if "taking over" not in takeover.stderr:
+                    fail(f"unexpected takeover outcome: {takeover.stderr}")
+                wait_for(finished.is_set,
+                         "the subscriber to ride the failover",
+                         timeout=60)
+                if subscriber.wait(timeout=30) != 0:
+                    fail(f"failover subscriber exited "
+                         f"{subscriber.returncode}: "
+                         f"{subscriber.stderr.read()}")
+                resync = json.loads(lines[-1])
+                if not resync.get("lagged"):
+                    fail(f"expected one coalesced lagged resync, got: "
+                         f"{resync}")
+                if not resync["added"] or not resync["removed"]:
+                    fail(f"the lagged resync carried no catch-up diff: "
+                         f"{resync}")
+
+                # writes resume on the dead primary's socket, now served
+                # by the promoted replica at the new fencing epoch
+                cli("client", "--socket", str(socket_path), "apply",
+                    "--program", str(raise_file), "--tag", "smoke-resumed")
+                promoted_bytes = replica_journal.read_bytes()
+                if not promoted_bytes.startswith(acknowledged):
+                    fail("the promoted journal is not a byte-identical "
+                         "superset of the acknowledged history")
+                if len(promoted_bytes) <= len(acknowledged):
+                    fail("the post-failover write never reached the "
+                         "promoted journal")
+                audit = cli("store", "verify", "--dir", str(replica_dir))
+                if "ok" not in audit.stdout or "epoch" not in audit.stdout:
+                    fail(f"promoted journal failed verification:\n"
+                         f"{audit.stdout}")
+            finally:
+                if replica.poll() is None:
+                    replica.terminate()
+                    replica.wait(timeout=15)
         finally:
             if server.poll() is None:
                 server.kill()

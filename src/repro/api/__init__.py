@@ -22,6 +22,11 @@ a directory path
 ``"serve:<endpoint>"`` / ``"unix:<path>"`` / ``"tcp:<host>:<port>"``
     A running ``repro serve`` instance; a bare path that names a live unix
     socket also connects.
+``"replset:<endpoint>,<endpoint>,..."``
+    A replicated deployment (``repro serve`` + ``repro replica`` members):
+    reads fail over across members immediately, mutations follow the
+    primary across promotions, epoch-fenced against zombie writes (see
+    :mod:`repro.replication`).
 a :class:`~repro.server.service.StoreService` or
 :class:`~repro.storage.history.VersionedStore`
     Wrapped in-process as-is (embedding).
@@ -51,9 +56,11 @@ from repro.core.objectbase import ObjectBase
 from repro.server.errors import (
     ConflictError,
     ConnectionClosed,
+    NotPrimaryError,
     ServerBusyError,
     ServerError,
     SessionError,
+    StaleEpochError,
 )
 from repro.server.service import StoreService
 from repro.storage.history import StoreOptions, VersionedStore
@@ -78,6 +85,8 @@ __all__ = [
     "SessionError",
     "ConnectionClosed",
     "ServerBusyError",
+    "StaleEpochError",
+    "NotPrimaryError",
 ]
 
 
@@ -132,6 +141,22 @@ def connect(
         store = VersionedStore(_coerce_base(base), tag=tag, options=options)
         return ServiceConnection(
             StoreService(store), target="memory:", readonly=readonly
+        )
+    if text.startswith("replset:"):
+        from repro.replication.replset import ReplicaSetConnection
+
+        _reject_seed_kwargs("a replica-set target", base, options)
+        _reject_durability(
+            "a replica-set target (each member owns its journal)", durability
+        )
+        if readonly:
+            raise ReproError(
+                "readonly= is not supported on replset: targets; reads "
+                "already spread across every member"
+            )
+        members = [part for part in text[len("replset:"):].split(",") if part]
+        return ReplicaSetConnection(
+            members, call_timeout=call_timeout, retry=retry
         )
     endpoint = _wire_endpoint(text)
     if endpoint is not None:

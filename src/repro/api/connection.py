@@ -65,10 +65,17 @@ class Connection(ABC):
 
     # -- reading -----------------------------------------------------------
     @abstractmethod
-    def query(self, body) -> list[Answer]:
+    def query(self, body, *, min_revision: int | None = None) -> list[Answer]:
         """Answer a conjunctive query (concrete-syntax text) against the
         head revision.  Rows are canonical decoded answers — value-equal
-        to ``repro.query`` on the same base, on every backend."""
+        to ``repro.query`` on the same base, on every backend.
+
+        ``min_revision`` is the read-your-writes token of replicated
+        serving: a node whose head has not reached that revision waits
+        briefly for replication, then sheds the read with a retryable
+        :class:`~repro.server.errors.ServerBusyError` rather than answer
+        from the past.  (On a single-node backend the head always
+        satisfies any token it issued.)"""
 
     @abstractmethod
     def log(self) -> tuple[Revision, ...]:
@@ -129,9 +136,14 @@ class Connection(ABC):
 
     # -- live queries ------------------------------------------------------
     @abstractmethod
-    def subscribe(self, body, *, name: str | None = None) -> "SubscriptionStream":
+    def subscribe(
+        self, body, *, name: str | None = None,
+        min_revision: int | None = None,
+    ) -> "SubscriptionStream":
         """Register a live query; returns the stream seeded with the
-        current answers.  Only answer diffs travel afterwards."""
+        current answers.  Only answer diffs travel afterwards.
+        ``min_revision`` is the same read-your-writes token as on
+        :meth:`query` — the seed answers are at least that fresh."""
 
     # -- accounting --------------------------------------------------------
     @abstractmethod

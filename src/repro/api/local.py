@@ -12,6 +12,7 @@ parity suite is what proves this fast path and the wire path agree.
 from __future__ import annotations
 
 import queue
+import time
 
 from repro.api.connection import Connection, SubscriptionStream, Transaction
 from repro.api.model import CommitResult, Diff, Revision
@@ -48,9 +49,30 @@ class ServiceConnection(Connection):
         return {"pong": True, "protocol": PROTOCOL_VERSION}
 
     # -- reading -----------------------------------------------------------
-    def query(self, body) -> list[Answer]:
+    def query(self, body, *, min_revision: int | None = None) -> list[Answer]:
         self._check_open()
+        self._await_min_revision(min_revision)
         return decode_answers(self.service.query(body))
+
+    def _await_min_revision(
+        self, min_revision: int | None, *, deadline: float = 5.0
+    ) -> None:
+        """Read-your-writes on a replica served in-process: wait briefly
+        for the replication stream to reach ``min_revision``, then shed the
+        read (retryable) rather than answer from the past."""
+        if min_revision is None:
+            return
+        limit = time.monotonic() + deadline
+        while len(self.service.store) - 1 < min_revision:
+            if time.monotonic() >= limit:
+                from repro.server.errors import ServerBusyError
+
+                raise ServerBusyError(
+                    f"read-your-writes token not satisfied: node is at "
+                    f"revision {len(self.service.store) - 1}, the read "
+                    f"demands {min_revision} — retry shortly"
+                )
+            time.sleep(0.005)
 
     def log(self) -> tuple[Revision, ...]:
         self._check_open()
@@ -92,8 +114,12 @@ class ServiceConnection(Connection):
         return _ServiceTransaction(self.service, tag=tag, attempts=attempts)
 
     # -- live queries ------------------------------------------------------
-    def subscribe(self, body, *, name: str | None = None) -> SubscriptionStream:
+    def subscribe(
+        self, body, *, name: str | None = None,
+        min_revision: int | None = None,
+    ) -> SubscriptionStream:
         self._check_open()
+        self._await_min_revision(min_revision)
         pushes: "queue.Queue[dict]" = queue.Queue()
         subscription = self.service.subscriptions.subscribe(
             body, pushes.put, name=name

@@ -127,11 +127,18 @@ class AnswerDelta:
             tag=push.get("tag", ""),
             added=tuple(decode_answers(push.get("added", []))),
             removed=tuple(decode_answers(push.get("removed", []))),
+            lagged=bool(push.get("lagged", False)),
         )
 
     def as_push(self) -> dict:
-        """The delta as the wire's push-message shape (JSON-ready)."""
-        return {
+        """The delta as the wire's push-message shape (JSON-ready).
+
+        A coalesced delta keeps the ``diff`` kind — its ``(added,
+        removed)`` was computed against the stream's own folded state, so
+        it folds exactly like any commit diff — but carries a ``lagged``
+        marker so consumers can tell a catch-up from a live commit.
+        """
+        push = {
             "push": "diff",
             "sid": self.sid,
             "query": self.query,
@@ -140,6 +147,9 @@ class AnswerDelta:
             "added": [dict(row) for row in self.added],
             "removed": [dict(row) for row in self.removed],
         }
+        if self.lagged:
+            push["lagged"] = True
+        return push
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ import asyncio
 import concurrent.futures
 import queue
 import threading
+import time
 
 from repro.api.connection import Connection, SubscriptionStream, Transaction
 from repro.api.model import CommitResult, Diff, RetryPolicy, Revision
@@ -40,7 +41,7 @@ from repro.core.rules import UpdateProgram
 from repro.lang.parser import parse_object_base
 from repro.lang.pretty import format_program
 from repro.server.client import AsyncClient, _raise_for
-from repro.server.errors import ConnectionClosed, ServerError
+from repro.server.errors import ConnectionClosed, ServerBusyError, ServerError
 from repro.storage.history import resolve_revision_ref
 
 __all__ = ["WireConnection"]
@@ -56,6 +57,10 @@ _SAFE_COMMANDS = frozenset(
 
 #: Redial timeout per attempt (matches the initial-connect bound).
 _DIAL_TIMEOUT = 30.0
+
+#: How long a ``min_revision`` read polls a lagging replica before the
+#: retryable busy error surfaces to the caller.
+_MIN_REVISION_WAIT = 10.0
 
 
 class _LiveSub:
@@ -366,9 +371,32 @@ class WireConnection(Connection):
         return {"pong": response["pong"], "protocol": response["protocol"]}
 
     # -- reading -----------------------------------------------------------
-    def query(self, body) -> list[Answer]:
-        response = self.call("query", body=_body_text(body))
+    def query(self, body, *, min_revision: int | None = None) -> list[Answer]:
+        response = self._call_min_revision(
+            "query", min_revision, body=_body_text(body)
+        )
         return decode_answers(response["answers"])
+
+    def _call_min_revision(
+        self, cmd: str, min_revision: int | None, **payload
+    ) -> dict:
+        """A read carrying a read-your-writes token: a replica that has not
+        caught up sheds it with a retryable busy error — poll briefly so
+        the common just-behind case resolves without surfacing it."""
+        if min_revision is None:
+            return self.call(cmd, **payload)
+        deadline = time.monotonic() + _MIN_REVISION_WAIT
+        delay = 0.02
+        while True:
+            try:
+                return self.call(
+                    cmd, min_revision=min_revision, **payload
+                )
+            except ServerBusyError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 0.25)
 
     def log(self) -> tuple[Revision, ...]:
         response = self.call("log")
@@ -412,11 +440,16 @@ class WireConnection(Connection):
         return _WireTransaction(self, tag=tag, attempts=attempts)
 
     # -- live queries ------------------------------------------------------
-    def subscribe(self, body, *, name: str | None = None) -> SubscriptionStream:
+    def subscribe(
+        self, body, *, name: str | None = None,
+        min_revision: int | None = None,
+    ) -> SubscriptionStream:
         self._check_open()
         body_text = _body_text(body)
         pushes: "queue.Queue[dict]" = queue.Queue()
-        response = self.call("subscribe", body=body_text, name=name)
+        response = self._call_min_revision(
+            "subscribe", min_revision, body=body_text, name=name
+        )
         sid = response["sid"]
         stream = SubscriptionStream(
             sid=sid,

@@ -73,6 +73,7 @@ __all__ = [
     "run_serve_sweep",
     "run_soak_sweep",
     "run_joins_sweep",
+    "run_replication_sweep",
     "build_trajectory",
     "main",
 ]
@@ -93,6 +94,9 @@ DEFAULT_SOAK_SECONDS = 60.0
 DEFAULT_SOAK_SUBSCRIBERS = 4
 DEFAULT_JOINS_OUT = "BENCH_PR7.json"
 DEFAULT_WIDE_NODES = 1500
+DEFAULT_REPLICATION_OUT = "BENCH_PR8.json"
+DEFAULT_REPLICATION_FOLLOWERS = 3
+DEFAULT_REPLICATION_SECONDS = 10.0
 TRAJECTORY_OUT = "BENCH_TRAJECTORY.json"
 
 #: The read-heavy query mix.  ``org_chart`` reads no ``sal`` fact, so the
@@ -878,6 +882,234 @@ def run_soak_sweep(
     }
 
 
+def run_replication_sweep(
+    n_followers: int = DEFAULT_REPLICATION_FOLLOWERS,
+    duration: float = DEFAULT_REPLICATION_SECONDS,
+    n_employees: int = 60,
+) -> dict:
+    """The PR 8 replicated-serving sweep (see the module docstring).
+
+    An fsync-durable primary serves a journalled enterprise base over a
+    unix socket with ``n_followers`` journal-streaming followers attached.
+    Four things are measured, three of which double as invariants the CI
+    guard enforces:
+
+    * **catch-up** — a burst of commits lands on the primary; the wall
+      time until every follower's store reaches the primary's head is the
+      replication lag under load (guarded: stays under a ceiling);
+    * **read fanout** — one reader thread per follower hammers the
+      salaries query against its replica for ``duration`` seconds while a
+      background writer keeps commits (and therefore replicated deltas)
+      flowing; aggregate replica reads/s is the fanout headline
+      (guarded: stays above a floor);
+    * **failover** — the primary dies abruptly (server cut, no shutdown);
+      the freshest follower is promoted with a fencing epoch and the
+      clock stops at the first successful write on the new primary;
+    * **durability across failover** — every commit the dead primary
+      acknowledged must be a byte-identical prefix of the promoted
+      follower's journal (guarded: ``lost_acknowledged_commits == 0``),
+      a follower subscription's folded answers must equal a fresh query
+      after the failover write, and the promoted journal must pass the
+      offline epoch/CRC audit.
+    """
+    import tempfile
+    import threading
+
+    import repro
+    from repro.api import BackgroundServer
+    from repro.core.query import fold_answers
+    from repro.replication import Follower
+    from repro.server.service import StoreService
+    from repro.storage import verify_journal
+    from repro.storage.serialize import JOURNAL_FILE, DurabilityOptions
+
+    base = enterprise_base(n_employees=n_employees, overpaid_ratio=0.1, seed=21)
+    query = READ_QUERIES[0][1]  # salaries: one diff per raise
+    fsync = DurabilityOptions(mode="fsync")
+    churn_ids = [f"emp{k}" for k in range(10)]
+    catchup_commits = 40
+    failures: list[str] = []
+
+    def all_caught_up(service, followers, *, timeout=60.0) -> bool:
+        deadline = time.monotonic() + timeout
+        head = len(service.store)
+        while any(len(f.service.store) < head for f in followers):
+            if time.monotonic() > deadline:
+                return False
+            time.sleep(0.005)
+        return True
+
+    with tempfile.TemporaryDirectory() as scratch:
+        primary_dir = Path(scratch) / "primary"
+        service = StoreService.create(
+            base, primary_dir, tag="repl-seed", durability=fsync
+        )
+        socket = str(Path(scratch) / "repl.sock")
+        server = BackgroundServer(service, path=socket)
+        followers = [
+            Follower(
+                Path(scratch) / f"f{i}", server.address,
+                durability=fsync, heartbeat_interval=0.1,
+            ).start()
+            for i in range(n_followers)
+        ]
+        writer = repro.connect(server.target)
+        acked = 0
+
+        # -- catch-up under a burst of writes --------------------------
+        catchup_start = time.perf_counter()
+        for tick in range(catchup_commits):
+            writer.apply(
+                targeted_raise_program(
+                    churn_ids[tick % len(churn_ids)], percent=1.0
+                ),
+                tag=f"burst-{tick}",
+            )
+            acked += 1
+        if not all_caught_up(service, followers):
+            failures.append("followers never caught up after the burst")
+        catchup_s = time.perf_counter() - catchup_start
+
+        # -- read fanout across the replicas ---------------------------
+        replica_conns = [repro.connect(f.service) for f in followers]
+        reads = [0] * n_followers
+        stop = threading.Event()
+
+        def reader(position: int) -> None:
+            conn = replica_conns[position]
+            while not stop.is_set():
+                conn.query(query)
+                reads[position] += 1
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in range(n_followers)
+        ]
+        fanout_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        next_commit = fanout_start
+        while time.perf_counter() - fanout_start < duration:
+            if time.perf_counter() >= next_commit:
+                writer.apply(
+                    targeted_raise_program(
+                        churn_ids[acked % len(churn_ids)], percent=1.0
+                    ),
+                    tag=f"churn-{acked}",
+                )
+                acked += 1
+                next_commit += 0.25
+            time.sleep(0.01)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        fanout_s = time.perf_counter() - fanout_start
+
+        # -- failover: abrupt primary death, promote the freshest ------
+        if not all_caught_up(service, followers):
+            failures.append("followers never caught up before the kill")
+        acked_text = (primary_dir / JOURNAL_FILE).read_text()
+        survivor = max(followers, key=lambda f: len(f.service.store))
+        stream = repro.connect(survivor.service).subscribe(query)
+        folded = list(stream.answers)
+
+        failover_start = time.perf_counter()
+        server.close()  # dies with every ack fsync-durable and replicated
+        writer.close()
+        epoch = survivor.promote()
+        promoted = repro.connect(survivor.service)
+        promoted.apply(
+            targeted_raise_program("emp0", percent=1.0), tag="after-failover"
+        )
+        failover_s = time.perf_counter() - failover_start
+
+        # -- invariants -------------------------------------------------
+        promoted_text = (survivor.directory / JOURNAL_FILE).read_text()
+        if promoted_text.startswith(acked_text):
+            lost = 0
+        else:
+            acked_lines = acked_text.splitlines()
+            promoted_lines = promoted_text.splitlines()
+            matched = 0
+            for mine, theirs in zip(acked_lines, promoted_lines):
+                if mine != theirs:
+                    break
+                matched += 1
+            lost = len(acked_lines) - matched
+            failures.append(
+                f"promoted journal lost {lost} acked line(s)"
+            )
+
+        settle = time.monotonic() + 10.0
+        expected = promoted.query(query)
+        while time.monotonic() < settle:
+            delta = stream.next(timeout=0.2)
+            if delta is None:
+                if folded == promoted.query(query):
+                    break
+                continue
+            if delta.lagged:
+                folded = list(delta.answers)
+            else:
+                folded = fold_answers(
+                    folded,
+                    [dict(row) for row in delta.added],
+                    [dict(row) for row in delta.removed],
+                )
+        expected = promoted.query(query)
+        consistent = sorted(folded, key=str) == sorted(expected, key=str)
+        if not consistent:
+            failures.append(
+                f"subscription diverged after failover: folded "
+                f"{len(folded)} rows, fresh query has {len(expected)}"
+            )
+
+        audit = verify_journal(survivor.directory)
+        if not audit["ok"]:
+            failures.append(
+                f"promoted journal failed the audit: {audit['problems']}"
+            )
+
+        stream.close()
+        promoted.close()
+        for conn in replica_conns:
+            conn.close()
+        for follower in followers:
+            follower.close()
+        server.close()
+
+    total_reads = sum(reads)
+    return {
+        "benchmark": "p8_replication",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "workload": {
+            "base": f"enterprise(n_employees={n_employees})",
+            "followers": n_followers,
+            "query": query,
+            "catchup_commits": catchup_commits,
+            "requested_seconds": duration,
+            "durability": "fsync",
+        },
+        "replication_catchup_seconds": catchup_s,
+        "read_fanout": {
+            "followers": n_followers,
+            "reads_total": total_reads,
+            "reads_per_follower": reads,
+            "wall_seconds": fanout_s,
+        },
+        "replica_reads_per_second": total_reads / fanout_s,
+        "failover_seconds": failover_s,
+        "promoted_epoch": epoch,
+        "acked_commits": acked,
+        "lost_acknowledged_commits": lost,
+        "consistent": consistent,
+        "journal_ok": audit["ok"],
+        "journal_max_epoch": audit.get("max_epoch", 0),
+        "failures": failures,
+    }
+
+
 # ----------------------------------------------------------------------
 # the unified trajectory document
 # ----------------------------------------------------------------------
@@ -954,6 +1186,23 @@ def _p7_headline(document: dict) -> dict:
     }
 
 
+def _p8_headline(document: dict) -> dict:
+    return {
+        "replica_reads_per_second": document["replica_reads_per_second"],
+        "replication_catchup_seconds": document[
+            "replication_catchup_seconds"
+        ],
+        "failover_seconds": document["failover_seconds"],
+        "lost_acknowledged_commits": document["lost_acknowledged_commits"],
+        "consistent": document["consistent"],
+        "headline": f"{document['workload']['followers']} replicas: "
+        f"{document['replica_reads_per_second']:.0f} replica reads/s, "
+        f"catch-up {document['replication_catchup_seconds']:.2f}s, "
+        f"failover {document['failover_seconds'] * 1e3:.0f} ms, "
+        f"{document['lost_acknowledged_commits']} acked commits lost",
+    }
+
+
 _HEADLINES = {
     "p1_base_size_sweep": _p1_headline,
     "p2_store_sweep": _p2_headline,
@@ -961,6 +1210,7 @@ _HEADLINES = {
     "p4_serve_sweep": _p4_headline,
     "p6_soak": _p6_headline,
     "p7_joins_sweep": _p7_headline,
+    "p8_replication": _p8_headline,
 }
 
 
@@ -1067,8 +1317,10 @@ def main(argv: list[str] | None = None) -> int:
         "kill, offline compaction and restart) instead of the P1 sweep",
     )
     parser.add_argument(
-        "--duration", type=float, default=DEFAULT_SOAK_SECONDS,
-        help="soak: churn for this many seconds (default: %(default)s)",
+        "--duration", type=float, default=None,
+        help="soak / replication: run for this many seconds (defaults: "
+        f"{DEFAULT_SOAK_SECONDS} for --soak, "
+        f"{DEFAULT_REPLICATION_SECONDS} for --replication)",
     )
     parser.add_argument(
         "--subscribers", type=int, default=DEFAULT_SOAK_SUBSCRIBERS,
@@ -1084,6 +1336,15 @@ def main(argv: list[str] | None = None) -> int:
         "--wide-nodes", type=int, default=DEFAULT_WIDE_NODES,
         help="joins sweep: x-nodes in the wide-join synthetic base "
         "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--replication", action="store_true",
+        help="run the replicated-serving sweep (follower catch-up, replica "
+        "read fanout, failover with epoch fencing) instead of the P1 sweep",
+    )
+    parser.add_argument(
+        "--followers", type=int, default=DEFAULT_REPLICATION_FOLLOWERS,
+        help="replication sweep: read replicas to attach (default: %(default)s)",
     )
     parser.add_argument(
         "--trajectory", action="store_true",
@@ -1141,10 +1402,54 @@ def main(argv: list[str] | None = None) -> int:
         write_trajectory(".")
         return 0
 
+    if arguments.replication:
+        out = arguments.out or Path(DEFAULT_REPLICATION_OUT)
+        document = run_replication_sweep(
+            n_followers=arguments.followers,
+            duration=(
+                arguments.duration
+                if arguments.duration is not None
+                else DEFAULT_REPLICATION_SECONDS
+            ),
+        )
+        out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        fanout = document["read_fanout"]
+        print(
+            f"replication: {fanout['followers']} followers, "
+            f"{fanout['reads_total']} replica reads in "
+            f"{fanout['wall_seconds']:.1f} s "
+            f"({document['replica_reads_per_second']:.0f}/s), "
+            f"catch-up {document['replication_catchup_seconds']:.2f} s "
+            f"for {document['workload']['catchup_commits']} commits"
+        )
+        print(
+            f"failover: {document['failover_seconds'] * 1e3:.0f} ms to the "
+            f"first write at epoch {document['promoted_epoch']}, "
+            f"{document['lost_acknowledged_commits']} of "
+            f"{document['acked_commits']} acked commits lost   "
+            f"consistent: {document['consistent']}   "
+            f"journal ok: {document['journal_ok']}"
+        )
+        for failure in document["failures"]:
+            print(f"  failure: {failure}")
+        print(f"wrote {out}")
+        write_trajectory(".")
+        return (
+            0
+            if document["lost_acknowledged_commits"] == 0
+            and document["consistent"]
+            and document["journal_ok"]
+            else 1
+        )
+
     if arguments.soak:
         out = arguments.out or Path(DEFAULT_SOAK_OUT)
         document = run_soak_sweep(
-            duration=arguments.duration,
+            duration=(
+                arguments.duration
+                if arguments.duration is not None
+                else DEFAULT_SOAK_SECONDS
+            ),
             n_subscribers=arguments.subscribers,
         )
         out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")

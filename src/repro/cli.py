@@ -24,6 +24,10 @@ Usage (installed as ``repro-updates``, also ``python -m repro``)::
     repro-updates client --socket /tmp/repro.sock tx --program update.upd
     repro-updates bench --serve [--out BENCH_PR4.json] [--clients 8]
     repro-updates bench --joins [--out BENCH_PR7.json]
+    repro-updates replica serve --dir R --primary unix:P.sock --socket R.sock
+    repro-updates replica promote --socket R.sock [--takeover P.sock]
+    repro-updates replicaset --primary unix:P.sock --follower unix:R.sock
+    repro-updates bench --replication [--out BENCH_PR8.json]
 
 ``apply`` prints the new object base (``ob'``) to stdout, or writes it with
 ``--out``; ``--result-base`` dumps ``result(P)`` with all versions instead.
@@ -196,6 +200,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="joins sweep: x-nodes in the wide-join synthetic base",
     )
     bench_cmd.add_argument(
+        "--replication", action="store_true",
+        help="run the replicated-serving sweep (follower catch-up, read "
+        "fanout across replicas, failover time, zero-loss check)",
+    )
+    bench_cmd.add_argument(
+        "--followers", type=int, default=None,
+        help="replication sweep: read replicas to attach (default: 3)",
+    )
+    bench_cmd.add_argument(
         "--trajectory", action="store_true",
         help="only rebuild BENCH_TRAJECTORY.json from the committed "
         "BENCH_PR*.json documents (no sweep)",
@@ -294,12 +307,106 @@ def build_parser() -> argparse.ArgumentParser:
         "flush outboxes for at most this long before cutting connections",
     )
 
+    replica_cmd = commands.add_parser(
+        "replica",
+        help="run or control a journal-streaming read replica",
+    )
+    replica_sub = replica_cmd.add_subparsers(
+        dest="replica_command", required=True
+    )
+    replica_serve = replica_sub.add_parser(
+        "serve",
+        help="bootstrap from a primary, tail its journal and serve reads "
+        "(promotes on `repro replica promote` or --auto-promote)",
+    )
+    _dir_arg(replica_serve)
+    replica_serve.add_argument(
+        "--primary", required=True,
+        help="the primary's endpoint (unix:PATH, tcp:HOST:PORT, serve:...)",
+    )
+    replica_serve.add_argument(
+        "--socket", type=Path, default=None,
+        help="serve this replica on a unix socket at this path",
+    )
+    replica_serve.add_argument("--host", default="127.0.0.1")
+    replica_serve.add_argument(
+        "--port", type=int, default=None,
+        help="serve this replica on TCP (0 picks a free port)",
+    )
+    replica_serve.add_argument(
+        "--durability", choices=["none", "flush", "fsync"], default=None,
+        help="journal write discipline for replicated lines",
+    )
+    replica_serve.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="SECONDS",
+    )
+    replica_serve.add_argument(
+        "--heartbeat-misses", type=int, default=3, metavar="N",
+        help="consecutive failed pings before the primary is declared dead",
+    )
+    replica_serve.add_argument(
+        "--auto-promote", action="store_true",
+        help="promote this replica itself when the primary is declared dead",
+    )
+    replica_serve.add_argument(
+        "--takeover", type=Path, default=None, metavar="SOCKET",
+        help="after promotion, additionally bind the old primary's unix "
+        "socket so reconnecting clients land here",
+    )
+    replica_promote = replica_sub.add_parser(
+        "promote",
+        help="tell a running replica to stop replicating and become the "
+        "writable primary (fences the old one)",
+    )
+    replica_promote.add_argument("--socket", type=Path, default=None)
+    replica_promote.add_argument("--host", default="127.0.0.1")
+    replica_promote.add_argument("--port", type=int, default=None)
+    replica_promote.add_argument(
+        "--epoch", type=int, default=None,
+        help="promote at this fencing epoch (default: past everything seen)",
+    )
+    replica_promote.add_argument(
+        "--takeover", type=Path, default=None, metavar="SOCKET",
+        help="ask the replica to also bind this (dead primary's) socket",
+    )
+
+    replicaset_cmd = commands.add_parser(
+        "replicaset",
+        help="supervise a primary and its replicas: health-check pings, "
+        "auto-promote the freshest follower on failure, fence zombies",
+    )
+    replicaset_cmd.add_argument("--primary", required=True)
+    replicaset_cmd.add_argument(
+        "--follower", action="append", required=True, metavar="TARGET",
+        dest="followers", help="a follower endpoint (repeatable)",
+    )
+    replicaset_cmd.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+    )
+    replicaset_cmd.add_argument(
+        "--misses", type=int, default=3,
+        help="consecutive failed pings before promoting",
+    )
+    replicaset_cmd.add_argument(
+        "--no-auto-promote", action="store_true",
+        help="observe and report only; never promote",
+    )
+    replicaset_cmd.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop after this long (default: run forever)",
+    )
+
     client_cmd = commands.add_parser(
         "client", help="talk to a running `repro serve` instance"
     )
     client_cmd.add_argument("--socket", type=Path, default=None)
     client_cmd.add_argument("--host", default="127.0.0.1")
     client_cmd.add_argument("--port", type=int, default=None)
+    client_cmd.add_argument(
+        "--retry", type=int, default=None, metavar="ATTEMPTS",
+        help="reconnect across restarts and failovers, redialling up to "
+        "this many times (live subscriptions resync with a lagged delta)",
+    )
     client_sub = client_cmd.add_subparsers(dest="client_command", required=True)
 
     client_sub.add_parser("ping", help="liveness probe")
@@ -517,6 +624,12 @@ def _cmd_bench(arguments) -> int:
             argv += ["--duration", str(arguments.duration)]
         if arguments.subscribers is not None:
             argv += ["--subscribers", str(arguments.subscribers)]
+    if arguments.replication:
+        argv += ["--replication"]
+        if arguments.followers is not None:
+            argv += ["--followers", str(arguments.followers)]
+        if arguments.duration is not None:
+            argv += ["--duration", str(arguments.duration)]
     if arguments.updates is not None:
         argv += ["--updates", str(arguments.updates)]
     if arguments.trajectory:
@@ -578,6 +691,153 @@ def _cmd_serve(arguments) -> int:
     return 0
 
 
+def _cmd_replica(arguments) -> int:
+    handler = _REPLICA_HANDLERS[arguments.replica_command]
+    return handler(arguments)
+
+
+def _cmd_replica_serve(arguments) -> int:
+    import signal
+
+    from repro.replication import Follower
+    from repro.server import ReproServer
+    from repro.storage import DurabilityOptions
+
+    if arguments.socket is None and arguments.port is None:
+        raise ReproError("replica serve needs --socket PATH or --port N")
+    durability = (
+        DurabilityOptions(mode=arguments.durability)
+        if arguments.durability is not None
+        else None
+    )
+    follower = Follower(
+        arguments.directory,
+        arguments.primary,
+        durability=durability,
+        heartbeat_interval=arguments.heartbeat_interval,
+        heartbeat_misses=arguments.heartbeat_misses,
+        auto_promote=arguments.auto_promote,
+        takeover=str(arguments.takeover) if arguments.takeover else None,
+    )
+    follower.start()
+
+    async def run() -> None:
+        server = ReproServer(
+            follower.service,
+            path=str(arguments.socket) if arguments.socket else None,
+            host=arguments.host,
+            port=arguments.port if arguments.port is not None else 0,
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+        takeover_servers: list[ReproServer] = []
+
+        def bind_takeover(path: str) -> None:
+            # Runs from whichever thread triggered the promotion (wire
+            # handler, heartbeat); schedule the bind onto the serving loop
+            # and do not wait — promotion must not block on it.
+            async def bind() -> None:
+                if any(s.address == f"unix:{path}" for s in takeover_servers):
+                    return  # a repeated promote already claimed this path
+                extra = ReproServer(follower.service, path=path)
+                await extra.start()
+                takeover_servers.append(extra)
+                print(
+                    f"promoted: also serving at {extra.address} "
+                    f"(old primary's endpoint)",
+                    file=sys.stderr, flush=True,
+                )
+
+            asyncio.run_coroutine_threadsafe(bind(), loop)
+
+        follower.on_takeover = bind_takeover
+        print(
+            f"replica {arguments.directory} at {server.address} following "
+            f"{follower.primary} ({len(follower.service.store)} revisions, "
+            f"bootstrap from {follower.last_sync_from})",
+            file=sys.stderr,
+            flush=True,
+        )
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        serving = asyncio.ensure_future(server.serve_forever())
+        waiting = asyncio.ensure_future(stop.wait())
+        await asyncio.wait(
+            [serving, waiting], return_when=asyncio.FIRST_COMPLETED
+        )
+        waiting.cancel()
+        serving.cancel()
+        await server.shutdown()
+        for extra in takeover_servers:
+            await extra.shutdown()
+        print("replica stopped", file=sys.stderr)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("replica stopped", file=sys.stderr)
+    finally:
+        follower.close()
+    return 0
+
+
+def _cmd_replica_promote(arguments) -> int:
+    from repro.api import connect
+
+    kwargs = _client_connect_kwargs(arguments)
+    if "path" in kwargs:
+        target = f"serve:{kwargs['path']}"
+    else:
+        target = f"tcp:{kwargs['host']}:{kwargs['port']}"
+    payload = {}
+    if arguments.epoch is not None:
+        payload["epoch"] = arguments.epoch
+    if arguments.takeover is not None:
+        payload["takeover"] = str(arguments.takeover)
+    with connect(target) as conn:
+        response = conn.call("repl-promote", **payload)
+    print(
+        f"promoted at epoch {response['epoch']}"
+        + (f", taking over {arguments.takeover}" if arguments.takeover else ""),
+        file=sys.stderr,
+    )
+    return 0
+
+
+_REPLICA_HANDLERS = {
+    "serve": _cmd_replica_serve,
+    "promote": _cmd_replica_promote,
+}
+
+
+def _cmd_replicaset(arguments) -> int:
+    from repro.replication import ReplicaSet
+
+    supervisor = ReplicaSet(
+        arguments.primary,
+        arguments.followers,
+        interval=arguments.interval,
+        misses=arguments.misses,
+        auto_promote=not arguments.no_auto_promote,
+        report=lambda message: print(message, file=sys.stderr, flush=True),
+    )
+    print(
+        f"supervising primary {supervisor.primary} with "
+        f"{len(supervisor.followers)} follower(s), every "
+        f"{supervisor.interval:g}s",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        supervisor.run(duration=arguments.duration)
+    except KeyboardInterrupt:
+        print("supervisor stopped", file=sys.stderr)
+    finally:
+        supervisor.close()
+    return 0
+
+
 def _client_connect_kwargs(arguments) -> dict:
     if arguments.socket is None and arguments.port is None:
         raise ReproError("client needs --socket PATH or --port N")
@@ -603,15 +863,20 @@ def _cmd_client(arguments) -> int:
     ``script``, which is deliberately a raw protocol tool."""
     import json
 
-    from repro.api import ConflictError, connect
+    from repro.api import ConflictError, RetryPolicy, connect
 
     kwargs = _client_connect_kwargs(arguments)
     if "path" in kwargs:
         target = f"serve:{kwargs['path']}"
     else:
         target = f"tcp:{kwargs['host']}:{kwargs['port']}"
+    retry = (
+        RetryPolicy(attempts=arguments.retry)
+        if getattr(arguments, "retry", None)
+        else None
+    )
     command = arguments.client_command
-    with connect(target) as conn:
+    with connect(target, retry=retry) as conn:
         if command == "ping":
             print(f"pong (protocol {conn.ping()['protocol']})")
         elif command == "query":
@@ -834,7 +1099,8 @@ def _cmd_store_verify(arguments) -> int:
             f"{arguments.directory}: {report['revisions']} revisions, "
             f"{report['checksummed']} checksummed, "
             f"{report['unchecksummed']} pre-checksum, "
-            f"{report['snapshots']} snapshots"
+            f"{report['snapshots']} snapshots, "
+            f"epoch {report['max_epoch']}"
         )
         for problem in report["problems"]:
             print(
@@ -865,6 +1131,8 @@ _HANDLERS = {
     "bench": _cmd_bench,
     "store": _cmd_store,
     "serve": _cmd_serve,
+    "replica": _cmd_replica,
+    "replicaset": _cmd_replicaset,
     "client": _cmd_client,
 }
 

@@ -1,0 +1,36 @@
+"""Replicated serving: journal-streaming followers with safe promotion.
+
+The journal (PR 2/4/6) already *is* a replication log: a totally ordered,
+CRC-checked, byte-replayable history whose replay is proven byte-identical
+by the tier-1 suite.  This package streams that log to live follower
+processes and handles the failure half — health checks, promotion, and
+epoch fencing — so one ``StoreService`` survives node loss:
+
+* :mod:`repro.replication.stream` — the primary side: ``repl-sync``
+  (snapshot bootstrap) and ``repl-stream`` (live tail) read raw journal
+  lines so followers receive the primary's exact bytes;
+* :mod:`repro.replication.follower` — the replica process: bootstraps a
+  byte-identical journal, tails the stream through the ``load_store`` /
+  ``apply_delta`` replay path, serves reads/subscriptions locally,
+  heartbeats the primary, and can be promoted (``repro replica promote``);
+* :mod:`repro.replication.supervisor` — ``repro replicaset``: an external
+  health checker that auto-promotes the freshest follower and fences the
+  old primary when it reappears;
+* :mod:`repro.replication.replset` — the client side of
+  ``repro.connect("replset:a,b,c")``: reads fail over across nodes
+  immediately, mutations rediscover the primary after promotion and carry
+  the highest observed fencing epoch so a zombie primary rejects them.
+"""
+
+from repro.replication.follower import Follower
+from repro.replication.replset import ReplicaSetConnection
+from repro.replication.stream import ReplicationHub, hub_for
+from repro.replication.supervisor import ReplicaSet
+
+__all__ = [
+    "Follower",
+    "ReplicaSet",
+    "ReplicaSetConnection",
+    "ReplicationHub",
+    "hub_for",
+]

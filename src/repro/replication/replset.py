@@ -1,0 +1,384 @@
+"""``repro.connect("replset:a,b,c")`` — the failover-aware client.
+
+A :class:`ReplicaSetConnection` holds one :class:`WireConnection` per
+member and routes:
+
+* **reads** (query/log/as-of/diff/stats/ping) to the first member that
+  answers, rotating past dead ones immediately — no promotion needed;
+* **mutations** (apply/transactions) to the member whose ``ping`` reports
+  ``role: primary`` with the highest fencing epoch; every mutation is
+  stamped with the highest epoch this client has *observed*, so a zombie
+  primary that never heard about a promotion rejects the write
+  (``StaleEpochError``) instead of forking history.  On
+  ``StaleEpochError`` / ``NotPrimaryError`` / a dead link the client
+  rediscovers the primary and retries under its
+  :class:`~repro.api.model.RetryPolicy` — mutations resume as soon as a
+  promotion lands;
+* **subscriptions** through a pump thread: the consumer's stream is fed
+  from whichever member currently serves the live query; when that member
+  dies the pump resubscribes on another and injects one coalesced
+  ``lagged`` push (the stream diffs the resync answers against its own
+  folded state — the same exactness contract as a wire reconnect).
+
+Member connections deliberately carry **no** retry policy of their own:
+failures surface immediately and the replica set, which can see every
+member, makes the failover decision.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from repro.api.connection import Connection, SubscriptionStream
+from repro.api.model import Diff, RetryPolicy, Revision
+from repro.api.wire import WireConnection, _body_text
+from repro.core.errors import ReproError
+from repro.core.objectbase import ObjectBase
+from repro.core.query import Answer
+from repro.server.errors import (
+    ConnectionClosed,
+    NotPrimaryError,
+    ServerBusyError,
+    ServerError,
+    StaleEpochError,
+)
+
+__all__ = ["ReplicaSetConnection"]
+
+#: Failures that mean "try another member / rediscover the primary", as
+#: opposed to real request errors (parse failures, unknown revisions).
+_FAILOVER_ERRORS = (
+    ConnectionClosed, NotPrimaryError, ServerBusyError, StaleEpochError,
+)
+
+
+class ReplicaSetConnection(Connection):
+    """One connection over several ``repro serve`` members (see module doc)."""
+
+    def __init__(
+        self,
+        targets: list[str],
+        *,
+        call_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        super().__init__()
+        if not targets:
+            raise ReproError("replset: needs at least one member endpoint")
+        self.targets = [str(target) for target in targets]
+        self.target = "replset:" + ",".join(self.targets)
+        self.call_timeout = call_timeout
+        self.retry = retry or RetryPolicy()
+        #: Highest fencing epoch observed anywhere; stamped on mutations.
+        self.epoch = 0
+        self.failovers = 0
+        self._primary: str | None = None
+        self._conns: dict[str, WireConnection] = {}
+        self._lock = threading.RLock()
+
+    # -- member plumbing ---------------------------------------------------
+    def _conn(self, target: str) -> WireConnection:
+        with self._lock:
+            conn = self._conns.get(target)
+            if conn is not None and not conn.closed:
+                return conn
+            conn = WireConnection(
+                call_timeout=self.call_timeout,
+                **_member_endpoint(target),
+            )
+            self._conns[target] = conn
+            return conn
+
+    def _drop(self, target: str) -> None:
+        with self._lock:
+            conn = self._conns.pop(target, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    def _rotation(self) -> list[str]:
+        """Members in read-preference order: last known primary first (its
+        head is never behind), then the rest in declared order."""
+        primary = self._primary
+        if primary is None or primary not in self.targets:
+            return list(self.targets)
+        return [primary] + [t for t in self.targets if t != primary]
+
+    def _read(self, op, *, what: str):
+        """Run ``op(conn)`` on the first member that answers, sweeping the
+        set up to ``retry.attempts`` times with backoff between sweeps."""
+        self._check_open()
+        failure: Exception | None = None
+        for sweep in range(self.retry.attempts):
+            for target in self._rotation():
+                try:
+                    conn = self._conn(target)
+                except ReproError as error:
+                    failure = error  # member down: next one
+                    continue
+                try:
+                    return op(conn)
+                except _FAILOVER_ERRORS as error:
+                    failure = error
+                    self._drop(target)
+                    self.failovers += 1
+                except ServerError as error:
+                    if _is_link_failure(error):
+                        failure = error
+                        self._drop(target)
+                        self.failovers += 1
+                        continue
+                    raise  # a real request error: every member would agree
+            if sweep < self.retry.attempts - 1:
+                time.sleep(self.retry.delay(sweep))
+        raise ConnectionClosed(
+            f"no replica-set member could serve {what} "
+            f"({len(self.targets)} tried): {failure}"
+        )
+
+    # -- primary discovery -------------------------------------------------
+    def _discover_primary(self) -> str | None:
+        """Ping every member; adopt the primary with the highest epoch (a
+        fenced zombie still says "primary" but loses the epoch compare)."""
+        best: tuple[int, str] | None = None
+        for target in self.targets:
+            try:
+                pong = self._conn(target).call("ping")
+            except ReproError:
+                continue
+            epoch = pong.get("epoch", 0)
+            self.epoch = max(self.epoch, epoch)
+            if pong.get("role") == "primary":
+                if best is None or epoch > best[0]:
+                    best = (epoch, target)
+        self._primary = best[1] if best else None
+        return self._primary
+
+    def _mutate(self, op, *, what: str):
+        """Run ``op(conn)`` on the current primary, rediscovering and
+        retrying across promotions under the retry policy."""
+        self._check_open()
+        failure: Exception | None = None
+        for attempt in range(self.retry.attempts):
+            target = self._primary or self._discover_primary()
+            if target is None:
+                failure = failure or NotPrimaryError(
+                    "no member of the replica set reports role=primary "
+                    "(promotion pending?)"
+                )
+            else:
+                try:
+                    return op(self._conn(target))
+                except StaleEpochError as error:
+                    # someone promoted past this member: remember the bar
+                    self.epoch = max(self.epoch, error.required_epoch)
+                    failure = error
+                except _FAILOVER_ERRORS as error:
+                    failure = error
+                except ServerError as error:
+                    if not _is_link_failure(error):
+                        raise
+                    failure = error
+                    self._drop(target)
+                self._primary = None
+                self.failovers += 1
+            if attempt < self.retry.attempts - 1:
+                time.sleep(self.retry.delay(attempt))
+        raise ConnectionClosed(
+            f"no writable primary for {what} after {self.retry.attempts} "
+            f"attempts: {failure}"
+        )
+
+    # -- liveness ----------------------------------------------------------
+    def ping(self) -> dict:
+        return self._read(lambda conn: conn.ping(), what="ping")
+
+    # -- reading -----------------------------------------------------------
+    def query(self, body, *, min_revision: int | None = None) -> list[Answer]:
+        return self._read(
+            lambda conn: conn.query(body, min_revision=min_revision),
+            what="query",
+        )
+
+    def log(self) -> tuple[Revision, ...]:
+        return self._read(lambda conn: conn.log(), what="log")
+
+    @property
+    def head(self) -> Revision:
+        return self._read(lambda conn: conn.head, what="head")
+
+    def as_of(self, revision) -> ObjectBase:
+        return self._read(lambda conn: conn.as_of(revision), what="as-of")
+
+    def diff(self, older, newer, *, include_exists: bool = False) -> Diff:
+        return self._read(
+            lambda conn: conn.diff(older, newer, include_exists=include_exists),
+            what="diff",
+        )
+
+    # -- writing -----------------------------------------------------------
+    def apply(self, program, *, tag: str = "") -> Revision:
+        def op(conn: WireConnection) -> Revision:
+            response = conn.call(
+                "apply",
+                program=_wire_program_text(program),
+                tag=tag,
+                name=_wire_program_name(program),
+                epoch=self.epoch or None,
+            )
+            self.epoch = max(self.epoch, response.get("epoch", 0))
+            return Revision.from_record(response["revisions"][-1])
+
+        return self._mutate(op, what="apply")
+
+    def transaction(self, *, tag: str = "", attempts: int = 1):
+        """An optimistic transaction on the current primary.  The session
+        lives on one member — if that member dies mid-transaction the
+        commit surfaces the link error; begin a fresh transaction (the
+        next one rediscovers the promoted primary)."""
+        return self._mutate(
+            lambda conn: conn.transaction(tag=tag, attempts=attempts),
+            what="transaction",
+        )
+
+    # -- live queries ------------------------------------------------------
+    def subscribe(
+        self, body, *, name: str | None = None,
+        min_revision: int | None = None,
+    ) -> SubscriptionStream:
+        self._check_open()
+        body_text = _body_text(body)
+        inner = self._read(
+            lambda conn: conn.subscribe(
+                body_text, name=name, min_revision=min_revision
+            ),
+            what="subscribe",
+        )
+        holder = {"inner": inner}
+        pushes: "queue.Queue[dict]" = queue.Queue()
+        stream = SubscriptionStream(
+            sid=inner.sid,
+            query=inner.query,
+            revision=inner.revision,
+            answers=list(inner.answers),
+            pushes=pushes,
+            closer=lambda: _close_inner(holder),
+        )
+        pump = threading.Thread(
+            target=self._pump,
+            args=(stream, holder, pushes, body_text, name),
+            daemon=True,
+        )
+        pump.start()
+        return self._track(stream)
+
+    def _pump(self, stream, holder, pushes, body_text, name) -> None:
+        """Shovel deltas from the current member's stream into the
+        consumer's; on member death, resubscribe elsewhere and inject one
+        coalesced lagged push."""
+        dead_sweeps = 0
+        while not stream.closed and not self._closed:
+            inner = holder.get("inner")
+            if inner is None or inner.closed:
+                if stream.closed:
+                    break
+                try:
+                    replacement = self._read(
+                        lambda conn: conn.subscribe(body_text, name=name),
+                        what="resubscribe",
+                    )
+                except ReproError:
+                    dead_sweeps += 1
+                    if dead_sweeps >= self.retry.attempts:
+                        stream._mark_dead()
+                        break
+                    continue  # _read already backed off between sweeps
+                dead_sweeps = 0
+                holder["inner"] = replacement
+                self.failovers += 1
+                # One coalesced catch-up: the outer stream diffs these
+                # resync answers against its own folded state.
+                pushes.put({
+                    "push": "lagged",
+                    "sid": replacement.sid,
+                    "query": replacement.query,
+                    "from_revision": stream.revision,
+                    "to_revision": replacement.revision,
+                    "revision": replacement.revision,
+                    "tag": "",
+                    "answers": [dict(row) for row in replacement.answers],
+                })
+                continue
+            delta = inner.next(timeout=0.2)
+            if delta is not None:
+                pushes.put(delta.as_push())
+
+    # -- accounting --------------------------------------------------------
+    def stats(self) -> dict:
+        stats = self._read(lambda conn: conn.stats(), what="stats")
+        stats["replset"] = {
+            "targets": list(self.targets),
+            "primary": self._primary,
+            "epoch": self.epoch,
+            "failovers": self.failovers,
+        }
+        return stats
+
+    # -- lifecycle ---------------------------------------------------------
+    def _teardown(self) -> None:
+        with self._lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+
+def _close_inner(holder: dict) -> None:
+    inner = holder.pop("inner", None)
+    if inner is not None:
+        try:
+            inner.close()
+        except Exception:
+            pass
+
+
+def _is_link_failure(error: ServerError) -> bool:
+    """Plain :class:`ServerError` covers both real request errors and
+    transport problems (dial failures, dropped links); only the latter
+    justify failing over."""
+    text = str(error)
+    return (
+        "cannot connect" in text
+        or "connection to" in text
+        or "did not answer" in text
+    )
+
+
+def _member_endpoint(target: str) -> dict:
+    from repro.api import _wire_endpoint  # the one endpoint grammar
+
+    endpoint = _wire_endpoint(target)
+    if endpoint is None:
+        # a bare socket path whose socket is not live right now — a member
+        # may be down at connect time and that must not fail the set
+        return {"path": target}
+    return endpoint
+
+
+def _wire_program_text(program) -> str:
+    from repro.api.wire import _program_text
+
+    return _program_text(program)
+
+
+def _wire_program_name(program) -> str | None:
+    from repro.api.wire import _program_name
+
+    return _program_name(program)

@@ -28,8 +28,10 @@ from repro.core.query import decode_answers
 from repro.server.errors import (
     ConflictError,
     ConnectionClosed,
+    NotPrimaryError,
     ServerBusyError,
     ServerError,
+    StaleEpochError,
 )
 from repro.server.protocol import LINE_LIMIT, ClientState, Dispatcher, decode, encode
 from repro.server.service import StoreService
@@ -49,6 +51,14 @@ def _raise_for(response: dict) -> dict:
             conflicting_index=response.get("conflicting_index", -1),
             conflicting_tag=response.get("conflicting_tag", ""),
         )
+    if response.get("stale_epoch"):
+        raise StaleEpochError(
+            message,
+            current_epoch=response.get("current_epoch", 0),
+            required_epoch=response.get("required_epoch", 0),
+        )
+    if response.get("not_primary"):
+        raise NotPrimaryError(message)
     if response.get("retryable"):
         # non-conflict but typed-retryable: the server shed load
         raise ServerBusyError(message)

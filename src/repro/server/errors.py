@@ -14,6 +14,11 @@ the distinctions a concurrent client actually branches on:
   socket, shutdown); **retryable** through a reconnecting client.
 * :class:`ServerBusyError` — the server shed load (writer-queue timeout,
   outbox overflow); **retryable** after a backoff.
+* :class:`StaleEpochError` — a write carried (or arrived at a node holding)
+  a fencing epoch older than the replica set's current one: the zombie
+  primary's write is rejected; **retryable** against the new primary.
+* :class:`NotPrimaryError` — a mutation reached a read-only follower;
+  **retryable** after rediscovering the primary.
 
 Every error exposes a boolean ``retryable`` class attribute, which also
 travels on the wire so remote clients can branch without string matching.
@@ -29,6 +34,8 @@ __all__ = [
     "SessionError",
     "ConnectionClosed",
     "ServerBusyError",
+    "StaleEpochError",
+    "NotPrimaryError",
 ]
 
 
@@ -88,5 +95,44 @@ class ServerBusyError(ServerError):
     """The server shed load instead of queueing without bound: the FIFO
     writer queue did not free up within the configured timeout, or a
     connection's outbox overflowed its hard cap.  Back off and retry."""
+
+    retryable = True
+
+
+class StaleEpochError(ServerError):
+    """A write was fenced off by the replication epoch.
+
+    Raised when a commit carries a ``min_epoch`` newer than the node's own
+    (the client has already seen a promotion this node missed), or when the
+    node itself has been fenced by a promotion (``repl-fence``) and keeps
+    receiving writes as a zombie primary.  Retryable by definition: the
+    write belongs on the new primary, and a replica-set client re-routes it
+    there under its :class:`~repro.api.model.RetryPolicy`.
+
+    Attributes
+    ----------
+    current_epoch:
+        The fencing epoch this node is at.
+    required_epoch:
+        The epoch the write (or the fence) demanded.
+    """
+
+    retryable = True
+
+    def __init__(
+        self, message: str, *, current_epoch: int = 0, required_epoch: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.current_epoch = current_epoch
+        self.required_epoch = required_epoch
+
+
+class NotPrimaryError(ServerError):
+    """A mutation reached a node serving as a read-only follower.
+
+    Followers serve pinned reads, prepared queries and subscriptions
+    locally but never originate commits — those belong on the primary (or
+    on this node *after* ``repro replica promote``).  Retryable: clients
+    rediscover the primary and re-route."""
 
     retryable = True

@@ -40,6 +40,22 @@ Commands::
     as-of      {revision}                    base text at a tag/index
     diff       {older, newer, include_exists?}  fact strings between revisions
     stats                                    service counters
+    repl-sync  {from_index}                  catch-up batch of raw journal lines
+    repl-stream{from_index}                  live journal stream (repl-line pushes)
+    repl-fence {epoch}                       fence writes below a promotion epoch
+    repl-promote {epoch?, takeover?}         promote this node to primary
+    repl-retarget {primary}                  point a follower at a new primary
+
+Protocol v3 additions (replication, see :mod:`repro.replication`):
+``query``/``subscribe`` accept a ``min_revision`` read-your-writes token —
+a node whose head has not reached it answers with a retryable
+``ServerBusyError`` instead of serving stale answers.  ``apply`` and
+``tx-commit`` accept an ``epoch`` floor (the highest fencing epoch the
+client has observed); a node behind that epoch rejects the write with
+``stale_epoch: true`` instead of committing onto a forked history, and
+successful commit responses report the node's current ``epoch``.
+``repl-stream`` subscribers receive ``{"push": "repl-line", index, epoch,
+line, snapshot}`` messages carrying the primary's raw journal bytes.
 
 The :class:`Dispatcher` maps request dicts to response dicts against a
 :class:`~repro.server.service.StoreService`; the asyncio server
@@ -54,7 +70,13 @@ import json
 
 from repro.core.errors import ReproError
 from repro.lang.pretty import format_object_base
-from repro.server.errors import ConflictError, SessionError
+from repro.server.errors import (
+    ConflictError,
+    NotPrimaryError,
+    ServerBusyError,
+    SessionError,
+    StaleEpochError,
+)
 from repro.server.service import Session, StoreService
 from repro.storage.history import resolve_revision_ref
 
@@ -63,7 +85,7 @@ __all__ = [
     "PROTOCOL_VERSION", "LINE_LIMIT",
 ]
 
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: Per-frame byte ceiling for both transports' stream readers.  asyncio's
 #: default readline limit is 64 KiB; one ``as-of`` response carries a whole
@@ -100,6 +122,8 @@ class ClientState:
         self.deliver = deliver
         self.sessions: dict[str, Session] = {}
         self.subscription_ids: list[str] = []
+        #: Detach callables of this connection's ``repl-stream`` attachments.
+        self.repl_detach: list = []
 
 
 class Dispatcher:
@@ -134,6 +158,19 @@ class Dispatcher:
                 conflicting_tag=conflict.conflicting_tag,
             )
             return response
+        except StaleEpochError as error:
+            response = self._error(request_id, str(error))
+            response.update(
+                stale_epoch=True,
+                retryable=True,
+                current_epoch=error.current_epoch,
+                required_epoch=error.required_epoch,
+            )
+            return response
+        except NotPrimaryError as error:
+            response = self._error(request_id, str(error))
+            response.update(not_primary=True, retryable=True)
+            return response
         except ReproError as error:
             response = self._error(request_id, str(error))
             if getattr(error, "retryable", False):
@@ -158,6 +195,9 @@ class Dispatcher:
         for sid in state.subscription_ids:
             self.service.subscriptions.unsubscribe(sid)
         state.subscription_ids.clear()
+        for detach in state.repl_detach:
+            detach()
+        state.repl_detach.clear()
 
     @staticmethod
     def _error(request_id, message: str) -> dict:
@@ -183,9 +223,33 @@ class Dispatcher:
             "snapshot": self.service.store.has_snapshot(revision.index),
         }
 
+    def _check_min_revision(self, request: dict) -> None:
+        """The read-your-writes gate: a client that committed revision N on
+        the primary may demand ``min_revision: N`` from a follower; until
+        the stream catches up the read is shed (retryable) instead of
+        silently answering from the past."""
+        token = request.get("min_revision")
+        if token is None:
+            return
+        if not isinstance(token, int) or isinstance(token, bool):
+            raise ReproError(f"min_revision must be an integer, got {token!r}")
+        head = len(self.service.store) - 1
+        if head < token:
+            raise ServerBusyError(
+                f"read-your-writes token not satisfied: this node is at "
+                f"revision {head}, the read demands {token}; replication "
+                f"is catching up — retry shortly"
+            )
+
     # -- command handlers --------------------------------------------------
     def _cmd_ping(self, request, state) -> dict:
-        return {"pong": True, "protocol": PROTOCOL_VERSION}
+        return {
+            "pong": True,
+            "protocol": PROTOCOL_VERSION,
+            "role": self.service.role,
+            "epoch": self.service.epoch,
+            "revision": len(self.service.store) - 1,
+        }
 
     def _coerced_program(self, request):
         """The request's program, parsed, with the optional ``name`` field
@@ -197,6 +261,7 @@ class Dispatcher:
         return program
 
     def _cmd_apply(self, request, state) -> dict:
+        self.service.check_epoch(request.get("epoch"))
         outcome = self.service.apply(
             self._coerced_program(request), tag=request.get("tag", "")
         )
@@ -206,10 +271,12 @@ class Dispatcher:
             "tag": revision.tag,
             "added": outcome.added,
             "removed": outcome.removed,
+            "epoch": self.service.epoch,
             "revisions": [self._revision_payload(r) for r in outcome.revisions],
         }
 
     def _cmd_query(self, request, state) -> dict:
+        self._check_min_revision(request)
         answers = self.service.query(_required(request, "body"))
         return {
             "answers": list(answers),
@@ -223,6 +290,7 @@ class Dispatcher:
         return {"name": prepared.name, "literals": len(prepared.body)}
 
     def _cmd_subscribe(self, request, state) -> dict:
+        self._check_min_revision(request)
         subscription = self.service.subscriptions.subscribe(
             _required(request, "body"), state.deliver, name=request.get("name")
         )
@@ -261,6 +329,7 @@ class Dispatcher:
 
     def _cmd_tx_commit(self, request, state) -> dict:
         session = self._session(request, state)
+        self.service.check_epoch(request.get("epoch"))
         try:
             outcome = session.commit(tag=request.get("tag", ""))
         finally:
@@ -271,6 +340,7 @@ class Dispatcher:
             "revisions": [self._revision_payload(r) for r in outcome.revisions],
             "added": outcome.added,
             "removed": outcome.removed,
+            "epoch": self.service.epoch,
         }
 
     def _cmd_tx_abort(self, request, state) -> dict:
@@ -309,6 +379,77 @@ class Dispatcher:
     def _cmd_stats(self, request, state) -> dict:
         return {"stats": self.service.stats()}
 
+    # -- replication handlers ----------------------------------------------
+    def _from_index(self, request) -> int:
+        from_index = request.get("from_index", 0)
+        if not isinstance(from_index, int) or isinstance(from_index, bool) \
+                or from_index < 0:
+            raise ReproError(
+                f"from_index must be a non-negative integer, got {from_index!r}"
+            )
+        return from_index
+
+    def _cmd_repl_sync(self, request, state) -> dict:
+        from repro.replication.stream import hub_for  # lazy: optional layer
+
+        return hub_for(self.service).sync(self._from_index(request))
+
+    def _cmd_repl_stream(self, request, state) -> dict:
+        from repro.replication.stream import hub_for
+
+        # Catch-up entries are delivered as pushes *before* this response
+        # is enqueued; the attach runs under the writer queue, so nothing
+        # can commit between the catch-up read and the live listener.
+        detach, head, epoch = hub_for(self.service).attach(
+            state.deliver, self._from_index(request)
+        )
+        state.repl_detach.append(detach)
+        return {"streaming": True, "head": head, "epoch": epoch}
+
+    def _cmd_repl_fence(self, request, state) -> dict:
+        epoch = _required(request, "epoch")
+        if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 1:
+            raise ReproError(f"epoch must be a positive integer, got {epoch!r}")
+        return {
+            "fenced": self.service.fence(epoch),
+            "epoch": self.service.epoch,
+        }
+
+    def _cmd_repl_promote(self, request, state) -> dict:
+        epoch = request.get("epoch")
+        if epoch is not None and (
+            not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 1
+        ):
+            raise ReproError(f"epoch must be a positive integer, got {epoch!r}")
+        control = self.service.replication_control
+        if control is not None:
+            new_epoch = control.promote(
+                epoch=epoch, takeover=request.get("takeover")
+            )
+        elif self.service.role == "primary":
+            # Idempotent on an unfenced primary; a *fenced* one re-promotes
+            # under a fresh epoch (an operator's deliberate fail-back).
+            new_epoch = (
+                self.service.promote(epoch=epoch)
+                if self.service.store.epoch < self.service._fenced_epoch
+                or epoch is not None
+                else self.service.epoch
+            )
+        else:
+            new_epoch = self.service.promote(epoch=epoch)
+        return {"role": self.service.role, "epoch": new_epoch}
+
+    def _cmd_repl_retarget(self, request, state) -> dict:
+        primary = _required(request, "primary")
+        control = self.service.replication_control
+        if control is None:
+            raise ReproError(
+                "this node has no replication link to retarget (it is not "
+                "running as `repro replica`)"
+            )
+        control.retarget(str(primary))
+        return {"primary": str(primary)}
+
 
 def _required(request: dict, field: str):
     value = request.get(field)
@@ -333,4 +474,9 @@ _HANDLERS = {
     "as-of": Dispatcher._cmd_as_of,
     "diff": Dispatcher._cmd_diff,
     "stats": Dispatcher._cmd_stats,
+    "repl-sync": Dispatcher._cmd_repl_sync,
+    "repl-stream": Dispatcher._cmd_repl_stream,
+    "repl-fence": Dispatcher._cmd_repl_fence,
+    "repl-promote": Dispatcher._cmd_repl_promote,
+    "repl-retarget": Dispatcher._cmd_repl_retarget,
 }

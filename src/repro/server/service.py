@@ -44,7 +44,13 @@ from repro.core.objectbase import Delta, ObjectBase
 from repro.core.plans import QuerySignature, program_signature
 from repro.core.query import Answer, PreparedQuery
 from repro.core.rules import UpdateProgram
-from repro.server.errors import ConflictError, ServerBusyError, SessionError
+from repro.server.errors import (
+    ConflictError,
+    NotPrimaryError,
+    ServerBusyError,
+    SessionError,
+    StaleEpochError,
+)
 from repro.storage.history import StoreRevision, VersionedStore
 from repro.storage.serialize import (
     DurabilityOptions,
@@ -258,6 +264,7 @@ class StoreService:
         journal_dir=None,
         durability: DurabilityOptions | None = None,
         write_timeout: float | None = None,
+        role: str = "primary",
     ) -> None:
         from repro.server.subscriptions import SubscriptionManager
 
@@ -268,6 +275,20 @@ class StoreService:
         #: service sheds it with a retryable :class:`ServerBusyError`
         #: (``None`` = wait forever, the embedded-single-writer default).
         self.write_timeout = write_timeout
+        #: ``"primary"`` (accepts commits) or ``"follower"`` (read-only,
+        #: fed by a replication stream; see :mod:`repro.replication`).
+        self.role = role
+        #: Writes from an epoch below this are fenced off (``repl-fence``).
+        self._fenced_epoch = 0
+        #: Journal lines published to replication streams, lifetime total.
+        self._repl_streamed = 0
+        self._repl_listeners: list[Callable[[StoreRevision, bool], None]] = []
+        #: Extra ``stats()["replication"]`` fields (a follower installs its
+        #: lag/heartbeat view here); zero-argument callable returning a dict.
+        self.replication_info: Callable[[], dict] | None = None
+        #: The node-control surface behind ``repl-promote``/``repl-retarget``
+        #: (a :class:`repro.replication.follower.Follower` installs itself).
+        self.replication_control = None
         self._journal_error: str | None = None
         self._writer_queue = _FIFOLock()
         self._state_lock = threading.Lock()
@@ -378,6 +399,86 @@ class StoreService:
                 last = conflict
         raise last
 
+    # -- replication & epoch fencing ---------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The fencing epoch every new commit is stamped with."""
+        return self.store.epoch
+
+    def check_epoch(self, min_epoch: int | None) -> None:
+        """Reject a write whose client has already seen a newer promotion.
+
+        Replica-set clients stamp mutations with the highest epoch they
+        have observed; a zombie primary (still at the old epoch after a
+        failover it never heard about) fails the write instead of forking
+        the history."""
+        if min_epoch is None:
+            return
+        if self.epoch < min_epoch:
+            raise StaleEpochError(
+                f"write demands epoch >= {min_epoch} but this node is at "
+                f"epoch {self.epoch}; a newer primary has been promoted — "
+                f"retry against it",
+                current_epoch=self.epoch,
+                required_epoch=min_epoch,
+            )
+
+    def fence(self, epoch: int) -> bool:
+        """Fence writes below ``epoch`` (the promotion's edict to the old
+        primary).  Returns ``True`` when this node is now fenced — i.e. its
+        own epoch is older and every further commit raises
+        :class:`StaleEpochError` until a (re-)promotion lifts it."""
+        with self._state_lock:
+            if epoch > self._fenced_epoch:
+                self._fenced_epoch = epoch
+        return self.store.epoch < self._fenced_epoch
+
+    def promote(
+        self,
+        *,
+        epoch: int | None = None,
+        journal_dir=None,
+        durability: DurabilityOptions | None = None,
+    ) -> int:
+        """Make this node the writable primary under a new, higher epoch.
+
+        Bumps the store's epoch past everything this node has seen (its own
+        chain, any fence, an explicit ``epoch`` floor from a supervisor) so
+        the first post-promotion commit stamps a strictly newer epoch into
+        the journal and the old primary's unreplicated tail can never be
+        confused with the new history.  A follower binds its journal
+        directory here (``journal_dir``) so commits start appending.
+        """
+        with self._writer():
+            new_epoch = max(
+                self.store.epoch + 1, self._fenced_epoch, epoch or 0
+            )
+            self.store.epoch = new_epoch
+            self.role = "primary"
+            if journal_dir is not None:
+                self.journal_dir = journal_dir
+                if durability is not None:
+                    self.durability = durability
+            return new_epoch
+
+    def add_replication_listener(
+        self, listener: Callable[[StoreRevision, bool], None]
+    ) -> Callable[[StoreRevision, bool], None]:
+        """Register ``listener(revision, has_snapshot)`` to run after each
+        commit's journal append succeeds — i.e. only for revisions that are
+        durable on this node, so a follower can never hold a line its
+        primary lost.  The caller must serialize registration against
+        in-flight commits (attach under :meth:`_writer`, as the replication
+        hub does)."""
+        self._repl_listeners.append(listener)
+        return listener
+
+    def remove_replication_listener(self, listener) -> None:
+        try:
+            self._repl_listeners.remove(listener)
+        except ValueError:
+            pass
+
     @contextmanager
     def _writer(self):
         """Hold the FIFO writer queue, shedding with a retryable
@@ -425,6 +526,19 @@ class StoreService:
                 f"service is read-only after a journal failure "
                 f"({self._journal_error}); restart to replay the journal"
             )
+        if self.role != "primary":
+            raise NotPrimaryError(
+                f"this node is a read-only {self.role}; commit on the "
+                f"primary, or promote this node first"
+            )
+        if self.store.epoch < self._fenced_epoch:
+            raise StaleEpochError(
+                f"this primary was fenced at epoch {self._fenced_epoch} "
+                f"(it is still at epoch {self.store.epoch}); a newer "
+                f"primary has been promoted — retry against it",
+                current_epoch=self.store.epoch,
+                required_epoch=self._fenced_epoch,
+            )
         store = self.store
         engine = store.engine
         base = store.current
@@ -452,6 +566,12 @@ class StoreService:
                         f"({error}); the service is now read-only — restart "
                         f"to recover at the last durable revision"
                     ) from error
+                # Published strictly after the append: a follower only ever
+                # streams lines that are durable here, keeping its journal a
+                # prefix of this one even through a primary crash.
+                for listener in tuple(self._repl_listeners):
+                    listener(revision, store.has_snapshot(revision.index))
+                    self._repl_streamed += 1
             revisions.append(revision)
         with self._state_lock:
             self._commits += len(revisions)
@@ -493,4 +613,25 @@ class StoreService:
             # codegen backend counters, the OID intern table, ...) — what
             # ``repro client stats`` shows an operator.
             "caches": cache_stats(),
+            "replication": self._replication_stats(),
         }
+
+    def _replication_stats(self) -> dict:
+        """The uniform ``stats()["replication"]`` section every backend
+        carries: role, fencing epoch, and — on a follower, via the
+        :attr:`replication_info` hook — stream lag and primary health."""
+        info = {
+            "role": self.role,
+            "epoch": self.epoch,
+            "fenced_epoch": self._fenced_epoch,
+            "last_index": len(self.store) - 1,
+            "followers": len(self._repl_listeners),
+            "streamed_lines": self._repl_streamed,
+            "primary": None,
+            "lag": 0 if self.role == "primary" else None,
+            "primary_alive": None,
+        }
+        extra = self.replication_info
+        if extra is not None:
+            info.update(extra())
+        return info

@@ -159,6 +159,12 @@ class StoreRevision:
     ``base`` reconstructs the full (frozen, shared) base through the owning
     store — the pre-delta attribute kept as a property so audits and
     examples read naturally.
+
+    ``epoch`` is the replication fencing generation the revision was
+    committed under (0 for an unreplicated store).  Epochs are monotonic
+    along the chain: a promotion bumps the store's epoch, so a revision
+    stamped with a lower epoch than its predecessor can only come from a
+    fenced-off zombie primary and is rejected at load/verify time.
     """
 
     index: int
@@ -170,6 +176,7 @@ class StoreRevision:
     _store: "VersionedStore | None" = field(
         default=None, repr=False, compare=False
     )
+    epoch: int = 0
 
     @property
     def base(self) -> ObjectBase:
@@ -215,6 +222,7 @@ class VersionedStore:
         self._prepared_texts: dict[str, PreparedQuery] = {}
         self._prepared_lock = threading.RLock()
         self._commit_listeners: list[Callable[[StoreRevision], None]] = []
+        self.epoch = 0
         self._revisions: list[StoreRevision] = [
             StoreRevision(0, _check_tag(tag), None, frozenset(), frozenset(), snapshot, self)
         ]
@@ -263,6 +271,7 @@ class VersionedStore:
                 revision.snapshot.freeze()
             object.__setattr__(revision, "_store", store)
             store._revisions.append(revision)
+        store.epoch = store._revisions[-1].epoch
         store._head_cache = None  # reconstructed on first read (lazy, like snapshots)
         return store
 
@@ -595,6 +604,7 @@ class VersionedStore:
             removed,
             snapshot,
             self,
+            self.epoch,
         )
         self._revisions.append(revision)
         self._head_cache = (index, new_base)

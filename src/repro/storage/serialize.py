@@ -62,6 +62,11 @@ __all__ = [
     "append_revision",
     "compact_journal",
     "verify_journal",
+    "format_revision_line",
+    "parse_journal_record",
+    "append_journal_line",
+    "write_journal_file",
+    "apply_journal_record",
 ]
 
 JOURNAL_FILE = "journal.jsonl"
@@ -296,8 +301,20 @@ def _revision_line(revision: StoreRevision, has_snapshot: bool) -> str:
         "removed": [_fact_to_json(f) for f in sorted(revision.removed, key=str)],
         "snapshot": _snapshot_name(revision.index) if has_snapshot else None,
     }
+    if revision.epoch:
+        # Emitted only when a promotion ever happened, so unreplicated
+        # journals keep their exact historical byte layout.  The field sits
+        # inside the CRC envelope like every other one.
+        record["epoch"] = revision.epoch
     record["crc"] = _record_crc(record)
     return json.dumps(record, sort_keys=True)
+
+
+def format_revision_line(revision: StoreRevision, has_snapshot: bool) -> str:
+    """The exact text ``append_revision`` writes for ``revision`` (no
+    trailing newline).  Public for the replication streamer, whose whole
+    contract is pushing byte-identical journal lines to followers."""
+    return _revision_line(revision, has_snapshot)
 
 
 def _write_snapshot(
@@ -407,6 +424,81 @@ def append_revision(
     return journal
 
 
+def parse_journal_record(line: str) -> dict:
+    """Parse and validate one journal line (shape, CRC, epoch field).
+
+    The replication follower's gate: every line received from a primary is
+    checked here before it is appended verbatim to the local journal.
+    Raises :class:`~repro.core.errors.ReproError` on any violation.
+    """
+    try:
+        record, problem = _parse_record(line)
+    except ValueError as error:
+        raise ReproError(f"unparsable journal line: {error}") from None
+    if problem is not None:
+        raise ReproError(f"journal line rejected: {problem}")
+    return record
+
+
+def append_journal_line(
+    directory: str | Path,
+    line: str,
+    *,
+    durability: DurabilityOptions | None = None,
+) -> Path:
+    """Append one raw journal line **verbatim**.
+
+    The replication follower's write path: lines arrive as the primary's
+    exact bytes and must land unchanged, so follower journals stay
+    byte-identical prefixes of the primary's.  Callers validate first
+    (:func:`parse_journal_record`) — this function only writes.
+    """
+    durability = durability or DEFAULT_DURABILITY
+    journal = Path(directory) / JOURNAL_FILE
+    _fs.append_text(
+        journal,
+        line + "\n",
+        flush=durability.flush_appends,
+        fsync=durability.fsync_appends,
+    )
+    return journal
+
+
+def write_journal_file(
+    directory: str | Path,
+    name: str,
+    text: str,
+    *,
+    durability: DurabilityOptions | None = None,
+) -> Path:
+    """Atomically write one journal-directory file (header, snapshot)
+    with the snapshot durability discipline.  Replication's counterpart to
+    the internal snapshot writer, for content that arrives as text."""
+    durability = durability or DEFAULT_DURABILITY
+    path = Path(directory) / name
+    _fs.write_text(path, text, fsync=durability.sync_snapshots)
+    return path
+
+
+def apply_journal_record(store: VersionedStore, record: dict) -> StoreRevision:
+    """Replay one parsed journal record onto ``store``'s head.
+
+    The follower's apply path: fold the record's ``(added, removed)`` into
+    the current base with ``apply_delta`` and commit with the record's own
+    tag/program/epoch.  Because commits are deterministic over the totally
+    ordered journal, the revision this produces is exactly the one the
+    primary committed — commit listeners (subscriptions) fire as if the
+    commit were local.
+    """
+    added = frozenset(_fact_from_json(e) for e in record["added"])
+    removed = frozenset(_fact_from_json(e) for e in record["removed"])
+    new_base = store.current.apply_delta(added, removed).freeze()
+    store.epoch = max(store.epoch, record.get("epoch", 0))
+    return store.commit_update(
+        new_base, tag=record["tag"], program_name=record.get("program")
+    )
+
+
 def _last_journal_index(journal: Path) -> int:
     """Index recorded on the journal's last revision line (-1 for a
     header-only journal)."""
@@ -473,6 +565,9 @@ def _parse_record(line: str) -> tuple[dict, str | None]:
     for key in ("index", "tag", "added", "removed"):
         if key not in record:
             return record, f"record is missing the {key!r} field"
+    epoch = record.get("epoch", 0)
+    if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 0:
+        return record, f"epoch {epoch!r} is not a non-negative integer"
     crc = record.get("crc")
     if crc is not None and crc != _record_crc(record):
         return record, f"checksum mismatch (stored {crc}, computed {_record_crc(record)})"
@@ -552,6 +647,16 @@ def load_store(
             expected = revisions[-1].index + 1 if revisions else None
             if expected is not None and index != expected:
                 problem = f"revision index {index} breaks the chain (expected {expected})"
+        if problem is None and revisions:
+            epoch = record.get("epoch", 0)
+            if epoch < revisions[-1].epoch:
+                # A line stamped with an older fencing epoch than its
+                # predecessor can only come from a fenced-off zombie
+                # primary; never adopt it into the chain.
+                problem = (
+                    f"epoch {epoch} regresses below {revisions[-1].epoch} "
+                    f"(write from a fenced primary?)"
+                )
         if problem is not None:
             if is_tail and revisions:
                 # A torn/garbled final line is the expected crash residue of
@@ -586,6 +691,8 @@ def load_store(
                 added,
                 removed,
                 None,
+                None,
+                record.get("epoch", 0),
             )
         )
         good_lines.append(line)
@@ -620,11 +727,14 @@ def verify_journal(directory: str | Path) -> dict:
 
     Walks every line once, checking JSON shape, the per-line CRC (lines
     written before checksums existed are counted, not failed), revision
-    chain order, and that every referenced snapshot file exists.  Returns
-    a report::
+    chain order, monotonic fencing-epoch order (an epoch that drops below
+    its predecessor — the signature of a fenced zombie primary's write, or
+    of a botched compaction losing epoch stamps — flags the first
+    out-of-order line), and that every referenced snapshot file exists.
+    Returns a report::
 
         {"ok": bool, "revisions": int, "checksummed": int,
-         "unchecksummed": int, "snapshots": int,
+         "unchecksummed": int, "snapshots": int, "max_epoch": int,
          "problems": [{"line": int, "offset": int, "error": str}, ...],
          "missing_snapshots": [name, ...]}
 
@@ -642,6 +752,7 @@ def verify_journal(directory: str | Path) -> dict:
         "checksummed": 0,
         "unchecksummed": 0,
         "snapshots": 0,
+        "max_epoch": 0,
         "problems": [],
         "missing_snapshots": [],
     }
@@ -689,6 +800,16 @@ def verify_journal(directory: str | Path) -> dict:
                 f"revision index {index} breaks the chain (expected {expected_index})",
             )
         expected_index = index + 1
+        epoch = record.get("epoch", 0)
+        if epoch < report["max_epoch"]:
+            flag(
+                number,
+                offset,
+                f"epoch {epoch} is out of order (a previous line reached "
+                f"epoch {report['max_epoch']})",
+            )
+        else:
+            report["max_epoch"] = epoch
         snapshot = record.get("snapshot")
         if snapshot:
             report["snapshots"] += 1
@@ -737,6 +858,8 @@ def compact_journal(
                 revision.added,
                 revision.removed,
                 snapshot,
+                None,
+                revision.epoch,
             )
         )
     compacted = VersionedStore.from_revisions(

@@ -183,6 +183,36 @@ def test_durable_backends_write_byte_identical_journals(journal_dirs, tmp_path):
         ).read_bytes(), f"{name} diverged between journaled and served runs"
 
 
+def test_stats_shape_is_uniform_across_backends(journal_dirs, tmp_path):
+    """Every backend's ``stats()`` exposes the same top-level sections —
+    including the ``replication`` section, which reports ``role:
+    "primary"`` (epoch 0, no followers) even where replication is not in
+    play.  Monitoring written against one backend reads them all."""
+    journal_dir, served_dir = journal_dirs
+
+    with repro.connect("memory:", base=BASE, tag="initial") as conn:
+        memory_stats = conn.stats()
+    with repro.connect(journal_dir) as conn:
+        journal_stats = conn.stats()
+    socket_path = str(tmp_path / "parity4.sock")
+    with BackgroundServer(served_dir, path=socket_path):
+        with repro.connect(f"serve:{socket_path}") as conn:
+            served_stats = conn.stats()
+
+    assert (
+        set(memory_stats) == set(journal_stats) == set(served_stats)
+    ), "stats() sections diverge between backends"
+    replication_keys = {
+        "role", "epoch", "fenced_epoch", "last_index", "followers",
+        "streamed_lines", "primary", "lag", "primary_alive",
+    }
+    for stats in (memory_stats, journal_stats, served_stats):
+        assert set(stats["replication"]) == replication_keys
+        assert stats["replication"]["role"] == "primary"
+        assert stats["replication"]["epoch"] == 0
+        assert stats["replication"]["lag"] == 0
+
+
 def test_replay_equivalence_after_restart(journal_dirs, tmp_path):
     """The served journal replays into exactly the state the live
     connections observed (restart recovery through the facade)."""

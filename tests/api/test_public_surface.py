@@ -53,6 +53,8 @@ API_SURFACE = [
     "SessionError",
     "ConnectionClosed",
     "ServerBusyError",
+    "StaleEpochError",
+    "NotPrimaryError",
 ]
 
 
