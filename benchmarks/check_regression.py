@@ -36,6 +36,15 @@ throughput ratio against the committed baseline::
     python benchmarks/check_regression.py \
         --replication-baseline BENCH_PR8.json \
         --replication-fresh bench-replication-ci.json
+
+The observability guard (PR 9) enforces the metrics-overhead acceptance
+bound as absolute ceilings measured within one process (both runs of
+each pair happen on the same machine, so no cross-machine noise): with
+the registry enabled, the P1[400] apply must stay within 5 % of the
+disabled time and the serve run within 5 % of the disabled throughput::
+
+    python benchmarks/check_regression.py \
+        --obs-baseline BENCH_PR9.json --obs-fresh bench-obs-ci.json
 """
 
 from __future__ import annotations
@@ -65,6 +74,15 @@ REPLICATION_CATCHUP_CEILING_S = 15.0
 #: floor — three followers serving essentially nothing means the fanout
 #: path is broken, whatever the machine.
 REPLICA_READS_FLOOR = 50.0
+
+#: Observability (PR 9): with the metrics registry enabled, the P1[400]
+#: apply may take at most this multiple of the disabled time (the 5 %
+#: acceptance bound; both runs happen in one process on one machine).
+OBS_P1_OVERHEAD_CEILING = 1.05
+
+#: Observability (PR 9): with the metrics registry enabled, the serve
+#: run must keep at least this fraction of the disabled throughput.
+OBS_SERVE_THROUGHPUT_FLOOR = 0.95
 
 
 def check_ratio(
@@ -106,6 +124,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed BENCH_PR8.json (optional)")
     parser.add_argument("--replication-fresh", type=Path, default=None,
                         help="replication run produced by this CI job "
+                        "(optional)")
+    parser.add_argument("--obs-baseline", type=Path, default=None,
+                        help="committed BENCH_PR9.json (optional)")
+    parser.add_argument("--obs-fresh", type=Path, default=None,
+                        help="observability sweep produced by this run "
                         "(optional)")
     parser.add_argument("--tolerance", type=float, default=0.5,
                         help="allowed relative shortfall vs the baseline "
@@ -278,6 +301,42 @@ def main(argv: list[str] | None = None) -> int:
         check_ratio(
             failures, "replica read fanout (reads/s)",
             fanout, repl_baseline["replica_reads_per_second"],
+            arguments.tolerance,
+        )
+
+    if arguments.obs_baseline and arguments.obs_fresh:
+        obs_baseline = json.loads(
+            arguments.obs_baseline.read_text(encoding="utf-8")
+        )
+        obs_fresh = json.loads(
+            arguments.obs_fresh.read_text(encoding="utf-8")
+        )
+        # the acceptance bounds are absolute: both halves of each ratio
+        # come from the same process, so machine noise cancels
+        p1_ratio = obs_fresh["p1_overhead_ratio_on_over_off"]
+        verdict = "ok" if p1_ratio <= OBS_P1_OVERHEAD_CEILING else "REGRESSION"
+        print(
+            f"{'obs P1 overhead ceiling (on/off time)':<45} "
+            f"fresh {p1_ratio:7.3f}   "
+            f"ceiling {OBS_P1_OVERHEAD_CEILING:.2f}{'':>17}{verdict}"
+        )
+        if p1_ratio > OBS_P1_OVERHEAD_CEILING:
+            failures.append("obs P1 overhead ceiling")
+        serve_ratio = obs_fresh["serve_throughput_ratio_on_over_off"]
+        verdict = (
+            "ok" if serve_ratio >= OBS_SERVE_THROUGHPUT_FLOOR else "REGRESSION"
+        )
+        print(
+            f"{'obs serve throughput floor (on/off)':<45} "
+            f"fresh {serve_ratio:7.3f}   "
+            f"floor {OBS_SERVE_THROUGHPUT_FLOOR:.2f}{'':>19}{verdict}"
+        )
+        if serve_ratio < OBS_SERVE_THROUGHPUT_FLOOR:
+            failures.append("obs serve throughput floor")
+        check_ratio(
+            failures, "obs serve throughput vs baseline",
+            serve_ratio,
+            obs_baseline["serve_throughput_ratio_on_over_off"],
             arguments.tolerance,
         )
 

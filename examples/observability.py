@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""The observability layer end to end: metrics, slowlog, dashboard.
+
+One server, metrics switched on programmatically (the CLI equivalents
+are ``repro serve --metrics`` or ``REPRO_OBS=1``).  A writer commits a
+few rule programs and a watcher holds a live subscription; then the
+operator surfaces are read back three ways:
+
+* ``conn.stats()`` — the uniform stats document every backend shares,
+  now carrying ``metrics`` (registry snapshot) and ``slowlog`` sections;
+* the ``metrics`` wire command — Prometheus text exposition, the same
+  thing ``repro client metrics`` prints;
+* :func:`repro.obs.render_dashboard` — the pure renderer behind
+  ``repro top``.
+
+A deliberately slowed commit threshold shows the slowlog catching an
+"expensive" commit with its tag attached.
+
+Run::
+
+    PYTHONPATH=src python examples/observability.py
+"""
+
+import tempfile
+
+import repro
+from repro.api import BackgroundServer
+from repro.obs import enable_metrics, render_dashboard
+from repro.obs.slowlog import slowlog
+from repro.storage import VersionedStore
+
+BASE = """
+    ada.isa -> empl.    ada.sal -> 4000.   ada.pos -> mgr.
+    ben.isa -> empl.    ben.sal -> 3200.   ben.boss -> ada.
+    cho.isa -> empl.    cho.sal -> 3500.   cho.boss -> ada.
+"""
+
+RAISE = """
+    raise: mod[E].sal -> (S, S2) <= E.boss -> ada, E.sal -> S, S2 = S * 1.05.
+"""
+
+HIRE = """
+    hire_isa:  ins[dee].isa -> empl <= ada.isa -> empl.
+    hire_sal:  ins[dee].sal -> 3000 <= ada.isa -> empl.
+    hire_boss: ins[dee].boss -> ada <= ada.isa -> empl.
+"""
+
+
+def main() -> None:
+    enable_metrics(True)                      # what `serve --metrics` does
+    slowlog().set_threshold("commit", 0.0)    # catch every commit for demo
+    try:
+        run()
+    finally:
+        slowlog().clear()
+        slowlog().set_threshold("commit", None)
+        enable_metrics(None)
+
+
+def run() -> None:
+    store = VersionedStore(repro.parse_object_base(BASE), tag="day0")
+    with tempfile.TemporaryDirectory() as scratch:
+        path = f"{scratch}/obs.sock"
+        with BackgroundServer(store, path=path) as server:
+            conn = repro.connect(server.target)
+            conn.subscribe("E.isa -> empl, E.sal -> S")
+            conn.apply(RAISE, tag="team-raise")
+            conn.apply(HIRE, tag="hire-dee")
+            conn.query("E.boss -> B")
+
+            # 1. every backend's stats() carries the same sections
+            stats = conn.stats()
+            fired = stats["metrics"]["registry"]["engine_rule_fired"]
+            print("per-rule fired counters:")
+            for labels, count in sorted(fired["series"].items()):
+                print(f"  {labels:18s} {count:g}")
+            phases = stats["metrics"]["registry"]["commit_phase_seconds"]
+            print("commit phases (count / p50 ms):")
+            for labels, snap in sorted(phases["series"].items()):
+                print(f"  {labels:18s} {snap['count']:3d}  "
+                      f"{snap['p50'] * 1000:8.3f}")
+
+            # 2. Prometheus text, as `repro client metrics` prints it
+            text = conn.call("metrics")["text"]
+            print("\nprometheus exposition (excerpt):")
+            for line in text.splitlines():
+                if "engine_rule_fired" in line or "server_commits" in line:
+                    print(f"  {line}")
+
+            # 3. the slowlog caught the commits (threshold 0 for the demo)
+            print("\nslowlog entries:")
+            for entry in stats["slowlog"]["entries"]:
+                print(f"  {entry['kind']:7s} {entry['seconds'] * 1000:8.3f} ms"
+                      f"  tag={entry.get('tag', '-')}")
+
+            # 4. the `repro top` dashboard is a pure function over stats()
+            print("\n" + "\n".join(render_dashboard(stats, server.address)))
+            conn.close()
+
+
+if __name__ == "__main__":
+    main()

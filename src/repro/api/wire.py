@@ -52,7 +52,7 @@ __all__ = ["WireConnection"]
 #: request before the link died, and replaying would double-apply.
 _SAFE_COMMANDS = frozenset(
     {"ping", "query", "prepare", "log", "as-of", "diff", "stats",
-     "subscribe", "unsubscribe"}
+     "metrics", "slowlog", "subscribe", "unsubscribe"}
 )
 
 #: Redial timeout per attempt (matches the initial-connect bound).

@@ -42,9 +42,18 @@ comparable across PRs (``benchmarks/run_bench.py`` is a thin wrapper):
   filter) whose cost is all in the join itself.  A differential check
   asserts all three paths produce the same result base at every size.
 
-Every sweep ends by refreshing ``BENCH_TRAJECTORY.json`` — the unified,
-machine-readable headline-metric trajectory across all committed
-``BENCH_PR*.json`` documents (also: ``--trajectory`` rebuilds it alone).
+* **Observability sweep** (``--obs``, ``BENCH_PR9.json``) — the cost of
+  the metrics registry itself: the P1[400] apply and a scaled served
+  subscription run, each timed with the registry forced off and forced
+  on.  The acceptance bound (enabled within 5 % of disabled on both) is
+  guarded in CI by ``benchmarks/check_regression.py``.
+
+Every sweep records its headline numbers as ``bench_*`` gauges through
+the observability registry (``repro.obs``) and stamps that slice into
+the written document as a ``metrics`` section, then ends by refreshing
+``BENCH_TRAJECTORY.json`` — the unified, machine-readable
+headline-metric trajectory across all committed ``BENCH_PR*.json``
+documents (also: ``--trajectory`` rebuilds it alone).
 """
 
 from __future__ import annotations
@@ -74,6 +83,7 @@ __all__ = [
     "run_soak_sweep",
     "run_joins_sweep",
     "run_replication_sweep",
+    "run_obs_sweep",
     "build_trajectory",
     "main",
 ]
@@ -97,6 +107,9 @@ DEFAULT_WIDE_NODES = 1500
 DEFAULT_REPLICATION_OUT = "BENCH_PR8.json"
 DEFAULT_REPLICATION_FOLLOWERS = 3
 DEFAULT_REPLICATION_SECONDS = 10.0
+DEFAULT_OBS_OUT = "BENCH_PR9.json"
+DEFAULT_OBS_SERVE_UPDATES = 10
+DEFAULT_OBS_SERVE_CLIENTS = 4
 TRAJECTORY_OUT = "BENCH_TRAJECTORY.json"
 
 #: The read-heavy query mix.  ``org_chart`` reads no ``sal`` fact, so the
@@ -1110,6 +1123,129 @@ def run_replication_sweep(
     }
 
 
+def run_obs_sweep(
+    n_employees: int = 400,
+    repeats: int = DEFAULT_REPEATS,
+    serve_updates: int = DEFAULT_OBS_SERVE_UPDATES,
+    n_clients: int = DEFAULT_OBS_SERVE_CLIENTS,
+) -> dict:
+    """The PR 9 observability-overhead sweep (see the module docstring).
+
+    Two hot paths are timed twice each — metrics registry forced off,
+    then forced on — and the on/off ratios are the guarded numbers:
+
+    * the P1[``n_employees``] enterprise apply (per-rule profiling is the
+      densest instrumentation in the engine's inner loop);
+    * a scaled in-process serve run: ``n_clients`` clients subscribed to
+      every read query while ``serve_updates`` commits land (commit-phase
+      timing + slowlog checks on the commit path).
+
+    The enabled runs leave real data behind; a filtered registry sample
+    (per-rule fired counters, commit-phase histograms) is embedded so the
+    document doubles as a fixture of what operators see.
+    """
+    from repro.obs import metrics as obs
+    from repro.server import StoreService, connect_local
+    from repro.storage import VersionedStore
+
+    program = enterprise_update_program(hpe_threshold=4000)
+    base = enterprise_base(
+        n_employees=n_employees, overpaid_ratio=0.1, seed=21
+    )
+    engine = UpdateEngine()
+
+    def served_seconds() -> float:
+        service = StoreService(VersionedStore(base))
+        service.apply(program, tag="warm")
+        clients = [connect_local(service) for _ in range(n_clients)]
+        for client in clients:
+            for name, text in READ_QUERIES:
+                client.subscribe(text, name=name)
+        start = time.perf_counter()
+        for update in range(serve_updates):
+            service.apply(program, tag=f"u{update}")
+        elapsed = time.perf_counter() - start
+        for client in clients:
+            client.close()
+        return elapsed
+
+    def timed_apply() -> float:
+        start = time.perf_counter()
+        engine.apply(program, base)
+        return time.perf_counter() - start
+
+    # Interleave the off/on measurements round by round: the guarded
+    # ratios compare best-of times, and sequential blocks would fold
+    # machine drift between the blocks into the ratio.  Alternating
+    # within one loop makes both sides see the same drift.
+    rounds = max(repeats, 5)
+    p1_off_times: list[float] = []
+    p1_on_times: list[float] = []
+    serve_off_times: list[float] = []
+    serve_on_times: list[float] = []
+    try:
+        obs.registry().reset()  # the sample below is this run's data only
+        engine.apply(program, base)  # warm caches (plans, parser, indexes)
+        for _ in range(rounds):
+            obs.enable_metrics(False)
+            p1_off_times.append(timed_apply())
+            obs.enable_metrics(True)
+            p1_on_times.append(timed_apply())
+        for _ in range(3):
+            obs.enable_metrics(False)
+            serve_off_times.append(served_seconds())
+            obs.enable_metrics(True)
+            serve_on_times.append(served_seconds())
+        snapshot = obs.registry().snapshot()
+    finally:
+        obs.enable_metrics(None)
+
+    def summary(times: list[float]) -> dict:
+        return {
+            "best_s": min(times),
+            "mean_s": sum(times) / len(times),
+            "repeats": len(times),
+        }
+
+    p1_off, p1_on = summary(p1_off_times), summary(p1_on_times)
+    serve_off = min(serve_off_times)
+    serve_on = min(serve_on_times)
+
+    sample = {
+        name: entry
+        for name, entry in snapshot.items()
+        if name in (
+            "engine_rule_fired", "engine_tp_rounds", "commit_phase_seconds"
+        )
+    }
+    return {
+        "benchmark": "p9_observability",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "workload": {
+            "base": f"enterprise(n_employees={n_employees})",
+            "program": "enterprise-update (rules 1-4, hpe threshold 4000)",
+            "repeats": repeats,
+            "serve_updates": serve_updates,
+            "serve_clients": n_clients,
+        },
+        "p1": {
+            "n_employees": n_employees,
+            "metrics_off": p1_off,
+            "metrics_on": p1_on,
+        },
+        "p1_overhead_ratio_on_over_off": p1_on["best_s"] / p1_off["best_s"],
+        "serve": {
+            "clients": n_clients,
+            "updates": serve_updates,
+            "metrics_off_seconds": serve_off,
+            "metrics_on_seconds": serve_on,
+        },
+        "serve_throughput_ratio_on_over_off": serve_off / serve_on,
+        "registry_sample": sample,
+    }
+
+
 # ----------------------------------------------------------------------
 # the unified trajectory document
 # ----------------------------------------------------------------------
@@ -1203,6 +1339,18 @@ def _p8_headline(document: dict) -> dict:
     }
 
 
+def _p9_headline(document: dict) -> dict:
+    p1_ratio = document["p1_overhead_ratio_on_over_off"]
+    serve_ratio = document["serve_throughput_ratio_on_over_off"]
+    return {
+        "p1_overhead_ratio_on_over_off": p1_ratio,
+        "serve_throughput_ratio_on_over_off": serve_ratio,
+        "headline": f"metrics on: P1[{document['p1']['n_employees']}] "
+        f"apply {(p1_ratio - 1) * 100:+.1f}% time, serve throughput "
+        f"{serve_ratio:.2f}x of disabled",
+    }
+
+
 _HEADLINES = {
     "p1_base_size_sweep": _p1_headline,
     "p2_store_sweep": _p2_headline,
@@ -1211,7 +1359,45 @@ _HEADLINES = {
     "p6_soak": _p6_headline,
     "p7_joins_sweep": _p7_headline,
     "p8_replication": _p8_headline,
+    "p9_observability": _p9_headline,
 }
+
+
+def _stamp_metrics(document: dict) -> dict:
+    """Record the document's numeric headline fields as ``bench_*``
+    gauges through the observability registry (the bench harness reports
+    through the same surface operators read), then embed that slice into
+    the document as its ``metrics`` section."""
+    from repro.obs import metrics as obs
+
+    registry = obs.registry()
+    benchmark = document.get("benchmark", "unknown")
+    extractor = _HEADLINES.get(benchmark)
+    headline = extractor(document) if extractor else {}
+    for field, value in headline.items():
+        if isinstance(value, bool):
+            value = 1.0 if value else 0.0
+        if isinstance(value, (int, float)):
+            registry.set_gauge(
+                f"bench_{field}", float(value), benchmark=benchmark
+            )
+        elif isinstance(value, dict):
+            for size, inner in value.items():
+                if isinstance(inner, bool) or not isinstance(
+                    inner, (int, float)
+                ):
+                    continue
+                registry.set_gauge(
+                    f"bench_{field}", float(inner),
+                    benchmark=benchmark, size=str(size),
+                )
+    document["metrics"] = registry.snapshot(prefix="bench_")
+    return document
+
+
+def _write_document(out: Path, document: dict) -> None:
+    _stamp_metrics(document)
+    out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
 
 
 def build_trajectory(root: Path | str = ".") -> dict:
@@ -1238,6 +1424,8 @@ def build_trajectory(root: Path | str = ".") -> dict:
         }
         if extractor is not None:
             entry.update(extractor(document))
+        if "metrics" in document:
+            entry["metrics"] = document["metrics"]
         prs[f"PR{int(digits)}"] = entry
     return {
         "format": "repro-bench-trajectory",
@@ -1347,6 +1535,12 @@ def main(argv: list[str] | None = None) -> int:
         help="replication sweep: read replicas to attach (default: %(default)s)",
     )
     parser.add_argument(
+        "--obs", action="store_true",
+        help="run the observability-overhead sweep (P1[400] apply and a "
+        "scaled serve run, metrics registry on vs off) instead of the "
+        "P1 sweep",
+    )
+    parser.add_argument(
         "--trajectory", action="store_true",
         help="only rebuild BENCH_TRAJECTORY.json from the BENCH_PR*.json "
         "documents in the current directory",
@@ -1361,13 +1555,35 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {out}")
         return 0
 
+    if arguments.obs:
+        out = arguments.out or Path(DEFAULT_OBS_OUT)
+        document = run_obs_sweep(repeats=arguments.repeats)
+        _write_document(out, document)
+        p1 = document["p1"]
+        print(
+            f"P1 n={p1['n_employees']}: metrics off "
+            f"{p1['metrics_off']['best_s'] * 1e3:.2f} ms, on "
+            f"{p1['metrics_on']['best_s'] * 1e3:.2f} ms "
+            f"(ratio {document['p1_overhead_ratio_on_over_off']:.3f})"
+        )
+        serve = document["serve"]
+        print(
+            f"serve ({serve['clients']} clients, {serve['updates']} "
+            f"commits): off {serve['metrics_off_seconds']:.3f} s, on "
+            f"{serve['metrics_on_seconds']:.3f} s (throughput ratio "
+            f"{document['serve_throughput_ratio_on_over_off']:.3f})"
+        )
+        print(f"wrote {out}")
+        write_trajectory(".")
+        return 0
+
     if arguments.joins:
         out = arguments.out or Path(DEFAULT_JOINS_OUT)
         document = run_joins_sweep(
             tuple(arguments.sizes), arguments.repeats,
             wide_nodes=arguments.wide_nodes,
         )
-        out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        _write_document(out, document)
         for entry in document["p1"]["results"]:
             print(
                 f"P1 n={entry['n_employees']:>5}  {entry['mode']:>12}  "
@@ -1412,7 +1628,7 @@ def main(argv: list[str] | None = None) -> int:
                 else DEFAULT_REPLICATION_SECONDS
             ),
         )
-        out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        _write_document(out, document)
         fanout = document["read_fanout"]
         print(
             f"replication: {fanout['followers']} followers, "
@@ -1452,7 +1668,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
             n_subscribers=arguments.subscribers,
         )
-        out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        _write_document(out, document)
         print(
             f"soak: {document['wall_seconds']:.1f} s, "
             f"{document['commits']} commits "
@@ -1490,7 +1706,7 @@ def main(argv: list[str] | None = None) -> int:
         document = run_serve_sweep(
             n_clients=arguments.clients, updates=updates
         )
-        out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        _write_document(out, document)
         in_process = document["in_process"]
         print(
             f"served: {in_process['served_seconds']:.3f} s total / "
@@ -1530,7 +1746,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
             reads_per_update=arguments.reads,
         )
-        out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        _write_document(out, document)
         seconds = document["read_seconds"]
         print(
             f"reads: per-call {seconds['per_call']:.3f} s   "
@@ -1556,7 +1772,7 @@ def main(argv: list[str] | None = None) -> int:
     if arguments.store:
         out = arguments.out or Path(DEFAULT_STORE_OUT)
         document = run_store_sweep(arguments.revisions)
-        out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        _write_document(out, document)
         memory = document["memory"]
         print(
             f"chain memory: delta {memory['delta_chain_bytes'] / 1e6:.2f} MB "
@@ -1577,7 +1793,7 @@ def main(argv: list[str] | None = None) -> int:
 
     out = arguments.out or Path(DEFAULT_OUT)
     document = run_p1_sweep(tuple(arguments.sizes), arguments.repeats)
-    out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    _write_document(out, document)
     for entry in document["results"]:
         print(
             f"n={entry['n_employees']:>5}  {entry['mode']:>10}  "

@@ -28,6 +28,11 @@ Usage (installed as ``repro-updates``, also ``python -m repro``)::
     repro-updates replica promote --socket R.sock [--takeover P.sock]
     repro-updates replicaset --primary unix:P.sock --follower unix:R.sock
     repro-updates bench --replication [--out BENCH_PR8.json]
+    repro-updates serve --dir STORE --socket S --metrics
+    repro-updates client --socket S metrics [--json]
+    repro-updates client --socket S slowlog [--clear]
+    repro-updates top --socket S [--interval 2] [--iterations N]
+    repro-updates bench --obs [--out BENCH_PR9.json]
 
 ``apply`` prints the new object base (``ob'``) to stdout, or writes it with
 ``--out``; ``--result-base`` dumps ``result(P)`` with all versions instead.
@@ -209,6 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="replication sweep: read replicas to attach (default: 3)",
     )
     bench_cmd.add_argument(
+        "--obs", action="store_true",
+        help="run the observability-overhead sweep (P1[400] apply and a "
+        "scaled serve run, metrics registry on vs off)",
+    )
+    bench_cmd.add_argument(
         "--trajectory", action="store_true",
         help="only rebuild BENCH_TRAJECTORY.json from the committed "
         "BENCH_PR*.json documents (no sweep)",
@@ -306,6 +316,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="on SIGTERM/SIGINT, stop accepting, finish in-flight work and "
         "flush outboxes for at most this long before cutting connections",
     )
+    serve_cmd.add_argument(
+        "--metrics", action="store_true",
+        help="enable the observability registry for this process (same as "
+        "REPRO_OBS=1): commit-phase/per-rule/wire histograms, readable via "
+        "`repro client metrics` and `repro top`",
+    )
 
     replica_cmd = commands.add_parser(
         "replica",
@@ -352,6 +368,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--takeover", type=Path, default=None, metavar="SOCKET",
         help="after promotion, additionally bind the old primary's unix "
         "socket so reconnecting clients land here",
+    )
+    replica_serve.add_argument(
+        "--metrics", action="store_true",
+        help="enable the observability registry for this replica process "
+        "(same as REPRO_OBS=1)",
     )
     replica_promote = replica_sub.add_parser(
         "promote",
@@ -455,12 +476,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client_asof.add_argument("revision")
     client_sub.add_parser("stats", help="print server counters as JSON")
+    client_metrics = client_sub.add_parser(
+        "metrics",
+        help="print the server's metrics registry as Prometheus text "
+        "(empty unless the server runs with --metrics / REPRO_OBS=1)",
+    )
+    client_metrics.add_argument(
+        "--json", action="store_true",
+        help="print the raw registry snapshot as JSON instead",
+    )
+    client_slowlog = client_sub.add_parser(
+        "slowlog",
+        help="print the server's slow-operation ring buffer as JSON",
+    )
+    client_slowlog.add_argument(
+        "--clear", action="store_true",
+        help="also reset the ring buffer after reading it",
+    )
     client_script = client_sub.add_parser(
         "script",
         help="send raw JSONL requests from a file ('-' = stdin); print "
         "every response and push as JSON lines",
     )
     client_script.add_argument("file")
+
+    top_cmd = commands.add_parser(
+        "top",
+        help="live text dashboard over a running server's stats/metrics "
+        "(refreshes in place; Ctrl-C to exit)",
+    )
+    top_cmd.add_argument("--socket", type=Path, default=None)
+    top_cmd.add_argument("--host", default="127.0.0.1")
+    top_cmd.add_argument("--port", type=int, default=None)
+    top_cmd.add_argument(
+        "--dir", type=Path, default=None, dest="directory",
+        help="render one snapshot from a local journal directory instead "
+        "of a server",
+    )
+    top_cmd.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period (default: %(default)s)",
+    )
+    top_cmd.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="exit after N refreshes (default: run until Ctrl-C)",
+    )
 
     return parser
 
@@ -630,6 +690,8 @@ def _cmd_bench(arguments) -> int:
             argv += ["--followers", str(arguments.followers)]
         if arguments.duration is not None:
             argv += ["--duration", str(arguments.duration)]
+    if arguments.obs:
+        argv += ["--obs"]
     if arguments.updates is not None:
         argv += ["--updates", str(arguments.updates)]
     if arguments.trajectory:
@@ -650,6 +712,10 @@ def _cmd_serve(arguments) -> int:
         if arguments.durability is not None
         else None
     )
+    if arguments.metrics:
+        from repro.obs import enable_metrics
+
+        enable_metrics(True)
     service = StoreService.open(arguments.directory, durability=durability)
 
     async def run() -> None:
@@ -710,6 +776,10 @@ def _cmd_replica_serve(arguments) -> int:
         if arguments.durability is not None
         else None
     )
+    if arguments.metrics:
+        from repro.obs import enable_metrics
+
+        enable_metrics(True)
     follower = Follower(
         arguments.directory,
         arguments.primary,
@@ -922,6 +992,24 @@ def _cmd_client(arguments) -> int:
             print(conn.call("as-of", revision=arguments.revision)["facts"])
         elif command == "stats":
             print(json.dumps(conn.stats(), indent=2, sort_keys=True))
+        elif command == "metrics":
+            response = conn.call("metrics")
+            if arguments.json:
+                print(json.dumps(response, indent=2, sort_keys=True))
+            else:
+                text = response.get("text", "")
+                if text:
+                    print(text, end="")
+                if not response.get("enabled"):
+                    print(
+                        "(metrics disabled on the server — start it with "
+                        "--metrics or REPRO_OBS=1)",
+                        file=sys.stderr,
+                    )
+        elif command == "slowlog":
+            payload = {"clear": True} if arguments.clear else {}
+            response = conn.call("slowlog", **payload)
+            print(json.dumps(response["slowlog"], indent=2, sort_keys=True))
         elif command == "script":
             source = (
                 sys.stdin.read()
@@ -968,6 +1056,47 @@ def _run_client_tx(conn, arguments, conflict_error) -> int:
         return 0
     print(f"error: gave up after {arguments.retries} conflicts", file=sys.stderr)
     return 1
+
+
+def _cmd_top(arguments) -> int:
+    """Curses-free live dashboard: redraw ``render_dashboard`` over the
+    stats document every ``--interval`` seconds with an ANSI clear."""
+    import time
+
+    from repro.api import connect
+    from repro.obs import render_dashboard
+
+    if arguments.directory is not None:
+        # One-shot local mode: stats of an unserved journal directory.
+        with connect(arguments.directory, readonly=True) as conn:
+            for line in render_dashboard(
+                conn.stats(), target=str(arguments.directory)
+            ):
+                print(line)
+        return 0
+
+    if arguments.socket is None and arguments.port is None:
+        raise ReproError("top needs --socket PATH, --port N, or --dir DIR")
+    if arguments.socket is not None:
+        target = f"serve:{arguments.socket}"
+    else:
+        target = f"tcp:{arguments.host}:{arguments.port}"
+    iterations = arguments.iterations
+    interval = max(0.1, arguments.interval)
+    with connect(target) as conn:
+        count = 0
+        while True:
+            stats = conn.stats()
+            frame = render_dashboard(stats, target=target)
+            if count:
+                # Clear screen + home, only between frames — a single
+                # finite iteration stays pipe-friendly for tests.
+                print("\x1b[2J\x1b[H", end="")
+            print("\n".join(frame), flush=True)
+            count += 1
+            if iterations and count >= iterations:
+                return 0
+            time.sleep(interval)
 
 
 def _script_request(request: dict) -> dict:
@@ -1134,6 +1263,7 @@ _HANDLERS = {
     "replica": _cmd_replica,
     "replicaset": _cmd_replicaset,
     "client": _cmd_client,
+    "top": _cmd_top,
 }
 
 

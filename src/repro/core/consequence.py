@@ -24,6 +24,7 @@ into ``I`` (state replacement, DESIGN.md D1).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -37,6 +38,7 @@ from repro.core.errors import EvaluationError
 from repro.core.facts import EXISTS, Fact, exists_fact
 from repro.core.grounding import match_rule, match_rule_dynamic, match_rule_seeded
 from repro.core.objectbase import Delta, ObjectBase
+from repro.obs import metrics as _obs
 from repro.core.plans import SEED, SKIP, classify, rule_plan
 from repro.core.rules import UpdateRule
 from repro.core.terms import Oid, UpdateKind, VersionId
@@ -179,12 +181,22 @@ def tp_step(
     if compiled is None:
         compiled = codegen_enabled()
     compiled = compiled and use_plans
+    # Per-rule profiling (matched/fired counts, cumulative seconds,
+    # compiled-fallback hits) — resolved once per step so the disabled
+    # path pays one env lookup for the whole rule loop.
+    record = _obs.metrics_enabled()
+    registry = _obs.registry() if record else None
 
     # ---- step 1: T¹ — the set of true ground heads -----------------------
     for rule in rules:
+        rule_start = time.perf_counter() if record else 0.0
+        matched = 0
+        rule_fired = 0
         if restricted:
             mode, positions = classify(rule_plan(rule).signature, delta)
             if mode == SKIP:
+                if record:
+                    registry.inc("engine_rule_skipped", 1, rule=rule.name)
                 continue
             if mode == SEED:
                 bindings = (
@@ -193,20 +205,27 @@ def tp_step(
                     else None
                 )
                 if bindings is None:
+                    if record and compiled:
+                        registry.inc("engine_fallback_hits", 1, path="seed")
                     bindings = match_rule_seeded(
                         rule, reading, delta, positions
                     )
             else:
                 bindings = match_rule_compiled(rule, reading) if compiled else None
                 if bindings is None:
+                    if record and compiled:
+                        registry.inc("engine_fallback_hits", 1, path="full")
                     bindings = match_rule(rule, reading)
         elif use_plans:
             bindings = match_rule_compiled(rule, reading) if compiled else None
             if bindings is None:
+                if record and compiled:
+                    registry.inc("engine_fallback_hits", 1, path="full")
                 bindings = match_rule(rule, reading)
         else:
             bindings = match_rule_dynamic(rule, reading)
         for binding in bindings:
+            matched += 1
             head = rule.head.substitute(binding)
             if not head.is_ground():
                 raise EvaluationError(
@@ -215,6 +234,7 @@ def tp_step(
                 )
             if not update_atom_true_in_head(reading, head):
                 continue
+            rule_fired += 1
             if collect_fired:
                 fired.append(
                     FiredInstance(
@@ -233,6 +253,16 @@ def tp_step(
                     pending.add(entry)
             else:
                 pending.add(head)
+        if record:
+            if matched:
+                registry.inc("engine_rule_matched", matched, rule=rule.name)
+            if rule_fired:
+                registry.inc("engine_rule_fired", rule_fired, rule=rule.name)
+            registry.inc(
+                "engine_rule_seconds",
+                time.perf_counter() - rule_start,
+                rule=rule.name,
+            )
 
     # ---- steps 2 + 3: copy states, apply updates --------------------------
     new_states: dict[VersionId, set[Fact]] = {}

@@ -38,6 +38,7 @@ from repro.core.safety import check_program_safety
 from repro.core.stratification import Stratification, stratify
 from repro.core.terms import VersionVar, depth, variables_of
 from repro.core.trace import EvaluationTrace, IterationRecord
+from repro.obs import metrics as _obs
 
 __all__ = [
     "CompiledProgram",
@@ -234,6 +235,13 @@ def evaluate(
             ]
             new_delta = apply_tp(working, step)
             changed = bool(new_delta)
+            if _obs.metrics_enabled():
+                registry = _obs.registry()
+                registry.inc("engine_tp_rounds", 1)
+                registry.observe(
+                    "engine_delta_size",
+                    len(new_delta.added) + len(new_delta.removed),
+                )
             if options.semi_naive:
                 delta = new_delta
             if options.check_linearity:

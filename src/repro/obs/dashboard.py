@@ -1,0 +1,136 @@
+"""Rendering for ``repro top`` — a curses-free, periodically refreshed
+text dashboard over the metrics endpoint.
+
+The renderer is a pure function from a stats document (the
+:meth:`Connection.stats` shape, whose ``metrics`` section carries the
+registry snapshot) to a list of lines, so tests can assert on output
+without a terminal; the CLI loop adds the ANSI clear and the sleep.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_dashboard"]
+
+
+def _series_total(snapshot: dict, name: str) -> float:
+    entry = snapshot.get(name)
+    if not entry:
+        return 0.0
+    total = 0.0
+    for value in entry["series"].values():
+        total += value["sum"] if isinstance(value, dict) else value
+    return total
+
+
+def _histogram_rows(snapshot: dict, name: str) -> list[tuple[str, dict]]:
+    entry = snapshot.get(name)
+    if not entry or entry["kind"] != "histogram":
+        return []
+    return sorted(entry["series"].items())
+
+
+def _gauge_rows(snapshot: dict, name: str) -> list[tuple[str, float]]:
+    entry = snapshot.get(name)
+    if not entry:
+        return []
+    return sorted(entry["series"].items())
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:8.2f}ms"
+
+
+def render_dashboard(stats: dict, target: str = "") -> list[str]:
+    """Render one refresh of the dashboard from a stats document."""
+    metrics = stats.get("metrics") or {}
+    snapshot = metrics.get("registry") or {}
+    slowlog = stats.get("slowlog") or {}
+    lines: list[str] = []
+    title = "repro top"
+    if target:
+        title += f" — {target}"
+    lines.append(title)
+    lines.append("=" * max(24, len(title)))
+
+    lines.append(
+        f"revisions {stats.get('revisions', 0):>6}   "
+        f"head {stats.get('head_tag', '-') or '-'}   "
+        f"commits {stats.get('commits', 0)}   "
+        f"conflicts {stats.get('conflicts', 0)}   "
+        f"sessions {stats.get('sessions_begun', 0)}"
+    )
+    subscriptions = stats.get("subscriptions") or {}
+    lines.append(
+        f"subscriptions {subscriptions.get('active', 0):>3}   "
+        f"metrics {'on' if metrics.get('enabled') else 'off'}   "
+        f"slowlog {len(slowlog.get('entries', []))} entries"
+    )
+
+    replication = stats.get("replication") or {}
+    if replication:
+        # the service reports a follower *count*; older documents (and
+        # follower _info) may carry a list of addresses instead
+        followers = replication.get("followers") or 0
+        if not isinstance(followers, (int, float)):
+            followers = len(followers)
+        lines.append(
+            f"replication: role {replication.get('role', '-')}   "
+            f"epoch {replication.get('epoch', 0)}   "
+            f"lag {replication.get('lag', 0)} rev   "
+            f"followers {followers}   "
+            f"streamed {replication.get('streamed_lines', 0)} lines"
+        )
+
+    phases = _histogram_rows(snapshot, "commit_phase_seconds")
+    if phases:
+        lines.append("")
+        lines.append("commit phases            count      p50        p99")
+        for labelstr, value in phases:
+            phase = labelstr.split("=", 1)[-1] or "total"
+            lines.append(
+                f"  {phase:<20} {value['count']:>7}  "
+                f"{_ms(value.get('p50', 0.0))}  {_ms(value.get('p99', 0.0))}"
+            )
+
+    commands = _histogram_rows(snapshot, "server_command_seconds")
+    if commands:
+        lines.append("")
+        lines.append("wire commands            count      p50        p99")
+        for labelstr, value in commands[:10]:
+            cmd = labelstr.split("=", 1)[-1]
+            lines.append(
+                f"  {cmd:<20} {value['count']:>7}  "
+                f"{_ms(value.get('p50', 0.0))}  {_ms(value.get('p99', 0.0))}"
+            )
+
+    fired = snapshot.get("engine_rule_fired")
+    if fired:
+        rows = sorted(
+            fired["series"].items(), key=lambda kv: -kv[1]
+        )[:10]
+        lines.append("")
+        lines.append("hot rules (fired)")
+        for labelstr, value in rows:
+            rule = labelstr.split("=", 1)[-1]
+            lines.append(f"  {rule:<28} {int(value):>9}")
+
+    outbox = _gauge_rows(snapshot, "server_outbox_depth")
+    if outbox:
+        depth = max(value for _, value in outbox)
+        lines.append("")
+        lines.append(
+            f"outbox depth {int(depth)}   "
+            f"shed {int(_series_total(snapshot, 'server_outbox_shed'))}   "
+            f"lagged {int(_series_total(snapshot, 'server_lagged_resyncs'))}"
+        )
+
+    entries = slowlog.get("entries") or []
+    if entries:
+        lines.append("")
+        lines.append("slowlog (newest last)")
+        for entry in entries[-5:]:
+            lines.append(
+                f"  {entry['kind']:<8} {_ms(entry['seconds'])}  "
+                f"{entry.get('detail', entry.get('tag', ''))}"
+            )
+    return lines

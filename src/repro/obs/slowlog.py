@@ -1,0 +1,130 @@
+"""Ring-buffered slow-query / slow-commit log.
+
+Always on: the per-operation cost is a single float compare, and an
+entry is only materialised when an operation crosses its threshold, so
+the log is useful even on servers started without ``--metrics``.
+Thresholds are configurable per kind through the environment
+(``REPRO_SLOW_COMMIT_MS``, ``REPRO_SLOW_QUERY_MS`` — milliseconds) or
+programmatically with :func:`set_threshold`; the buffer is bounded
+(oldest-out) so an overloaded server cannot grow it without limit.
+Dump it with ``repro client slowlog`` or read it from the ``slowlog``
+section of :meth:`Connection.stats`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "SlowLog",
+    "DEFAULT_THRESHOLDS_S",
+    "maybe_record",
+    "slowlog",
+]
+
+#: Default thresholds in seconds per operation kind.
+DEFAULT_THRESHOLDS_S = {"commit": 0.250, "query": 0.100, "command": 0.250}
+
+_ENV_VARS = {
+    "commit": "REPRO_SLOW_COMMIT_MS",
+    "query": "REPRO_SLOW_QUERY_MS",
+    "command": "REPRO_SLOW_COMMIT_MS",
+}
+
+#: Ring capacity (entries, oldest-out).
+CAPACITY = 128
+
+
+class SlowLog:
+    """A bounded, thread-safe ring of slow-operation records."""
+
+    def __init__(self, capacity: int = CAPACITY) -> None:
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._overrides: dict[str, float] = {}
+        self._dropped = 0
+        self._seq = 0
+
+    def threshold_s(self, kind: str) -> float:
+        """The active threshold for *kind* in seconds: programmatic
+        override, then environment (milliseconds), then the default."""
+        override = self._overrides.get(kind)
+        if override is not None:
+            return override
+        env = os.environ.get(_ENV_VARS.get(kind, ""), "")
+        if env:
+            try:
+                return float(env) / 1000.0
+            except ValueError:
+                pass
+        return DEFAULT_THRESHOLDS_S.get(kind, 0.250)
+
+    def set_threshold(self, kind: str, seconds: float | None) -> None:
+        """Override one kind's threshold; ``None`` clears the override
+        (falling back to the environment, then the defaults)."""
+        if seconds is None:
+            self._overrides.pop(kind, None)
+        else:
+            self._overrides[kind] = seconds
+
+    def maybe_record(self, kind: str, seconds: float, **detail) -> bool:
+        """Record one entry iff *seconds* crosses the kind's threshold.
+        Returns whether an entry was recorded."""
+        threshold = self.threshold_s(kind)
+        if seconds < threshold:
+            return False
+        with self._lock:
+            self._seq += 1
+            if len(self._entries) == self._entries.maxlen:
+                self._dropped += 1
+            self._entries.append(
+                {
+                    "seq": self._seq,
+                    "kind": kind,
+                    "seconds": seconds,
+                    "threshold_s": threshold,
+                    "wall_time": time.time(),
+                    **detail,
+                }
+            )
+        return True
+
+    def entries(self) -> list[dict]:
+        """Newest-last copies of every buffered entry."""
+        with self._lock:
+            return [dict(entry) for entry in self._entries]
+
+    def stats(self) -> dict:
+        """The stats-section shape shared by every backend."""
+        with self._lock:
+            entries = [dict(entry) for entry in self._entries]
+            dropped = self._dropped
+        return {
+            "entries": entries,
+            "dropped": dropped,
+            "capacity": self._entries.maxlen,
+            "thresholds_ms": {
+                kind: self.threshold_s(kind) * 1000.0
+                for kind in DEFAULT_THRESHOLDS_S
+            },
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._dropped = 0
+
+
+_SLOWLOG = SlowLog()
+
+
+def slowlog() -> SlowLog:
+    """The process-wide slow log."""
+    return _SLOWLOG
+
+
+def maybe_record(kind: str, seconds: float, **detail) -> bool:
+    return _SLOWLOG.maybe_record(kind, seconds, **detail)

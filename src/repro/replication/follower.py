@@ -39,6 +39,7 @@ from pathlib import Path
 from repro.api import _wire_endpoint
 from repro.api.model import RetryPolicy
 from repro.core.errors import ReproError
+from repro.obs import metrics as _obs
 from repro.server.client import AsyncClient
 from repro.server.errors import ServerError
 from repro.server.service import StoreService
@@ -117,6 +118,10 @@ class Follower:
         self.primary_alive = True
         self.missed_heartbeats = 0
         self.stream_resyncs = 0
+        #: Monotonic clock of the last applied journal line (bootstrap or
+        #: stream) — the basis of the lag-in-seconds stat: how stale this
+        #: replica's newest data is while it is behind the primary.
+        self._last_applied_at = time.monotonic()
         self._streaming = False
         self._closed = False
         self._promoted = False
@@ -296,6 +301,11 @@ class Follower:
             self._persist(entry)
             apply_journal_record(store, record)
             self.primary_head = max(self.primary_head, record["index"])
+            self._last_applied_at = time.monotonic()
+            _obs.inc("repl_streamed_lines_received")
+            _obs.inc(
+                "repl_streamed_bytes", len(str(entry.get("line", "")))
+            )
 
     # -- heartbeats --------------------------------------------------------
     def _heartbeat_forever(self) -> None:
@@ -314,6 +324,7 @@ class Follower:
                 )
             except Exception:
                 self.missed_heartbeats += 1
+                _obs.inc("repl_heartbeat_misses")
                 if self.missed_heartbeats >= self.heartbeat_misses:
                     self.primary_alive = False
                     if self.auto_promote and not self._promoted:
@@ -415,9 +426,13 @@ class Follower:
         """The follower's extra ``stats()["replication"]`` fields."""
         local = len(self.service.store) - 1 if self.service else -1
         promoted = self._promoted
+        lag = 0 if promoted else max(0, self.primary_head - local)
         return {
             "primary": self.primary,
-            "lag": 0 if promoted else max(0, self.primary_head - local),
+            "lag": lag,
+            "lag_seconds": (
+                0.0 if lag == 0 else time.monotonic() - self._last_applied_at
+            ),
             "primary_alive": None if promoted else self.primary_alive,
             "heartbeat_misses": self.missed_heartbeats,
             "streaming": self._streaming,

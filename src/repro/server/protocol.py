@@ -40,6 +40,8 @@ Commands::
     as-of      {revision}                    base text at a tag/index
     diff       {older, newer, include_exists?}  fact strings between revisions
     stats                                    service counters
+    metrics                                  registry snapshot + Prometheus text
+    slowlog    {clear?}                      slow-query/slow-commit ring buffer
     repl-sync  {from_index}                  catch-up batch of raw journal lines
     repl-stream{from_index}                  live journal stream (repl-line pushes)
     repl-fence {epoch}                       fence writes below a promotion epoch
@@ -379,6 +381,32 @@ class Dispatcher:
     def _cmd_stats(self, request, state) -> dict:
         return {"stats": self.service.stats()}
 
+    def _cmd_metrics(self, request, state) -> dict:
+        """The metrics endpoint: the registry snapshot plus its
+        Prometheus-style text exposition (HTTP-free — scrape it with
+        ``repro client metrics``).  Gauges are refreshed first so every
+        scrape sees point-in-time session/subscription/replication values.
+        """
+        from repro.obs import metrics as obs
+
+        self.service.record_gauges()
+        return {
+            "enabled": obs.metrics_enabled(),
+            "metrics": obs.registry().snapshot(),
+            "text": obs.render_prometheus(),
+        }
+
+    def _cmd_slowlog(self, request, state) -> dict:
+        """Dump (and optionally clear) the slow-operation ring buffer."""
+        from repro.obs import slowlog as slowlog_module
+
+        log = slowlog_module.slowlog()
+        payload = {"slowlog": self.service.slowlog()}
+        if request.get("clear"):
+            log.clear()
+            payload["cleared"] = True
+        return payload
+
     # -- replication handlers ----------------------------------------------
     def _from_index(self, request) -> int:
         from_index = request.get("from_index", 0)
@@ -474,6 +502,8 @@ _HANDLERS = {
     "as-of": Dispatcher._cmd_as_of,
     "diff": Dispatcher._cmd_diff,
     "stats": Dispatcher._cmd_stats,
+    "metrics": Dispatcher._cmd_metrics,
+    "slowlog": Dispatcher._cmd_slowlog,
     "repl-sync": Dispatcher._cmd_repl_sync,
     "repl-stream": Dispatcher._cmd_repl_stream,
     "repl-fence": Dispatcher._cmd_repl_fence,

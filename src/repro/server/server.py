@@ -46,9 +46,12 @@ import asyncio
 import os
 import stat as stat_module
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 
+from repro.obs import metrics as _obs
+from repro.obs import slowlog as _slowlog
 from repro.server.protocol import LINE_LIMIT, ClientState, Dispatcher, decode, encode
 from repro.server.service import StoreService
 
@@ -354,7 +357,31 @@ class ReproServer:
                 except Exception as error:  # malformed frame: answer, keep going
                     outbox.put({"id": None, "ok": False, "error": str(error)})
                     continue
-                outbox.put(self.dispatcher.handle(request, state))
+                start = time.perf_counter()
+                response = self.dispatcher.handle(request, state)
+                elapsed = time.perf_counter() - start
+                cmd = str(request.get("cmd", "?"))
+                _obs.observe("server_command_seconds", elapsed, cmd=cmd)
+                if cmd not in ("apply", "tx", "commit"):
+                    # Commit-bearing commands land in the slowlog from the
+                    # service's own commit timer with richer detail.
+                    _slowlog.maybe_record("command", elapsed, detail=cmd)
+                if _obs.metrics_enabled():
+                    registry = _obs.registry()
+                    registry.set_gauge("server_outbox_depth", len(outbox))
+                    registry.set_gauge("server_connections", len(self._live))
+                    registry.set_gauge(
+                        "server_outbox_shed",
+                        sum(c.outbox.shed for c in self._live),
+                    )
+                    registry.set_gauge(
+                        "server_lagged_resyncs", self.lagged_resyncs
+                    )
+                    registry.set_gauge(
+                        "server_overload_disconnects",
+                        self.overload_disconnects,
+                    )
+                outbox.put(response)
                 if outbox.kill_reason is not None:
                     break
         except (ConnectionResetError, asyncio.IncompleteReadError):

@@ -41,6 +41,8 @@ from typing import Callable, Sequence
 
 from repro.core.caches import cache_stats
 from repro.core.objectbase import Delta, ObjectBase
+from repro.obs import metrics as _obs
+from repro.obs import slowlog as _slowlog
 from repro.core.plans import QuerySignature, program_signature
 from repro.core.query import Answer, PreparedQuery
 from repro.core.rules import UpdateProgram
@@ -60,6 +62,30 @@ from repro.storage.serialize import (
 )
 
 __all__ = ["Session", "CommitOutcome", "StoreService"]
+
+
+def _deep_snapshot(value, _retries: int = 4):
+    """Recursively copy a stats structure into fresh dicts/lists.
+
+    Stats sub-structures (cache registries, subscription counters) are
+    mutated by concurrent commits without a lock; iterating one mid-commit
+    can raise ``RuntimeError: dictionary changed size during iteration``.
+    Copying shrinks the window to a single dict iteration and retries it
+    on a race, so callers get a stable structure that is safe to serialize
+    at leisure.
+    """
+    if isinstance(value, dict):
+        for attempt in range(_retries):
+            try:
+                items = list(value.items())
+                break
+            except RuntimeError:  # pragma: no cover - needs an exact race
+                if attempt == _retries - 1:
+                    raise
+        return {key: _deep_snapshot(inner) for key, inner in items}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_deep_snapshot(inner) for inner in value]
+    return value
 
 
 class _FIFOLock:
@@ -358,7 +384,14 @@ class StoreService:
     def query(self, query) -> list[Answer]:
         """Answer against the current head, memoized per revision (the
         store's prepared-query serving path)."""
-        return self.store.query(query)
+        start = time.perf_counter()
+        answers = self.store.query(query)
+        elapsed = time.perf_counter() - start
+        _obs.observe("service_query_seconds", elapsed)
+        _slowlog.maybe_record(
+            "query", elapsed, detail=str(query), answers=len(answers)
+        )
+        return answers
 
     def prepare(self, query, *, name: str | None = None) -> PreparedQuery:
         return self.store.prepare(query, name=name)
@@ -496,6 +529,7 @@ class StoreService:
     def _commit_session(self, session: Session, tag: str) -> CommitOutcome:
         with self._writer():
             interim = self.store.revisions()[session.pinned + 1:]
+            validate_start = time.perf_counter()
             try:
                 session._validate(interim)
             except ConflictError as conflict:
@@ -503,7 +537,13 @@ class StoreService:
                 session.conflict = conflict
                 with self._state_lock:
                     self._conflicts += 1
+                _obs.inc("server_conflicts")
                 raise
+            _obs.observe(
+                "commit_phase_seconds",
+                time.perf_counter() - validate_start,
+                phase="validate",
+            )
             outcome = self._commit_programs(session._staged, tag)
             session.state = COMMITTED
             return outcome
@@ -542,11 +582,17 @@ class StoreService:
         store = self.store
         engine = store.engine
         base = store.current
+        commit_start = time.perf_counter()
         staged_bases: list[ObjectBase] = []
         for program in programs:
             result = engine.apply(program, base)
             base = result.new_base.freeze()
             staged_bases.append(base)
+        _obs.observe(
+            "commit_phase_seconds",
+            time.perf_counter() - commit_start,
+            phase="evaluate",
+        )
         revisions: list[StoreRevision] = []
         for position, (program, new_base) in enumerate(zip(programs, staged_bases)):
             revision_tag = tag if len(programs) == 1 else (tag and f"{tag}.{position}")
@@ -554,6 +600,7 @@ class StoreService:
                 new_base, tag=revision_tag, program_name=program.name
             )
             if self.journal_dir is not None:
+                append_start = time.perf_counter()
                 try:
                     append_revision(
                         store, self.journal_dir, durability=self.durability
@@ -566,6 +613,11 @@ class StoreService:
                         f"({error}); the service is now read-only — restart "
                         f"to recover at the last durable revision"
                     ) from error
+                _obs.observe(
+                    "commit_phase_seconds",
+                    time.perf_counter() - append_start,
+                    phase="append",
+                )
                 # Published strictly after the append: a follower only ever
                 # streams lines that are durable here, keeping its journal a
                 # prefix of this one even through a primary crash.
@@ -575,6 +627,15 @@ class StoreService:
             revisions.append(revision)
         with self._state_lock:
             self._commits += len(revisions)
+        total = time.perf_counter() - commit_start
+        _obs.inc("server_commits", len(revisions))
+        _slowlog.maybe_record(
+            "commit",
+            total,
+            tag=tag,
+            programs=len(programs),
+            head=revisions[-1].index if revisions else None,
+        )
         return CommitOutcome(revisions)
 
     # -- shared per-revision deltas ----------------------------------------
@@ -594,6 +655,16 @@ class StoreService:
 
     # -- accounting --------------------------------------------------------
     def stats(self) -> dict:
+        """A point-in-time, JSON-ready report on the service.
+
+        Every mutable sub-structure (subscription counters, prepared-query
+        stats, the cache registry, replication info) is deep-snapshotted
+        before the dict is returned: a concurrent commit can bump counters
+        and grow cache dicts at any moment, and handing live dicts to
+        ``json.dumps`` intermittently raised ``RuntimeError: dictionary
+        changed size during iteration`` on a busy server.
+        """
+        self.record_gauges()
         return {
             "revisions": len(self.store),
             "head_tag": self.store.head.tag,
@@ -607,14 +678,53 @@ class StoreService:
                 else None
             ),
             "write_timeout": self.write_timeout,
-            "subscriptions": self.subscriptions.stats(),
-            "prepared": self.store.prepared_stats(),
+            "subscriptions": _deep_snapshot(self.subscriptions.stats()),
+            "prepared": _deep_snapshot(self.store.prepared_stats()),
             # The process-wide cache registry (join-plan compilers, the
             # codegen backend counters, the OID intern table, ...) — what
             # ``repro client stats`` shows an operator.
-            "caches": cache_stats(),
-            "replication": self._replication_stats(),
+            "caches": _deep_snapshot(cache_stats()),
+            "replication": _deep_snapshot(self._replication_stats()),
+            # The observability layer: the metrics-registry snapshot (empty
+            # with REPRO_OBS unset) and the always-on slow-operation ring.
+            "metrics": _obs.snapshot(),
+            "slowlog": self.slowlog(),
         }
+
+    def slowlog(self) -> dict:
+        """The slow-query/slow-commit ring (see :mod:`repro.obs.slowlog`)."""
+        return _slowlog.slowlog().stats()
+
+    def record_gauges(self) -> None:
+        """Refresh point-in-time gauges (sessions, subscriptions,
+        replication lag/epoch) in the metrics registry.  Called on every
+        stats/metrics read so scrapes always see current values; a no-op
+        when metrics are off."""
+        if not _obs.metrics_enabled():
+            return
+        registry = _obs.registry()
+        registry.set_gauge("server_sessions_begun", self._session_counter)
+        registry.set_gauge(
+            "server_subscriptions", len(self.subscriptions)
+        )
+        registry.set_gauge("store_revisions", len(self.store))
+        replication = self._replication_stats()
+        registry.set_gauge("repl_epoch", replication["epoch"])
+        registry.set_gauge(
+            "repl_followers", replication["followers"]
+        )
+        registry.set_gauge(
+            "repl_streamed_lines", replication["streamed_lines"]
+        )
+        lag = replication.get("lag")
+        if lag is not None:
+            registry.set_gauge("repl_lag_revisions", lag)
+        lag_seconds = replication.get("lag_seconds")
+        if lag_seconds is not None:
+            registry.set_gauge("repl_lag_seconds", lag_seconds)
+        alive = replication.get("primary_alive")
+        if alive is not None:
+            registry.set_gauge("repl_primary_alive", 1.0 if alive else 0.0)
 
     def _replication_stats(self) -> dict:
         """The uniform ``stats()["replication"]`` section every backend

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -47,6 +48,7 @@ from repro.core.objectbase import ObjectBase
 from repro.core.terms import Oid, Term, UpdateKind, VersionId, intern_oid
 from repro.lang.parser import parse_object_base
 from repro.lang.pretty import format_object_base
+from repro.obs import metrics as _obs
 from repro.storage.history import StoreOptions, StoreRevision, VersionedStore
 
 __all__ = [
@@ -150,7 +152,13 @@ class _Filesystem:
             if flush or fsync:
                 handle.flush()
             if fsync:
+                start = time.perf_counter()
                 os.fsync(handle.fileno())
+                _obs.observe(
+                    "commit_phase_seconds",
+                    time.perf_counter() - start,
+                    phase="fsync",
+                )
 
     def replace(self, source: Path, target: Path, *, fsync: bool = False) -> None:
         os.replace(source, target)
@@ -320,7 +328,9 @@ def format_revision_line(revision: StoreRevision, has_snapshot: bool) -> str:
 def _write_snapshot(
     base: ObjectBase, path: Path, durability: DurabilityOptions
 ) -> None:
+    start = time.perf_counter()
     _fs.write_text(path, dump_base_json(base), fsync=durability.sync_snapshots)
+    _obs.observe("journal_snapshot_seconds", time.perf_counter() - start)
 
 
 def save_store(
@@ -415,9 +425,11 @@ def append_revision(
             directory / _snapshot_name(revision.index),
             durability,
         )
+    line = _revision_line(revision, has_snapshot) + "\n"
+    _obs.inc("journal_bytes", len(line.encode("utf-8")))
     _fs.append_text(
         journal,
-        _revision_line(revision, has_snapshot) + "\n",
+        line,
         flush=durability.flush_appends,
         fsync=durability.fsync_appends,
     )
@@ -455,6 +467,7 @@ def append_journal_line(
     """
     durability = durability or DEFAULT_DURABILITY
     journal = Path(directory) / JOURNAL_FILE
+    _obs.inc("journal_bytes", len(line.encode("utf-8")) + 1)
     _fs.append_text(
         journal,
         line + "\n",
@@ -837,6 +850,7 @@ def compact_journal(
     cleanup — a crash at any point leaves either the old journal with all
     its snapshots or the new journal with all of its.
     """
+    compact_start = time.perf_counter()
     store = load_store(directory, repair=True)  # compaction rewrites anyway
     interval = snapshot_interval or store.options.snapshot_interval
     new_options = StoreOptions(
@@ -866,4 +880,7 @@ def compact_journal(
         revisions, engine=store.engine, options=new_options
     )
     save_store(compacted, directory, durability=durability)
+    _obs.observe(
+        "journal_compaction_seconds", time.perf_counter() - compact_start
+    )
     return compacted

@@ -211,6 +211,14 @@ def test_stats_shape_is_uniform_across_backends(journal_dirs, tmp_path):
         assert stats["replication"]["role"] == "primary"
         assert stats["replication"]["epoch"] == 0
         assert stats["replication"]["lag"] == 0
+        # the observability sections are part of the uniform surface:
+        # same pinned sub-shape everywhere, enabled or not
+        assert set(stats["metrics"]) == {"enabled", "registry"}
+        assert isinstance(stats["metrics"]["enabled"], bool)
+        assert isinstance(stats["metrics"]["registry"], dict)
+        assert set(stats["slowlog"]) == {
+            "entries", "dropped", "capacity", "thresholds_ms",
+        }
 
 
 def test_replay_equivalence_after_restart(journal_dirs, tmp_path):

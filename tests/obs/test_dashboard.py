@@ -1,0 +1,114 @@
+"""The ``repro top`` renderer is a pure function over a stats document."""
+
+from __future__ import annotations
+
+from repro.obs import render_dashboard
+
+
+def _stats_document() -> dict:
+    return {
+        "revisions": 12,
+        "head_tag": "u11",
+        "commits": 11,
+        "conflicts": 1,
+        "sessions_begun": 3,
+        "subscriptions": {"active": 2},
+        "replication": {
+            "role": "primary",
+            "epoch": 4,
+            "lag": 0,
+            "followers": ["f0", "f1"],
+            "streamed_lines": 22,
+        },
+        "metrics": {
+            "enabled": True,
+            "registry": {
+                "commit_phase_seconds": {
+                    "kind": "histogram",
+                    "series": {
+                        "phase=evaluate": {
+                            "count": 11, "sum": 0.05, "p50": 0.004,
+                            "p99": 0.009,
+                        },
+                        "phase=append": {
+                            "count": 11, "sum": 0.01, "p50": 0.001,
+                            "p99": 0.002,
+                        },
+                    },
+                },
+                "server_command_seconds": {
+                    "kind": "histogram",
+                    "series": {
+                        "cmd=apply": {"count": 11, "sum": 0.06, "p50": 0.005,
+                                      "p99": 0.01},
+                    },
+                },
+                "engine_rule_fired": {
+                    "kind": "counter",
+                    "series": {"rule=raise": 40, "rule=hpe": 8},
+                },
+                "server_outbox_depth": {
+                    "kind": "gauge",
+                    "series": {"": 3},
+                },
+                "server_outbox_shed": {
+                    "kind": "gauge",
+                    "series": {"": 1},
+                },
+            },
+        },
+        "slowlog": {
+            "entries": [
+                {"kind": "commit", "seconds": 0.5, "tag": "u7"},
+                {"kind": "query", "seconds": 0.2, "detail": "E.sal -> S"},
+            ],
+            "dropped": 0,
+            "capacity": 128,
+            "thresholds_ms": {"commit": 250.0, "query": 100.0,
+                              "command": 250.0},
+        },
+    }
+
+
+def test_renders_every_section():
+    lines = render_dashboard(_stats_document(), target="unix:/tmp/x.sock")
+    text = "\n".join(lines)
+    assert "repro top — unix:/tmp/x.sock" in text
+    assert "revisions     12" in text
+    assert "commits 11" in text
+    assert "conflicts 1" in text
+    assert "replication: role primary" in text
+    assert "epoch 4" in text
+    assert "followers 2" in text
+    assert "commit phases" in text
+    assert "evaluate" in text and "append" in text
+    assert "wire commands" in text and "apply" in text
+    assert "hot rules (fired)" in text
+    # hottest rule first
+    assert text.index("raise") < text.index("hpe", text.index("hot rules"))
+    assert "outbox depth 3" in text and "shed 1" in text
+    assert "slowlog (newest last)" in text
+    assert "E.sal -> S" in text
+
+
+def test_renders_minimal_document_without_sections():
+    lines = render_dashboard({})
+    text = "\n".join(lines)
+    assert "repro top" in text
+    assert "revisions" in text
+    assert "metrics off" in text
+    assert "commit phases" not in text
+    assert "slowlog (newest last)" not in text
+
+
+def test_follower_count_renders_from_int_or_list():
+    # the live service reports a count; follower _info carries a list
+    stats = _stats_document()
+    stats["replication"]["followers"] = 1
+    assert "followers 1" in "\n".join(render_dashboard(stats))
+
+
+def test_metrics_disabled_flag_shows_off():
+    stats = _stats_document()
+    stats["metrics"]["enabled"] = False
+    assert "metrics off" in "\n".join(render_dashboard(stats))

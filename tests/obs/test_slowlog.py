@@ -1,0 +1,84 @@
+"""Unit tests for the slow-operation ring buffer (repro.obs.slowlog)."""
+
+from __future__ import annotations
+
+from repro.obs.slowlog import DEFAULT_THRESHOLDS_S, SlowLog
+
+
+def test_below_threshold_records_nothing():
+    log = SlowLog()
+    assert not log.maybe_record("commit", 0.001)
+    assert log.entries() == []
+
+
+def test_above_threshold_records_entry_with_detail():
+    log = SlowLog()
+    assert log.maybe_record("commit", 1.5, tag="big", programs=2)
+    (entry,) = log.entries()
+    assert entry["kind"] == "commit"
+    assert entry["seconds"] == 1.5
+    assert entry["threshold_s"] == DEFAULT_THRESHOLDS_S["commit"]
+    assert entry["tag"] == "big"
+    assert entry["programs"] == 2
+    assert entry["seq"] == 1
+    assert entry["wall_time"] > 0
+
+
+def test_programmatic_threshold_override():
+    log = SlowLog()
+    log.set_threshold("query", 0.0)
+    assert log.maybe_record("query", 0.00001)
+    assert log.threshold_s("query") == 0.0
+
+
+def test_env_threshold_in_milliseconds(monkeypatch):
+    monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "5")
+    log = SlowLog()
+    assert log.threshold_s("query") == 0.005
+    assert log.maybe_record("query", 0.006)
+    assert not log.maybe_record("query", 0.004)
+
+
+def test_bad_env_value_falls_back_to_default(monkeypatch):
+    monkeypatch.setenv("REPRO_SLOW_COMMIT_MS", "not-a-number")
+    log = SlowLog()
+    assert log.threshold_s("commit") == DEFAULT_THRESHOLDS_S["commit"]
+
+
+def test_unknown_kind_gets_generic_default():
+    assert SlowLog().threshold_s("mystery") == 0.250
+
+
+def test_ring_is_bounded_and_counts_drops():
+    log = SlowLog(capacity=4)
+    log.set_threshold("commit", 0.0)
+    for index in range(10):
+        log.maybe_record("commit", float(index))
+    stats = log.stats()
+    assert stats["capacity"] == 4
+    assert stats["dropped"] == 6
+    assert [entry["seconds"] for entry in stats["entries"]] == [
+        6.0, 7.0, 8.0, 9.0,
+    ]
+    # sequence numbers keep counting across drops
+    assert stats["entries"][-1]["seq"] == 10
+
+
+def test_stats_shape_and_clear():
+    log = SlowLog()
+    log.set_threshold("query", 0.0)
+    log.maybe_record("query", 1.0)
+    stats = log.stats()
+    assert set(stats) == {"entries", "dropped", "capacity", "thresholds_ms"}
+    assert set(stats["thresholds_ms"]) == set(DEFAULT_THRESHOLDS_S)
+    log.clear()
+    assert log.stats()["entries"] == []
+    assert log.stats()["dropped"] == 0
+
+
+def test_entries_are_copies():
+    log = SlowLog()
+    log.set_threshold("commit", 0.0)
+    log.maybe_record("commit", 1.0)
+    log.entries()[0]["seconds"] = 999
+    assert log.entries()[0]["seconds"] == 1.0

@@ -89,6 +89,36 @@ def test_compiled_equals_interpreted_and_naive(seed):
     )
 
 
+@settings(max_examples=50, deadline=None)
+@given(seeds)
+def test_fired_count_metrics_agree_across_execution_paths(seed):
+    """Observability must not depend on the executor: with metrics on, the
+    per-rule ``engine_rule_fired`` counters recorded by the compiled path
+    equal the interpreted path's, rule by rule, on random programs.  (Runs
+    identically under ``REPRO_NO_CODEGEN=1`` — the options force each
+    path explicitly.)"""
+    from repro.obs import metrics
+
+    program = random_update_program(seed=seed, allow_nonlinear=True)
+    base = _base_for(seed)
+
+    def fired_counts(options):
+        metrics.registry().reset()
+        _, error = _run(program, base, options)
+        entry = metrics.registry().snapshot().get("engine_rule_fired")
+        return error, dict(entry["series"]) if entry else {}
+
+    metrics.enable_metrics(True)
+    try:
+        compiled_error, compiled_counts = fired_counts(COMPILED)
+        interpreted_error, interpreted_counts = fired_counts(INTERPRETED)
+    finally:
+        metrics.registry().reset()
+        metrics.enable_metrics(None)
+    assert compiled_error == interpreted_error
+    assert compiled_counts == interpreted_counts
+
+
 @settings(max_examples=100, deadline=None)
 @given(seeds)
 def test_compiled_matcher_agrees_with_interpreted_per_rule(seed):

@@ -1,0 +1,58 @@
+"""Regression: ``StoreService.stats()`` vs a concurrent commit storm.
+
+``stats()`` hands its document straight to ``json.dumps`` on the wire
+path; before the ``_deep_snapshot`` fix the live cache/subscription dicts
+inside it intermittently raised ``RuntimeError: dictionary changed size
+during iteration`` while a commit was growing them.  This hammers the
+exact interleaving: a writer thread commits in a tight loop (with an
+active subscription so the subscription counters churn too) while the
+main thread JSON-encodes ``stats()`` a few hundred times.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.server import StoreService
+from repro.storage import VersionedStore
+from repro.workloads import paper_example_base
+
+RAISE_PHIL = "r: mod[phil].sal -> (S, S2) <= phil.sal -> S, S2 = S + 1."
+
+
+def test_stats_json_encodes_during_commit_storm():
+    service = StoreService(
+        VersionedStore(paper_example_base(), tag="initial")
+    )
+    pushes: list[dict] = []
+    service.subscriptions.subscribe("phil.sal -> S", pushes.append)
+
+    stop = threading.Event()
+    writer_errors: list[BaseException] = []
+
+    def committer() -> None:
+        index = 0
+        while not stop.is_set():
+            try:
+                service.apply(RAISE_PHIL, tag=f"u{index}")
+            except BaseException as error:  # pragma: no cover
+                writer_errors.append(error)
+                return
+            index += 1
+
+    thread = threading.Thread(target=committer)
+    thread.start()
+    try:
+        for _ in range(200):
+            document = json.loads(json.dumps(service.stats()))
+            assert document["revisions"] >= 1
+            assert set(document["slowlog"]) == {
+                "entries", "dropped", "capacity", "thresholds_ms",
+            }
+    finally:
+        stop.set()
+        thread.join()
+    assert not writer_errors
+    # the subscription really was live while we hammered stats()
+    assert pushes
