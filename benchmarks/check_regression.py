@@ -37,6 +37,16 @@ throughput ratio against the committed baseline::
         --replication-baseline BENCH_PR8.json \
         --replication-fresh bench-replication-ci.json
 
+The cluster guard (PR 10) enforces the sharding acceptance criteria:
+consistency against the memory replay is absolute, read scaling at the
+largest shard count has a hard >= 3x floor (plus a ratio bound against
+the committed baseline), and single-shard commits routed through the
+cluster must keep >= 0.9x of standalone throughput::
+
+    python benchmarks/check_regression.py \
+        --cluster-baseline BENCH_PR10.json \
+        --cluster-fresh bench-cluster-ci.json
+
 The observability guard (PR 9) enforces the metrics-overhead acceptance
 bound as absolute ceilings measured within one process (both runs of
 each pair happen on the same machine, so no cross-machine noise): with
@@ -84,6 +94,17 @@ OBS_P1_OVERHEAD_CEILING = 1.05
 #: run must keep at least this fraction of the disabled throughput.
 OBS_SERVE_THROUGHPUT_FLOOR = 0.95
 
+#: Cluster (PR 10): aggregate read throughput at the largest shard count
+#: of the sweep (8 by default) must stay >= 3x over one shard — the
+#: acceptance-criteria scaling floor.  Both halves of the ratio come from
+#: one process on one machine, so machine noise cancels.
+CLUSTER_READ_SCALING_FLOOR = 3.0
+
+#: Cluster (PR 10): commits routed through a 1-shard cluster must keep at
+#: least this fraction of standalone-server commit throughput (the
+#: "router costs < 10 %" acceptance bound).
+CLUSTER_COMMIT_RATIO_FLOOR = 0.9
+
 
 def check_ratio(
     failures: list[str], name: str, fresh: float, baseline: float, tolerance: float
@@ -125,6 +146,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--replication-fresh", type=Path, default=None,
                         help="replication run produced by this CI job "
                         "(optional)")
+    parser.add_argument("--cluster-baseline", type=Path, default=None,
+                        help="committed BENCH_PR10.json (optional)")
+    parser.add_argument("--cluster-fresh", type=Path, default=None,
+                        help="cluster sweep produced by this run (optional)")
     parser.add_argument("--obs-baseline", type=Path, default=None,
                         help="committed BENCH_PR9.json (optional)")
     parser.add_argument("--obs-fresh", type=Path, default=None,
@@ -301,6 +326,55 @@ def main(argv: list[str] | None = None) -> int:
         check_ratio(
             failures, "replica read fanout (reads/s)",
             fanout, repl_baseline["replica_reads_per_second"],
+            arguments.tolerance,
+        )
+
+    if arguments.cluster_baseline and arguments.cluster_fresh:
+        cluster_baseline = json.loads(
+            arguments.cluster_baseline.read_text(encoding="utf-8")
+        )
+        cluster_fresh = json.loads(
+            arguments.cluster_fresh.read_text(encoding="utf-8")
+        )
+        # the scatter answers must match the memory replay at every count
+        got = cluster_fresh.get("consistent")
+        verdict = "ok" if got is True else "REGRESSION"
+        print(
+            f"{'cluster consistent':<45} fresh {got!r:>8}  "
+            f"required True{'':>14}{verdict}"
+        )
+        if got is not True:
+            failures.append("cluster consistent")
+        scaling = cluster_fresh["read_scaling_largest_over_one"]
+        shards = cluster_fresh["read_scaling_shards"]
+        verdict = (
+            "ok" if scaling >= CLUSTER_READ_SCALING_FLOOR else "REGRESSION"
+        )
+        print(
+            f"{f'cluster read scaling floor [{shards} shards]':<45} "
+            f"fresh {scaling:7.2f}x  "
+            f"floor {CLUSTER_READ_SCALING_FLOOR:.2f}x{'':>21}{verdict}"
+        )
+        if scaling < CLUSTER_READ_SCALING_FLOOR:
+            failures.append("cluster read scaling floor")
+        commit_ratio = cluster_fresh[
+            "commit_throughput_ratio_routed_over_standalone"
+        ]
+        verdict = (
+            "ok" if commit_ratio >= CLUSTER_COMMIT_RATIO_FLOOR
+            else "REGRESSION"
+        )
+        print(
+            f"{'cluster single-shard commit ratio floor':<45} "
+            f"fresh {commit_ratio:7.3f}   "
+            f"floor {CLUSTER_COMMIT_RATIO_FLOOR:.2f}{'':>19}{verdict}"
+        )
+        if commit_ratio < CLUSTER_COMMIT_RATIO_FLOOR:
+            failures.append("cluster single-shard commit ratio floor")
+        check_ratio(
+            failures, "cluster read scaling vs baseline",
+            scaling,
+            cluster_baseline["read_scaling_largest_over_one"],
             arguments.tolerance,
         )
 

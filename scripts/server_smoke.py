@@ -28,6 +28,13 @@ Scenario (what the CI job runs)::
    prefix, the reconnecting subscriber must receive exactly one
    coalesced ``lagged`` resync, and writes must resume on the old
    socket at the new fencing epoch.
+10. sharded cluster: ``repro cluster init`` a 2-shard layout, ``repro
+    cluster launch`` both shards, commit a single-host program to each
+    shard through the ``cluster:`` router, scatter-gather a cross-shard
+    query, check ``repro cluster status``; then attach a replica to one
+    shard, SIGKILL that shard's primary, promote the replica, and verify
+    the router (with the shard spelled ``primary|replica``) fails over
+    and still returns the full, correct answer set.
 
 Exits 0 when every step holds; prints the failing step and exits 1
 otherwise.  No external dependencies beyond the repo itself.
@@ -53,6 +60,19 @@ bob.isa -> empl.   bob.sal -> 4200.  bob.boss -> phil.
 
 RAISE = "raise: mod[phil].sal -> (S, S2) <= phil.sal -> S, S2 = S + 100.\n"
 RAISE_BOB = "raise_bob: mod[bob].sal -> (S, S2) <= bob.sal -> S, S2 = S + 50.\n"
+
+# For the cluster step: under 2 shards, henry hashes to shard 0 and phil
+# to shard 1 (crc32 placement — process-stable), so these two hosts pin
+# one single-host commit to each shard and make the salary query a true
+# scatter-gather read.
+CLUSTER_BASE = """
+phil.isa -> empl.  phil.sal -> 4000.
+henry.isa -> empl. henry.sal -> 4200.
+"""
+RAISE_HENRY = (
+    "raise_henry: mod[henry].sal -> (S, S2) <= henry.sal -> S, "
+    "S2 = S + 50.\n"
+)
 
 
 def cli(*args: str, check: bool = True, timeout: float = 60.0):
@@ -96,6 +116,20 @@ def start_server(store_dir: Path, socket_path: Path) -> subprocess.Popen:
     return subprocess.Popen(
         [PYTHON, "-m", "repro", "serve", "--dir", str(store_dir),
          "--socket", str(socket_path)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO,
+    )
+
+
+def start_shard(
+    store_dir: Path, socket_path: Path, shard: int, count: int
+) -> subprocess.Popen:
+    return subprocess.Popen(
+        [PYTHON, "-m", "repro", "serve", "--dir", str(store_dir),
+         "--socket", str(socket_path),
+         "--shard-id", str(shard), "--shard-count", str(count)],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
@@ -341,6 +375,126 @@ def main() -> int:
                 if replica.poll() is None:
                     replica.terminate()
                     replica.wait(timeout=15)
+
+            print("10. sharded cluster: init, launch, scatter-gather reads")
+            cluster_dir = scratch / "cluster"
+            cluster_base = scratch / "cluster_world.ob"
+            cluster_base.write_text(CLUSTER_BASE, encoding="utf-8")
+            raise_henry_file = scratch / "raise_henry.upd"
+            raise_henry_file.write_text(RAISE_HENRY, encoding="utf-8")
+            cli("cluster", "init", "--dir", str(cluster_dir),
+                "--base", str(cluster_base), "--shards", "2")
+            launcher = subprocess.Popen(
+                [PYTHON, "-m", "repro", "cluster", "launch",
+                 "--dir", str(cluster_dir)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                cwd=REPO,
+            )
+            try:
+                cluster_target = launcher.stdout.readline().strip()
+                if not cluster_target.startswith("cluster:"):
+                    fail(f"cluster launch printed no target: "
+                         f"{cluster_target!r}")
+                wait_for(
+                    lambda: cli("client", "--target", cluster_target,
+                                "ping", check=False).returncode == 0,
+                    "the cluster router to answer",
+                )
+                # one single-host commit per shard, through the router
+                cli("client", "--target", cluster_target, "apply",
+                    "--program", str(raise_file), "--tag", "cluster-phil")
+                cli("client", "--target", cluster_target, "apply",
+                    "--program", str(raise_henry_file),
+                    "--tag", "cluster-henry")
+                scatter = cli("client", "--target", cluster_target, "query",
+                              "E.isa -> empl, E.sal -> S").stdout
+                if ("E = phil, S = 4100" not in scatter
+                        or "E = henry, S = 4250" not in scatter):
+                    fail(f"scatter read lost a shard's answers:\n{scatter}")
+                gather = cli("client", "--target", cluster_target, "query",
+                             "henry.sal -> T, phil.sal -> S").stdout
+                if "S = 4100, T = 4250" not in gather:
+                    fail(f"cross-shard gather join went wrong:\n{gather}")
+                status = cli("cluster", "status", cluster_target).stdout
+                if status.count("primary") < 2:
+                    fail(f"cluster status missing shard rows:\n{status}")
+            finally:
+                if launcher.poll() is None:
+                    launcher.terminate()
+                    launcher.wait(timeout=30)
+
+            print("11. shard failover behind the cluster router")
+            shard0_sock = scratch / "c0.sock"
+            shard1_sock = scratch / "c1.sock"
+            shard0 = start_shard(cluster_dir / "shard-0", shard0_sock, 0, 2)
+            shard1 = start_shard(cluster_dir / "shard-1", shard1_sock, 1, 2)
+            shard0_replica_dir = scratch / "shard0-replica"
+            shard0_replica_sock = scratch / "c0r.sock"
+            shard0_replica = subprocess.Popen(
+                [PYTHON, "-m", "repro", "replica", "serve",
+                 "--dir", str(shard0_replica_dir),
+                 "--primary", f"unix:{shard0_sock}",
+                 "--socket", str(shard0_replica_sock),
+                 "--heartbeat-interval", "0.2"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                cwd=REPO,
+            )
+            try:
+                failover_target = (
+                    f"cluster:unix:{shard0_sock}|unix:{shard0_replica_sock},"
+                    f"unix:{shard1_sock}"
+                )
+                wait_for(
+                    lambda: cli("client", "--socket", str(shard1_sock),
+                                "ping", check=False).returncode == 0,
+                    "shard 1 to serve",
+                )
+                shard0_journal = cluster_dir / "shard-0" / "journal.jsonl"
+                replica_journal = shard0_replica_dir / "journal.jsonl"
+                wait_for(
+                    lambda: replica_journal.exists()
+                    and replica_journal.read_bytes()
+                    == shard0_journal.read_bytes(),
+                    "the shard-0 replica to catch up byte-for-byte",
+                )
+                # the router accepts the primary|replica shard spelling
+                cli("client", "--target", failover_target, "apply",
+                    "--program", str(raise_file), "--tag", "cluster-phil-2")
+
+                shard0.kill()  # SIGKILL shard 0's primary: no goodbye
+                shard0.wait(timeout=30)
+                promote = cli("replica", "promote",
+                              "--socket", str(shard0_replica_sock))
+                if "promoted at epoch" not in promote.stderr:
+                    fail(f"shard-0 promote went wrong: {promote.stderr}")
+
+                # writes and scatter reads keep working through the router
+                cli("client", "--target", failover_target, "apply",
+                    "--program", str(raise_henry_file),
+                    "--tag", "cluster-failover")
+                scatter = cli("client", "--target", failover_target, "query",
+                              "E.isa -> empl, E.sal -> S").stdout
+                if ("E = phil, S = 4200" not in scatter
+                        or "E = henry, S = 4300" not in scatter):
+                    fail(f"post-failover scatter answers are wrong:\n"
+                         f"{scatter}")
+                status = cli("cluster", "status", failover_target).stdout
+                if "primary" not in status:
+                    fail(f"post-failover cluster status went wrong:\n"
+                         f"{status}")
+            finally:
+                for process in (shard0, shard1, shard0_replica):
+                    if process.poll() is None:
+                        process.terminate()
+                for process in (shard0, shard1, shard0_replica):
+                    try:
+                        process.wait(timeout=15)
+                    except subprocess.TimeoutExpired:
+                        process.kill()
         finally:
             if server.poll() is None:
                 server.kill()

@@ -11,7 +11,8 @@ durable journal directory, or a running server:
 >>> conn.query("E.sal -> S")
 [{'E': 'henry', 'S': 250}]
 
-Targets accepted by :func:`connect`:
+Targets accepted by :func:`connect` (the grammar lives in
+:mod:`repro.api.targets`):
 
 ``"memory:"``
     A fresh ephemeral store (seed it with ``base=...``).
@@ -27,6 +28,12 @@ a directory path
     reads fail over across members immediately, mutations follow the
     primary across promotions, epoch-fenced against zombie writes (see
     :mod:`repro.replication`).
+``"cluster:<shard>,<shard>,..."``
+    A hash-partitioned deployment: each comma-separated spec is one shard
+    (a ``|``-separated spec is a replica-set shard).  Facts live on the
+    shard their host OID hashes to; cross-shard reads scatter-gather and
+    compose per-shard revisions into a cluster-wide revision vector (see
+    :mod:`repro.cluster`).
 a :class:`~repro.server.service.StoreService` or
 :class:`~repro.storage.history.VersionedStore`
     Wrapped in-process as-is (embedding).
@@ -43,13 +50,13 @@ byte-identical answers, revision logs and journals, so the next backend
 
 from __future__ import annotations
 
-import stat
 from pathlib import Path
 
 from repro.api.connection import Connection, SubscriptionStream, Transaction
 from repro.api.hosting import BackgroundServer
 from repro.api.local import ServiceConnection
 from repro.api.model import AnswerDelta, CommitResult, Diff, RetryPolicy, Revision
+from repro.api.targets import ParsedTarget, parse_target, wire_endpoint
 from repro.api.wire import WireConnection
 from repro.core.errors import ReproError
 from repro.core.objectbase import ObjectBase
@@ -66,8 +73,14 @@ from repro.server.service import StoreService
 from repro.storage.history import StoreOptions, VersionedStore
 from repro.storage.serialize import JOURNAL_FILE, DurabilityOptions, load_store
 
+# Backward-compatible alias: the replication layer (and older callers)
+# import the endpoint parser under its historical private name.
+_wire_endpoint = wire_endpoint
+
 __all__ = [
     "connect",
+    "parse_target",
+    "ParsedTarget",
     "Connection",
     "Transaction",
     "SubscriptionStream",
@@ -129,20 +142,15 @@ def connect(
         return ServiceConnection(
             StoreService(target), target="store:", readonly=readonly
         )
-    if not isinstance(target, (str, Path)):
-        raise ReproError(
-            f"connect() needs a target string, path, StoreService or "
-            f"VersionedStore, not {type(target).__name__}"
-        )
-    text = str(target)
-    if text == "memory:":
+    parsed = parse_target(target)
+    if parsed.scheme == "memory":
         _reject_wire_kwargs("a memory: target", retry)
         _reject_durability("a memory: target", durability)
         store = VersionedStore(_coerce_base(base), tag=tag, options=options)
         return ServiceConnection(
             StoreService(store), target="memory:", readonly=readonly
         )
-    if text.startswith("replset:"):
+    if parsed.scheme == "replset":
         from repro.replication.replset import ReplicaSetConnection
 
         _reject_seed_kwargs("a replica-set target", base, options)
@@ -154,12 +162,25 @@ def connect(
                 "readonly= is not supported on replset: targets; reads "
                 "already spread across every member"
             )
-        members = [part for part in text[len("replset:"):].split(",") if part]
         return ReplicaSetConnection(
-            members, call_timeout=call_timeout, retry=retry
+            list(parsed.members), call_timeout=call_timeout, retry=retry
         )
-    endpoint = _wire_endpoint(text)
-    if endpoint is not None:
+    if parsed.scheme == "cluster":
+        from repro.cluster.router import ClusterConnection
+
+        _reject_seed_kwargs("a cluster: target", base, options)
+        _reject_durability(
+            "a cluster: target (each shard owns its journal)", durability
+        )
+        if readonly:
+            raise ReproError(
+                "readonly= is not supported on cluster: targets; connect "
+                "to a shard's journal directory read-only instead"
+            )
+        return ClusterConnection(
+            parsed.shards, call_timeout=call_timeout, retry=retry
+        )
+    if parsed.scheme == "wire":
         _reject_seed_kwargs("a served target", base, options)
         _reject_durability(
             "a served target (the server owns its journal)", durability
@@ -172,11 +193,11 @@ def connect(
                 "journal directory read-only instead"
             )
         return WireConnection(
-            call_timeout=call_timeout, retry=retry, **endpoint
+            call_timeout=call_timeout, retry=retry, **parsed.endpoint
         )
     _reject_wire_kwargs("a journal-directory target", retry)
     return _connect_journal(
-        Path(target), base=base, tag=tag, options=options, readonly=readonly,
+        parsed.path, base=base, tag=tag, options=options, readonly=readonly,
         durability=durability,
     )
 
@@ -216,45 +237,6 @@ def _coerce_base(base) -> ObjectBase:
         f"base= needs an ObjectBase or concrete-syntax text, not "
         f"{type(base).__name__}"
     )
-
-
-def _wire_endpoint(text: str) -> dict | None:
-    """Parse a served target into :class:`WireConnection` kwargs, or
-    ``None`` when the target is not a served endpoint."""
-    if text.startswith("serve:"):
-        rest = text[len("serve:"):]
-        inner = _wire_endpoint(rest)
-        if inner is not None:
-            return inner
-        host_port = _host_port(rest)
-        if host_port is not None:
-            return host_port
-        if not rest:
-            raise ReproError("serve: target needs an endpoint after the colon")
-        return {"path": rest}
-    if text.startswith("unix:"):
-        path = text[len("unix:"):]
-        if not path:
-            raise ReproError("unix: target needs a socket path")
-        return {"path": path}
-    if text.startswith("tcp:"):
-        host_port = _host_port(text[len("tcp:"):])
-        if host_port is None:
-            raise ReproError(f"tcp: target needs host:port, got {text!r}")
-        return host_port
-    try:
-        if stat.S_ISSOCK(Path(text).stat().st_mode):
-            return {"path": text}
-    except OSError:
-        pass
-    return None
-
-
-def _host_port(text: str) -> dict | None:
-    host, separator, port = text.rpartition(":")
-    if separator and host and port.isdigit():
-        return {"host": host, "port": int(port)}
-    return None
 
 
 def _connect_journal(

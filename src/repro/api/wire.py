@@ -377,6 +377,16 @@ class WireConnection(Connection):
         )
         return decode_answers(response["answers"])
 
+    def query_with_revision(
+        self, body, *, min_revision: int | None = None
+    ) -> tuple[list[Answer], int]:
+        """Like :meth:`query`, also returning the head revision index the
+        answers were computed at (the server stamps every query response)."""
+        response = self._call_min_revision(
+            "query", min_revision, body=_body_text(body)
+        )
+        return decode_answers(response["answers"]), response["revision"]
+
     def _call_min_revision(
         self, cmd: str, min_revision: int | None, **payload
     ) -> dict:

@@ -42,6 +42,17 @@ comparable across PRs (``benchmarks/run_bench.py`` is a thin wrapper):
   filter) whose cost is all in the join itself.  A differential check
   asserts all three paths produce the same result base at every size.
 
+* **Cluster sweep** (``--cluster``, ``BENCH_PR10.json``) — the sharded
+  deployment: one enterprise base hash-partitioned across 1/2/4/8 served
+  shards behind the ``cluster:`` router, the same targeted-raise churn
+  loop with scatter reads at every count.  Headlines (both guarded in
+  CI): aggregate read scaling at the largest count over one shard
+  (locality — per-commit apply and memo recompute follow the written
+  shard's size) and routed-over-standalone single-shard commit
+  throughput (the router must cost < 10 %).  A differential replay
+  against a ``memory:`` store checks the merged scatter answers at every
+  shard count.
+
 * **Observability sweep** (``--obs``, ``BENCH_PR9.json``) — the cost of
   the metrics registry itself: the P1[400] apply and a scaled served
   subscription run, each timed with the registry forced off and forced
@@ -84,6 +95,7 @@ __all__ = [
     "run_joins_sweep",
     "run_replication_sweep",
     "run_obs_sweep",
+    "run_cluster_sweep",
     "build_trajectory",
     "main",
 ]
@@ -110,6 +122,11 @@ DEFAULT_REPLICATION_SECONDS = 10.0
 DEFAULT_OBS_OUT = "BENCH_PR9.json"
 DEFAULT_OBS_SERVE_UPDATES = 10
 DEFAULT_OBS_SERVE_CLIENTS = 4
+DEFAULT_CLUSTER_OUT = "BENCH_PR10.json"
+DEFAULT_CLUSTER_SHARDS = (1, 2, 4, 8)
+DEFAULT_CLUSTER_EMPLOYEES = 1500
+DEFAULT_CLUSTER_UPDATES = 8
+DEFAULT_CLUSTER_READS = 2
 TRAJECTORY_OUT = "BENCH_TRAJECTORY.json"
 
 #: The read-heavy query mix.  ``org_chart`` reads no ``sal`` fact, so the
@@ -1123,6 +1140,191 @@ def run_replication_sweep(
     }
 
 
+def run_cluster_sweep(
+    shard_counts: tuple[int, ...] = DEFAULT_CLUSTER_SHARDS,
+    n_employees: int = DEFAULT_CLUSTER_EMPLOYEES,
+    updates: int = DEFAULT_CLUSTER_UPDATES,
+    reads_per_update: int = DEFAULT_CLUSTER_READS,
+    commit_probes: int = 12,
+    repeats: int = 2,
+) -> dict:
+    """The PR 10 sharded-cluster sweep (``--cluster``, ``BENCH_PR10.json``).
+
+    One enterprise base is hash-partitioned across 1, 2, 4 and 8 shards
+    (each shard a served store behind the ``cluster:`` router) and the same
+    read-your-writes churn loop runs at every shard count: a targeted
+    single-host raise commits, then scatter reads of a selective salary
+    filter follow.  Two headline numbers, both guarded in CI:
+
+    * **aggregate read scaling** — reads/s at the largest shard count over
+      reads/s at one shard.  This harness is single-core, so the scaling
+      measured here is *locality*, not parallelism: both the per-commit
+      update evaluation and the post-invalidation prepared-query recompute
+      cost are proportional to the written shard's size, so at 8 shards
+      ~7/8 of that work disappears from the loop (the unwritten shards
+      answer from their carried memos).  On real hardware the per-shard
+      processes add parallel speedup on top.
+    * **single-shard commit overhead** — routed commits/s through a
+      1-shard cluster over commits/s against the same store served
+      standalone; the router's classification layer must stay within 10 %
+      (floor 0.9).
+
+    A differential check replays every commit sequence against an
+    in-process ``memory:`` store and compares the full scatter read at
+    each shard count — answers must be identical, or the run fails.
+    """
+    import tempfile
+
+    import repro
+    from repro.api import BackgroundServer
+    from repro.cluster import LocalCluster
+    from repro.lang.pretty import format_object_base
+    from repro.server.service import StoreService
+    from repro.storage import VersionedStore
+
+    base_text = format_object_base(
+        enterprise_base(n_employees=n_employees, overpaid_ratio=0.1, seed=21)
+    )
+    filter_query = "E.isa -> empl, E.sal -> S, S > 970000"
+    salaries_query = READ_QUERIES[0][1]
+    churn_ids = [f"emp{k}" for k in range(20)]
+    failures: list[str] = []
+
+    def churn_loop(conn) -> float:
+        start = time.perf_counter()
+        for tick in range(updates):
+            conn.apply(
+                targeted_raise_program(
+                    churn_ids[tick % len(churn_ids)], percent=1.0
+                ),
+                tag=f"churn-{tick}",
+            )
+            for _ in range(reads_per_update):
+                conn.query(filter_query)
+        return time.perf_counter() - start
+
+    scaling: list[dict] = []
+    for count in shard_counts:
+        with LocalCluster(base_text, shards=count) as deployment:
+            with repro.connect(deployment.target) as conn:
+                conn.apply(
+                    targeted_raise_program("emp21", percent=1.0), tag="warm"
+                )
+                conn.query(filter_query)
+                best_wall = min(churn_loop(conn) for _ in range(repeats))
+
+                # differential: replay the same commits on one memory
+                # store; the scatter read must merge to identical answers
+                with repro.connect("memory:", base=base_text) as reference:
+                    reference.apply(
+                        targeted_raise_program("emp21", percent=1.0),
+                        tag="warm",
+                    )
+                    for round_number in range(repeats):
+                        for tick in range(updates):
+                            reference.apply(
+                                targeted_raise_program(
+                                    churn_ids[tick % len(churn_ids)],
+                                    percent=1.0,
+                                ),
+                                tag=f"churn-{tick}",
+                            )
+                    consistent = conn.query(salaries_query) == (
+                        reference.query(salaries_query)
+                    )
+                if not consistent:
+                    failures.append(
+                        f"scatter answers diverged from the memory replay "
+                        f"at {count} shard(s)"
+                    )
+                router = conn.stats()["cluster"]["router"]
+                scaling.append(
+                    {
+                        "shards": count,
+                        "wall_seconds": best_wall,
+                        "reads_per_second": (
+                            updates * reads_per_update / best_wall
+                        ),
+                        "commits_per_second": updates / best_wall,
+                        "consistent": consistent,
+                        "router_reads": {
+                            "single": router["single_reads"],
+                            "scatter": router["scatter_reads"],
+                            "gather": router["gather_reads"],
+                        },
+                    }
+                )
+
+    def commit_probe(conn) -> float:
+        conn.apply(targeted_raise_program("emp21", percent=1.0), tag="warm")
+        start = time.perf_counter()
+        for tick in range(commit_probes):
+            conn.apply(
+                targeted_raise_program(
+                    churn_ids[tick % len(churn_ids)], percent=1.0
+                ),
+                tag=f"probe-{tick}",
+            )
+        return commit_probes / (time.perf_counter() - start)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        service = StoreService(
+            VersionedStore(repro.parse_object_base(base_text).copy())
+        )
+        server = BackgroundServer(
+            service, path=str(Path(scratch) / "solo.sock")
+        )
+        try:
+            with repro.connect(server.target) as conn:
+                standalone_commits = max(
+                    commit_probe(conn) for _ in range(repeats)
+                )
+        finally:
+            server.close()
+    with LocalCluster(base_text, shards=1) as deployment:
+        with repro.connect(deployment.target) as conn:
+            routed_commits = max(commit_probe(conn) for _ in range(repeats))
+
+    first = scaling[0]
+    largest = scaling[-1]
+    read_scaling = (
+        largest["reads_per_second"] / first["reads_per_second"]
+        if first["reads_per_second"]
+        else 0.0
+    )
+    commit_ratio = (
+        routed_commits / standalone_commits if standalone_commits else 0.0
+    )
+    return {
+        "benchmark": "p10_cluster",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "workload": {
+            "base": f"enterprise(n_employees={n_employees})",
+            "shard_counts": list(shard_counts),
+            "updates": updates,
+            "reads_per_update": reads_per_update,
+            "read_query": filter_query,
+            "consistency_query": salaries_query,
+            "commit_probes": commit_probes,
+            "repeats": repeats,
+            "note": (
+                "single-core harness: the read scaling measured here is "
+                "partition locality (per-commit apply and memo-recompute "
+                "cost follow the written shard's size), not parallelism"
+            ),
+        },
+        "scaling": scaling,
+        "read_scaling_largest_over_one": read_scaling,
+        "read_scaling_shards": largest["shards"],
+        "standalone_commits_per_second": standalone_commits,
+        "routed_commits_per_second": routed_commits,
+        "commit_throughput_ratio_routed_over_standalone": commit_ratio,
+        "consistent": all(entry["consistent"] for entry in scaling),
+        "failures": failures,
+    }
+
+
 def run_obs_sweep(
     n_employees: int = 400,
     repeats: int = DEFAULT_REPEATS,
@@ -1351,6 +1553,23 @@ def _p9_headline(document: dict) -> dict:
     }
 
 
+def _p10_headline(document: dict) -> dict:
+    return {
+        "read_scaling_largest_over_one": document[
+            "read_scaling_largest_over_one"
+        ],
+        "commit_throughput_ratio_routed_over_standalone": document[
+            "commit_throughput_ratio_routed_over_standalone"
+        ],
+        "consistent": document["consistent"],
+        "headline": f"{document['read_scaling_shards']} shards: "
+        f"{document['read_scaling_largest_over_one']:.1f}x aggregate read "
+        f"throughput over 1 shard, single-shard commits "
+        f"{document['commit_throughput_ratio_routed_over_standalone']:.2f}x "
+        f"of standalone",
+    }
+
+
 _HEADLINES = {
     "p1_base_size_sweep": _p1_headline,
     "p2_store_sweep": _p2_headline,
@@ -1360,6 +1579,7 @@ _HEADLINES = {
     "p7_joins_sweep": _p7_headline,
     "p8_replication": _p8_headline,
     "p9_observability": _p9_headline,
+    "p10_cluster": _p10_headline,
 }
 
 
@@ -1535,6 +1755,16 @@ def main(argv: list[str] | None = None) -> int:
         help="replication sweep: read replicas to attach (default: %(default)s)",
     )
     parser.add_argument(
+        "--cluster", action="store_true",
+        help="run the sharded-cluster sweep (read scaling across shard "
+        "counts, single-shard commit overhead) instead of the P1 sweep",
+    )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=None,
+        help="cluster sweep: shard counts to sweep "
+        f"(default: {' '.join(str(c) for c in DEFAULT_CLUSTER_SHARDS)})",
+    )
+    parser.add_argument(
         "--obs", action="store_true",
         help="run the observability-overhead sweep (P1[400] apply and a "
         "scaled serve run, metrics registry on vs off) instead of the "
@@ -1617,6 +1847,45 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {out}")
         write_trajectory(".")
         return 0
+
+    if arguments.cluster:
+        out = arguments.out or Path(DEFAULT_CLUSTER_OUT)
+        document = run_cluster_sweep(
+            shard_counts=(
+                tuple(arguments.shards)
+                if arguments.shards
+                else DEFAULT_CLUSTER_SHARDS
+            ),
+            updates=(
+                arguments.updates
+                if arguments.updates is not None
+                else DEFAULT_CLUSTER_UPDATES
+            ),
+        )
+        _write_document(out, document)
+        for entry in document["scaling"]:
+            print(
+                f"shards={entry['shards']:>2}  "
+                f"reads/s {entry['reads_per_second']:8.1f}   "
+                f"commits/s {entry['commits_per_second']:7.1f}   "
+                f"consistent: {entry['consistent']}"
+            )
+        print(
+            f"read scaling: "
+            f"{document['read_scaling_largest_over_one']:.2f}x at "
+            f"{document['read_scaling_shards']} shards over 1"
+        )
+        print(
+            f"single-shard commits: routed "
+            f"{document['routed_commits_per_second']:.1f}/s vs standalone "
+            f"{document['standalone_commits_per_second']:.1f}/s (ratio "
+            f"{document['commit_throughput_ratio_routed_over_standalone']:.3f})"
+        )
+        for failure in document["failures"]:
+            print(f"  failure: {failure}")
+        print(f"wrote {out}")
+        write_trajectory(".")
+        return 0 if not document["failures"] else 1
 
     if arguments.replication:
         out = arguments.out or Path(DEFAULT_REPLICATION_OUT)

@@ -33,6 +33,11 @@ Usage (installed as ``repro-updates``, also ``python -m repro``)::
     repro-updates client --socket S slowlog [--clear]
     repro-updates top --socket S [--interval 2] [--iterations N]
     repro-updates bench --obs [--out BENCH_PR9.json]
+    repro-updates cluster init --dir C --base world.ob --shards 4
+    repro-updates cluster launch --dir C [--supervise]
+    repro-updates cluster status cluster:unix:C/shard-0.sock,unix:C/shard-1.sock
+    repro-updates top --target cluster:unix:A,unix:B
+    repro-updates bench --cluster [--out BENCH_PR10.json] [--shards 1 2 4 8]
 
 ``apply`` prints the new object base (``ob'``) to stdout, or writes it with
 ``--out``; ``--result-base`` dumps ``result(P)`` with all versions instead.
@@ -214,6 +219,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="replication sweep: read replicas to attach (default: 3)",
     )
     bench_cmd.add_argument(
+        "--cluster", action="store_true",
+        help="run the sharded-cluster sweep (single-shard commit overhead "
+        "vs a standalone server, scatter-read scaling across shard "
+        "counts)",
+    )
+    bench_cmd.add_argument(
+        "--shards", type=int, nargs="+", default=None,
+        help="cluster sweep: shard counts to sweep (default: 1 2 4 8)",
+    )
+    bench_cmd.add_argument(
         "--obs", action="store_true",
         help="run the observability-overhead sweep (P1[400] apply and a "
         "scaled serve run, metrics registry on vs off)",
@@ -322,6 +337,70 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_OBS=1): commit-phase/per-rule/wire histograms, readable via "
         "`repro client metrics` and `repro top`",
     )
+    serve_cmd.add_argument(
+        "--shard-id", type=int, default=None, metavar="I",
+        help="declare this server shard I of a hash-partitioned cluster "
+        "(routers verify the declared identity at connect time)",
+    )
+    serve_cmd.add_argument(
+        "--shard-count", type=int, default=None, metavar="N",
+        help="declare the cluster's shard count (with --shard-id)",
+    )
+
+    cluster_cmd = commands.add_parser(
+        "cluster",
+        help="manage a hash-partitioned shard cluster "
+        "(init/launch/status; connect with cluster:a,b,...)",
+    )
+    cluster_sub = cluster_cmd.add_subparsers(
+        dest="cluster_command", required=True
+    )
+    cluster_init = cluster_sub.add_parser(
+        "init",
+        help="partition an object-base file into N per-shard journal "
+        "directories plus a cluster.json manifest",
+    )
+    cluster_init.add_argument(
+        "--dir", required=True, type=Path, dest="directory",
+        help="cluster directory (shard journals land under shard-<i>/)",
+    )
+    cluster_init.add_argument("--base", required=True, type=Path)
+    cluster_init.add_argument(
+        "--shards", required=True, type=int, metavar="N",
+    )
+    cluster_init.add_argument("--tag", default="initial")
+    cluster_launch = cluster_sub.add_parser(
+        "launch",
+        help="start one `repro serve` process per shard of an initialized "
+        "cluster directory; prints the cluster: connect target",
+    )
+    cluster_launch.add_argument(
+        "--dir", required=True, type=Path, dest="directory",
+    )
+    cluster_launch.add_argument(
+        "--supervise", action="store_true",
+        help="restart a shard server that exits (until this process is "
+        "stopped)",
+    )
+    cluster_launch.add_argument(
+        "--metrics", action="store_true",
+        help="launch every shard with the metrics registry enabled",
+    )
+    cluster_launch.add_argument(
+        "--durability", choices=["none", "flush", "fsync"], default=None,
+    )
+    cluster_status = cluster_sub.add_parser(
+        "status",
+        help="ping every shard of a cluster: target and print the "
+        "per-shard status table",
+    )
+    cluster_status.add_argument(
+        "target", help="a cluster: target, e.g. cluster:unix:a,unix:b"
+    )
+    cluster_status.add_argument(
+        "--json", action="store_true",
+        help="print the composed stats document as JSON instead",
+    )
 
     replica_cmd = commands.add_parser(
         "replica",
@@ -424,6 +503,11 @@ def build_parser() -> argparse.ArgumentParser:
     client_cmd.add_argument("--host", default="127.0.0.1")
     client_cmd.add_argument("--port", type=int, default=None)
     client_cmd.add_argument(
+        "--target", default=None, metavar="TARGET",
+        help="connect to any target spec (serve:/tcp:/replset:/cluster:) "
+        "instead of --socket/--port",
+    )
+    client_cmd.add_argument(
         "--retry", type=int, default=None, metavar="ATTEMPTS",
         help="reconnect across restarts and failovers, redialling up to "
         "this many times (live subscriptions resync with a lagged delta)",
@@ -508,6 +592,11 @@ def build_parser() -> argparse.ArgumentParser:
     top_cmd.add_argument("--socket", type=Path, default=None)
     top_cmd.add_argument("--host", default="127.0.0.1")
     top_cmd.add_argument("--port", type=int, default=None)
+    top_cmd.add_argument(
+        "--target", default=None,
+        help="any repro.connect target instead of --socket/--port — a "
+        "cluster: target renders the aggregated multi-shard dashboard",
+    )
     top_cmd.add_argument(
         "--dir", type=Path, default=None, dest="directory",
         help="render one snapshot from a local journal directory instead "
@@ -690,6 +779,12 @@ def _cmd_bench(arguments) -> int:
             argv += ["--followers", str(arguments.followers)]
         if arguments.duration is not None:
             argv += ["--duration", str(arguments.duration)]
+    if arguments.cluster:
+        argv += ["--cluster"]
+        if arguments.shards is not None:
+            argv += ["--shards", *(str(s) for s in arguments.shards)]
+        if arguments.duration is not None:
+            argv += ["--duration", str(arguments.duration)]
     if arguments.obs:
         argv += ["--obs"]
     if arguments.updates is not None:
@@ -716,7 +811,12 @@ def _cmd_serve(arguments) -> int:
         from repro.obs import enable_metrics
 
         enable_metrics(True)
-    service = StoreService.open(arguments.directory, durability=durability)
+    if (arguments.shard_id is None) != (arguments.shard_count is None):
+        raise ReproError("--shard-id and --shard-count go together")
+    service = StoreService.open(
+        arguments.directory, durability=durability,
+        shard_id=arguments.shard_id, shard_count=arguments.shard_count,
+    )
 
     async def run() -> None:
         server = ReproServer(
@@ -935,11 +1035,14 @@ def _cmd_client(arguments) -> int:
 
     from repro.api import ConflictError, RetryPolicy, connect
 
-    kwargs = _client_connect_kwargs(arguments)
-    if "path" in kwargs:
-        target = f"serve:{kwargs['path']}"
+    if getattr(arguments, "target", None):
+        target = arguments.target
     else:
-        target = f"tcp:{kwargs['host']}:{kwargs['port']}"
+        kwargs = _client_connect_kwargs(arguments)
+        if "path" in kwargs:
+            target = f"serve:{kwargs['path']}"
+        else:
+            target = f"tcp:{kwargs['host']}:{kwargs['port']}"
     retry = (
         RetryPolicy(attempts=arguments.retry)
         if getattr(arguments, "retry", None)
@@ -1011,6 +1114,12 @@ def _cmd_client(arguments) -> int:
             response = conn.call("slowlog", **payload)
             print(json.dumps(response["slowlog"], indent=2, sort_keys=True))
         elif command == "script":
+            if not hasattr(conn, "request"):
+                raise ReproError(
+                    "client script is a raw-protocol tool: it needs a "
+                    "single served endpoint (--socket/--port), not a "
+                    "routed target"
+                )
             source = (
                 sys.stdin.read()
                 if arguments.file == "-"
@@ -1058,6 +1167,195 @@ def _run_client_tx(conn, arguments, conflict_error) -> int:
     return 1
 
 
+def _cmd_cluster(arguments) -> int:
+    handler = _CLUSTER_HANDLERS[arguments.cluster_command]
+    return handler(arguments)
+
+
+def _cmd_cluster_init(arguments) -> int:
+    import json
+
+    from repro.cluster.partition import split_base
+    from repro.server.service import StoreService
+    from repro.storage.serialize import JOURNAL_FILE
+
+    if arguments.shards < 1:
+        raise ReproError("a cluster needs at least one shard")
+    base = parse_object_base(arguments.base.read_text(encoding="utf-8"))
+    directory = arguments.directory
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest_path = directory / "cluster.json"
+    if manifest_path.exists():
+        raise ReproError(
+            f"a cluster manifest already exists at {manifest_path}; "
+            f"refusing to repartition over it — pick a fresh directory"
+        )
+    pieces = split_base(base, arguments.shards)
+    for shard, piece in enumerate(pieces):
+        shard_dir = directory / f"shard-{shard}"
+        if (shard_dir / JOURNAL_FILE).exists():
+            raise ReproError(
+                f"a journal already exists under {shard_dir}; refusing to "
+                f"overwrite its history"
+            )
+        StoreService.create(
+            piece.copy(), shard_dir, tag=arguments.tag,
+            shard_id=shard, shard_count=arguments.shards,
+        )
+        print(
+            f"shard {shard}: {len(piece)} facts -> {shard_dir}",
+            file=sys.stderr,
+        )
+    manifest = {
+        "shards": arguments.shards,
+        "tag": arguments.tag,
+        "directories": [f"shard-{i}" for i in range(arguments.shards)],
+    }
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+    print(
+        f"initialized {arguments.shards}-shard cluster under {directory} "
+        f"({len(base)} facts partitioned by host OID)"
+    )
+    return 0
+
+
+def _read_cluster_manifest(directory: Path) -> dict:
+    import json
+
+    manifest_path = directory / "cluster.json"
+    if not manifest_path.exists():
+        raise ReproError(
+            f"no cluster manifest at {manifest_path}; run "
+            f"`repro cluster init --dir {directory} ...` first"
+        )
+    return json.loads(manifest_path.read_text(encoding="utf-8"))
+
+
+def _cmd_cluster_launch(arguments) -> int:
+    """Spawn one ``repro serve`` process per shard; with ``--supervise``
+    restart any shard that dies, forever (the cluster's crash recovery —
+    a restarted shard replays its journal and followers reconnect)."""
+    import signal
+    import subprocess
+    import time
+
+    directory = arguments.directory
+    manifest = _read_cluster_manifest(directory)
+    count = int(manifest["shards"])
+    sockets = [directory / f"shard-{shard}.sock" for shard in range(count)]
+
+    def spawn(shard: int) -> subprocess.Popen:
+        sockets[shard].unlink(missing_ok=True)
+        command = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--dir", str(directory / manifest["directories"][shard]),
+            "--socket", str(sockets[shard]),
+            "--shard-id", str(shard), "--shard-count", str(count),
+        ]
+        if arguments.metrics:
+            command.append("--metrics")
+        if arguments.durability is not None:
+            command += ["--durability", arguments.durability]
+        return subprocess.Popen(command)
+
+    processes = {shard: spawn(shard) for shard in range(count)}
+    stopping = False
+
+    def stop(signum, frame):  # noqa: ARG001 - signal handler shape
+        nonlocal stopping
+        stopping = True
+
+    signal.signal(signal.SIGTERM, stop)
+    signal.signal(signal.SIGINT, stop)
+    deadline = time.monotonic() + 30
+    while not all(sock.exists() for sock in sockets):
+        if stopping or time.monotonic() > deadline:
+            break
+        time.sleep(0.05)
+    target = "cluster:" + ",".join(f"unix:{sock}" for sock in sockets)
+    print(target, flush=True)
+    print(
+        f"launched {count} shard servers under {directory} "
+        f"(pids {', '.join(str(p.pid) for p in processes.values())})",
+        file=sys.stderr, flush=True,
+    )
+    exit_code = 0
+    try:
+        while not stopping:
+            time.sleep(0.2)
+            for shard, process in list(processes.items()):
+                if process.poll() is None:
+                    continue
+                if arguments.supervise:
+                    print(
+                        f"shard {shard} exited "
+                        f"({process.returncode}); restarting",
+                        file=sys.stderr, flush=True,
+                    )
+                    processes[shard] = spawn(shard)
+                else:
+                    print(
+                        f"shard {shard} exited ({process.returncode}); "
+                        f"stopping the cluster",
+                        file=sys.stderr, flush=True,
+                    )
+                    stopping = True
+                    exit_code = 1
+                    break
+    finally:
+        for process in processes.values():
+            if process.poll() is None:
+                process.terminate()
+        for process in processes.values():
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+        print("cluster stopped", file=sys.stderr)
+    return exit_code
+
+
+def _cmd_cluster_status(arguments) -> int:
+    import json
+
+    from repro.api import connect
+
+    with connect(arguments.target) as conn:
+        pong = conn.ping()
+        stats = conn.stats()
+    if arguments.json:
+        print(json.dumps(stats, indent=2, default=str))
+        return 0 if pong["pong"] else 1
+    cluster = stats.get("cluster") or {}
+    router = cluster.get("router") or {}
+    print(
+        f"cluster: {router.get('shards', 0)} shards, revision "
+        f"{router.get('revision', 0)} ({router.get('vector', '')}), "
+        f"head [{stats.get('head_tag', '-')}]"
+    )
+    print(
+        "shard  role      revisions  commits  conflicts  lag  "
+        "subs  endpoint"
+    )
+    for entry in cluster.get("shards", ()):
+        print(
+            f"{entry['shard']:>5}  {str(entry.get('role') or '-'):<8}  "
+            f"{entry.get('revisions', 0):>9}  {entry.get('commits', 0):>7}  "
+            f"{entry.get('conflicts', 0):>9}  {entry.get('lag', 0):>3}  "
+            f"{entry.get('subscriptions', 0):>4}  {entry.get('target', '')}"
+        )
+    return 0 if pong["pong"] else 1
+
+
+_CLUSTER_HANDLERS = {
+    "init": _cmd_cluster_init,
+    "launch": _cmd_cluster_launch,
+    "status": _cmd_cluster_status,
+}
+
+
 def _cmd_top(arguments) -> int:
     """Curses-free live dashboard: redraw ``render_dashboard`` over the
     stats document every ``--interval`` seconds with an ANSI clear."""
@@ -1075,12 +1373,16 @@ def _cmd_top(arguments) -> int:
                 print(line)
         return 0
 
-    if arguments.socket is None and arguments.port is None:
-        raise ReproError("top needs --socket PATH, --port N, or --dir DIR")
-    if arguments.socket is not None:
+    if arguments.target is not None:
+        target = arguments.target
+    elif arguments.socket is not None:
         target = f"serve:{arguments.socket}"
-    else:
+    elif arguments.port is not None:
         target = f"tcp:{arguments.host}:{arguments.port}"
+    else:
+        raise ReproError(
+            "top needs --target T, --socket PATH, --port N, or --dir DIR"
+        )
     iterations = arguments.iterations
     interval = max(0.1, arguments.interval)
     with connect(target) as conn:
@@ -1260,6 +1562,7 @@ _HANDLERS = {
     "bench": _cmd_bench,
     "store": _cmd_store,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "replica": _cmd_replica,
     "replicaset": _cmd_replicaset,
     "client": _cmd_client,

@@ -66,8 +66,35 @@ def render_dashboard(stats: dict, target: str = "") -> list[str]:
         f"slowlog {len(slowlog.get('entries', []))} entries"
     )
 
+    cluster = stats.get("cluster") or {}
+    if cluster:
+        router = cluster.get("router") or {}
+        lines.append(
+            f"cluster: {router.get('shards', 0)} shards   "
+            f"revision {router.get('revision', 0)} "
+            f"({router.get('vector', '')})   "
+            f"reads single/scatter/gather "
+            f"{router.get('single_reads', 0)}/"
+            f"{router.get('scatter_reads', 0)}/"
+            f"{router.get('gather_reads', 0)}   "
+            f"failovers {router.get('failovers', 0)}"
+        )
+        lines.append(
+            "  shard  role      revs  commits  confl  lag  subs"
+        )
+        for entry in cluster.get("shards", ()):
+            lines.append(
+                f"  {entry.get('shard', 0):>5}  "
+                f"{str(entry.get('role') or '-'):<8}  "
+                f"{entry.get('revisions', 0):>4}  "
+                f"{entry.get('commits', 0):>7}  "
+                f"{entry.get('conflicts', 0):>5}  "
+                f"{entry.get('lag', 0):>3}  "
+                f"{entry.get('subscriptions', 0):>4}"
+            )
+
     replication = stats.get("replication") or {}
-    if replication:
+    if replication and not cluster:
         # the service reports a follower *count*; older documents (and
         # follower _info) may carry a list of addresses instead
         followers = replication.get("followers") or 0

@@ -204,6 +204,16 @@ class ReplicaSetConnection(Connection):
             what="query",
         )
 
+    def query_with_revision(
+        self, body, *, min_revision: int | None = None
+    ) -> tuple[list[Answer], int]:
+        return self._read(
+            lambda conn: conn.query_with_revision(
+                body, min_revision=min_revision
+            ),
+            what="query",
+        )
+
     def log(self) -> tuple[Revision, ...]:
         return self._read(lambda conn: conn.log(), what="log")
 

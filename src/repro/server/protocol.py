@@ -245,13 +245,19 @@ class Dispatcher:
 
     # -- command handlers --------------------------------------------------
     def _cmd_ping(self, request, state) -> dict:
-        return {
+        pong = {
             "pong": True,
             "protocol": PROTOCOL_VERSION,
             "role": self.service.role,
             "epoch": self.service.epoch,
             "revision": len(self.service.store) - 1,
         }
+        if self.service.shard_id is not None:
+            pong["shard"] = {
+                "id": self.service.shard_id,
+                "count": self.service.shard_count,
+            }
+        return pong
 
     def _coerced_program(self, request):
         """The request's program, parsed, with the optional ``name`` field

@@ -291,12 +291,20 @@ class StoreService:
         durability: DurabilityOptions | None = None,
         write_timeout: float | None = None,
         role: str = "primary",
+        shard_id: int | None = None,
+        shard_count: int | None = None,
     ) -> None:
         from repro.server.subscriptions import SubscriptionManager
 
         self.store = store
         self.journal_dir = journal_dir
         self.durability = durability
+        #: Position in a hash-partitioned cluster (``repro cluster``), or
+        #: ``None`` for a standalone/replica-set node.  Routers verify the
+        #: declared identity at connect time so a misordered member list
+        #: fails loudly instead of scattering facts to the wrong shards.
+        self.shard_id = shard_id
+        self.shard_count = shard_count
         #: Seconds a commit may wait in the FIFO writer queue before the
         #: service sheds it with a retryable :class:`ServerBusyError`
         #: (``None`` = wait forever, the embedded-single-writer default).
@@ -336,6 +344,8 @@ class StoreService:
         options=None,
         durability: DurabilityOptions | None = None,
         write_timeout: float | None = None,
+        shard_id: int | None = None,
+        shard_count: int | None = None,
     ) -> "StoreService":
         """Open a journal directory as a service: the journal is replayed
         into a store (restart recovery — the service is the journal's
@@ -347,6 +357,8 @@ class StoreService:
             journal_dir=directory,
             durability=durability,
             write_timeout=write_timeout,
+            shard_id=shard_id,
+            shard_count=shard_count,
         )
 
     @classmethod
@@ -358,6 +370,8 @@ class StoreService:
         tag: str = "initial",
         durability: DurabilityOptions | None = None,
         write_timeout: float | None = None,
+        shard_id: int | None = None,
+        shard_count: int | None = None,
         **store_kwargs,
     ) -> "StoreService":
         """Initialize a fresh journal directory from ``base`` and serve it."""
@@ -368,6 +382,8 @@ class StoreService:
             journal_dir=directory,
             durability=durability,
             write_timeout=write_timeout,
+            shard_id=shard_id,
+            shard_count=shard_count,
         )
 
     # -- coercion helpers --------------------------------------------------
@@ -689,6 +705,8 @@ class StoreService:
             # with REPRO_OBS unset) and the always-on slow-operation ring.
             "metrics": _obs.snapshot(),
             "slowlog": self.slowlog(),
+            # Cluster identity (``repro cluster``); both None standalone.
+            "shard": {"id": self.shard_id, "count": self.shard_count},
         }
 
     def slowlog(self) -> dict:

@@ -170,6 +170,78 @@ class TestServedTargets:
             repro.connect("unix:")
 
 
+class TestParseTarget:
+    """The unified grammar: every scheme classifies into a typed
+    :class:`ParsedTarget`, every malformed form raises a clean
+    :class:`ReproError` that names the offending piece."""
+
+    def test_every_scheme_classifies(self, tmp_path):
+        from pathlib import Path
+
+        from repro.api import parse_target
+
+        assert parse_target("memory:").scheme == "memory"
+        assert parse_target("unix:/tmp/a.sock").endpoint == {"path": "/tmp/a.sock"}
+        assert parse_target("serve:/tmp/a.sock").scheme == "wire"
+        assert parse_target("tcp:db:7001").endpoint == {"host": "db", "port": 7001}
+        assert parse_target("serve:db:7001").endpoint == {"host": "db", "port": 7001}
+        replset = parse_target("replset:a.sock, b.sock")
+        assert replset.scheme == "replset"
+        assert replset.members == ("a.sock", "b.sock")
+        journal = parse_target(tmp_path / "store")
+        assert journal.scheme == "journal"
+        assert journal.path == tmp_path / "store"
+        assert parse_target(str(tmp_path / "store")).path == Path(
+            str(tmp_path / "store")
+        )
+
+    def test_cluster_grammar(self):
+        from repro.api import parse_target
+
+        parsed = parse_target("cluster:unix:a.sock, b1.sock|b2.sock,")
+        assert parsed.scheme == "cluster"
+        # one member tuple per shard, | splits a shard into replset
+        # members, the trailing comma is forgiven like replset:
+        assert parsed.shards == (("unix:a.sock",), ("b1.sock", "b2.sock"))
+
+    @pytest.mark.parametrize(
+        ("target", "complaint"),
+        [
+            ("serve:", "serve: target needs an endpoint"),
+            ("unix:", "unix: target needs a socket path"),
+            ("tcp:nowhere", "tcp: target needs host:port"),
+            ("replset:", "replset: target needs at least one member"),
+            ("replset: , ", "replset: target needs at least one member"),
+            ("replset:memory:", "must be plain served endpoints"),
+            ("cluster:", "cluster: target needs at least one shard"),
+            ("cluster:,b.sock", "cluster: shard 0 is empty"),
+            ("cluster:a.sock,,b.sock", "cluster: shard 1 is empty"),
+            ("cluster:a.sock,||", "cluster: shard 1 is empty"),
+            ("cluster:replset:a.sock,b.sock", "must be plain served endpoints"),
+            ("cluster:a.sock,cluster:b.sock", "must be plain served endpoints"),
+            ("cluster:memory:|a.sock", "must be plain served endpoints"),
+            ("cluster:tcp:nowhere", "tcp: target needs host:port"),
+            ("cluster:a.sock,unix:", "unix: target needs a socket path"),
+        ],
+    )
+    def test_malformed_targets_fail_cleanly(self, target, complaint):
+        from repro.api import parse_target
+
+        with pytest.raises(ReproError) as error_info:
+            parse_target(target)
+        assert complaint in str(error_info.value)
+        # connect() funnels through the same grammar: identical failure
+        with pytest.raises(ReproError) as connect_info:
+            repro.connect(target)
+        assert complaint in str(connect_info.value)
+
+    def test_non_string_target_is_a_typed_error(self):
+        from repro.api import parse_target
+
+        with pytest.raises(ReproError, match="connect\\(\\) needs"):
+            parse_target(42)
+
+
 class TestConnectionLifecycle:
     def test_closed_connection_rejects_calls(self):
         conn = repro.connect("memory:", base=BASE)

@@ -36,6 +36,8 @@ ROOT_SURFACE = [
 #: The documented facade surface.
 API_SURFACE = [
     "connect",
+    "parse_target",
+    "ParsedTarget",
     "Connection",
     "Transaction",
     "SubscriptionStream",

@@ -1,0 +1,96 @@
+"""Property test: scatter-gather reads never observe torn cross-shard state.
+
+Each host carries a counter fact that a storm of single-host commits bumps
+while a reader scatter-queries the whole fleet.  Because every commit
+advances exactly one component of the revision vector, a reader's
+successive cuts must be componentwise monotone — observably: no host's
+counter ever goes backwards between reads, and a read carrying the last
+commit's cluster index as ``min_revision`` reflects every bump (read your
+writes across connections).  Hypothesis drives the storm's target schedule
+so the interleaving of shard-0 and shard-1 commits varies per example; the
+cluster is module-scoped, so counters keep rising across examples and the
+monotonicity obligation compounds rather than resets.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.cluster import LocalCluster, shard_for
+from repro.core.terms import Oid
+
+SHARDS = 2
+HOSTS = ["ada", "bob", "cleo", "dee", "eve", "finn"]
+BASE = "".join(f"{host}.n -> 0. " for host in HOSTS)
+COUNTER_QUERY = "E.n -> V"
+
+
+def _bump(host: str) -> str:
+    return f"bump_{host}: mod[{host}].n -> (V, V2) <= {host}.n -> V, V2 = V + 1."
+
+
+def test_storm_hosts_cover_both_shards():
+    placements = {shard_for(Oid(host), SHARDS) for host in HOSTS}
+    assert placements == set(range(SHARDS))
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalCluster(BASE, shards=SHARDS) as deployment:
+        yield deployment
+
+
+def _counters(answers) -> dict[str, int]:
+    observed = {row["E"]: row["V"] for row in answers}
+    assert len(observed) == len(answers), "duplicate host rows in a scatter read"
+    return observed
+
+
+@settings(max_examples=5, deadline=None)
+@given(targets=st.lists(st.integers(0, len(HOSTS) - 1), min_size=4, max_size=12))
+def test_scatter_reads_are_monotonic_under_commit_storm(cluster, targets):
+    written: list[repro.api.Revision] = []
+
+    def storm(target: str) -> None:
+        with repro.connect(target) as writer:
+            for index in targets:
+                written.append(writer.apply(_bump(HOSTS[index]), tag="bump"))
+
+    with repro.connect(cluster.target) as reader:
+        before = _counters(reader.query(COUNTER_QUERY))
+        start_vector = reader.stats()["cluster"]["router"]["vector"]
+
+        thread = threading.Thread(target=storm, args=(cluster.target,))
+        thread.start()
+        last = dict(before)
+        try:
+            while thread.is_alive():
+                observed = _counters(reader.query(COUNTER_QUERY))
+                for host, value in observed.items():
+                    assert value >= last[host], (
+                        f"{host} went backwards: {last[host]} -> {value}"
+                    )
+                last = observed
+        finally:
+            thread.join()
+
+        # read-your-writes across connections: the storm's final cluster
+        # index, used as a token here, must expose every bump
+        final = _counters(
+            reader.query(COUNTER_QUERY, min_revision=written[-1].index)
+        )
+        expected = dict(before)
+        for index in targets:
+            expected[HOSTS[index]] += 1
+        assert final == expected
+
+        # the revision vector itself moved componentwise forward
+        end_vector = reader.stats()["cluster"]["router"]["vector"]
+        start_parts = [int(p) for p in start_vector[3:].split(",")]
+        end_parts = [int(p) for p in end_vector[3:].split(",")]
+        assert all(e >= s for s, e in zip(start_parts, end_parts))
+        assert sum(end_parts) >= sum(start_parts) + len(targets)
